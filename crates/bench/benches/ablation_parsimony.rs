@@ -1,0 +1,97 @@
+//! Ablation: parsimony pressure on vs off.
+//!
+//! The paper (§III): "Genetic programming can quickly generate very long
+//! feature expressions. If two features have the same quality we prefer the
+//! shorter one. This selection pressure prevents expressions becoming
+//! needlessly long." This bench runs the same GP search with the pressure
+//! enabled and disabled, timing both; it also prints (once) the resulting
+//! best-expression sizes, which is the quantity the ablation is about.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fegen_core::gp::{GpConfig, GpEngine};
+use fegen_core::ir::IrNode;
+use fegen_core::lang::FeatureExpr;
+use fegen_core::Grammar;
+use fegen_rtl::export::export_loop;
+use fegen_rtl::lower::lower_program;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Once;
+
+fn grammar_and_ir() -> (Grammar, Vec<IrNode>) {
+    let suite = fegen_suite::generate_suite(&fegen_suite::SuiteConfig::tiny());
+    let mut irs = Vec::new();
+    for b in &suite {
+        let rtl = lower_program(&b.program).expect("suite lowers");
+        for f in &rtl.functions {
+            for region in &f.loops {
+                irs.push(export_loop(f, region, &rtl.layout));
+            }
+        }
+    }
+    (Grammar::derive(irs.iter()), irs)
+}
+
+/// A deliberately plateau-heavy fitness: many expressions achieve the same
+/// quality, so parsimony (not quality) decides — the regime where bloat
+/// happens.
+fn fitness(irs: &[IrNode]) -> impl Fn(&FeatureExpr) -> Option<f64> + Sync + '_ {
+    move |e: &FeatureExpr| {
+        let v = e.eval_with_budget(&irs[0], 50_000).ok()?;
+        // Bucketised objective: a plateau of equal-quality solutions.
+        Some(-((v - 10.0).abs() / 5.0).floor())
+    }
+}
+
+fn report_sizes_once(grammar: &Grammar, irs: &[IrNode]) {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        for parsimony in [true, false] {
+            let cfg = GpConfig {
+                parsimony,
+                max_generations: 30,
+                stagnation_limit: 30,
+                ..GpConfig::quick()
+            };
+            let mut sizes = Vec::new();
+            for seed in 0..5u64 {
+                let engine = GpEngine::new(grammar, cfg.clone());
+                let mut rng = StdRng::seed_from_u64(seed);
+                let run = engine.run(&fitness(irs), &mut rng);
+                if let Some(best) = run.best {
+                    sizes.push(best.size);
+                }
+            }
+            eprintln!(
+                "[ablation] parsimony={parsimony}: best-expression sizes {sizes:?} (mean {:.1})",
+                sizes.iter().sum::<usize>() as f64 / sizes.len().max(1) as f64
+            );
+        }
+    });
+}
+
+fn bench_parsimony(c: &mut Criterion) {
+    let (grammar, irs) = grammar_and_ir();
+    report_sizes_once(&grammar, &irs);
+    let mut group = c.benchmark_group("ablation_parsimony");
+    group.sample_size(10);
+    for parsimony in [true, false] {
+        let cfg = GpConfig {
+            parsimony,
+            max_generations: 10,
+            stagnation_limit: 10,
+            ..GpConfig::quick()
+        };
+        group.bench_function(format!("parsimony_{parsimony}"), |b| {
+            b.iter(|| {
+                let engine = GpEngine::new(&grammar, cfg.clone());
+                let mut rng = StdRng::seed_from_u64(11);
+                engine.run(&fitness(&irs), &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parsimony);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Micro-benchmark: feature-expression evaluation throughput over real
+//! exported loop IR — the hot path of the GP search (every candidate is
+//! evaluated over every training loop, every generation).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fegen_core::ir::IrNode;
+use fegen_core::lang::parse_feature;
+use fegen_rtl::export::export_loop;
+use fegen_rtl::lower::lower_program;
+
+fn exported_loops() -> Vec<IrNode> {
+    let suite = fegen_suite::generate_suite(&fegen_suite::SuiteConfig::tiny());
+    let mut out = Vec::new();
+    for b in &suite {
+        let rtl = lower_program(&b.program).expect("suite lowers");
+        for f in &rtl.functions {
+            for region in &f.loops {
+                out.push(export_loop(f, region, &rtl.layout));
+            }
+        }
+    }
+    out
+}
+
+fn bench_feature_eval(c: &mut Criterion) {
+    let loops = exported_loops();
+    let features = [
+        ("get_attr", "get-attr(@num-iter)"),
+        ("count_desc", "count(//*)"),
+        ("count_filter_type", "count(filter(//*, is-type(reg)))"),
+        (
+            "paper_fig16_style",
+            "count(filter(//*, !(is-type(wide-int) || is-type(const_double))))",
+        ),
+        (
+            "nested_aggregate",
+            "max(filter(/*, is-type(basic-block)), count(filter(//*, is-type(insn))))",
+        ),
+    ];
+    let mut group = c.benchmark_group("feature_eval");
+    for (name, src) in features {
+        let f = parse_feature(src).expect("valid feature");
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for ir in &loops {
+                    acc += f.eval_default(black_box(ir)).unwrap_or(0.0);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_parse_print(c: &mut Criterion) {
+    let src = "count(filter(/*, is-type(basic-block) && (!@loop-depth==2 || (0.0 > \
+               (count(filter(//*, is-type(var_decl))) / count(filter(/*, is-type(code_label))))))))";
+    c.bench_function("parse_long_feature", |b| {
+        b.iter(|| parse_feature(black_box(src)).expect("parses"))
+    });
+    let f = parse_feature(src).expect("parses");
+    c.bench_function("print_long_feature", |b| b.iter(|| black_box(&f).to_string()));
+}
+
+criterion_group!(benches, bench_feature_eval, bench_parse_print);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Micro-benchmark: GP machinery — random generation, mutation, crossover
+//! and a bounded engine run over the grammar derived from real exports.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fegen_core::gp::{crossover, mutate, GpConfig, GpEngine};
+use fegen_core::ir::IrNode;
+use fegen_core::lang::FeatureExpr;
+use fegen_core::Grammar;
+use fegen_rtl::export::export_loop;
+use fegen_rtl::lower::lower_program;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn grammar_and_ir() -> (Grammar, Vec<IrNode>) {
+    let suite = fegen_suite::generate_suite(&fegen_suite::SuiteConfig::tiny());
+    let mut irs = Vec::new();
+    for b in &suite {
+        let rtl = lower_program(&b.program).expect("suite lowers");
+        for f in &rtl.functions {
+            for region in &f.loops {
+                irs.push(export_loop(f, region, &rtl.layout));
+            }
+        }
+    }
+    (Grammar::derive(irs.iter()), irs)
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let (grammar, _) = grammar_and_ir();
+    let mut rng = StdRng::seed_from_u64(1);
+    let parents: Vec<FeatureExpr> = (0..64).map(|_| grammar.gen_feature(&mut rng, 6)).collect();
+
+    c.bench_function("gen_feature_depth6", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| grammar.gen_feature(&mut rng, black_box(6)))
+    });
+    c.bench_function("mutate", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k + 1) % parents.len();
+            mutate(&grammar, black_box(&parents[k]), &mut rng, 4)
+        })
+    });
+    c.bench_function("crossover", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k + 1) % (parents.len() - 1);
+            crossover(black_box(&parents[k]), black_box(&parents[k + 1]), &mut rng)
+        })
+    });
+}
+
+fn bench_engine_generation(c: &mut Criterion) {
+    let (grammar, irs) = grammar_and_ir();
+    // Fitness: cheap but real — evaluate the feature over all exported IR.
+    let fitness = move |e: &FeatureExpr| -> Option<f64> {
+        let mut acc = 0.0;
+        for ir in &irs {
+            acc += e.eval_with_budget(ir, 50_000).ok()?;
+        }
+        Some(-acc.abs())
+    };
+    let cfg = GpConfig {
+        population: 24,
+        max_generations: 5,
+        stagnation_limit: 10,
+        ..GpConfig::quick()
+    };
+    let mut group = c.benchmark_group("gp_engine");
+    group.sample_size(10);
+    group.bench_function("run_pop24_gen5", |b| {
+        b.iter(|| {
+            let engine = GpEngine::new(&grammar, cfg.clone());
+            let mut rng = StdRng::seed_from_u64(7);
+            engine.run(&fitness, &mut rng)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators, bench_engine_generation);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Micro-benchmark: learner training and prediction costs. The decision
+//! tree is trained inside every GP fitness evaluation, so its training
+//! time bounds the whole search throughput (the paper chose C4.5 "for its
+//! speed" for exactly this reason).
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use fegen_ml::data::Dataset;
+use fegen_ml::svm::{Svm, SvmConfig};
+use fegen_ml::tree::{DecisionTree, TreeConfig};
+
+/// Synthetic but structured dataset: labels depend on thresholds of a few
+/// features plus noise, similar in shape to the unroll-factor task.
+fn dataset(n: usize, d: usize, classes: usize) -> Dataset {
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    let mut state = 0x12345678u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..n {
+        let row: Vec<f64> = (0..d).map(|_| (next() % 1000) as f64 / 10.0).collect();
+        let label = ((row[0] / 25.0) as usize + (row[1] > 50.0) as usize) % classes;
+        xs.push(row);
+        ys.push(label);
+    }
+    Dataset::new(xs, ys, classes).expect("rectangular")
+}
+
+fn bench_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree");
+    for n in [200usize, 800] {
+        let data = dataset(n, 8, 16);
+        group.bench_function(format!("train_n{n}"), |b| {
+            b.iter(|| DecisionTree::train(black_box(&data), &TreeConfig::default()))
+        });
+    }
+    let data = dataset(800, 8, 16);
+    let tree = DecisionTree::train(&data, &TreeConfig::default());
+    group.bench_function("predict_800", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 0..data.len() {
+                acc += tree.predict(black_box(data.row(i)));
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_svm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svm");
+    group.sample_size(10);
+    let data = dataset(150, 8, 4);
+    let stats = data.feature_stats();
+    let std = data.standardized(&stats);
+    group.bench_function("train_150x8_4class", |b| {
+        b.iter_batched(
+            || std.clone(),
+            |d| Svm::train(&d, &SvmConfig::default()),
+            BatchSize::SmallInput,
+        )
+    });
+    let svm = Svm::train(&std, &SvmConfig::default());
+    group.bench_function("predict_150", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 0..std.len() {
+                acc += svm.predict(black_box(std.row(i)));
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree, bench_svm);
+criterion_main!(benches);

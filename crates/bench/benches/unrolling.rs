@@ -1,0 +1,63 @@
+//! Micro-benchmark: front-end and transformation costs — parsing,
+//! lowering, CFG construction, loop export, and the unroll transform at
+//! several factors.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fegen_rtl::cfg::Cfg;
+use fegen_rtl::export::export_loop;
+use fegen_rtl::lower::lower_program;
+use fegen_rtl::unroll::unroll_loop;
+
+const SRC: &str = "\
+    int data[1024]; int out[1024]; int m[32][32];\n\
+    void init() { int i; for (i = 0; i < 1024; i = i + 1) { data[i] = i % 251; } }\n\
+    void kernel(int n) {\n\
+      int i; int j; int v;\n\
+      for (i = 0; i < n; i = i + 1) {\n\
+        v = data[i] * 3;\n\
+        if (v > 200) { v = 200; }\n\
+        out[i] = v;\n\
+      }\n\
+      for (i = 0; i < 32; i = i + 1) {\n\
+        for (j = 0; j < 32; j = j + 1) { m[i][j] = i * j + n; }\n\
+      }\n\
+    }\n";
+
+fn bench_frontend(c: &mut Criterion) {
+    c.bench_function("parse_program", |b| {
+        b.iter(|| fegen_lang::parse_program(black_box(SRC)).expect("parses"))
+    });
+    let ast = fegen_lang::parse_program(SRC).expect("parses");
+    c.bench_function("lower_program", |b| {
+        b.iter(|| lower_program(black_box(&ast)).expect("lowers"))
+    });
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let ast = fegen_lang::parse_program(SRC).expect("parses");
+    let rtl = lower_program(&ast).expect("lowers");
+    let kernel = rtl.function("kernel").expect("kernel");
+    c.bench_function("cfg_build", |b| b.iter(|| Cfg::build(black_box(kernel))));
+    c.bench_function("export_loop", |b| {
+        b.iter(|| export_loop(black_box(kernel), &kernel.loops[0], &rtl.layout))
+    });
+    c.bench_function("stateml_features", |b| {
+        b.iter(|| fegen_rtl::stateml::stateml_features(black_box(kernel), &kernel.loops[0]))
+    });
+}
+
+fn bench_unroll(c: &mut Criterion) {
+    let ast = fegen_lang::parse_program(SRC).expect("parses");
+    let rtl = lower_program(&ast).expect("lowers");
+    let kernel = rtl.function("kernel").expect("kernel");
+    let mut group = c.benchmark_group("unroll");
+    for factor in [2usize, 8, 15] {
+        group.bench_function(format!("factor_{factor}"), |b| {
+            b.iter(|| unroll_loop(black_box(kernel), 0, factor).expect("unrolls"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_frontend, bench_analysis, bench_unroll);
+criterion_main!(benches);

@@ -1,0 +1,184 @@
+//! Extension experiment (the paper's §IX future work): applying the same
+//! feature-generation system to a *second* optimization — per-call-site
+//! function inlining.
+//!
+//! Nothing in `fegen-core` changes: call sites are exported as IR trees,
+//! the heuristic value is binary (0 = keep the call, 1 = inline), the cycle
+//! table has two entries, and the identical pipeline (grammar derivation,
+//! GP search, decision tree) learns the heuristic. Compared against the
+//! never-inline, always-inline and GCC-style callee-size-threshold policies.
+
+use fegen_bench::config_from_args;
+use fegen_core::{FeatureSearch, TrainingExample};
+use fegen_ml::metrics;
+use fegen_ml::tree::DecisionTree;
+use fegen_ml::{Dataset, KFold};
+use fegen_rtl::inline::{call_sites, export_call_site, inline_call, size_heuristic, CallSite};
+use fegen_rtl::lower::lower_program;
+use fegen_sim::oracle::{kernel_functions, CallSpec, Workload};
+use fegen_sim::{Machine, SimConfig};
+use fegen_suite::{generate_suite, ArgDesc};
+
+struct SiteRecord {
+    example: TrainingExample,
+    callee_small: bool,
+}
+
+/// Cycles of `init` + the whole kernel call set, minus init (the init code
+/// is identical in both variants).
+fn kernel_cycles(program: &fegen_rtl::RtlProgram, workload: &Workload, sim: &SimConfig) -> f64 {
+    let mut m = Machine::new(program, sim.clone());
+    for c in workload.init.iter().chain(&workload.kernels) {
+        m.call(&c.func, &c.args)
+            .unwrap_or_else(|e| panic!("running {}: {e}", c.func));
+    }
+    (m.total_cycles() - workload.init.iter().map(|c| m.cycles_of(&c.func)).sum::<u64>()) as f64
+}
+
+fn main() {
+    let config = config_from_args();
+    let sim = &config.oracle.sim;
+    let suite = generate_suite(&config.suite);
+    eprintln!("# scanning {} benchmarks for call sites...", suite.len());
+
+    let mut records: Vec<SiteRecord> = Vec::new();
+    for b in &suite {
+        let rtl = lower_program(&b.program).expect("suite lowers");
+        let to_args = |a: &ArgDesc| match a {
+            ArgDesc::Int(v) => fegen_sim::Arg::Int(*v),
+            ArgDesc::Float(v) => fegen_sim::Arg::Float(*v),
+            ArgDesc::Array(n) => fegen_sim::Arg::Array(n.clone()),
+        };
+        let workload = Workload {
+            init: b
+                .init
+                .iter()
+                .map(|c| CallSpec {
+                    func: c.func.clone(),
+                    args: c.args.iter().map(to_args).collect(),
+                })
+                .collect(),
+            kernels: b
+                .kernels
+                .iter()
+                .map(|c| CallSpec {
+                    func: c.func.clone(),
+                    args: c.args.iter().map(to_args).collect(),
+                })
+                .collect(),
+        };
+        for caller_name in kernel_functions(&rtl, &workload) {
+            let caller = rtl.function(&caller_name).expect("kernel function");
+            let sites: Vec<CallSite> = call_sites(caller);
+            for site in sites {
+                let Ok(inlined) = inline_call(&rtl, &caller_name, &site) else {
+                    continue; // recursive or otherwise un-inlinable
+                };
+                let keep = kernel_cycles(&rtl, &workload, sim);
+                let inl = kernel_cycles(&inlined, &workload, sim);
+                let callee = rtl.function(&site.callee).expect("callee");
+                records.push(SiteRecord {
+                    example: TrainingExample {
+                        ir: export_call_site(&rtl, caller, &site),
+                        cycles: vec![keep, inl],
+                    },
+                    callee_small: size_heuristic(callee, 12),
+                });
+            }
+        }
+    }
+    eprintln!("# {} call sites measured", records.len());
+    if records.len() < 10 {
+        println!("too few call sites in this suite configuration for a meaningful experiment");
+        return;
+    }
+
+    let tables: Vec<Vec<f64>> = records.iter().map(|r| r.example.cycles.clone()).collect();
+    // Exact argmin labels: with two classes the plateau problem that the
+    // unrolling labels need tolerance for does not arise, and ties already
+    // break towards "keep the call".
+    let labels: Vec<usize> = tables.iter().map(|t| metrics::oracle_choice(t)).collect();
+    let n_inline_best = labels.iter().filter(|&&l| l == 1).count();
+    eprintln!(
+        "# inlining is best at {n_inline_best}/{} sites",
+        records.len()
+    );
+
+    // Static policies.
+    let never: Vec<usize> = vec![0; records.len()];
+    let always: Vec<usize> = vec![1; records.len()];
+    let size: Vec<usize> = records
+        .iter()
+        .map(|r| usize::from(r.callee_small))
+        .collect();
+    let oracle: Vec<usize> = tables.iter().map(|t| metrics::oracle_choice(t)).collect();
+
+    // Learned policy: the paper's pipeline, unchanged, on call-site IR.
+    let examples: Vec<TrainingExample> = records.iter().map(|r| r.example.clone()).collect();
+    let folds = config.folds.min(records.len() / 4).max(2);
+    let mut learned = vec![0usize; records.len()];
+    let mut found_features: Vec<String> = Vec::new();
+    for (fold, (train, test)) in KFold::new(folds, config.seed)
+        .splits(examples.len())
+        .into_iter()
+        .enumerate()
+    {
+        let train_examples: Vec<_> = train.iter().map(|&i| examples[i].clone()).collect();
+        let mut search_cfg = config.search.clone();
+        search_cfg.seed = config.seed ^ fold as u64;
+        search_cfg.max_features = search_cfg.max_features.min(4);
+        let fs = FeatureSearch::from_examples(&train_examples, search_cfg.clone());
+        let outcome = fs.run(&train_examples);
+        if fold == 0 {
+            found_features = outcome.features.iter().map(|f| f.to_string()).collect();
+        }
+        let ys: Vec<usize> = train.iter().map(|&i| labels[i]).collect();
+        if outcome.features.is_empty() {
+            // Majority policy fallback.
+            let majority = usize::from(ys.iter().filter(|&&y| y == 1).count() * 2 > ys.len());
+            for &i in &test {
+                learned[i] = majority;
+            }
+            continue;
+        }
+        let matrix = fs.feature_matrix(&outcome.features, &train_examples);
+        let ds = Dataset::new(matrix, ys, 2).expect("rectangular");
+        let tree = DecisionTree::train(&ds, &search_cfg.tree);
+        let test_examples: Vec<_> = test.iter().map(|&i| examples[i].clone()).collect();
+        for (row, &i) in fs
+            .feature_matrix(&outcome.features, &test_examples)
+            .iter()
+            .zip(&test)
+        {
+            learned[i] = tree.predict(row);
+        }
+    }
+
+    println!("== Extension: learned inlining heuristic (paper §IX future work) ==");
+    let oracle_speedup = metrics::mean_speedup(&tables, &oracle);
+    println!(
+        "{:<16} {:>9} {:>9} {:>9}",
+        "policy", "speedup", "% of max", "accuracy"
+    );
+    for (name, policy) in [
+        ("oracle", &oracle),
+        ("never-inline", &never),
+        ("always-inline", &always),
+        ("size<=12", &size),
+        ("learned", &learned),
+    ] {
+        let s = metrics::mean_speedup(&tables, policy);
+        println!(
+            "{name:<16} {s:>9.4} {:>8.1}% {:>9.2}",
+            metrics::percent_of_max(s, oracle_speedup) * 100.0,
+            metrics::accuracy(policy, &oracle)
+        );
+    }
+    if !found_features.is_empty() {
+        println!();
+        println!("features found (fold 0):");
+        for f in &found_features {
+            println!("  {f}");
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Figure 12 + §VII-A limit study: per-benchmark speedup of GCC's default
+//! heuristic vs the oracle (best possible unroll factors).
+//!
+//! Paper result shape: oracle average ≈ 1.05 with large variance across
+//! benchmarks (up to 1.28 on security_sha); GCC gains on a few benchmarks
+//! but **slows down 12 of 57**, the worst to 0.55.
+
+use fegen_bench::{build_suite_data, config_from_args, report};
+use fegen_bench::pipeline::mean;
+
+fn main() {
+    let config = config_from_args();
+    eprintln!(
+        "# generating suite + training data ({} benchmarks)...",
+        config.suite.n_benchmarks
+    );
+    let data = build_suite_data(&config);
+    eprintln!("# {} loops measured", data.loops.len());
+    let sim = &config.oracle.sim;
+
+    let oracle = data.all_benchmark_speedups(&data.oracle_factors(), sim);
+    let gcc = data.all_benchmark_speedups(&data.gcc_factors(), sim);
+    let names: Vec<String> = data.benchmarks.iter().map(|b| b.name.clone()).collect();
+
+    println!("== Figure 12: oracle vs GCC default heuristic, per benchmark ==");
+    print!(
+        "{}",
+        report::benchmark_table(&names, &[("oracle", &oracle), ("GCC", &gcc)], 40)
+    );
+
+    println!();
+    println!("== Limit study (paper §VII-A) ==");
+    println!("average oracle speedup: {:.4}", mean(&oracle));
+    println!("average GCC speedup:    {:.4}", mean(&gcc));
+    let slowdowns: Vec<(&String, f64)> = names
+        .iter()
+        .zip(&gcc)
+        .filter(|(_, &s)| s < 0.9995)
+        .map(|(n, &s)| (n, s))
+        .collect();
+    println!("GCC slows down {} of {} benchmarks", slowdowns.len(), names.len());
+    if let Some((n, s)) = slowdowns
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+    {
+        println!("worst GCC slowdown: {n} at {s:.4}");
+    }
+    if let Some((i, s)) = oracle
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+    {
+        println!("largest potential: {} at {s:.4}", names[i]);
+    }
+    let flat = oracle.iter().filter(|&&s| s < 1.005).count();
+    println!("benchmarks where unrolling barely matters (<0.5%): {flat}");
+}

@@ -1,0 +1,60 @@
+//! Figure 13: comparison of GCC's heuristic, the state-of-the-art ML
+//! scheme (stateML: SVM over the Figure 14 hand features) and our
+//! technique (GP-generated features + decision tree), all per benchmark,
+//! plus the headline percent-of-maximum summary.
+//!
+//! Paper result shape: GCC ≈ 3% of max, stateML ≈ 59%, Ours ≈ 76%.
+
+use fegen_bench::methods::{predict_cv_ours, predict_cv_svm};
+use fegen_bench::{build_suite_data, config_from_args, report};
+use fegen_ml::svm::SvmConfig;
+
+fn main() {
+    let config = config_from_args();
+    eprintln!("# generating suite + training data ({} benchmarks)...", config.suite.n_benchmarks);
+    let data = build_suite_data(&config);
+    eprintln!("# {} loops measured", data.loops.len());
+    let sim = &config.oracle.sim;
+
+    let oracle = data.all_benchmark_speedups(&data.oracle_factors(), sim);
+    let gcc = data.all_benchmark_speedups(&data.gcc_factors(), sim);
+
+    eprintln!("# training stateML SVM ({} folds)...", config.folds);
+    let svm_factors = predict_cv_svm(
+        &data,
+        |l| l.stateml_feats.clone(),
+        config.folds,
+        config.seed,
+        &SvmConfig::default(),
+    );
+    let stateml = data.all_benchmark_speedups(&svm_factors, sim);
+
+    eprintln!("# running feature search ({} folds)...", config.folds);
+    let ours_result = predict_cv_ours(&data, config.folds, config.seed, &config.search);
+    let ours = data.all_benchmark_speedups(&ours_result.factors, sim);
+
+    let names: Vec<String> = data.benchmarks.iter().map(|b| b.name.clone()).collect();
+    println!("== Figure 13: per-benchmark speedups ==");
+    print!(
+        "{}",
+        report::benchmark_table(
+            &names,
+            &[
+                ("oracle", &oracle),
+                ("GCC", &gcc),
+                ("stateML", &stateml),
+                ("Our", &ours),
+            ],
+            36,
+        )
+    );
+    println!();
+    println!("== Summary (percent of maximum available speedup) ==");
+    print!(
+        "{}",
+        report::percent_of_max_summary(
+            &oracle,
+            &[("GCC", &gcc), ("stateML", &stateml), ("Our", &ours)],
+        )
+    );
+}

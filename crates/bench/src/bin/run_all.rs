@@ -1,0 +1,37 @@
+//! Runs every figure binary in paper order, forwarding the CLI flags
+//! (`--paper`, `--seed N`, `--folds N`).
+
+use std::process::Command;
+
+const BINARIES: [&str; 7] = [
+    "fig02_motivating",
+    "fig03_04_tree_paths",
+    "fig12_oracle_vs_gcc",
+    "fig13_comparison",
+    "fig14_stateml_features",
+    "fig15_tree_comparison",
+    "fig16_best_features",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dir = std::env::current_exe()
+        .expect("current executable path")
+        .parent()
+        .expect("executable has a parent directory")
+        .to_path_buf();
+    for bin in BINARIES {
+        println!();
+        println!("########################################################");
+        println!("## {bin}");
+        println!("########################################################");
+        let status = Command::new(dir.join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+            std::process::exit(status.code().unwrap_or(1));
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! # fegen-bench — the experiment harness
+//!
+//! Reproduces every table and figure of the paper's evaluation. The crate
+//! is a library (shared pipeline + methods + reporting) plus one binary per
+//! paper artefact:
+//!
+//! | binary | artefact |
+//! |---|---|
+//! | `fig02_motivating` | Figure 2(b): the mesa loop, Baseline/Oracle/GCC/GCC-Tree/Ours |
+//! | `fig03_04_tree_paths` | Figures 3–4: decision paths of the learned trees |
+//! | `fig12_oracle_vs_gcc` | Figure 12: per-benchmark oracle vs GCC speedups (§VII-A limit study) |
+//! | `fig13_comparison` | Figure 13: GCC vs stateML vs Ours, 10-fold CV |
+//! | `fig14_stateml_features` | Figure 14: the 22 stateML features |
+//! | `fig15_tree_comparison` | Figure 15: same learner (C4.5), different feature sets |
+//! | `fig16_best_features` | Figure 16: the greedy feature list of one fold |
+//! | `run_all` | everything, in order |
+//!
+//! All binaries accept `--paper` for paper-scale budgets (hours) and
+//! default to a `--quick` preset (minutes) that preserves the experimental
+//! protocol at reduced scale. Pass `--seed N` to change the master seed.
+
+pub mod methods;
+pub mod pipeline;
+pub mod report;
+
+pub use pipeline::{build_suite_data, ExperimentConfig, LoopRecord, SuiteData};
+
+/// Parses the common CLI flags (`--paper`, `--quick`, `--seed N`,
+/// `--folds N`).
+pub fn config_from_args() -> ExperimentConfig {
+    let args: Vec<String> = std::env::args().collect();
+    let mut config = if args.iter().any(|a| a == "--paper") {
+        ExperimentConfig::paper()
+    } else {
+        ExperimentConfig::quick()
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                    config.seed = v;
+                }
+            }
+            "--folds" => {
+                if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                    config.folds = v;
+                }
+            }
+            _ => {}
+        }
+    }
+    config
+}

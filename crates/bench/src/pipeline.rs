@@ -1,0 +1,341 @@
+//! The shared experiment pipeline: compile the suite, generate training
+//! data (per-loop cycle tables), export loop IR and hand-feature vectors.
+
+use fegen_core::ir::IrNode;
+use fegen_rtl::export::export_loop;
+use fegen_rtl::heuristic::{gcc_default_factor, gcc_features};
+use fegen_rtl::lower::lower_program;
+use fegen_rtl::stateml::stateml_features;
+use fegen_rtl::RtlProgram;
+use fegen_sim::oracle::{
+    kernel_functions, measure_site, program_with_factors, run_workload, CallSpec, LoopSite,
+    OracleConfig, Workload,
+};
+use fegen_sim::{Arg, SimConfig};
+use fegen_suite::{ArgDesc, Benchmark, SuiteConfig};
+use std::collections::HashMap;
+
+/// A suite benchmark lowered to RTL with its executable workload.
+#[derive(Debug, Clone)]
+pub struct CompiledBenchmark {
+    /// Benchmark name.
+    pub name: String,
+    /// Suite of origin.
+    pub suite: fegen_suite::SuiteName,
+    /// The lowered program.
+    pub rtl: RtlProgram,
+    /// The workload (init + kernel calls).
+    pub workload: Workload,
+}
+
+/// Converts a suite argument descriptor into a simulator argument.
+pub fn to_sim_arg(a: &ArgDesc) -> Arg {
+    match a {
+        ArgDesc::Int(v) => Arg::Int(*v),
+        ArgDesc::Float(v) => Arg::Float(*v),
+        ArgDesc::Array(n) => Arg::Array(n.clone()),
+    }
+}
+
+/// Lowers a suite benchmark and builds its workload.
+///
+/// # Panics
+///
+/// Panics when the generated benchmark fails to lower — that would be a
+/// suite-generator bug, not a user error.
+pub fn compile(b: &Benchmark) -> CompiledBenchmark {
+    let rtl = lower_program(&b.program)
+        .unwrap_or_else(|e| panic!("benchmark `{}` fails to lower: {e}", b.name));
+    let to_calls = |calls: &[fegen_suite::CallDesc]| -> Vec<CallSpec> {
+        calls
+            .iter()
+            .map(|c| CallSpec {
+                func: c.func.clone(),
+                args: c.args.iter().map(to_sim_arg).collect(),
+            })
+            .collect()
+    };
+    CompiledBenchmark {
+        name: b.name.clone(),
+        suite: b.suite,
+        rtl,
+        workload: Workload {
+            init: to_calls(&b.init),
+            kernels: to_calls(&b.kernels),
+        },
+    }
+}
+
+/// One measured loop with everything every method needs.
+#[derive(Debug, Clone)]
+pub struct LoopRecord {
+    /// Index of the owning benchmark in [`SuiteData::benchmarks`].
+    pub bench: usize,
+    /// Loop site.
+    pub site: LoopSite,
+    /// Cycle table over factors `0..=15`.
+    pub cycles: Vec<f64>,
+    /// Exported IR (input of the feature generator).
+    pub ir: IrNode,
+    /// GCC heuristic features (Figure 3).
+    pub gcc_feats: Vec<f64>,
+    /// stateML features (Figure 14).
+    pub stateml_feats: Vec<f64>,
+    /// GCC's default unroll decision for this loop.
+    pub gcc_default_factor: usize,
+}
+
+impl LoopRecord {
+    /// The oracle-best factor (exact argmin; used for oracle speedups).
+    pub fn best_factor(&self) -> usize {
+        fegen_ml::metrics::oracle_choice(&self.cycles)
+    }
+
+    /// The training label: smallest factor within the noise-floor
+    /// tolerance of the minimum (see
+    /// [`fegen_ml::metrics::oracle_choice_tolerant`]).
+    pub fn label_factor(&self) -> usize {
+        fegen_ml::metrics::oracle_choice_tolerant(
+            &self.cycles,
+            fegen_core::search::LABEL_TOLERANCE,
+        )
+    }
+}
+
+/// Everything the experiments consume.
+#[derive(Debug)]
+pub struct SuiteData {
+    /// Compiled benchmarks, in canonical order.
+    pub benchmarks: Vec<CompiledBenchmark>,
+    /// All measured loops across the suite.
+    pub loops: Vec<LoopRecord>,
+    /// Baseline (no unrolling anywhere) total cycles per benchmark.
+    pub baseline_cycles: Vec<f64>,
+}
+
+/// Experiment configuration shared by all figure binaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// Suite generation.
+    pub suite: SuiteConfig,
+    /// Data-generation (oracle) settings.
+    pub oracle: OracleConfig,
+    /// Feature-search settings.
+    pub search: fegen_core::SearchConfig,
+    /// Outer cross-validation folds (paper: 10).
+    pub folds: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// Paper-scale configuration (57 benchmarks, 10 folds, full GP
+    /// budgets). Expect hours of wall clock on one core.
+    pub fn paper() -> Self {
+        ExperimentConfig {
+            suite: SuiteConfig::paper(),
+            oracle: OracleConfig::default(),
+            search: fegen_core::SearchConfig::paper(),
+            folds: 10,
+            seed: 0xca11ab1e,
+        }
+    }
+
+    /// Quick configuration: the same protocol at laptop scale (minutes).
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            suite: SuiteConfig::quick(),
+            oracle: OracleConfig::default(),
+            search: fegen_core::SearchConfig::quick(),
+            folds: 5,
+            seed: 0xca11ab1e,
+        }
+    }
+}
+
+/// Generates the suite, compiles it and measures every loop (§V data
+/// generation). This is the expensive step every binary starts with.
+pub fn build_suite_data(config: &ExperimentConfig) -> SuiteData {
+    let suite = fegen_suite::generate_suite(&config.suite);
+    let mut benchmarks = Vec::with_capacity(suite.len());
+    let mut loops = Vec::new();
+    let mut baseline_cycles = Vec::with_capacity(suite.len());
+    for (bench_idx, b) in suite.iter().enumerate() {
+        let cb = compile(b);
+        let kernel_funcs = kernel_functions(&cb.rtl, &cb.workload);
+        for site in fegen_sim::oracle::loop_sites(&cb.rtl, &cb.workload) {
+            let m = measure_site(&cb.rtl, &cb.workload, &kernel_funcs, &site, &config.oracle)
+                .unwrap_or_else(|e| panic!("measuring {} {site}: {e}", cb.name));
+            let func = cb.rtl.function(&site.func).expect("site from program");
+            let region = func
+                .loops
+                .iter()
+                .find(|l| l.id == site.loop_id)
+                .expect("loop id valid");
+            loops.push(LoopRecord {
+                bench: bench_idx,
+                site: site.clone(),
+                cycles: m.cycles,
+                ir: export_loop(func, region, &cb.rtl.layout),
+                gcc_feats: gcc_features(func, region),
+                stateml_feats: stateml_features(func, region),
+                gcc_default_factor: gcc_default_factor(func, region, &config.oracle.gcc),
+            });
+        }
+        let base =
+            run_workload(&cb.rtl, &cb.workload, &config.oracle.sim).unwrap_or_else(|e| {
+                panic!("baseline run of {}: {e}", cb.name)
+            }) as f64;
+        baseline_cycles.push(base);
+        benchmarks.push(cb);
+    }
+    SuiteData {
+        benchmarks,
+        loops,
+        baseline_cycles,
+    }
+}
+
+impl SuiteData {
+    /// Runs benchmark `bench_idx` with the given per-loop factor choices
+    /// (`factors[i]` for `self.loops[i]`, only this benchmark's entries are
+    /// used) and returns its whole-workload speedup over no unrolling.
+    pub fn benchmark_speedup(
+        &self,
+        bench_idx: usize,
+        factors: &[usize],
+        sim: &SimConfig,
+    ) -> f64 {
+        let cb = &self.benchmarks[bench_idx];
+        let mut per_func: HashMap<String, HashMap<usize, usize>> = HashMap::new();
+        for (rec, &f) in self.loops.iter().zip(factors) {
+            if rec.bench == bench_idx {
+                per_func
+                    .entry(rec.site.func.clone())
+                    .or_default()
+                    .insert(rec.site.loop_id, f);
+            }
+        }
+        let kernel_funcs = kernel_functions(&cb.rtl, &cb.workload);
+        let program = program_with_factors(&cb.rtl, &kernel_funcs, &per_func)
+            .unwrap_or_else(|e| panic!("unrolling {}: {e}", cb.name));
+        let cycles = run_workload(&program, &cb.workload, sim)
+            .unwrap_or_else(|e| panic!("running {}: {e}", cb.name)) as f64;
+        self.baseline_cycles[bench_idx] / cycles
+    }
+
+    /// Per-benchmark speedups for a full factor assignment.
+    pub fn all_benchmark_speedups(&self, factors: &[usize], sim: &SimConfig) -> Vec<f64> {
+        (0..self.benchmarks.len())
+            .map(|b| self.benchmark_speedup(b, factors, sim))
+            .collect()
+    }
+
+    /// The factor assignment of the oracle (per-loop argmin).
+    pub fn oracle_factors(&self) -> Vec<usize> {
+        self.loops.iter().map(LoopRecord::best_factor).collect()
+    }
+
+    /// The factor assignment of GCC's default heuristic.
+    pub fn gcc_factors(&self) -> Vec<usize> {
+        self.loops.iter().map(|l| l.gcc_default_factor).collect()
+    }
+
+    /// Training examples (IR + cycle tables) for the feature search.
+    pub fn training_examples(&self) -> Vec<fegen_core::TrainingExample> {
+        self.loops
+            .iter()
+            .map(|l| fegen_core::TrainingExample {
+                ir: l.ir.clone(),
+                cycles: l.cycles.clone(),
+            })
+            .collect()
+    }
+}
+
+/// Builds the motivating-example data (paper Figure 2): the mesa
+/// `SpotExpTable` loop, compiled, measured over all factors, with its
+/// exported IR and hand features — everything the Figure 2/3/4 binaries
+/// need.
+pub fn mesa_record(config: &ExperimentConfig) -> (CompiledBenchmark, LoopRecord) {
+    let bench = fegen_suite::mesa_example();
+    let cb = compile(&bench);
+    let kernel_funcs = kernel_functions(&cb.rtl, &cb.workload);
+    let site = LoopSite {
+        func: "spot_exp".into(),
+        loop_id: 0,
+    };
+    let m = measure_site(&cb.rtl, &cb.workload, &kernel_funcs, &site, &config.oracle)
+        .expect("mesa example measures");
+    let func = cb.rtl.function("spot_exp").expect("kernel exists");
+    let region = &func.loops[0];
+    let record = LoopRecord {
+        bench: 0,
+        site,
+        cycles: m.cycles,
+        ir: export_loop(func, region, &cb.rtl.layout),
+        gcc_feats: gcc_features(func, region),
+        stateml_feats: stateml_features(func, region),
+        gcc_default_factor: gcc_default_factor(func, region, &config.oracle.gcc),
+    };
+    (cb, record)
+}
+
+/// Arithmetic mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_data() -> SuiteData {
+        let mut config = ExperimentConfig::quick();
+        config.suite = SuiteConfig::tiny();
+        build_suite_data(&config)
+    }
+
+    #[test]
+    fn builds_data_for_tiny_suite() {
+        let data = tiny_data();
+        assert_eq!(data.benchmarks.len(), 3);
+        assert!(!data.loops.is_empty());
+        for l in &data.loops {
+            assert_eq!(l.cycles.len(), 16);
+            assert_eq!(l.gcc_feats.len(), 6);
+            assert_eq!(l.stateml_feats.len(), 22);
+            assert!(l.ir.size() > 3, "exported IR too small for {}", l.site);
+        }
+    }
+
+    #[test]
+    fn oracle_beats_or_equals_everyone_per_benchmark() {
+        let data = tiny_data();
+        let sim = SimConfig::default();
+        let oracle = data.all_benchmark_speedups(&data.oracle_factors(), &sim);
+        let zero = vec![0usize; data.loops.len()];
+        let baseline = data.all_benchmark_speedups(&zero, &sim);
+        for (i, (&o, &b)) in oracle.iter().zip(&baseline).enumerate() {
+            assert!((b - 1.0).abs() < 1e-9, "baseline speedup must be 1.0, got {b}");
+            // The per-loop oracle may compose imperfectly across loops of a
+            // shared function (I-cache interactions), but must not lose
+            // noticeably.
+            assert!(o > 0.95, "oracle regressed on benchmark {i}: {o}");
+        }
+    }
+
+    #[test]
+    fn benchmark_speedup_is_deterministic() {
+        let data = tiny_data();
+        let sim = SimConfig::default();
+        let f = data.oracle_factors();
+        assert_eq!(
+            data.benchmark_speedup(0, &f, &sim),
+            data.benchmark_speedup(0, &f, &sim)
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Terminal reporting: the figures as ASCII bar charts and tables.
+
+use crate::pipeline::mean;
+use fegen_ml::metrics::percent_of_max;
+use std::fmt::Write;
+
+/// Renders a horizontal bar for a speedup value (1.0 = no change), scaled
+/// so `max_speedup` fills `width` characters. Slowdowns render as `▒` bars
+/// to the left marker.
+pub fn speedup_bar(speedup: f64, max_speedup: f64, width: usize) -> String {
+    let span = (max_speedup - 1.0).max(1e-9);
+    if speedup >= 1.0 {
+        let n = (((speedup - 1.0) / span) * width as f64).round() as usize;
+        "█".repeat(n.min(width))
+    } else {
+        let n = (((1.0 - speedup) / span) * width as f64).round() as usize;
+        format!("-{}", "▒".repeat(n.min(width)))
+    }
+}
+
+/// A per-benchmark comparison table with one bar column per method
+/// (Figures 12/13/15 are grouped bar charts; the terminal rendering keeps
+/// the same information).
+pub fn benchmark_table(
+    names: &[String],
+    methods: &[(&str, &[f64])],
+    bar_width: usize,
+) -> String {
+    let mut out = String::new();
+    let max_speedup = methods
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .fold(1.0f64, f64::max);
+    let name_w = names.iter().map(String::len).max().unwrap_or(8).max(8);
+    for (i, name) in names.iter().enumerate() {
+        let _ = writeln!(out, "{name:<name_w$}");
+        for (m, values) in methods {
+            let v = values[i];
+            let _ = writeln!(
+                out,
+                "  {m:<10} {v:6.3}  {}",
+                speedup_bar(v, max_speedup, bar_width)
+            );
+        }
+    }
+    let _ = writeln!(out, "{}", "-".repeat(name_w + bar_width + 20));
+    for (m, values) in methods {
+        let _ = writeln!(out, "  {:<10} mean speedup {:.4}", m, mean(values));
+    }
+    out
+}
+
+/// The headline summary: average speedups and percent-of-maximum for each
+/// method against the oracle.
+pub fn percent_of_max_summary(oracle: &[f64], methods: &[(&str, &[f64])]) -> String {
+    let mut out = String::new();
+    let oracle_mean = mean(oracle);
+    let _ = writeln!(
+        out,
+        "oracle mean speedup {:.4} (maximum available)",
+        oracle_mean
+    );
+    for (m, values) in methods {
+        let s = mean(values);
+        let pct = percent_of_max(s, oracle_mean) * 100.0;
+        let _ = writeln!(out, "{m:<10} mean speedup {s:.4}  -> {pct:5.1}% of max");
+    }
+    out
+}
+
+/// Formats the Figure 2(b)-style row.
+pub fn fig2_row(method: &str, factor: usize, cycles: f64, baseline: f64, oracle: f64) -> String {
+    let speedup = baseline / cycles;
+    let pct = percent_of_max(speedup, baseline / oracle) * 100.0;
+    format!(
+        "{method:<14} unroll={factor:<2} cycles={cycles:>10.0} speedup={speedup:.4} ({pct:+.0}% of max)"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_with_speedup() {
+        let small = speedup_bar(1.05, 1.3, 30);
+        let big = speedup_bar(1.3, 1.3, 30);
+        assert!(big.chars().count() > small.chars().count());
+        assert_eq!(big.chars().count(), 30);
+    }
+
+    #[test]
+    fn slowdowns_render_distinctly() {
+        let bar = speedup_bar(0.8, 1.3, 30);
+        assert!(bar.starts_with('-'));
+        assert!(bar.contains('▒'));
+    }
+
+    #[test]
+    fn summary_contains_percentages() {
+        let oracle = [1.10, 1.02];
+        let ours = [1.08, 1.01];
+        let s = percent_of_max_summary(&oracle, &[("ours", &ours)]);
+        assert!(s.contains("% of max"));
+        assert!(s.contains("1.06")); // oracle mean
+    }
+
+    #[test]
+    fn table_lists_all_benchmarks_and_methods() {
+        let names = vec!["a".to_owned(), "bb".to_owned()];
+        let m1 = [1.1, 0.9];
+        let m2 = [1.2, 1.0];
+        let t = benchmark_table(&names, &[("gcc", &m1), ("ours", &m2)], 20);
+        assert!(t.contains("bb"));
+        assert!(t.matches("gcc").count() >= 2);
+        assert!(t.contains("mean speedup"));
+    }
+}

@@ -1,0 +1,507 @@
+//! The generational GP engine.
+//!
+//! One [`GpEngine::run`] performs the search for a *single* new feature (the
+//! outer greedy loop in [`crate::search`] calls it repeatedly). The engine
+//! follows the paper's §VI settings, available as [`GpConfig::paper`]:
+//! population 100, stop after 15 generations without improvement or 200
+//! generations total.
+
+use crate::gp::ops;
+use crate::grammar::Grammar;
+use crate::lang::FeatureExpr;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Fitness oracle for candidate features.
+///
+/// Returns `None` when the feature is invalid — its evaluation timed out on
+/// some program or produced a non-finite value. Invalid features "cannot
+/// contribute to the gene pool" (§VI): they lose every tournament and are
+/// never recorded as best.
+pub trait FitnessFn: Sync {
+    /// Quality of `expr`; higher is better. `None` marks an invalid feature.
+    fn fitness(&self, expr: &FeatureExpr) -> Option<f64>;
+}
+
+impl<F> FitnessFn for F
+where
+    F: Fn(&FeatureExpr) -> Option<f64> + Sync,
+{
+    fn fitness(&self, expr: &FeatureExpr) -> Option<f64> {
+        self(expr)
+    }
+}
+
+/// Configuration of one GP run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpConfig {
+    /// Number of individuals per generation.
+    pub population: usize,
+    /// Hard cap on generations (paper: 200).
+    pub max_generations: usize,
+    /// Stop after this many generations without improvement (paper: 15).
+    pub stagnation_limit: usize,
+    /// Tournament size for parent selection.
+    pub tournament_size: usize,
+    /// Probability that a child is produced by crossover.
+    pub crossover_rate: f64,
+    /// Probability that a child is (further) mutated.
+    pub mutation_rate: f64,
+    /// Maximum depth of freshly generated individuals.
+    pub init_depth: usize,
+    /// Maximum depth of subtrees regrown by mutation.
+    pub regrow_depth: usize,
+    /// Number of elite individuals copied unchanged into each generation.
+    pub elitism: usize,
+    /// Worker threads for fitness evaluation (1 = sequential).
+    pub threads: usize,
+    /// Hard cap on individual size; larger candidates are regenerated.
+    /// Parsimony already biases against bloat; the cap keeps printing and
+    /// evaluation bounded.
+    pub max_size: usize,
+    /// Parsimony pressure: prefer the shorter of two equal-quality
+    /// individuals (§III). Disable only for ablation studies.
+    pub parsimony: bool,
+}
+
+impl GpConfig {
+    /// The paper's settings (§VI): population 100, ≤200 generations,
+    /// 15-generation stagnation window.
+    pub fn paper() -> Self {
+        GpConfig {
+            population: 100,
+            max_generations: 200,
+            stagnation_limit: 15,
+            tournament_size: 3,
+            crossover_rate: 0.6,
+            mutation_rate: 0.35,
+            init_depth: 6,
+            regrow_depth: 4,
+            elitism: 2,
+            threads: 1,
+            max_size: 250,
+            parsimony: true,
+        }
+    }
+
+    /// A reduced preset for laptop-scale runs and tests; same algorithm,
+    /// smaller budgets.
+    pub fn quick() -> Self {
+        GpConfig {
+            population: 24,
+            max_generations: 25,
+            stagnation_limit: 6,
+            ..GpConfig::paper()
+        }
+    }
+}
+
+impl Default for GpConfig {
+    fn default() -> Self {
+        GpConfig::quick()
+    }
+}
+
+/// An individual together with its fitness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluated {
+    /// The feature expression.
+    pub expr: FeatureExpr,
+    /// Fitness (higher is better).
+    pub quality: f64,
+    /// Cached `expr.size()` for parsimony comparison.
+    pub size: usize,
+}
+
+impl Evaluated {
+    /// Parsimony comparison: better quality wins; equal quality prefers the
+    /// smaller expression ("if two features have the same quality we prefer
+    /// the shorter one", §III).
+    pub fn better_than(&self, other: &Evaluated) -> bool {
+        if self.quality != other.quality {
+            self.quality > other.quality
+        } else {
+            self.size < other.size
+        }
+    }
+
+    /// Comparison with parsimony optionally disabled (ablation).
+    pub fn better_than_with(&self, other: &Evaluated, parsimony: bool) -> bool {
+        if parsimony {
+            self.better_than(other)
+        } else {
+            self.quality > other.quality
+        }
+    }
+}
+
+/// Result of one GP run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpRun {
+    /// The best valid individual found, if any individual was valid.
+    pub best: Option<Evaluated>,
+    /// Number of generations executed (counted against the outer-loop
+    /// budget of 2,500 total generations).
+    pub generations: usize,
+    /// Total fitness evaluations that were *not* served from the memo.
+    pub evaluations: usize,
+}
+
+/// Generational GP engine over a feature grammar.
+#[derive(Debug)]
+pub struct GpEngine<'a> {
+    grammar: &'a Grammar,
+    config: GpConfig,
+}
+
+impl<'a> GpEngine<'a> {
+    /// Creates an engine over `grammar` with the given configuration.
+    pub fn new(grammar: &'a Grammar, config: GpConfig) -> Self {
+        GpEngine { grammar, config }
+    }
+
+    /// Runs the search, maximising `fitness`.
+    ///
+    /// Deterministic for a given seed and fitness function (also with
+    /// `threads > 1`: parallelism only affects evaluation order, and fitness
+    /// values are memoised by expression text).
+    pub fn run<F: FitnessFn>(&self, fitness: &F, rng: &mut StdRng) -> GpRun {
+        let cfg = &self.config;
+        let memo: Mutex<HashMap<String, Option<f64>>> = Mutex::new(HashMap::new());
+        let evaluations = Mutex::new(0usize);
+
+        let mut population: Vec<FeatureExpr> = (0..cfg.population)
+            .map(|i| {
+                // Ramped initial depths for structural diversity.
+                let depth = 2 + i % cfg.init_depth.max(1);
+                self.grammar.gen_feature(rng, depth)
+            })
+            .collect();
+
+        let mut best: Option<Evaluated> = None;
+        let mut stagnant = 0usize;
+        let mut generations = 0usize;
+
+        for _gen in 0..cfg.max_generations {
+            generations += 1;
+            let scored = self.evaluate_all(&population, fitness, &memo, &evaluations);
+
+            // Track the best valid individual, with parsimony.
+            let mut improved = false;
+            for ev in scored.iter().flatten() {
+                if best.as_ref().is_none_or(|b| ev.better_than_with(b, cfg.parsimony)) {
+                    // Only count strictly better quality as "improvement"
+                    // for the stagnation rule; shorter-at-equal-quality
+                    // refines the record without resetting the clock.
+                    if best.as_ref().is_none_or(|b| ev.quality > b.quality) {
+                        improved = true;
+                    }
+                    best = Some(ev.clone());
+                }
+            }
+            if improved {
+                stagnant = 0;
+            } else {
+                stagnant += 1;
+                if stagnant >= cfg.stagnation_limit {
+                    break;
+                }
+            }
+
+            population = self.breed(&population, &scored, rng);
+        }
+
+        let evaluations = *evaluations.lock();
+        GpRun {
+            best,
+            generations,
+            evaluations,
+        }
+    }
+
+    fn evaluate_all<F: FitnessFn>(
+        &self,
+        population: &[FeatureExpr],
+        fitness: &F,
+        memo: &Mutex<HashMap<String, Option<f64>>>,
+        evaluations: &Mutex<usize>,
+    ) -> Vec<Option<Evaluated>> {
+        let eval_one = |expr: &FeatureExpr| -> Option<Evaluated> {
+            let key = expr.to_string();
+            if let Some(q) = memo.lock().get(&key) {
+                return q.map(|quality| Evaluated {
+                    expr: expr.clone(),
+                    quality,
+                    size: expr.size(),
+                });
+            }
+            let q = fitness.fitness(expr);
+            *evaluations.lock() += 1;
+            memo.lock().insert(key, q);
+            q.map(|quality| Evaluated {
+                expr: expr.clone(),
+                quality,
+                size: expr.size(),
+            })
+        };
+
+        if self.config.threads <= 1 {
+            population.iter().map(eval_one).collect()
+        } else {
+            let mut out: Vec<Option<Evaluated>> = vec![None; population.len()];
+            let chunk = population.len().div_ceil(self.config.threads);
+            crossbeam::scope(|s| {
+                for (pop_chunk, out_chunk) in
+                    population.chunks(chunk).zip(out.chunks_mut(chunk))
+                {
+                    s.spawn(move |_| {
+                        for (expr, slot) in pop_chunk.iter().zip(out_chunk.iter_mut()) {
+                            *slot = eval_one(expr);
+                        }
+                    });
+                }
+            })
+            .expect("gp evaluation worker panicked");
+            out
+        }
+    }
+
+    /// Tournament selection over the scored population; invalid individuals
+    /// lose every tournament.
+    fn select<'p>(
+        &self,
+        population: &'p [FeatureExpr],
+        scored: &[Option<Evaluated>],
+        rng: &mut StdRng,
+    ) -> &'p FeatureExpr {
+        let mut winner: Option<usize> = None;
+        for _ in 0..self.config.tournament_size {
+            let i = rng.gen_range(0..population.len());
+            winner = Some(match winner {
+                None => i,
+                Some(w) => match (&scored[i], &scored[w]) {
+                    (Some(a), Some(b)) => {
+                        if a.better_than_with(b, self.config.parsimony) {
+                            i
+                        } else {
+                            w
+                        }
+                    }
+                    (Some(_), None) => i,
+                    _ => w,
+                },
+            });
+        }
+        &population[winner.expect("tournament_size >= 1")]
+    }
+
+    fn breed(
+        &self,
+        population: &[FeatureExpr],
+        scored: &[Option<Evaluated>],
+        rng: &mut StdRng,
+    ) -> Vec<FeatureExpr> {
+        let cfg = &self.config;
+        let mut next = Vec::with_capacity(cfg.population);
+
+        // Elites: best valid individuals survive unchanged.
+        let mut ranked: Vec<&Evaluated> = scored.iter().flatten().collect();
+        ranked.sort_by(|a, b| {
+            let quality = b
+                .quality
+                .partial_cmp(&a.quality)
+                .unwrap_or(std::cmp::Ordering::Equal);
+            if cfg.parsimony {
+                quality.then(a.size.cmp(&b.size))
+            } else {
+                quality
+            }
+        });
+        for e in ranked.iter().take(cfg.elitism) {
+            next.push(e.expr.clone());
+        }
+
+        while next.len() < cfg.population {
+            let mut child = if rng.gen_bool(cfg.crossover_rate) {
+                let a = self.select(population, scored, rng);
+                let b = self.select(population, scored, rng);
+                let (c1, c2) = ops::crossover(a, b, rng);
+                if next.len() + 1 < cfg.population && !self.too_big(&c2) {
+                    next.push(self.cap(c2, rng));
+                }
+                c1
+            } else {
+                self.select(population, scored, rng).clone()
+            };
+            if rng.gen_bool(cfg.mutation_rate) {
+                child = ops::mutate(self.grammar, &child, rng, cfg.regrow_depth);
+            }
+            next.push(self.cap(child, rng));
+        }
+        next.truncate(cfg.population);
+        next
+    }
+
+    fn too_big(&self, expr: &FeatureExpr) -> bool {
+        expr.size() > self.config.max_size
+    }
+
+    /// Replaces over-sized offspring with fresh random individuals.
+    fn cap(&self, expr: FeatureExpr, rng: &mut StdRng) -> FeatureExpr {
+        if self.too_big(&expr) {
+            self.grammar.gen_feature(rng, self.config.init_depth)
+        } else {
+            expr
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::IrNode;
+    use rand::SeedableRng;
+
+    fn grammar_and_ir() -> (Grammar, IrNode) {
+        let ir = IrNode::build("loop", |l| {
+            l.attr_num("num-iter", 12.0);
+            l.attr_num("depth", 2.0);
+            for _ in 0..3 {
+                l.child("insn", |i| {
+                    i.attr_enum("mode", "SI");
+                    i.child("reg", |_| {});
+                });
+            }
+            l.child("jump_insn", |_| {});
+        });
+        (Grammar::derive([&ir]), ir)
+    }
+
+    #[test]
+    fn finds_a_target_value_feature() {
+        // Fitness: how close the feature's value on the IR is to 12
+        // (i.e. the engine should discover `get-attr(@num-iter)` or an
+        // expression evaluating to 12).
+        let (g, ir) = grammar_and_ir();
+        let fit = |e: &FeatureExpr| -> Option<f64> {
+            let v = e.eval_with_budget(&ir, 10_000).ok()?;
+            Some(-(v - 12.0).abs())
+        };
+        let engine = GpEngine::new(&g, GpConfig::quick());
+        let mut rng = StdRng::seed_from_u64(2);
+        let run = engine.run(&fit, &mut rng);
+        let best = run.best.expect("some individual must be valid");
+        assert!(
+            best.quality > -0.51,
+            "expected near-perfect fitness, got {} for {}",
+            best.quality,
+            best.expr
+        );
+    }
+
+    #[test]
+    fn respects_generation_cap() {
+        let (g, ir) = grammar_and_ir();
+        let fit = |e: &FeatureExpr| e.eval_with_budget(&ir, 10_000).ok();
+        let cfg = GpConfig {
+            max_generations: 3,
+            stagnation_limit: 100,
+            ..GpConfig::quick()
+        };
+        let engine = GpEngine::new(&g, cfg);
+        let run = engine.run(&fit, &mut StdRng::seed_from_u64(0));
+        assert_eq!(run.generations, 3);
+    }
+
+    #[test]
+    fn stops_on_stagnation() {
+        let (g, _ir) = grammar_and_ir();
+        // Constant fitness: first generation sets the best, never improves.
+        let fit = |_: &FeatureExpr| Some(1.0);
+        let cfg = GpConfig {
+            stagnation_limit: 4,
+            max_generations: 100,
+            ..GpConfig::quick()
+        };
+        let engine = GpEngine::new(&g, cfg);
+        let run = engine.run(&fit, &mut StdRng::seed_from_u64(0));
+        // Gen 1 may improve (first best); afterwards 4 stagnant generations.
+        assert!(run.generations <= 6, "ran {} generations", run.generations);
+    }
+
+    #[test]
+    fn all_invalid_population_yields_no_best() {
+        let (g, _ir) = grammar_and_ir();
+        let fit = |_: &FeatureExpr| -> Option<f64> { None };
+        let cfg = GpConfig {
+            max_generations: 2,
+            ..GpConfig::quick()
+        };
+        let engine = GpEngine::new(&g, cfg);
+        let run = engine.run(&fit, &mut StdRng::seed_from_u64(0));
+        assert!(run.best.is_none());
+    }
+
+    #[test]
+    fn parsimony_prefers_shorter_at_equal_quality() {
+        let (g, _ir) = grammar_and_ir();
+        let fit = |_: &FeatureExpr| Some(5.0);
+        let engine = GpEngine::new(&g, GpConfig::quick());
+        let run = engine.run(&fit, &mut StdRng::seed_from_u64(3));
+        let best = run.best.unwrap();
+        // With constant fitness the best must be a minimal (size-1) feature.
+        assert_eq!(best.size, 1, "parsimony should find a size-1 expression, got {}", best.expr);
+    }
+
+    #[test]
+    fn memoisation_reduces_evaluations() {
+        let (g, ir) = grammar_and_ir();
+        let fit = |e: &FeatureExpr| e.eval_with_budget(&ir, 10_000).ok();
+        let cfg = GpConfig {
+            max_generations: 10,
+            stagnation_limit: 10,
+            ..GpConfig::quick()
+        };
+        let engine = GpEngine::new(&g, cfg.clone());
+        let run = engine.run(&fit, &mut StdRng::seed_from_u64(4));
+        let naive = cfg.population * run.generations;
+        assert!(
+            run.evaluations < naive,
+            "expected memo hits: {} evaluations for {} slots",
+            run.evaluations,
+            naive
+        );
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_sequential() {
+        let (g, ir) = grammar_and_ir();
+        let fit = |e: &FeatureExpr| e.eval_with_budget(&ir, 10_000).ok();
+        let run_with = |threads: usize| {
+            let cfg = GpConfig {
+                threads,
+                max_generations: 8,
+                ..GpConfig::quick()
+            };
+            let engine = GpEngine::new(&g, cfg);
+            engine.run(&fit, &mut StdRng::seed_from_u64(21))
+        };
+        let seq = run_with(1);
+        let par = run_with(3);
+        assert_eq!(seq.best, par.best, "threading must not change results");
+        assert_eq!(seq.generations, par.generations);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (g, ir) = grammar_and_ir();
+        let fit = |e: &FeatureExpr| e.eval_with_budget(&ir, 10_000).ok();
+        let engine = GpEngine::new(&g, GpConfig::quick());
+        let r1 = engine.run(&fit, &mut StdRng::seed_from_u64(9));
+        let r2 = engine.run(&fit, &mut StdRng::seed_from_u64(9));
+        assert_eq!(r1.best, r2.best);
+        assert_eq!(r1.generations, r2.generations);
+    }
+}

@@ -1,0 +1,20 @@
+//! Genetic-programming search over the feature space.
+//!
+//! The paper's search (§IV, *Searching the Feature Space*) is "a hybrid
+//! between Grammatical Evolution and Genetic Programming": individuals are
+//! parse trees of the feature grammar; the operators respect the grammar by
+//! only regrowing or exchanging subtrees of the same non-terminal sort.
+//!
+//! - [`ops`] implements the mutation operator of Figure 9 (replace a random
+//!   non-terminal with a fresh random expansion) and the crossover operator
+//!   of Figure 10 (swap same-sort subtrees between two parents).
+//! - [`engine`] implements the generational loop: tournament selection,
+//!   elitism, parsimony-aware comparison (shorter wins ties), memoised
+//!   fitness evaluation, and the paper's stopping rule (stop after 15
+//!   stagnant generations or 200 generations, whichever comes first).
+
+pub mod engine;
+pub mod ops;
+
+pub use engine::{Evaluated, FitnessFn, GpConfig, GpEngine, GpRun};
+pub use ops::{crossover, mutate};

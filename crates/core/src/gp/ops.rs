@@ -1,0 +1,163 @@
+//! Grammar-respecting GP search operators.
+
+use crate::grammar::Grammar;
+use crate::lang::visit::{self, AnyExpr, Sort};
+use crate::lang::FeatureExpr;
+use rand::Rng;
+
+const SORTS: [Sort; 3] = [Sort::Num, Sort::Bool, Sort::Seq];
+
+/// Picks a uniformly random subtree position `(sort, index)` of `expr`.
+fn random_position<R: Rng + ?Sized>(expr: &FeatureExpr, rng: &mut R) -> (Sort, usize) {
+    let c = visit::counts(expr);
+    let total = c.total();
+    debug_assert!(total > 0);
+    let mut i = rng.gen_range(0..total);
+    for sort in SORTS {
+        let n = c.get(sort);
+        if i < n {
+            return (sort, i);
+        }
+        i -= n;
+    }
+    unreachable!("index within total")
+}
+
+/// Mutation (paper Figure 9): select a random non-terminal in the parse tree
+/// and replace it with a fresh random expansion of the same non-terminal.
+///
+/// `regrow_depth` bounds the depth of the regenerated subtree.
+pub fn mutate<R: Rng + ?Sized>(
+    grammar: &Grammar,
+    expr: &FeatureExpr,
+    rng: &mut R,
+    regrow_depth: usize,
+) -> FeatureExpr {
+    let (sort, idx) = random_position(expr, rng);
+    let replacement = match sort {
+        Sort::Num => AnyExpr::Num(grammar.gen_num(rng, regrow_depth)),
+        Sort::Bool => AnyExpr::Bool(grammar.gen_bool(rng, regrow_depth)),
+        Sort::Seq => AnyExpr::Seq(grammar.gen_seq(rng, regrow_depth)),
+    };
+    visit::replace(expr, sort, idx, &replacement).expect("position from random_position is valid")
+}
+
+/// Crossover (paper Figure 10): select non-terminals of the same sort in two
+/// parse trees and swap the corresponding subtrees, producing two children.
+///
+/// When the randomly chosen sort has no occurrence in the mate, other sorts
+/// are tried; `Sort::Num` always occurs in both (every feature has a numeric
+/// root), so crossover always succeeds.
+pub fn crossover<R: Rng + ?Sized>(
+    a: &FeatureExpr,
+    b: &FeatureExpr,
+    rng: &mut R,
+) -> (FeatureExpr, FeatureExpr) {
+    let ca = visit::counts(a);
+    let cb = visit::counts(b);
+    // Choose the crossover sort weighted by its frequency in parent `a`,
+    // restricted to sorts present in both parents.
+    let mut weights = [0usize; 3];
+    let mut total = 0usize;
+    for (i, sort) in SORTS.iter().enumerate() {
+        if ca.get(*sort) > 0 && cb.get(*sort) > 0 {
+            weights[i] = ca.get(*sort);
+            total += weights[i];
+        }
+    }
+    debug_assert!(total > 0, "Sort::Num present in every feature");
+    let mut pick = rng.gen_range(0..total);
+    let mut sort = Sort::Num;
+    for (i, s) in SORTS.iter().enumerate() {
+        if pick < weights[i] {
+            sort = *s;
+            break;
+        }
+        pick -= weights[i];
+    }
+    let ia = rng.gen_range(0..ca.get(sort));
+    let ib = rng.gen_range(0..cb.get(sort));
+    let sub_a = visit::pick(a, sort, ia).expect("index within counts");
+    let sub_b = visit::pick(b, sort, ib).expect("index within counts");
+    let child_a = visit::replace(a, sort, ia, &sub_b).expect("index within counts");
+    let child_b = visit::replace(b, sort, ib, &sub_a).expect("index within counts");
+    (child_a, child_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::IrNode;
+    use crate::lang::parse_feature;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn grammar() -> Grammar {
+        let ir = IrNode::build("loop", |l| {
+            l.attr_num("num-iter", 10.0);
+            l.child("insn", |i| {
+                i.attr_enum("mode", "SI");
+                i.child("reg", |_| {});
+            });
+        });
+        Grammar::derive([&ir])
+    }
+
+    #[test]
+    fn mutate_produces_valid_printable_features() {
+        let g = grammar();
+        let mut rng = StdRng::seed_from_u64(5);
+        let base = parse_feature("count(filter(//*, is-type(insn))) + get-attr(@num-iter)")
+            .unwrap();
+        for _ in 0..100 {
+            let m = mutate(&g, &base, &mut rng, 4);
+            let printed = m.to_string();
+            assert_eq!(
+                crate::lang::parse_feature(&printed).unwrap(),
+                m,
+                "mutant must roundtrip: {printed}"
+            );
+        }
+    }
+
+    #[test]
+    fn mutate_eventually_changes_the_expression() {
+        let g = grammar();
+        let mut rng = StdRng::seed_from_u64(11);
+        let base = parse_feature("count(//*)").unwrap();
+        let changed = (0..50).any(|_| mutate(&g, &base, &mut rng, 4) != base);
+        assert!(changed, "50 mutations never changed the expression");
+    }
+
+    #[test]
+    fn crossover_children_are_made_of_parent_material() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let a = parse_feature("count(filter(//*, is-type(reg)))").unwrap();
+        let b = parse_feature("sum(/*, get-attr(@num-iter))").unwrap();
+        for _ in 0..100 {
+            let (c1, c2) = crossover(&a, &b, &mut rng);
+            for c in [&c1, &c2] {
+                let printed = c.to_string();
+                assert_eq!(parse_feature(&printed).unwrap(), *c);
+            }
+            // Swapping the whole roots yields the parents exchanged; any
+            // other position mixes material. Either way total size is
+            // conserved.
+            assert_eq!(
+                c1.size() + c2.size(),
+                a.size() + b.size(),
+                "crossover conserves total node count"
+            );
+        }
+    }
+
+    #[test]
+    fn crossover_at_root_swaps_parents() {
+        // With single-node parents the only position is the root.
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = parse_feature("1").unwrap();
+        let b = parse_feature("2").unwrap();
+        let (c1, c2) = crossover(&a, &b, &mut rng);
+        assert_eq!((c1, c2), (b, a));
+    }
+}

@@ -1,0 +1,378 @@
+//! The exported-IR data model.
+//!
+//! The paper's system "extracts the RTL representation of the loops,
+//! augmenting it to include the structure of the basic blocks … \[and\] any
+//! information GCC can compute at that time" (§VI). The export format here is
+//! deliberately compiler-agnostic: a tree of nodes, each with an interned
+//! *kind* (`insn`, `basic-block`, `reg`, `plus`, …), a set of named
+//! *attributes* (`@num-iter`, `@loop-depth`, `@mode`, …) and ordered
+//! children. Feature expressions (see [`crate::lang`]) navigate these trees.
+//!
+//! Kinds, attribute names and enum attribute values are interned in a global
+//! [`Symbol`] table so that feature evaluation — the hot path of the GP
+//! search — compares `u32`s, never strings.
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// An interned string. Two symbols are equal iff their strings are equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    names: Vec<String>,
+    map: HashMap<String, Symbol>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            names: Vec::new(),
+            map: HashMap::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `name`, returning its unique symbol.
+    ///
+    /// ```
+    /// use fegen_core::Symbol;
+    /// assert_eq!(Symbol::intern("insn"), Symbol::intern("insn"));
+    /// assert_ne!(Symbol::intern("insn"), Symbol::intern("reg"));
+    /// ```
+    pub fn intern(name: &str) -> Symbol {
+        {
+            let guard = interner().read();
+            if let Some(sym) = guard.map.get(name) {
+                return *sym;
+            }
+        }
+        let mut guard = interner().write();
+        if let Some(sym) = guard.map.get(name) {
+            return *sym;
+        }
+        let sym = Symbol(guard.names.len() as u32);
+        guard.names.push(name.to_owned());
+        guard.map.insert(name.to_owned(), sym);
+        sym
+    }
+
+    /// Returns the string this symbol was interned from.
+    pub fn as_str(&self) -> String {
+        interner().read().names[self.0 as usize].clone()
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl Serialize for Symbol {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(&self.as_str())
+    }
+}
+
+impl<'de> Deserialize<'de> for Symbol {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Symbol, D::Error> {
+        let s = String::deserialize(d)?;
+        Ok(Symbol::intern(&s))
+    }
+}
+
+/// The value of a node attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AttrValue {
+    /// Numeric attribute, e.g. `@num-iter`, `@freq`.
+    Num(f64),
+    /// Boolean flag, e.g. `@may-be-hot`, `@unchanging`.
+    Bool(bool),
+    /// Enumerated attribute, e.g. `@mode == SI`.
+    Enum(Symbol),
+}
+
+impl AttrValue {
+    /// Numeric view of the attribute (booleans are 0/1; enums have no
+    /// numeric view and return `None`).
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            AttrValue::Num(v) => Some(*v),
+            AttrValue::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            AttrValue::Enum(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Num(v) => write!(f, "{v}"),
+            AttrValue::Bool(b) => write!(f, "{b}"),
+            AttrValue::Enum(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A node of exported compiler IR.
+///
+/// Attribute lists are kept sorted by attribute-name symbol so lookup is a
+/// binary search and construction order does not affect equality.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IrNode {
+    kind: Symbol,
+    attrs: Vec<(Symbol, AttrValue)>,
+    children: Vec<IrNode>,
+}
+
+impl IrNode {
+    /// Creates a leaf node of the given kind.
+    pub fn new(kind: impl Into<Symbol>) -> IrNode {
+        IrNode {
+            kind: kind.into(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Builder-style construction used by exporters and tests.
+    ///
+    /// ```
+    /// use fegen_core::ir::IrNode;
+    /// let n = IrNode::build("insn", |i| {
+    ///     i.attr_num("cost", 2.0);
+    ///     i.child("reg", |r| { r.attr_enum("mode", "SI"); });
+    /// });
+    /// assert_eq!(n.children().len(), 1);
+    /// ```
+    pub fn build<R>(kind: impl Into<Symbol>, f: impl FnOnce(&mut IrNode) -> R) -> IrNode {
+        let mut node = IrNode::new(kind);
+        let _ = f(&mut node);
+        node
+    }
+
+    /// The node kind.
+    pub fn kind(&self) -> Symbol {
+        self.kind
+    }
+
+    /// The node's children, in order.
+    pub fn children(&self) -> &[IrNode] {
+        &self.children
+    }
+
+    /// The node's attributes, sorted by name symbol.
+    pub fn attrs(&self) -> &[(Symbol, AttrValue)] {
+        &self.attrs
+    }
+
+    /// Looks up an attribute by name.
+    pub fn attr(&self, name: Symbol) -> Option<AttrValue> {
+        self.attrs
+            .binary_search_by_key(&name, |(n, _)| *n)
+            .ok()
+            .map(|i| self.attrs[i].1)
+    }
+
+    /// Sets (or replaces) an attribute.
+    pub fn set_attr(&mut self, name: impl Into<Symbol>, value: AttrValue) -> &mut IrNode {
+        let name = name.into();
+        match self.attrs.binary_search_by_key(&name, |(n, _)| *n) {
+            Ok(i) => self.attrs[i].1 = value,
+            Err(i) => self.attrs.insert(i, (name, value)),
+        }
+        self
+    }
+
+    /// Sets a numeric attribute.
+    pub fn attr_num(&mut self, name: impl Into<Symbol>, value: f64) -> &mut IrNode {
+        self.set_attr(name, AttrValue::Num(value))
+    }
+
+    /// Sets a boolean attribute.
+    pub fn attr_bool(&mut self, name: impl Into<Symbol>, value: bool) -> &mut IrNode {
+        self.set_attr(name, AttrValue::Bool(value))
+    }
+
+    /// Sets an enumerated attribute.
+    pub fn attr_enum(
+        &mut self,
+        name: impl Into<Symbol>,
+        value: impl Into<Symbol>,
+    ) -> &mut IrNode {
+        self.set_attr(name, AttrValue::Enum(value.into()))
+    }
+
+    /// Appends a child built with `f` and returns `self` for chaining.
+    pub fn child<R>(
+        &mut self,
+        kind: impl Into<Symbol>,
+        f: impl FnOnce(&mut IrNode) -> R,
+    ) -> &mut IrNode {
+        let mut node = IrNode::new(kind);
+        let _ = f(&mut node);
+        self.children.push(node);
+        self
+    }
+
+    /// Appends an already-built child.
+    pub fn push_child(&mut self, node: IrNode) -> &mut IrNode {
+        self.children.push(node);
+        self
+    }
+
+    /// Number of nodes in this subtree (including `self`).
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(IrNode::size).sum::<usize>()
+    }
+
+    /// Maximum depth of this subtree (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(IrNode::depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterates over this node and all descendants, pre-order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { stack: vec![self] }
+    }
+
+    /// Renders the tree as an indented S-expression-like dump (for debugging
+    /// and golden tests).
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        self.dump_into(&mut out, 0);
+        out
+    }
+
+    fn dump_into(&self, out: &mut String, indent: usize) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(indent);
+        let _ = write!(out, "{pad}({}", self.kind);
+        for (name, value) in &self.attrs {
+            let _ = write!(out, " @{name}={value}");
+        }
+        if self.children.is_empty() {
+            out.push_str(")\n");
+        } else {
+            out.push('\n');
+            for c in &self.children {
+                c.dump_into(out, indent + 1);
+            }
+            let _ = writeln!(out, "{pad})");
+        }
+    }
+}
+
+/// Pre-order iterator over an [`IrNode`] tree. Created by [`IrNode::iter`].
+#[derive(Debug)]
+pub struct Iter<'a> {
+    stack: Vec<&'a IrNode>,
+}
+
+impl<'a> Iterator for Iter<'a> {
+    type Item = &'a IrNode;
+
+    fn next(&mut self) -> Option<&'a IrNode> {
+        let node = self.stack.pop()?;
+        // Push children in reverse so iteration is left-to-right pre-order.
+        self.stack.extend(node.children.iter().rev());
+        Some(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbols_intern_uniquely() {
+        let a = Symbol::intern("alpha-test-symbol");
+        let b = Symbol::intern("alpha-test-symbol");
+        let c = Symbol::intern("beta-test-symbol");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.as_str(), "alpha-test-symbol");
+    }
+
+    #[test]
+    fn attrs_sorted_and_replaceable() {
+        let mut n = IrNode::new("x");
+        n.attr_num("zeta", 1.0);
+        n.attr_num("alpha", 2.0);
+        n.attr_num("zeta", 3.0);
+        assert_eq!(n.attrs().len(), 2);
+        assert_eq!(n.attr(Symbol::intern("zeta")), Some(AttrValue::Num(3.0)));
+        // Sorted by symbol, whatever the interning order was.
+        let mut sorted = n.attrs().to_vec();
+        sorted.sort_by_key(|(s, _)| *s);
+        assert_eq!(sorted, n.attrs());
+    }
+
+    #[test]
+    fn attr_value_numeric_views() {
+        assert_eq!(AttrValue::Num(2.5).as_num(), Some(2.5));
+        assert_eq!(AttrValue::Bool(true).as_num(), Some(1.0));
+        assert_eq!(AttrValue::Enum(Symbol::intern("SI")).as_num(), None);
+    }
+
+    #[test]
+    fn size_and_depth() {
+        let n = IrNode::build("a", |a| {
+            a.child("b", |b| {
+                b.child("c", |_| {});
+            });
+            a.child("d", |_| {});
+        });
+        assert_eq!(n.size(), 4);
+        assert_eq!(n.depth(), 3);
+    }
+
+    #[test]
+    fn preorder_iteration_is_left_to_right() {
+        let n = IrNode::build("root", |r| {
+            r.child("l", |l| {
+                l.child("ll", |_| {});
+            });
+            r.child("r", |_| {});
+        });
+        let kinds: Vec<String> = n.iter().map(|x| x.kind().as_str()).collect();
+        assert_eq!(kinds, vec!["root", "l", "ll", "r"]);
+    }
+
+    #[test]
+    fn equality_ignores_attr_insertion_order() {
+        let mut a = IrNode::new("n");
+        a.attr_num("p", 1.0).attr_num("q", 2.0);
+        let mut b = IrNode::new("n");
+        b.attr_num("q", 2.0).attr_num("p", 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dump_contains_kind_and_attrs() {
+        let n = IrNode::build("loop", |l| {
+            l.attr_num("num-iter", 5.0);
+            l.child("insn", |_| {});
+        });
+        let d = n.dump();
+        assert!(d.contains("(loop @num-iter=5"));
+        assert!(d.contains("(insn)"));
+    }
+}

@@ -1,0 +1,234 @@
+//! Abstract syntax of the feature expression language.
+//!
+//! A *feature* is a numeric expression evaluated at the root of an exported
+//! IR tree (see [`crate::ir::IrNode`]). Sub-expressions come in three sorts,
+//! mirroring the paper's grammar (Figures 7 and 11):
+//!
+//! - **numeric** ([`FeatureExpr`]) — `count`, `sum`, `max`, `min`, `avg`,
+//!   `get-attr(@a)`, constants and arithmetic;
+//! - **boolean** ([`BoolExpr`]) — `is-type(t)`, `has-attr(@a)`,
+//!   `@a == value`, numeric comparisons, `!`, `&&`, `||` and the child
+//!   pattern `/[n][p]`;
+//! - **sequence** ([`SeqExpr`]) — `/*` (children), `//*` (descendants) and
+//!   `filter(s, p)`.
+//!
+//! Booleans and numerics are evaluated *relative to a context node*; sequence
+//! expressions produce the nodes over which an aggregate iterates, and the
+//! aggregate's body expression sees each element as its context.
+
+use crate::ir::Symbol;
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic operators in numeric feature expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArithOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Protected division: division by (near-)zero evaluates to `0.0` so
+    /// that genetic search does not have to avoid singular expressions.
+    Div,
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the comparison to two floats (`==`/`!=` are exact, as the
+    /// values compared are typically counts and small attribute values).
+    pub fn apply(self, a: f64, b: f64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+/// A numeric feature expression. The top level of every feature.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FeatureExpr {
+    /// Literal constant.
+    Const(f64),
+    /// `get-attr(@name)` — numeric value of the context node's attribute.
+    /// Missing attributes and enum attributes evaluate to `0.0`.
+    GetAttr(Symbol),
+    /// `count(s)` — number of nodes in the sequence.
+    Count(SeqExpr),
+    /// `sum(s, e)` — sum of `e` evaluated at each node of `s`.
+    Sum(SeqExpr, Box<FeatureExpr>),
+    /// `max(s, e)` — maximum of `e` over `s` (`0.0` when `s` is empty).
+    Max(SeqExpr, Box<FeatureExpr>),
+    /// `min(s, e)` — minimum of `e` over `s` (`0.0` when `s` is empty).
+    Min(SeqExpr, Box<FeatureExpr>),
+    /// `avg(s, e)` — mean of `e` over `s` (`0.0` when `s` is empty).
+    Avg(SeqExpr, Box<FeatureExpr>),
+    /// Binary arithmetic.
+    Arith(ArithOp, Box<FeatureExpr>, Box<FeatureExpr>),
+    /// Arithmetic negation.
+    Neg(Box<FeatureExpr>),
+}
+
+/// A boolean predicate over a context node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BoolExpr {
+    /// `is-type(t)` — the context node's kind is `t`.
+    IsType(Symbol),
+    /// `has-attr(@a)` — the context node has attribute `a`.
+    HasAttr(Symbol),
+    /// `@a == V` for an enumerated attribute value `V` (also covers
+    /// `@flag == true` / `@flag == false` for boolean attributes).
+    AttrEqEnum(Symbol, Symbol),
+    /// `@a OP k` for a numeric attribute; false when the attribute is
+    /// missing or non-numeric.
+    AttrCmpNum(Symbol, CmpOp, f64),
+    /// Comparison of two numeric sub-expressions.
+    Cmp(CmpOp, Box<FeatureExpr>, Box<FeatureExpr>),
+    /// `/[n][p]` — the context node has an `n`-th child and it satisfies `p`.
+    ChildMatches(usize, Box<BoolExpr>),
+    /// Logical negation.
+    Not(Box<BoolExpr>),
+    /// Short-circuit conjunction.
+    And(Box<BoolExpr>, Box<BoolExpr>),
+    /// Short-circuit disjunction.
+    Or(Box<BoolExpr>, Box<BoolExpr>),
+}
+
+/// A sequence of IR nodes, relative to a context node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SeqExpr {
+    /// `/*` — the context node's direct children.
+    Children,
+    /// `//*` — all descendants of the context node (excluding itself),
+    /// pre-order.
+    Descendants,
+    /// `filter(s, p)` — the nodes of `s` satisfying `p`.
+    Filter(Box<SeqExpr>, Box<BoolExpr>),
+}
+
+impl FeatureExpr {
+    /// Number of AST nodes in this expression (used for parsimony pressure).
+    pub fn size(&self) -> usize {
+        use FeatureExpr::*;
+        match self {
+            Const(_) | GetAttr(_) => 1,
+            Count(s) => 1 + s.size(),
+            Sum(s, e) | Max(s, e) | Min(s, e) | Avg(s, e) => 1 + s.size() + e.size(),
+            Arith(_, a, b) => 1 + a.size() + b.size(),
+            Neg(a) => 1 + a.size(),
+        }
+    }
+
+    /// Maximum nesting depth.
+    pub fn depth(&self) -> usize {
+        use FeatureExpr::*;
+        match self {
+            Const(_) | GetAttr(_) => 1,
+            Count(s) => 1 + s.depth(),
+            Sum(s, e) | Max(s, e) | Min(s, e) | Avg(s, e) => 1 + s.depth().max(e.depth()),
+            Arith(_, a, b) => 1 + a.depth().max(b.depth()),
+            Neg(a) => 1 + a.depth(),
+        }
+    }
+}
+
+impl BoolExpr {
+    /// Number of AST nodes in this predicate.
+    pub fn size(&self) -> usize {
+        use BoolExpr::*;
+        match self {
+            IsType(_) | HasAttr(_) | AttrEqEnum(..) | AttrCmpNum(..) => 1,
+            Cmp(_, a, b) => 1 + a.size() + b.size(),
+            ChildMatches(_, p) => 1 + p.size(),
+            Not(p) => 1 + p.size(),
+            And(a, b) | Or(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    /// Maximum nesting depth.
+    pub fn depth(&self) -> usize {
+        use BoolExpr::*;
+        match self {
+            IsType(_) | HasAttr(_) | AttrEqEnum(..) | AttrCmpNum(..) => 1,
+            Cmp(_, a, b) => 1 + a.depth().max(b.depth()),
+            ChildMatches(_, p) => 1 + p.depth(),
+            Not(p) => 1 + p.depth(),
+            And(a, b) | Or(a, b) => 1 + a.depth().max(b.depth()),
+        }
+    }
+}
+
+impl SeqExpr {
+    /// Number of AST nodes in this sequence expression.
+    pub fn size(&self) -> usize {
+        match self {
+            SeqExpr::Children | SeqExpr::Descendants => 1,
+            SeqExpr::Filter(s, p) => 1 + s.size() + p.size(),
+        }
+    }
+
+    /// Maximum nesting depth.
+    pub fn depth(&self) -> usize {
+        match self {
+            SeqExpr::Children | SeqExpr::Descendants => 1,
+            SeqExpr::Filter(s, p) => 1 + s.depth().max(p.depth()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FeatureExpr {
+        // count(filter(//*, is-type(insn))) + 2
+        FeatureExpr::Arith(
+            ArithOp::Add,
+            Box::new(FeatureExpr::Count(SeqExpr::Filter(
+                Box::new(SeqExpr::Descendants),
+                Box::new(BoolExpr::IsType(Symbol::intern("insn"))),
+            ))),
+            Box::new(FeatureExpr::Const(2.0)),
+        )
+    }
+
+    #[test]
+    fn size_counts_all_nodes() {
+        // arith, count, filter, descendants, is-type, const = 6
+        assert_eq!(sample().size(), 6);
+    }
+
+    #[test]
+    fn depth_follows_longest_path() {
+        // arith -> count -> filter -> {descendants | is-type}
+        assert_eq!(sample().depth(), 4);
+    }
+
+    #[test]
+    fn cmp_op_semantics() {
+        assert!(CmpOp::Le.apply(2.0, 2.0));
+        assert!(!CmpOp::Lt.apply(2.0, 2.0));
+        assert!(CmpOp::Ne.apply(1.0, 2.0));
+        assert!(CmpOp::Ge.apply(3.0, 2.0));
+    }
+}

@@ -1,0 +1,420 @@
+//! Step-budgeted evaluation of feature expressions over IR trees.
+//!
+//! The paper gives each candidate feature "at most two seconds to evaluate
+//! over all loops"; features that exceed the budget are discarded and cannot
+//! contribute to the gene pool (§VI). Wall-clock timeouts are not
+//! reproducible across machines, so this implementation charges a
+//! deterministic **step cost** — one step per expression node visited per IR
+//! node of context — and aborts with [`EvalError::BudgetExceeded`] when the
+//! budget runs out. The selection pressure is identical: expensive features
+//! (typically deeply nested aggregates over `//*`) are discarded.
+
+use super::ast::{ArithOp, BoolExpr, FeatureExpr, SeqExpr};
+use crate::ir::{AttrValue, IrNode};
+use std::fmt;
+
+/// Error produced when evaluating a feature expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalError {
+    /// The step budget was exhausted; the feature is considered too
+    /// expensive (the paper's two-second timeout).
+    BudgetExceeded,
+    /// Evaluation produced a non-finite number (overflow or NaN).
+    NonFinite,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::BudgetExceeded => write!(f, "feature evaluation budget exceeded"),
+            EvalError::NonFinite => write!(f, "feature evaluated to a non-finite value"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluation context carrying the remaining step budget.
+#[derive(Debug)]
+pub struct Evaluator {
+    remaining: u64,
+}
+
+/// Default per-evaluation step budget, generous enough for any reasonable
+/// feature over the exported loops while still bounding runaway expressions.
+pub const DEFAULT_BUDGET: u64 = 2_000_000;
+
+impl Evaluator {
+    /// Creates an evaluator with the given step budget.
+    pub fn new(budget: u64) -> Self {
+        Evaluator { remaining: budget }
+    }
+
+    /// Steps still available.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    fn step(&mut self, cost: u64) -> Result<(), EvalError> {
+        if self.remaining < cost {
+            self.remaining = 0;
+            return Err(EvalError::BudgetExceeded);
+        }
+        self.remaining -= cost;
+        Ok(())
+    }
+
+    /// Evaluates a numeric feature expression at `node`.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::BudgetExceeded`] when the step budget runs out,
+    /// [`EvalError::NonFinite`] when arithmetic overflows to ±∞ or NaN.
+    pub fn eval(&mut self, expr: &FeatureExpr, node: &IrNode) -> Result<f64, EvalError> {
+        self.step(1)?;
+        let v = match expr {
+            FeatureExpr::Const(c) => *c,
+            FeatureExpr::GetAttr(name) => node
+                .attr(*name)
+                .and_then(|a| a.as_num())
+                .unwrap_or(0.0),
+            FeatureExpr::Count(seq) => {
+                let mut n = 0usize;
+                self.for_each(seq, node, &mut |_, _| {
+                    n += 1;
+                    Ok(())
+                })?;
+                n as f64
+            }
+            FeatureExpr::Sum(seq, body) => {
+                let mut acc = 0.0;
+                self.for_each(seq, node, &mut |ev, elem| {
+                    acc += ev.eval(body, elem)?;
+                    Ok(())
+                })?;
+                acc
+            }
+            FeatureExpr::Max(seq, body) => {
+                let mut acc: Option<f64> = None;
+                self.for_each(seq, node, &mut |ev, elem| {
+                    let v = ev.eval(body, elem)?;
+                    acc = Some(match acc {
+                        Some(a) => a.max(v),
+                        None => v,
+                    });
+                    Ok(())
+                })?;
+                acc.unwrap_or(0.0)
+            }
+            FeatureExpr::Min(seq, body) => {
+                let mut acc: Option<f64> = None;
+                self.for_each(seq, node, &mut |ev, elem| {
+                    let v = ev.eval(body, elem)?;
+                    acc = Some(match acc {
+                        Some(a) => a.min(v),
+                        None => v,
+                    });
+                    Ok(())
+                })?;
+                acc.unwrap_or(0.0)
+            }
+            FeatureExpr::Avg(seq, body) => {
+                let mut acc = 0.0;
+                let mut n = 0usize;
+                self.for_each(seq, node, &mut |ev, elem| {
+                    acc += ev.eval(body, elem)?;
+                    n += 1;
+                    Ok(())
+                })?;
+                if n == 0 {
+                    0.0
+                } else {
+                    acc / n as f64
+                }
+            }
+            FeatureExpr::Arith(op, a, b) => {
+                let a = self.eval(a, node)?;
+                let b = self.eval(b, node)?;
+                match op {
+                    ArithOp::Add => a + b,
+                    ArithOp::Sub => a - b,
+                    ArithOp::Mul => a * b,
+                    // Protected division (see ArithOp::Div docs).
+                    ArithOp::Div => {
+                        if b.abs() < 1e-12 {
+                            0.0
+                        } else {
+                            a / b
+                        }
+                    }
+                }
+            }
+            FeatureExpr::Neg(a) => -self.eval(a, node)?,
+        };
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(EvalError::NonFinite)
+        }
+    }
+
+    /// Evaluates a boolean predicate at `node`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Evaluator::eval`].
+    pub fn eval_bool(&mut self, expr: &BoolExpr, node: &IrNode) -> Result<bool, EvalError> {
+        self.step(1)?;
+        Ok(match expr {
+            BoolExpr::IsType(kind) => node.kind() == *kind,
+            BoolExpr::HasAttr(name) => node.attr(*name).is_some(),
+            BoolExpr::AttrEqEnum(name, value) => match node.attr(*name) {
+                Some(AttrValue::Enum(v)) => v == *value,
+                Some(AttrValue::Bool(b)) => {
+                    // `@flag == true` / `@flag == false`
+                    let value = value.as_str();
+                    (value == "true" && b) || (value == "false" && !b)
+                }
+                _ => false,
+            },
+            BoolExpr::AttrCmpNum(name, op, k) => match node.attr(*name).and_then(|a| a.as_num())
+            {
+                Some(v) => op.apply(v, *k),
+                None => false,
+            },
+            BoolExpr::Cmp(op, a, b) => {
+                let a = self.eval(a, node)?;
+                let b = self.eval(b, node)?;
+                op.apply(a, b)
+            }
+            BoolExpr::ChildMatches(idx, p) => match node.children().get(*idx) {
+                Some(child) => self.eval_bool(p, child)?,
+                None => false,
+            },
+            BoolExpr::Not(p) => !self.eval_bool(p, node)?,
+            BoolExpr::And(a, b) => self.eval_bool(a, node)? && self.eval_bool(b, node)?,
+            BoolExpr::Or(a, b) => self.eval_bool(a, node)? || self.eval_bool(b, node)?,
+        })
+    }
+
+    /// Drives `f` over every node of the sequence `seq` relative to `node`.
+    fn for_each(
+        &mut self,
+        seq: &SeqExpr,
+        node: &IrNode,
+        f: &mut dyn FnMut(&mut Evaluator, &IrNode) -> Result<(), EvalError>,
+    ) -> Result<(), EvalError> {
+        match seq {
+            SeqExpr::Children => {
+                for c in node.children() {
+                    self.step(1)?;
+                    f(self, c)?;
+                }
+                Ok(())
+            }
+            SeqExpr::Descendants => self.for_each_descendant(node, f),
+            SeqExpr::Filter(inner, pred) => self.for_each(inner, node, &mut |ev, elem| {
+                if ev.eval_bool(pred, elem)? {
+                    f(ev, elem)?;
+                }
+                Ok(())
+            }),
+        }
+    }
+
+    fn for_each_descendant(
+        &mut self,
+        node: &IrNode,
+        f: &mut dyn FnMut(&mut Evaluator, &IrNode) -> Result<(), EvalError>,
+    ) -> Result<(), EvalError> {
+        for c in node.children() {
+            self.step(1)?;
+            f(self, c)?;
+            self.for_each_descendant(c, f)?;
+        }
+        Ok(())
+    }
+}
+
+impl FeatureExpr {
+    /// Evaluates the feature at `node` with the [`DEFAULT_BUDGET`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Evaluator::eval`].
+    ///
+    /// ```
+    /// use fegen_core::ir::IrNode;
+    /// use fegen_core::lang::parse_feature;
+    /// let ir = IrNode::build("loop", |l| {
+    ///     l.child("insn", |_| {});
+    ///     l.child("insn", |_| {});
+    /// });
+    /// let f = parse_feature("count(/*) * 10")?;
+    /// assert_eq!(f.eval_default(&ir)?, 20.0);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn eval_default(&self, node: &IrNode) -> Result<f64, EvalError> {
+        Evaluator::new(DEFAULT_BUDGET).eval(self, node)
+    }
+
+    /// Evaluates the feature at `node` with an explicit step budget.
+    ///
+    /// # Errors
+    ///
+    /// See [`Evaluator::eval`].
+    pub fn eval_with_budget(&self, node: &IrNode, budget: u64) -> Result<f64, EvalError> {
+        Evaluator::new(budget).eval(self, node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{IrNode, Symbol};
+    use crate::lang::parse::parse_feature;
+
+    fn sample_ir() -> IrNode {
+        IrNode::build("loop", |l| {
+            l.attr_num("num-iter", 49.0);
+            l.child("basic-block", |b| {
+                b.attr_num("loop-depth", 1.0);
+                b.attr_bool("may-be-hot", true);
+                b.child("insn", |i| {
+                    i.attr_enum("mode", "SI");
+                    i.child("set", |s| {
+                        s.child("reg", |r| {
+                            r.attr_enum("mode", "SI");
+                        });
+                        s.child("plus", |p| {
+                            p.child("reg", |r| {
+                                r.attr_enum("mode", "SI");
+                            });
+                            p.child("const_int", |c| {
+                                c.attr_num("value", 4.0);
+                            });
+                        });
+                    });
+                });
+                b.child("jump_insn", |_| {});
+            });
+        })
+    }
+
+    fn eval(src: &str) -> f64 {
+        parse_feature(src).unwrap().eval_default(&sample_ir()).unwrap()
+    }
+
+    #[test]
+    fn get_attr_reads_numeric_attr() {
+        assert_eq!(eval("get-attr(@num-iter)"), 49.0);
+    }
+
+    #[test]
+    fn get_attr_missing_is_zero() {
+        assert_eq!(eval("get-attr(@no-such-attr)"), 0.0);
+    }
+
+    #[test]
+    fn count_children_and_descendants() {
+        assert_eq!(eval("count(/*)"), 1.0);
+        assert_eq!(eval("count(//*)"), 8.0);
+    }
+
+    #[test]
+    fn filter_by_type() {
+        assert_eq!(eval("count(filter(//*, is-type(reg)))"), 2.0);
+        assert_eq!(eval("count(filter(//*, is-type(insn)))"), 1.0);
+    }
+
+    #[test]
+    fn filter_by_attr_equality() {
+        assert_eq!(eval("count(filter(//*, @mode==SI))"), 3.0);
+        assert_eq!(eval("count(filter(//*, @may-be-hot==true))"), 1.0);
+        assert_eq!(eval("count(filter(//*, @loop-depth==1))"), 1.0);
+    }
+
+    #[test]
+    fn has_attr_and_negation() {
+        assert_eq!(eval("count(filter(//*, has-attr(@mode)))"), 3.0);
+        assert_eq!(eval("count(filter(//*, !has-attr(@mode)))"), 5.0);
+    }
+
+    #[test]
+    fn logical_connectives() {
+        assert_eq!(
+            eval("count(filter(//*, is-type(reg) || is-type(const_int)))"),
+            3.0
+        );
+        assert_eq!(
+            eval("count(filter(//*, is-type(reg) && @mode==SI))"),
+            2.0
+        );
+    }
+
+    #[test]
+    fn child_matches_pattern() {
+        // insn whose child 0 is a `set` whose child 0 is a reg.
+        assert_eq!(
+            eval("count(filter(//*, is-type(insn) && /[0][is-type(set) && /[0][is-type(reg)]]))"),
+            1.0
+        );
+        // No node has a 7th child.
+        assert_eq!(eval("count(filter(//*, /[7][is-type(reg)]))"), 0.0);
+    }
+
+    #[test]
+    fn aggregates() {
+        assert_eq!(
+            eval("sum(filter(//*, is-type(const_int)), get-attr(@value))"),
+            4.0
+        );
+        assert_eq!(eval("max(//*, count(/*))"), 2.0);
+        assert_eq!(eval("min(//*, count(/*))"), 0.0);
+        assert_eq!(eval("avg(filter(//*, is-type(basic-block)), count(/*))"), 2.0);
+    }
+
+    #[test]
+    fn empty_aggregates_are_zero() {
+        assert_eq!(eval("sum(filter(//*, is-type(nonexistent-kind)), 1)"), 0.0);
+        assert_eq!(eval("max(filter(//*, is-type(nonexistent-kind)), 1)"), 0.0);
+    }
+
+    #[test]
+    fn arithmetic_and_protected_division() {
+        assert_eq!(eval("2 + 3 * 4"), 14.0);
+        assert_eq!(eval("count(//*) / 2"), 4.0);
+        // Division by zero is protected.
+        assert_eq!(eval("5 / 0"), 0.0);
+        assert_eq!(eval("-count(/*)"), -1.0);
+    }
+
+    #[test]
+    fn numeric_comparison_in_filter() {
+        // basic-block (2 children), set (2) and plus (2).
+        assert_eq!(eval("count(filter(//*, count(/*) > 1))"), 3.0);
+        assert_eq!(eval("count(filter(//*, 0.0 > count(/*)))"), 0.0);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_detected() {
+        let ir = sample_ir();
+        let f = parse_feature("sum(//*, sum(//*, count(//*)))").unwrap();
+        // Tiny budget: must abort, not hang or return a partial value.
+        assert_eq!(
+            f.eval_with_budget(&ir, 10),
+            Err(EvalError::BudgetExceeded)
+        );
+        // Large budget: fine.
+        assert!(f.eval_with_budget(&ir, 1_000_000).is_ok());
+    }
+
+    #[test]
+    fn enum_attr_has_no_numeric_view() {
+        // get-attr on an enum attribute yields 0, not garbage.
+        let ir = sample_ir();
+        let f = FeatureExpr::GetAttr(Symbol::intern("mode"));
+        let insn = &ir.children()[0].children()[0];
+        assert_eq!(Evaluator::new(1000).eval(&f, insn).unwrap(), 0.0);
+    }
+}

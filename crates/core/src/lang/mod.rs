@@ -1,0 +1,24 @@
+//! The feature expression language: AST, parser, printer, evaluator and the
+//! subtree-addressing utilities used by the GP operators.
+//!
+//! See the crate-level docs for the role this language plays in the system;
+//! the sub-modules are:
+//!
+//! - [`mod@self`] re-exports the AST types ([`FeatureExpr`], [`BoolExpr`],
+//!   [`SeqExpr`], [`ArithOp`], [`CmpOp`]),
+//! - [`parse_feature`] / [`parse_predicate`] parse the textual syntax,
+//! - `Display` impls print it back (round-tripping),
+//! - [`Evaluator`] evaluates with a deterministic step budget,
+//! - [`visit`] addresses subtrees by `(sort, pre-order index)`.
+
+mod ast;
+mod eval;
+pub(crate) mod parse;
+mod print;
+pub mod visit;
+
+pub use ast::{ArithOp, BoolExpr, CmpOp, FeatureExpr, SeqExpr};
+pub use eval::{EvalError, Evaluator, DEFAULT_BUDGET};
+pub use parse::{
+    feature_list_from_text, feature_list_to_text, parse_feature, parse_predicate, ParseError,
+};

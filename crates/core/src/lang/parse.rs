@@ -1,0 +1,648 @@
+//! Parser for the textual feature syntax.
+//!
+//! The syntax matches the paper's Figure 16 output format:
+//!
+//! ```text
+//! count(filter(//*, !(is-type(wide-int) || is-type(union_type))))
+//! max(filter(/*, is-type(basic-block) && !@loop-depth==3), count(/*))
+//! get-attr(@num-iter)
+//! ```
+//!
+//! Notes on the grammar:
+//!
+//! - identifiers may contain `-` (`is-type`, `num-iter`, `basic-block`);
+//!   a `-` is part of an identifier when it is sandwiched between
+//!   identifier characters, so subtraction must be written with spaces
+//!   (`a - b`), as the paper does;
+//! - `!@a==V` parses as `!(@a==V)`, matching the feature listings in the
+//!   paper;
+//! - `(` in predicate position may open either a parenthesised predicate or
+//!   a numeric comparison; the parser backtracks to disambiguate.
+
+use super::ast::*;
+use crate::ir::Symbol;
+use std::fmt;
+
+/// Error from [`parse_feature`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "feature parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a feature expression from its textual form.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] pointing at the first offending byte.
+///
+/// ```
+/// let f = fegen_core::parse_feature("count(filter(//*, is-type(reg)))")?;
+/// assert_eq!(f.to_string(), "count(filter(//*, is-type(reg)))");
+/// # Ok::<(), fegen_core::lang::ParseError>(())
+/// ```
+pub fn parse_feature(input: &str) -> Result<FeatureExpr, ParseError> {
+    let mut p = P {
+        src: input.as_bytes(),
+        pos: 0,
+    };
+    let e = p.num_expr()?;
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(e)
+}
+
+/// Parses a boolean predicate from its textual form (useful in tests and
+/// for hand-written filters).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] pointing at the first offending byte.
+pub fn parse_predicate(input: &str) -> Result<BoolExpr, ParseError> {
+    let mut p = P {
+        src: input.as_bytes(),
+        pos: 0,
+    };
+    let e = p.bool_expr()?;
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(e)
+}
+
+struct P<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.src.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn starts_with(&mut self, s: &str) -> bool {
+        self.skip_ws();
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{s}`")))
+        }
+    }
+
+    /// `keyword(` lookahead — eats both the keyword and the paren.
+    fn eat_call(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        if !rest.starts_with(kw.as_bytes()) {
+            return false;
+        }
+        // The keyword must not continue as a longer identifier.
+        if let Some(&c) = rest.get(kw.len()) {
+            if is_ident_char(c) {
+                return false;
+            }
+        }
+        let save = self.pos;
+        self.pos += kw.len();
+        if self.eat("(") {
+            true
+        } else {
+            self.pos = save;
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&c) = self.src.get(self.pos) {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.pos += 1;
+            } else if c == b'-'
+                && self.pos > start
+                && matches!(self.src.get(self.pos + 1), Some(c2) if c2.is_ascii_alphabetic())
+            {
+                // Dash inside an identifier (e.g. `wide-int`).
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected identifier"));
+        }
+        Ok(std::str::from_utf8(&self.src[start..self.pos])
+            .expect("ascii")
+            .to_owned())
+    }
+
+    fn attr_name(&mut self) -> Result<Symbol, ParseError> {
+        self.expect("@")?;
+        Ok(Symbol::intern(&self.ident()?))
+    }
+
+    fn number(&mut self) -> Result<f64, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(self.src.get(self.pos), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.src.get(self.pos) == Some(&b'.')
+            && matches!(self.src.get(self.pos + 1), Some(c) if c.is_ascii_digit())
+        {
+            self.pos += 1;
+            while matches!(self.src.get(self.pos), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.src.get(self.pos), Some(b'e' | b'E')) {
+            let save = self.pos;
+            self.pos += 1;
+            if matches!(self.src.get(self.pos), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if matches!(self.src.get(self.pos), Some(c) if c.is_ascii_digit()) {
+                while matches!(self.src.get(self.pos), Some(c) if c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            } else {
+                self.pos = save;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected number"));
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .expect("ascii")
+            .parse()
+            .map_err(|_| self.err("malformed number"))
+    }
+
+    fn integer(&mut self) -> Result<usize, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(self.src.get(self.pos), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected integer"));
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .expect("ascii")
+            .parse()
+            .map_err(|_| self.err("integer out of range"))
+    }
+
+    // num := term (('+'|'-') term)*
+    fn num_expr(&mut self) -> Result<FeatureExpr, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            self.skip_ws();
+            if self.eat("+") {
+                let rhs = self.term()?;
+                lhs = FeatureExpr::Arith(ArithOp::Add, Box::new(lhs), Box::new(rhs));
+            } else if self.peek_minus_operator() {
+                self.expect("-")?;
+                let rhs = self.term()?;
+                lhs = FeatureExpr::Arith(ArithOp::Sub, Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    /// A `-` in operator position (not a dash continuing an identifier —
+    /// callers only ask after a complete term, so any `-` here is an
+    /// operator unless it starts `//*` etc., which it cannot).
+    fn peek_minus_operator(&mut self) -> bool {
+        self.peek() == Some(b'-')
+    }
+
+    fn term(&mut self) -> Result<FeatureExpr, ParseError> {
+        let mut lhs = self.num_factor()?;
+        loop {
+            self.skip_ws();
+            if self.eat("*") {
+                let rhs = self.num_factor()?;
+                lhs = FeatureExpr::Arith(ArithOp::Mul, Box::new(lhs), Box::new(rhs));
+            } else if self.peek() == Some(b'/') && !self.starts_with("//") && !self.starts_with("/*")
+                && !self.starts_with("/[")
+            {
+                self.expect("/")?;
+                let rhs = self.num_factor()?;
+                lhs = FeatureExpr::Arith(ArithOp::Div, Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn num_factor(&mut self) -> Result<FeatureExpr, ParseError> {
+        self.skip_ws();
+        if self.eat_call("count") {
+            let s = self.seq_expr()?;
+            self.expect(")")?;
+            return Ok(FeatureExpr::Count(s));
+        }
+        for (kw, make) in [
+            ("sum", FeatureExpr::Sum as fn(SeqExpr, Box<FeatureExpr>) -> FeatureExpr),
+            ("max", FeatureExpr::Max),
+            ("min", FeatureExpr::Min),
+            ("avg", FeatureExpr::Avg),
+        ] {
+            if self.eat_call(kw) {
+                let s = self.seq_expr()?;
+                self.expect(",")?;
+                let e = self.num_expr()?;
+                self.expect(")")?;
+                return Ok(make(s, Box::new(e)));
+            }
+        }
+        if self.eat_call("get-attr") {
+            let a = self.attr_name()?;
+            self.expect(")")?;
+            return Ok(FeatureExpr::GetAttr(a));
+        }
+        if self.eat("(") {
+            let e = self.num_expr()?;
+            self.expect(")")?;
+            return Ok(e);
+        }
+        if self.peek() == Some(b'-') {
+            self.expect("-")?;
+            let e = self.num_factor()?;
+            return Ok(FeatureExpr::Neg(Box::new(e)));
+        }
+        match self.peek() {
+            Some(c) if c.is_ascii_digit() => Ok(FeatureExpr::Const(self.number()?)),
+            _ => Err(self.err("expected numeric expression")),
+        }
+    }
+
+    fn seq_expr(&mut self) -> Result<SeqExpr, ParseError> {
+        self.skip_ws();
+        if self.eat_call("filter") {
+            let s = self.seq_expr()?;
+            self.expect(",")?;
+            let p = self.bool_expr()?;
+            self.expect(")")?;
+            return Ok(SeqExpr::Filter(Box::new(s), Box::new(p)));
+        }
+        if self.eat("//*") {
+            return Ok(SeqExpr::Descendants);
+        }
+        if self.eat("/*") {
+            return Ok(SeqExpr::Children);
+        }
+        Err(self.err("expected sequence expression (`/*`, `//*` or `filter(...)`)"))
+    }
+
+    // bool := and ('||' and)*
+    fn bool_expr(&mut self) -> Result<BoolExpr, ParseError> {
+        let mut lhs = self.bool_and()?;
+        while self.eat("||") {
+            let rhs = self.bool_and()?;
+            lhs = BoolExpr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn bool_and(&mut self) -> Result<BoolExpr, ParseError> {
+        let mut lhs = self.bool_unary()?;
+        while {
+            self.skip_ws();
+            self.starts_with("&&")
+        } {
+            self.expect("&&")?;
+            let rhs = self.bool_unary()?;
+            lhs = BoolExpr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn bool_unary(&mut self) -> Result<BoolExpr, ParseError> {
+        self.skip_ws();
+        if self.peek() == Some(b'!') && !self.starts_with("!=") {
+            self.expect("!")?;
+            let p = self.bool_unary()?;
+            return Ok(BoolExpr::Not(Box::new(p)));
+        }
+        self.bool_prim()
+    }
+
+    fn bool_prim(&mut self) -> Result<BoolExpr, ParseError> {
+        self.skip_ws();
+        if self.eat_call("is-type") {
+            let t = self.ident()?;
+            self.expect(")")?;
+            return Ok(BoolExpr::IsType(Symbol::intern(&t)));
+        }
+        if self.eat_call("has-attr") {
+            let a = self.attr_name()?;
+            self.expect(")")?;
+            return Ok(BoolExpr::HasAttr(a));
+        }
+        if self.starts_with("@") {
+            let a = self.attr_name()?;
+            let op = self.cmp_op()?;
+            // RHS: number, `true`/`false`, or enum identifier.
+            self.skip_ws();
+            if matches!(self.peek(), Some(c) if c.is_ascii_digit())
+                || (self.peek() == Some(b'-')
+                    && matches!(self.src.get(self.pos + 1), Some(c) if c.is_ascii_digit()))
+            {
+                let neg = self.eat("-");
+                let mut v = self.number()?;
+                if neg {
+                    v = -v;
+                }
+                return Ok(BoolExpr::AttrCmpNum(a, op, v));
+            }
+            let value = self.ident()?;
+            if op == CmpOp::Eq {
+                return Ok(BoolExpr::AttrEqEnum(a, Symbol::intern(&value)));
+            }
+            if op == CmpOp::Ne {
+                return Ok(BoolExpr::Not(Box::new(BoolExpr::AttrEqEnum(
+                    a,
+                    Symbol::intern(&value),
+                ))));
+            }
+            return Err(self.err("enum attributes only support `==` and `!=`"));
+        }
+        if self.starts_with("/[") {
+            self.expect("/[")?;
+            let idx = self.integer()?;
+            self.expect("]")?;
+            self.expect("[")?;
+            let p = self.bool_expr()?;
+            self.expect("]")?;
+            return Ok(BoolExpr::ChildMatches(idx, Box::new(p)));
+        }
+        if self.starts_with("(") {
+            // Could be a parenthesised predicate or the LHS of a numeric
+            // comparison. Try the predicate first; backtrack on failure.
+            let save = self.pos;
+            self.expect("(")?;
+            if let Ok(p) = self.bool_expr() {
+                if self.eat(")") {
+                    // Only accept if not followed by a comparison operator
+                    // (which would mean the parens were numeric after all).
+                    return Ok(p);
+                }
+            }
+            self.pos = save;
+        }
+        // Numeric comparison.
+        let lhs = self.num_expr()?;
+        let op = self.cmp_op()?;
+        let rhs = self.num_expr()?;
+        Ok(BoolExpr::Cmp(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, ParseError> {
+        self.skip_ws();
+        if self.eat("==") {
+            Ok(CmpOp::Eq)
+        } else if self.eat("!=") {
+            Ok(CmpOp::Ne)
+        } else if self.eat("<=") {
+            Ok(CmpOp::Le)
+        } else if self.eat(">=") {
+            Ok(CmpOp::Ge)
+        } else if self.eat("<") {
+            Ok(CmpOp::Lt)
+        } else if self.eat(">") {
+            Ok(CmpOp::Gt)
+        } else {
+            Err(self.err("expected comparison operator"))
+        }
+    }
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c == b'-'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str) {
+        let e1 = parse_feature(src).unwrap_or_else(|err| panic!("parse `{src}`: {err}"));
+        let printed = e1.to_string();
+        let e2 = parse_feature(&printed)
+            .unwrap_or_else(|err| panic!("reparse `{printed}`: {err}"));
+        assert_eq!(e1, e2, "roundtrip mismatch for `{src}` -> `{printed}`");
+    }
+
+    #[test]
+    fn parses_get_attr() {
+        roundtrip("get-attr(@num-iter)");
+    }
+
+    #[test]
+    fn parses_count_filter() {
+        roundtrip("count(filter(//*, !is-type(wide-int)))");
+    }
+
+    #[test]
+    fn parses_nested_aggregates() {
+        roundtrip("sum(filter(/*, is-type(call_insn) && has-attr(@unchanging)), count(filter(//*, is-type(real_type))))");
+    }
+
+    #[test]
+    fn parses_paper_feature_3_style() {
+        roundtrip(
+            "count(filter(/*, is-type(basic-block) && (!@loop-depth==2 || (0.0 > \
+             ((count(filter(//*, is-type(var_decl))) - count(filter(//*, is-type(xor) && \
+             @mode==HI))) / count(filter(/*, is-type(code_label))))))))",
+        );
+    }
+
+    #[test]
+    fn parses_paper_feature_4_style() {
+        roundtrip(
+            "max(filter(/*, is-type(basic-block) && !(@loop-depth==3 && @may-be-hot==true)), \
+             count(filter(/*, is-type(insn) && /[5][is-type(set) && /[0][is-type(reg) && \
+             !@mode==DF]])))",
+        );
+    }
+
+    #[test]
+    fn parses_arithmetic_with_spaces() {
+        roundtrip("count(/*) - 2 + 3 * count(//*) / 4");
+    }
+
+    #[test]
+    fn dash_identifiers_vs_subtraction() {
+        // `num-iter` is one identifier; `a - b` with spaces is subtraction.
+        let e = parse_feature("get-attr(@loop-depth) - 1").unwrap();
+        assert!(matches!(e, FeatureExpr::Arith(ArithOp::Sub, _, _)));
+    }
+
+    #[test]
+    fn not_binds_attr_comparison() {
+        // `!@loop-depth==2` is `!(@loop-depth==2)` as in the paper listings.
+        let p = parse_predicate("!@loop-depth==2").unwrap();
+        assert!(matches!(p, BoolExpr::Not(_)));
+    }
+
+    #[test]
+    fn numeric_comparison_with_parenthesised_lhs() {
+        let p = parse_predicate("(count(/*) + 1) > 2").unwrap();
+        assert!(matches!(p, BoolExpr::Cmp(CmpOp::Gt, _, _)));
+    }
+
+    #[test]
+    fn parenthesised_predicate() {
+        let p = parse_predicate("(is-type(reg) || is-type(mem)) && has-attr(@mode)").unwrap();
+        assert!(matches!(p, BoolExpr::And(_, _)));
+    }
+
+    #[test]
+    fn enum_not_equal() {
+        let p = parse_predicate("@mode != DF").unwrap();
+        assert!(matches!(p, BoolExpr::Not(_)));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_feature("count(/*) extra").is_err());
+    }
+
+    #[test]
+    fn rejects_unbalanced_parens() {
+        assert!(parse_feature("count(filter(//*, is-type(reg))").is_err());
+    }
+
+    #[test]
+    fn rejects_enum_ordering_comparison() {
+        assert!(parse_predicate("@mode < DF").is_err());
+    }
+
+    #[test]
+    fn error_carries_offset() {
+        let err = parse_feature("count(??)").unwrap_err();
+        assert!(err.offset >= 6);
+    }
+
+    #[test]
+    fn negative_attr_comparison() {
+        let p = parse_predicate("@offset >= -4").unwrap();
+        assert_eq!(p, BoolExpr::AttrCmpNum(Symbol::intern("offset"), CmpOp::Ge, -4.0));
+    }
+
+    #[test]
+    fn scientific_notation_constants() {
+        let e = parse_feature("6.1384926724882432e17").unwrap();
+        assert!(matches!(e, FeatureExpr::Const(v) if v > 6.13e17 && v < 6.14e17));
+    }
+}
+
+/// Serialises a feature list as text: one feature per line, in order.
+///
+/// The format round-trips through [`feature_list_from_text`] and is the
+/// deployment artifact of a search — "the final output of the system will
+/// be the latest features list" (§III).
+pub fn feature_list_to_text(features: &[super::ast::FeatureExpr]) -> String {
+    let mut out = String::new();
+    for f in features {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a feature list: one feature per line; blank lines and lines
+/// starting with `#` are ignored.
+///
+/// # Errors
+///
+/// Returns the first line's parse error, with the line number in the
+/// message.
+pub fn feature_list_from_text(
+    text: &str,
+) -> Result<Vec<super::ast::FeatureExpr>, ParseError> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(parse_feature(line).map_err(|e| ParseError {
+            message: format!("line {}: {}", lineno + 1, e.message),
+            offset: e.offset,
+        })?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod list_tests {
+    use super::*;
+
+    #[test]
+    fn feature_list_roundtrips() {
+        let features = vec![
+            parse_feature("get-attr(@num-iter)").unwrap(),
+            parse_feature("count(filter(//*, is-type(reg)))").unwrap(),
+            parse_feature("max(//*, count(/*)) - 2").unwrap(),
+        ];
+        let text = feature_list_to_text(&features);
+        assert_eq!(feature_list_from_text(&text).unwrap(), features);
+    }
+
+    #[test]
+    fn feature_list_skips_comments_and_blanks() {
+        let text = "# the deployment list\n\nget-attr(@num-iter)\n\n# done\n";
+        let parsed = feature_list_from_text(text).unwrap();
+        assert_eq!(parsed.len(), 1);
+    }
+
+    #[test]
+    fn feature_list_errors_carry_line_numbers() {
+        let err = feature_list_from_text("count(//*)\n???\n").unwrap_err();
+        assert!(err.message.contains("line 2"), "{}", err.message);
+    }
+}

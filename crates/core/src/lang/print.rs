@@ -1,0 +1,195 @@
+//! `Display` implementations producing the paper's textual feature syntax.
+//!
+//! Printing then re-parsing yields an equal AST (verified by property tests).
+
+use super::ast::*;
+use std::fmt;
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArithOp::Add => write!(f, "+"),
+            ArithOp::Sub => write!(f, "-"),
+            ArithOp::Mul => write!(f, "*"),
+            ArithOp::Div => write!(f, "/"),
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CmpOp::Eq => write!(f, "=="),
+            CmpOp::Ne => write!(f, "!="),
+            CmpOp::Lt => write!(f, "<"),
+            CmpOp::Le => write!(f, "<="),
+            CmpOp::Gt => write!(f, ">"),
+            CmpOp::Ge => write!(f, ">="),
+        }
+    }
+}
+
+fn arith_prec(op: ArithOp) -> u8 {
+    match op {
+        ArithOp::Add | ArithOp::Sub => 1,
+        ArithOp::Mul | ArithOp::Div => 2,
+    }
+}
+
+fn fmt_num(e: &FeatureExpr, f: &mut fmt::Formatter<'_>, min_prec: u8) -> fmt::Result {
+    match e {
+        FeatureExpr::Const(v) => {
+            if *v < 0.0 {
+                write!(f, "({v})")
+            } else {
+                write!(f, "{v}")
+            }
+        }
+        FeatureExpr::GetAttr(a) => write!(f, "get-attr(@{a})"),
+        FeatureExpr::Count(s) => write!(f, "count({s})"),
+        FeatureExpr::Sum(s, e) => write!(f, "sum({s}, {e})"),
+        FeatureExpr::Max(s, e) => write!(f, "max({s}, {e})"),
+        FeatureExpr::Min(s, e) => write!(f, "min({s}, {e})"),
+        FeatureExpr::Avg(s, e) => write!(f, "avg({s}, {e})"),
+        FeatureExpr::Arith(op, a, b) => {
+            let prec = arith_prec(*op);
+            let need = prec < min_prec;
+            if need {
+                write!(f, "(")?;
+            }
+            fmt_num(a, f, prec)?;
+            write!(f, " {op} ")?;
+            // Left-associative: right operand needs one higher binding.
+            fmt_num(b, f, prec + 1)?;
+            if need {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        FeatureExpr::Neg(a) => {
+            write!(f, "-")?;
+            // Highest precedence on the operand.
+            fmt_num(a, f, 3)
+        }
+    }
+}
+
+impl fmt::Display for FeatureExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_num(self, f, 0)
+    }
+}
+
+impl fmt::Display for SeqExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeqExpr::Children => write!(f, "/*"),
+            SeqExpr::Descendants => write!(f, "//*"),
+            SeqExpr::Filter(s, p) => write!(f, "filter({s}, {p})"),
+        }
+    }
+}
+
+// Precedence: Or=1, And=2, Not=3, atoms=4.
+fn fmt_bool(e: &BoolExpr, f: &mut fmt::Formatter<'_>, min_prec: u8) -> fmt::Result {
+    match e {
+        BoolExpr::IsType(t) => write!(f, "is-type({t})"),
+        BoolExpr::HasAttr(a) => write!(f, "has-attr(@{a})"),
+        BoolExpr::AttrEqEnum(a, v) => write!(f, "@{a}=={v}"),
+        BoolExpr::AttrCmpNum(a, op, k) => {
+            if *k < 0.0 {
+                write!(f, "@{a} {op} -{}", -k)
+            } else {
+                write!(f, "@{a} {op} {k}")
+            }
+        }
+        BoolExpr::Cmp(op, a, b) => write!(f, "{a} {op} {b}"),
+        BoolExpr::ChildMatches(idx, p) => write!(f, "/[{idx}][{p}]"),
+        BoolExpr::Not(p) => {
+            write!(f, "!")?;
+            fmt_bool(p, f, 3)
+        }
+        BoolExpr::And(a, b) => {
+            let need = 2 < min_prec;
+            if need {
+                write!(f, "(")?;
+            }
+            fmt_bool(a, f, 2)?;
+            write!(f, " && ")?;
+            fmt_bool(b, f, 3)?;
+            if need {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        BoolExpr::Or(a, b) => {
+            let need = 1 < min_prec;
+            if need {
+                write!(f, "(")?;
+            }
+            fmt_bool(a, f, 1)?;
+            write!(f, " || ")?;
+            fmt_bool(b, f, 2)?;
+            if need {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+impl fmt::Display for BoolExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Atoms like Cmp contain numeric expressions; when a Cmp or attr
+        // comparison is negated or conjoined it needs parens, so atoms that
+        // are structurally compound print parenthesised in tight contexts.
+        fmt_bool(self, f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parse::{parse_feature, parse_predicate};
+
+    #[test]
+    fn prints_canonical_syntax() {
+        let f = parse_feature("count(filter(//*,is-type(reg)))").unwrap();
+        assert_eq!(f.to_string(), "count(filter(//*, is-type(reg)))");
+    }
+
+    #[test]
+    fn arith_parenthesisation_is_minimal() {
+        let f = parse_feature("(1 + 2) * 3").unwrap();
+        assert_eq!(f.to_string(), "(1 + 2) * 3");
+        let g = parse_feature("1 + 2 * 3").unwrap();
+        assert_eq!(g.to_string(), "1 + 2 * 3");
+    }
+
+    #[test]
+    fn bool_parenthesisation_preserves_structure() {
+        let p = parse_predicate("(is-type(a) || is-type(b)) && is-type(c)").unwrap();
+        let printed = p.to_string();
+        let reparsed = parse_predicate(&printed).unwrap();
+        assert_eq!(p, reparsed, "printed as `{printed}`");
+    }
+
+    #[test]
+    fn negation_roundtrips() {
+        for src in [
+            "!is-type(a)",
+            "!(is-type(a) && is-type(b))",
+            "!@loop-depth==2",
+        ] {
+            let p = parse_predicate(src).unwrap();
+            let reparsed = parse_predicate(&p.to_string()).unwrap();
+            assert_eq!(p, reparsed, "src `{src}` printed as `{p}`");
+        }
+    }
+
+    #[test]
+    fn negative_constants_parenthesised() {
+        let f = parse_feature("0 - 5").unwrap();
+        let printed = f.to_string();
+        assert_eq!(parse_feature(&printed).unwrap(), f);
+    }
+}

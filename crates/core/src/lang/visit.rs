@@ -1,0 +1,388 @@
+//! Uniform subtree addressing over feature expressions.
+//!
+//! The GP operators (mutation, crossover — paper Figures 9 and 10) need to
+//! pick "a non-terminal at random from a parse tree" and swap or regrow the
+//! subtree rooted there. Feature expressions have three sorts of
+//! non-terminal (numeric, boolean, sequence); this module provides counting,
+//! extraction and replacement of the `i`-th subtree of a given sort in a
+//! fixed pre-order, so two parents can exchange *corresponding* (same-sort)
+//! subtrees.
+
+use super::ast::{BoolExpr, FeatureExpr, SeqExpr};
+
+/// The sort of a feature sub-expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sort {
+    /// Numeric expression.
+    Num,
+    /// Boolean predicate.
+    Bool,
+    /// Node sequence.
+    Seq,
+}
+
+/// A sub-expression of any sort, as extracted by [`pick`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnyExpr {
+    /// A numeric sub-expression.
+    Num(FeatureExpr),
+    /// A boolean sub-expression.
+    Bool(BoolExpr),
+    /// A sequence sub-expression.
+    Seq(SeqExpr),
+}
+
+impl AnyExpr {
+    /// The sort of this sub-expression.
+    pub fn sort(&self) -> Sort {
+        match self {
+            AnyExpr::Num(_) => Sort::Num,
+            AnyExpr::Bool(_) => Sort::Bool,
+            AnyExpr::Seq(_) => Sort::Seq,
+        }
+    }
+
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            AnyExpr::Num(e) => e.size(),
+            AnyExpr::Bool(e) => e.size(),
+            AnyExpr::Seq(e) => e.size(),
+        }
+    }
+}
+
+/// Counts of subtrees per sort within a feature expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SortCounts {
+    /// Numeric subtrees (the whole feature counts as one).
+    pub num: usize,
+    /// Boolean subtrees.
+    pub bool_: usize,
+    /// Sequence subtrees.
+    pub seq: usize,
+}
+
+impl SortCounts {
+    /// Count for one sort.
+    pub fn get(&self, sort: Sort) -> usize {
+        match sort {
+            Sort::Num => self.num,
+            Sort::Bool => self.bool_,
+            Sort::Seq => self.seq,
+        }
+    }
+
+    /// Total subtree count over all sorts.
+    pub fn total(&self) -> usize {
+        self.num + self.bool_ + self.seq
+    }
+}
+
+/// Counts subtrees of each sort in pre-order (the root numeric expression is
+/// `num` index 0).
+pub fn counts(root: &FeatureExpr) -> SortCounts {
+    let mut c = SortCounts::default();
+    count_num(root, &mut c);
+    c
+}
+
+fn count_num(e: &FeatureExpr, c: &mut SortCounts) {
+    c.num += 1;
+    match e {
+        FeatureExpr::Const(_) | FeatureExpr::GetAttr(_) => {}
+        FeatureExpr::Count(s) => count_seq(s, c),
+        FeatureExpr::Sum(s, b)
+        | FeatureExpr::Max(s, b)
+        | FeatureExpr::Min(s, b)
+        | FeatureExpr::Avg(s, b) => {
+            count_seq(s, c);
+            count_num(b, c);
+        }
+        FeatureExpr::Arith(_, a, b) => {
+            count_num(a, c);
+            count_num(b, c);
+        }
+        FeatureExpr::Neg(a) => count_num(a, c),
+    }
+}
+
+fn count_bool(e: &BoolExpr, c: &mut SortCounts) {
+    c.bool_ += 1;
+    match e {
+        BoolExpr::IsType(_)
+        | BoolExpr::HasAttr(_)
+        | BoolExpr::AttrEqEnum(..)
+        | BoolExpr::AttrCmpNum(..) => {}
+        BoolExpr::Cmp(_, a, b) => {
+            count_num(a, c);
+            count_num(b, c);
+        }
+        BoolExpr::ChildMatches(_, p) => count_bool(p, c),
+        BoolExpr::Not(p) => count_bool(p, c),
+        BoolExpr::And(a, b) | BoolExpr::Or(a, b) => {
+            count_bool(a, c);
+            count_bool(b, c);
+        }
+    }
+}
+
+fn count_seq(e: &SeqExpr, c: &mut SortCounts) {
+    c.seq += 1;
+    if let SeqExpr::Filter(s, p) = e {
+        count_seq(s, c);
+        count_bool(p, c);
+    }
+}
+
+/// Walk state shared by pick and replace.
+struct Walk<'a> {
+    sort: Sort,
+    target: usize,
+    seen: usize,
+    /// `Some` in replace mode; `None` in pick mode.
+    replacement: Option<&'a AnyExpr>,
+    /// Filled by pick mode when the target is reached.
+    picked: Option<AnyExpr>,
+}
+
+impl<'a> Walk<'a> {
+    fn hit(&mut self, sort: Sort) -> bool {
+        if sort != self.sort {
+            return false;
+        }
+        let idx = self.seen;
+        self.seen += 1;
+        idx == self.target
+    }
+}
+
+/// Extracts (a clone of) the `idx`-th subtree of sort `sort`, pre-order.
+///
+/// Returns `None` when `idx` is out of range.
+pub fn pick(root: &FeatureExpr, sort: Sort, idx: usize) -> Option<AnyExpr> {
+    let mut w = Walk {
+        sort,
+        target: idx,
+        seen: 0,
+        replacement: None,
+        picked: None,
+    };
+    let _ = walk_num(root, &mut w);
+    w.picked
+}
+
+/// Returns `root` with its `idx`-th subtree of sort `sort` replaced by
+/// `new` (whose sort must match).
+///
+/// Returns `None` when `idx` is out of range.
+///
+/// # Panics
+///
+/// Panics if `new.sort() != sort`.
+pub fn replace(root: &FeatureExpr, sort: Sort, idx: usize, new: &AnyExpr) -> Option<FeatureExpr> {
+    assert_eq!(new.sort(), sort, "replacement sort must match target sort");
+    let mut w = Walk {
+        sort,
+        target: idx,
+        seen: 0,
+        replacement: Some(new),
+        picked: None,
+    };
+    let out = walk_num(root, &mut w);
+    if w.seen > w.target {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+fn take_num(w: &mut Walk<'_>, original: &FeatureExpr) -> Option<FeatureExpr> {
+    if w.hit(Sort::Num) {
+        match w.replacement {
+            Some(AnyExpr::Num(n)) => return Some(n.clone()),
+            Some(_) => unreachable!("sort checked by replace()"),
+            None => {
+                w.picked = Some(AnyExpr::Num(original.clone()));
+                return Some(original.clone());
+            }
+        }
+    }
+    None
+}
+
+fn walk_num(e: &FeatureExpr, w: &mut Walk<'_>) -> FeatureExpr {
+    if let Some(replaced) = take_num(w, e) {
+        return replaced;
+    }
+    match e {
+        FeatureExpr::Const(_) | FeatureExpr::GetAttr(_) => e.clone(),
+        FeatureExpr::Count(s) => FeatureExpr::Count(walk_seq(s, w)),
+        FeatureExpr::Sum(s, b) => {
+            FeatureExpr::Sum(walk_seq(s, w), Box::new(walk_num(b, w)))
+        }
+        FeatureExpr::Max(s, b) => {
+            FeatureExpr::Max(walk_seq(s, w), Box::new(walk_num(b, w)))
+        }
+        FeatureExpr::Min(s, b) => {
+            FeatureExpr::Min(walk_seq(s, w), Box::new(walk_num(b, w)))
+        }
+        FeatureExpr::Avg(s, b) => {
+            FeatureExpr::Avg(walk_seq(s, w), Box::new(walk_num(b, w)))
+        }
+        FeatureExpr::Arith(op, a, b) => FeatureExpr::Arith(
+            *op,
+            Box::new(walk_num(a, w)),
+            Box::new(walk_num(b, w)),
+        ),
+        FeatureExpr::Neg(a) => FeatureExpr::Neg(Box::new(walk_num(a, w))),
+    }
+}
+
+fn walk_bool(e: &BoolExpr, w: &mut Walk<'_>) -> BoolExpr {
+    if w.hit(Sort::Bool) {
+        match w.replacement {
+            Some(AnyExpr::Bool(b)) => return b.clone(),
+            Some(_) => unreachable!("sort checked by replace()"),
+            None => {
+                w.picked = Some(AnyExpr::Bool(e.clone()));
+                return e.clone();
+            }
+        }
+    }
+    match e {
+        BoolExpr::IsType(_)
+        | BoolExpr::HasAttr(_)
+        | BoolExpr::AttrEqEnum(..)
+        | BoolExpr::AttrCmpNum(..) => e.clone(),
+        BoolExpr::Cmp(op, a, b) => BoolExpr::Cmp(
+            *op,
+            Box::new(walk_num(a, w)),
+            Box::new(walk_num(b, w)),
+        ),
+        BoolExpr::ChildMatches(i, p) => {
+            BoolExpr::ChildMatches(*i, Box::new(walk_bool(p, w)))
+        }
+        BoolExpr::Not(p) => BoolExpr::Not(Box::new(walk_bool(p, w))),
+        BoolExpr::And(a, b) => {
+            BoolExpr::And(Box::new(walk_bool(a, w)), Box::new(walk_bool(b, w)))
+        }
+        BoolExpr::Or(a, b) => {
+            BoolExpr::Or(Box::new(walk_bool(a, w)), Box::new(walk_bool(b, w)))
+        }
+    }
+}
+
+fn walk_seq(e: &SeqExpr, w: &mut Walk<'_>) -> SeqExpr {
+    if w.hit(Sort::Seq) {
+        match w.replacement {
+            Some(AnyExpr::Seq(s)) => return s.clone(),
+            Some(_) => unreachable!("sort checked by replace()"),
+            None => {
+                w.picked = Some(AnyExpr::Seq(e.clone()));
+                return e.clone();
+            }
+        }
+    }
+    match e {
+        SeqExpr::Children | SeqExpr::Descendants => e.clone(),
+        SeqExpr::Filter(s, p) => {
+            SeqExpr::Filter(Box::new(walk_seq(s, w)), Box::new(walk_bool(p, w)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::parse::parse_feature;
+
+    fn sample() -> FeatureExpr {
+        parse_feature("count(filter(//*, is-type(reg) && has-attr(@mode))) + get-attr(@n)")
+            .unwrap()
+    }
+
+    #[test]
+    fn counts_match_manual_enumeration() {
+        let c = counts(&sample());
+        // num: arith, count, get-attr            = 3
+        // bool: and, is-type, has-attr           = 3
+        // seq: filter, descendants               = 2
+        assert_eq!(c, SortCounts { num: 3, bool_: 3, seq: 2 });
+        assert_eq!(c.total(), 8);
+    }
+
+    #[test]
+    fn pick_root_is_whole_expression() {
+        let e = sample();
+        assert_eq!(pick(&e, Sort::Num, 0), Some(AnyExpr::Num(e.clone())));
+    }
+
+    #[test]
+    fn pick_out_of_range_is_none() {
+        let e = sample();
+        assert_eq!(pick(&e, Sort::Num, 3), None);
+        assert_eq!(pick(&e, Sort::Seq, 2), None);
+    }
+
+    #[test]
+    fn pick_preorder_indices() {
+        let e = sample();
+        // bool 0 = the And; bool 1 = is-type(reg); bool 2 = has-attr(@mode).
+        assert_eq!(
+            pick(&e, Sort::Bool, 1),
+            Some(AnyExpr::Bool(BoolExpr::IsType(crate::ir::Symbol::intern(
+                "reg"
+            ))))
+        );
+        // seq 0 = filter(...); seq 1 = //*.
+        assert_eq!(pick(&e, Sort::Seq, 1), Some(AnyExpr::Seq(SeqExpr::Descendants)));
+    }
+
+    #[test]
+    fn replace_swaps_exact_subtree() {
+        let e = sample();
+        let new = AnyExpr::Seq(SeqExpr::Children);
+        let out = replace(&e, Sort::Seq, 1, &new).unwrap();
+        assert_eq!(
+            out.to_string(),
+            "count(filter(/*, is-type(reg) && has-attr(@mode))) + get-attr(@n)"
+        );
+    }
+
+    #[test]
+    fn replace_root_returns_replacement() {
+        let e = sample();
+        let new = AnyExpr::Num(FeatureExpr::Const(7.0));
+        let out = replace(&e, Sort::Num, 0, &new).unwrap();
+        assert_eq!(out, FeatureExpr::Const(7.0));
+    }
+
+    #[test]
+    fn replace_out_of_range_is_none() {
+        let e = sample();
+        let new = AnyExpr::Bool(BoolExpr::IsType(crate::ir::Symbol::intern("x")));
+        assert_eq!(replace(&e, Sort::Bool, 10, &new), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "replacement sort must match")]
+    fn replace_with_wrong_sort_panics() {
+        let e = sample();
+        let new = AnyExpr::Num(FeatureExpr::Const(1.0));
+        let _ = replace(&e, Sort::Bool, 0, &new);
+    }
+
+    #[test]
+    fn every_picked_index_roundtrips_through_replace() {
+        let e = sample();
+        let c = counts(&e);
+        for sort in [Sort::Num, Sort::Bool, Sort::Seq] {
+            for i in 0..c.get(sort) {
+                let sub = pick(&e, sort, i).expect("in range");
+                let out = replace(&e, sort, i, &sub).expect("in range");
+                assert_eq!(out, e, "identity replace at {sort:?}[{i}]");
+            }
+        }
+    }
+}

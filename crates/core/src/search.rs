@@ -1,0 +1,647 @@
+//! The outer feature-search loop (the paper's Figures 5 and 6).
+//!
+//! "The search component finds the best such feature and, once it can no
+//! longer improve upon it, adds that feature to the base feature set and
+//! repeats. In this way, we build up a gradually improving set of features."
+//! (§III)
+//!
+//! Fitness of a candidate feature (Figure 6): compute its value on every
+//! training loop, append it to the base feature columns, train a decision
+//! tree on an internal train split, predict unroll factors on an internal
+//! validation split, and report the **speedup** those predictions attain.
+//! The stopping rules follow §VI: a per-feature GP run stops after 15
+//! stagnant generations or 200 generations; the outer loop stops after
+//! 2,500 total generations or 5 consecutive failed additions.
+
+use crate::gp::{GpConfig, GpEngine};
+use crate::grammar::Grammar;
+use crate::ir::IrNode;
+use crate::lang::FeatureExpr;
+use fegen_ml::data::Dataset;
+use fegen_ml::metrics;
+use fegen_ml::tree::{DecisionTree, TreeConfig};
+use fegen_ml::KFold;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One training loop: its exported IR and the measured cycle table.
+///
+/// `cycles[k]` is the cycle count of the function containing the loop when
+/// the loop is compiled with heuristic value `k` (unroll factor; `k = 0` is
+/// no unrolling).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingExample {
+    /// Exported IR of the loop.
+    pub ir: IrNode,
+    /// Measured cycles per heuristic value.
+    pub cycles: Vec<f64>,
+}
+
+/// Relative tolerance used when deriving training labels from cycle
+/// tables: factors within this fraction of the minimum are ties, broken
+/// towards the smallest factor (the measurement-noise floor; see
+/// [`metrics::oracle_choice_tolerant`]).
+pub const LABEL_TOLERANCE: f64 = 0.01;
+
+impl TrainingExample {
+    /// The training label: the smallest heuristic value within
+    /// [`LABEL_TOLERANCE`] of the cycle minimum.
+    pub fn best_value(&self) -> usize {
+        metrics::oracle_choice_tolerant(&self.cycles, LABEL_TOLERANCE)
+    }
+
+    /// Speedup of choosing heuristic value `k` over the baseline.
+    pub fn speedup(&self, k: usize) -> f64 {
+        metrics::speedup(&self.cycles, k)
+    }
+}
+
+/// Configuration of a full feature search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchConfig {
+    /// Per-feature GP settings.
+    pub gp: GpConfig,
+    /// Total generation budget across all per-feature searches (paper:
+    /// 2,500).
+    pub max_total_generations: usize,
+    /// Stop after this many consecutive additions that failed to improve
+    /// (paper: 5).
+    pub max_failed_additions: usize,
+    /// Hard cap on the number of features collected (the paper reports 30
+    /// found in one fold).
+    pub max_features: usize,
+    /// Step budget for evaluating one feature over one loop — the
+    /// deterministic analogue of the paper's two-second timeout.
+    pub eval_budget_per_example: u64,
+    /// The internal split granularity: 1 part in `internal_k` is held out
+    /// for validating candidate features (paper: train on 8 of 9 parts).
+    pub internal_k: usize,
+    /// Number of rotated internal holdouts averaged per fitness evaluation
+    /// (1 = the paper's single 8:1 split; more folds lower the variance of
+    /// the fitness signal on noisy data).
+    pub internal_folds: usize,
+    /// Decision-tree settings for the fitness model.
+    pub tree: TreeConfig,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+impl SearchConfig {
+    /// The paper's §VI settings.
+    pub fn paper() -> Self {
+        SearchConfig {
+            gp: GpConfig::paper(),
+            max_total_generations: 2_500,
+            max_failed_additions: 5,
+            max_features: 30,
+            eval_budget_per_example: 200_000,
+            internal_k: 9,
+            internal_folds: 3,
+            tree: TreeConfig::default(),
+            seed: 0xfe9e,
+        }
+    }
+
+    /// Reduced preset for laptop-scale runs: same algorithm, smaller
+    /// budgets.
+    pub fn quick() -> Self {
+        SearchConfig {
+            gp: GpConfig::quick(),
+            max_total_generations: 400,
+            max_failed_additions: 3,
+            max_features: 10,
+            eval_budget_per_example: 60_000,
+            internal_k: 9,
+            internal_folds: 3,
+            tree: TreeConfig::default(),
+            seed: 0xfe9e,
+        }
+    }
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig::quick()
+    }
+}
+
+/// Record of one accepted feature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchStep {
+    /// The feature added at this step.
+    pub feature: FeatureExpr,
+    /// Mean internal-validation speedup of the model with all features up
+    /// to and including this one.
+    pub speedup: f64,
+    /// GP generations spent finding it.
+    pub generations: usize,
+}
+
+/// Result of a feature search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// The final feature list, in the order found.
+    pub features: Vec<FeatureExpr>,
+    /// Per-feature history (speedup after each addition).
+    pub steps: Vec<SearchStep>,
+    /// Speedup of the featureless baseline model (majority-class
+    /// prediction) on the internal validation split.
+    pub baseline_speedup: f64,
+    /// Mean oracle speedup on the same internal validation splits — the
+    /// maximum a perfect model could attain there (denominator of the
+    /// Figure 16 "% of max" column).
+    pub oracle_speedup: f64,
+    /// Total GP generations used.
+    pub total_generations: usize,
+}
+
+/// The feature search system: grammar + configuration.
+#[derive(Debug, Clone)]
+pub struct FeatureSearch {
+    grammar: Grammar,
+    config: SearchConfig,
+}
+
+impl FeatureSearch {
+    /// Creates a search over `grammar`.
+    pub fn new(grammar: Grammar, config: SearchConfig) -> Self {
+        FeatureSearch { grammar, config }
+    }
+
+    /// Derives the grammar from the examples and creates the search.
+    pub fn from_examples(examples: &[TrainingExample], config: SearchConfig) -> Self {
+        let grammar = Grammar::derive(examples.iter().map(|e| &e.ir));
+        FeatureSearch::new(grammar, config)
+    }
+
+    /// The grammar in use.
+    pub fn grammar(&self) -> &Grammar {
+        &self.grammar
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// Runs the greedy feature-list construction over `examples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `examples` is empty or any example has an empty cycle
+    /// table.
+    pub fn run(&self, examples: &[TrainingExample]) -> SearchOutcome {
+        assert!(!examples.is_empty(), "feature search needs training examples");
+        let cfg = &self.config;
+        let n_classes = examples
+            .iter()
+            .map(|e| e.cycles.len())
+            .max()
+            .expect("non-empty");
+        assert!(n_classes > 0, "examples must have non-empty cycle tables");
+        let labels: Vec<usize> = examples.iter().map(|e| e.best_value()).collect();
+        let tables: Vec<Vec<f64>> = examples.iter().map(|e| e.cycles.clone()).collect();
+
+        // Fixed internal splits for the whole search, so every candidate is
+        // judged on the same validation loops. With `internal_folds == 1`
+        // this is the paper's single 8-of-9 train / 1-of-9 validate split;
+        // larger values rotate the holdout and average, reducing fitness
+        // variance.
+        let splits: Vec<(Vec<usize>, Vec<usize>)> = if cfg.internal_folds <= 1 {
+            vec![KFold::new(cfg.internal_k, cfg.seed).single_split(examples.len(), 1)]
+        } else {
+            KFold::new(cfg.internal_folds.max(2), cfg.seed)
+                .splits(examples.len())
+                .into_iter()
+                .take(cfg.internal_folds)
+                .collect()
+        };
+
+        // Oracle ceiling on the validation loops.
+        let oracle_speedup = splits
+            .iter()
+            .map(|(_, valid_idx)| {
+                mean_speedup_at(&tables, valid_idx, |i| metrics::oracle_choice(&tables[i]))
+            })
+            .sum::<f64>()
+            / splits.len() as f64;
+
+        // Featureless baseline: majority best-factor of each training split.
+        let baseline_speedup = splits
+            .iter()
+            .map(|(train_idx, valid_idx)| {
+                let majority = majority_label(train_idx, &labels, n_classes);
+                mean_speedup_at(&tables, valid_idx, |_| majority)
+            })
+            .sum::<f64>()
+            / splits.len() as f64;
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9e3779b97f4a7c15);
+        let mut base_columns: Vec<Vec<f64>> = Vec::new();
+        let mut features: Vec<FeatureExpr> = Vec::new();
+        let mut steps: Vec<SearchStep> = Vec::new();
+        let mut best_speedup = baseline_speedup;
+        let mut failed = 0usize;
+        let mut total_generations = 0usize;
+
+        while features.len() < cfg.max_features
+            && failed < cfg.max_failed_additions
+            && total_generations < cfg.max_total_generations
+        {
+            let fitness = |expr: &FeatureExpr| -> Option<f64> {
+                let column = self.feature_column(expr, examples)?;
+                let total: f64 = splits
+                    .iter()
+                    .map(|(train_idx, valid_idx)| {
+                        self.model_speedup(
+                            &base_columns,
+                            Some(&column),
+                            &labels,
+                            &tables,
+                            n_classes,
+                            train_idx,
+                            valid_idx,
+                        )
+                    })
+                    .sum();
+                Some(total / splits.len() as f64)
+            };
+
+            let mut gp = cfg.gp.clone();
+            // Never exceed the outer generation budget.
+            gp.max_generations = gp
+                .max_generations
+                .min(cfg.max_total_generations - total_generations);
+            let engine = GpEngine::new(&self.grammar, gp);
+            let mut run_rng = StdRng::seed_from_u64(rng.gen());
+            let run = engine.run(&fitness, &mut run_rng);
+            total_generations += run.generations;
+
+            match run.best {
+                Some(best) if best.quality > best_speedup + 1e-12 => {
+                    best_speedup = best.quality;
+                    let column = self
+                        .feature_column(&best.expr, examples)
+                        .expect("best individual was evaluated successfully");
+                    base_columns.push(column);
+                    steps.push(SearchStep {
+                        feature: best.expr.clone(),
+                        speedup: best.quality,
+                        generations: run.generations,
+                    });
+                    features.push(best.expr);
+                    failed = 0;
+                }
+                _ => {
+                    failed += 1;
+                }
+            }
+        }
+
+        SearchOutcome {
+            features,
+            steps,
+            baseline_speedup,
+            oracle_speedup,
+            total_generations,
+        }
+    }
+
+    /// Evaluates `expr` on every example, producing one column of the
+    /// feature matrix. `None` when the feature times out or produces a
+    /// non-finite value on any example (the paper's discard rule).
+    pub fn feature_column(
+        &self,
+        expr: &FeatureExpr,
+        examples: &[TrainingExample],
+    ) -> Option<Vec<f64>> {
+        let mut column = Vec::with_capacity(examples.len());
+        for e in examples {
+            match expr.eval_with_budget(&e.ir, self.config.eval_budget_per_example) {
+                Ok(v) => column.push(v),
+                Err(_) => return None,
+            }
+        }
+        Some(column)
+    }
+
+    /// Builds the full feature matrix for a fixed feature list (used when
+    /// deploying the searched features on unseen loops).
+    ///
+    /// Features that fail on an example contribute `0.0` there — at
+    /// deployment the compiler must produce *some* vector.
+    pub fn feature_matrix(
+        &self,
+        features: &[FeatureExpr],
+        examples: &[TrainingExample],
+    ) -> Vec<Vec<f64>> {
+        examples
+            .iter()
+            .map(|e| {
+                features
+                    .iter()
+                    .map(|f| {
+                        f.eval_with_budget(&e.ir, self.config.eval_budget_per_example)
+                            .unwrap_or(0.0)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Backward elimination over an already-found feature list: repeatedly
+    /// drops the feature whose removal costs the least, as long as the
+    /// internal-validation speedup does not degrade. The paper's greedy
+    /// forward construction can keep features that later additions make
+    /// redundant ("a feature … useful on its own but when added to an
+    /// existing set does not show any additional improvement", §II-A);
+    /// this removes them before deployment.
+    ///
+    /// Returns the (possibly shorter) feature list, in original order.
+    pub fn prune_features(
+        &self,
+        features: &[FeatureExpr],
+        examples: &[TrainingExample],
+    ) -> Vec<FeatureExpr> {
+        if features.len() <= 1 || examples.is_empty() {
+            return features.to_vec();
+        }
+        let cfg = &self.config;
+        let n_classes = examples
+            .iter()
+            .map(|e| e.cycles.len())
+            .max()
+            .expect("non-empty");
+        let labels: Vec<usize> = examples.iter().map(|e| e.best_value()).collect();
+        let tables: Vec<Vec<f64>> = examples.iter().map(|e| e.cycles.clone()).collect();
+        let splits: Vec<(Vec<usize>, Vec<usize>)> = if cfg.internal_folds <= 1 {
+            vec![KFold::new(cfg.internal_k, cfg.seed).single_split(examples.len(), 1)]
+        } else {
+            KFold::new(cfg.internal_folds.max(2), cfg.seed)
+                .splits(examples.len())
+                .into_iter()
+                .take(cfg.internal_folds)
+                .collect()
+        };
+        let score = |columns: &[Vec<f64>]| -> f64 {
+            splits
+                .iter()
+                .map(|(train_idx, valid_idx)| {
+                    self.model_speedup(
+                        columns, None, &labels, &tables, n_classes, train_idx, valid_idx,
+                    )
+                })
+                .sum::<f64>()
+                / splits.len() as f64
+        };
+
+        let mut kept: Vec<usize> = (0..features.len()).collect();
+        let columns: Vec<Vec<f64>> = features
+            .iter()
+            .map(|f| {
+                self.feature_column(f, examples)
+                    .unwrap_or_else(|| vec![0.0; examples.len()])
+            })
+            .collect();
+        let mut current = score(&columns);
+        loop {
+            let mut best: Option<(usize, f64)> = None;
+            for (slot, _) in kept.iter().enumerate() {
+                if kept.len() == 1 {
+                    break;
+                }
+                let trial: Vec<Vec<f64>> = kept
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| *k != slot)
+                    .map(|(_, &i)| columns[i].clone())
+                    .collect();
+                let s = score(&trial);
+                if s + 1e-12 >= current && best.is_none_or(|(_, bs)| s > bs) {
+                    best = Some((slot, s));
+                }
+            }
+            match best {
+                Some((slot, s)) => {
+                    kept.remove(slot);
+                    current = s;
+                }
+                None => break,
+            }
+        }
+        kept.into_iter().map(|i| features[i].clone()).collect()
+    }
+
+    /// Trains the fitness model on `train_idx` and reports the mean speedup
+    /// of its predictions on `valid_idx`.
+    #[allow(clippy::too_many_arguments)]
+    fn model_speedup(
+        &self,
+        base_columns: &[Vec<f64>],
+        extra: Option<&Vec<f64>>,
+        labels: &[usize],
+        tables: &[Vec<f64>],
+        n_classes: usize,
+        train_idx: &[usize],
+        valid_idx: &[usize],
+    ) -> f64 {
+        let n = labels.len();
+        let width = base_columns.len() + usize::from(extra.is_some());
+        let mut rows: Vec<Vec<f64>> = vec![Vec::with_capacity(width); n];
+        for col in base_columns.iter().chain(extra) {
+            for (row, &v) in rows.iter_mut().zip(col.iter()) {
+                row.push(v);
+            }
+        }
+        let data = Dataset::new(rows, labels.to_vec(), n_classes)
+            .expect("columns are rectangular by construction");
+        let train = data.subset(train_idx);
+        let tree = DecisionTree::train(&train, &self.config.tree);
+        mean_speedup_at(tables, valid_idx, |i| tree.predict(data.row(i)))
+    }
+}
+
+fn majority_label(indices: &[usize], labels: &[usize], n_classes: usize) -> usize {
+    let mut counts = vec![0usize; n_classes];
+    for &i in indices {
+        counts[labels[i]] += 1;
+    }
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(i, &c)| (c, usize::MAX - i))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+fn mean_speedup_at(
+    tables: &[Vec<f64>],
+    indices: &[usize],
+    mut choose: impl FnMut(usize) -> usize,
+) -> f64 {
+    if indices.is_empty() {
+        return 1.0;
+    }
+    indices
+        .iter()
+        .map(|&i| metrics::speedup(&tables[i], choose(i)))
+        .sum::<f64>()
+        / indices.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic task: loops whose best unroll factor is fully determined
+    /// by a discoverable IR property (the number of `insn` children),
+    /// while a decoy attribute is uninformative.
+    fn synthetic_examples(n: usize) -> Vec<TrainingExample> {
+        (0..n)
+            .map(|i| {
+                let insns = 1 + i % 5;
+                let best = insns % 4; // best factor in 0..4 determined by insns
+                let ir = IrNode::build("loop", |l| {
+                    l.attr_num("decoy", (i * 7 % 3) as f64);
+                    for _ in 0..insns {
+                        l.child("insn", |x| {
+                            x.attr_enum("mode", "SI");
+                        });
+                    }
+                    l.child("jump_insn", |_| {});
+                });
+                // Cycle table: best factor costs 80, others 100 + distance.
+                let cycles = (0..4)
+                    .map(|k| {
+                        if k == best {
+                            80.0
+                        } else {
+                            100.0 + (k as f64 - best as f64).abs()
+                        }
+                    })
+                    .collect();
+                TrainingExample { ir, cycles }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn training_example_helpers() {
+        let e = TrainingExample {
+            ir: IrNode::new("loop"),
+            cycles: vec![100.0, 90.0, 120.0],
+        };
+        assert_eq!(e.best_value(), 1);
+        assert!((e.speedup(1) - 100.0 / 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn search_finds_informative_feature_and_improves() {
+        let examples = synthetic_examples(60);
+        let mut config = SearchConfig::quick();
+        config.max_features = 3;
+        config.seed = 11;
+        let search = FeatureSearch::from_examples(&examples, config);
+        let outcome = search.run(&examples);
+        assert!(
+            !outcome.features.is_empty(),
+            "search should find at least one improving feature"
+        );
+        let final_speedup = outcome.steps.last().unwrap().speedup;
+        assert!(
+            final_speedup > outcome.baseline_speedup,
+            "final {final_speedup} must beat baseline {}",
+            outcome.baseline_speedup
+        );
+    }
+
+    #[test]
+    fn speedups_are_monotone_across_steps() {
+        let examples = synthetic_examples(50);
+        let search = FeatureSearch::from_examples(&examples, SearchConfig::quick());
+        let outcome = search.run(&examples);
+        let mut prev = outcome.baseline_speedup;
+        for step in &outcome.steps {
+            assert!(step.speedup > prev, "non-improving step was accepted");
+            prev = step.speedup;
+        }
+    }
+
+    #[test]
+    fn respects_total_generation_budget() {
+        let examples = synthetic_examples(30);
+        let mut config = SearchConfig::quick();
+        config.max_total_generations = 10;
+        let search = FeatureSearch::from_examples(&examples, config);
+        let outcome = search.run(&examples);
+        assert!(outcome.total_generations <= 10 + SearchConfig::quick().gp.max_generations);
+    }
+
+    #[test]
+    fn feature_matrix_defaults_failures_to_zero() {
+        let examples = synthetic_examples(5);
+        let mut config = SearchConfig::quick();
+        config.eval_budget_per_example = 1; // everything times out
+        let search = FeatureSearch::from_examples(&examples, config);
+        let f = crate::lang::parse_feature("count(//*)").unwrap();
+        let m = search.feature_matrix(&[f], &examples);
+        assert!(m.iter().all(|row| row == &vec![0.0]));
+    }
+
+    #[test]
+    fn feature_column_rejects_timeouts() {
+        let examples = synthetic_examples(5);
+        let mut config = SearchConfig::quick();
+        config.eval_budget_per_example = 1;
+        let search = FeatureSearch::from_examples(&examples, config);
+        let f = crate::lang::parse_feature("count(//*)").unwrap();
+        assert_eq!(search.feature_column(&f, &examples), None);
+    }
+
+    #[test]
+    fn pruning_removes_redundant_features() {
+        let examples = synthetic_examples(60);
+        let search = FeatureSearch::from_examples(&examples, SearchConfig::quick());
+        let informative =
+            crate::lang::parse_feature("count(filter(/*, is-type(insn)))").unwrap();
+        // A duplicate and a constant: both redundant next to the first.
+        let duplicate = informative.clone();
+        let constant = crate::lang::parse_feature("7").unwrap();
+        let pruned =
+            search.prune_features(&[informative.clone(), duplicate, constant], &examples);
+        assert!(
+            pruned.len() < 3,
+            "at least one redundant feature should be dropped, kept {pruned:?}"
+        );
+        assert!(
+            pruned.contains(&informative),
+            "the informative feature must survive"
+        );
+    }
+
+    #[test]
+    fn pruning_keeps_singletons_untouched() {
+        let examples = synthetic_examples(20);
+        let search = FeatureSearch::from_examples(&examples, SearchConfig::quick());
+        let f = crate::lang::parse_feature("count(//*)").unwrap();
+        assert_eq!(
+            search.prune_features(std::slice::from_ref(&f), &examples),
+            vec![f]
+        );
+    }
+
+    #[test]
+    fn deterministic_outcome_for_fixed_seed() {
+        let examples = synthetic_examples(40);
+        let run = |seed: u64| {
+            let mut config = SearchConfig::quick();
+            config.seed = seed;
+            config.max_features = 2;
+            FeatureSearch::from_examples(&examples, config).run(&examples)
+        };
+        let a = run(5);
+        let b = run(5);
+        assert_eq!(a.features, b.features);
+        assert_eq!(a.total_generations, b.total_generations);
+    }
+}

@@ -1,0 +1,543 @@
+//! Abstract syntax tree for Tiny-C, plus ergonomic builders.
+//!
+//! The AST is deliberately close to a subset of C: scalar `int`/`float`
+//! variables, fixed-size one- and two-dimensional arrays, structured control
+//! flow (`if`, `while`, `for`), assignments and function calls. This is the
+//! vocabulary the MediaBench/MiBench/UTDSP-style kernels in `fegen-suite`
+//! are written in.
+
+/// Scalar element type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scalar {
+    /// 32-bit signed integer semantics (stored as `i64` in the interpreter).
+    Int,
+    /// 64-bit float semantics.
+    Float,
+}
+
+/// A Tiny-C type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// `int`
+    Int,
+    /// `float`
+    Float,
+    /// `void` — only valid as a function return type.
+    Void,
+    /// Fixed-size array; `dims` has one or two extents.
+    Array {
+        /// Element type.
+        elem: Scalar,
+        /// Extents; `dims.len()` is 1 or 2.
+        dims: Vec<usize>,
+    },
+}
+
+impl Type {
+    /// One-dimensional `int` array type.
+    pub fn int_array(n: usize) -> Type {
+        Type::Array {
+            elem: Scalar::Int,
+            dims: vec![n],
+        }
+    }
+
+    /// One-dimensional `float` array type.
+    pub fn float_array(n: usize) -> Type {
+        Type::Array {
+            elem: Scalar::Float,
+            dims: vec![n],
+        }
+    }
+
+    /// Two-dimensional array type.
+    pub fn array2(elem: Scalar, rows: usize, cols: usize) -> Type {
+        Type::Array {
+            elem,
+            dims: vec![rows, cols],
+        }
+    }
+
+    /// Whether this is a scalar (`int` or `float`) type.
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, Type::Int | Type::Float)
+    }
+
+    /// The scalar kind of this type (element type for arrays).
+    ///
+    /// Returns `None` for `void`.
+    pub fn scalar(&self) -> Option<Scalar> {
+        match self {
+            Type::Int => Some(Scalar::Int),
+            Type::Float => Some(Scalar::Float),
+            Type::Void => None,
+            Type::Array { elem, .. } => Some(*elem),
+        }
+    }
+}
+
+/// A complete program: global variables and functions.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Global variable declarations (zero-initialised).
+    pub globals: Vec<VarDecl>,
+    /// Function definitions, in source order.
+    pub functions: Vec<Function>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+/// A variable declaration (global or local).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarDecl {
+    /// Variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+}
+
+/// A function parameter. Arrays are passed by reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name (unique within the program).
+    pub name: String,
+    /// Return type (`int`, `float` or `void`).
+    pub ret: Type,
+    /// Parameters in declaration order.
+    pub params: Vec<Param>,
+    /// Function body.
+    pub body: Block,
+}
+
+/// A `{ ... }` block of statements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Block {
+    /// Creates a block from statements.
+    pub fn new(stmts: Vec<Stmt>) -> Self {
+        Block { stmts }
+    }
+}
+
+impl FromIterator<Stmt> for Block {
+    fn from_iter<T: IntoIterator<Item = Stmt>>(iter: T) -> Self {
+        Block {
+            stmts: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Local variable declaration.
+    Decl(VarDecl),
+    /// `target = value;`
+    Assign {
+        /// Assignment target.
+        target: LValue,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `if (cond) { .. } else { .. }`
+    If {
+        /// Condition (int-valued; non-zero is true).
+        cond: Expr,
+        /// Then branch.
+        then_blk: Block,
+        /// Optional else branch.
+        else_blk: Option<Block>,
+    },
+    /// `while (cond) { .. }`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `for (init; cond; step) { .. }` — `init` and `step` are assignments.
+    For {
+        /// Optional initialisation assignment.
+        init: Option<Box<Stmt>>,
+        /// Loop condition.
+        cond: Expr,
+        /// Optional step assignment.
+        step: Option<Box<Stmt>>,
+        /// Loop body.
+        body: Block,
+    },
+    /// `return;` or `return expr;`
+    Return(Option<Expr>),
+    /// Expression evaluated for side effects (a call).
+    ExprStmt(Expr),
+    /// Nested block.
+    Block(Block),
+}
+
+/// An assignable location: a variable or an array element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LValue {
+    /// Variable name.
+    pub name: String,
+    /// Zero, one or two index expressions.
+    pub indices: Vec<Expr>,
+}
+
+impl LValue {
+    /// Scalar variable lvalue.
+    pub fn var(name: impl Into<String>) -> Self {
+        LValue {
+            name: name.into(),
+            indices: Vec::new(),
+        }
+    }
+
+    /// One-dimensional array element lvalue.
+    pub fn index(name: impl Into<String>, idx: Expr) -> Self {
+        LValue {
+            name: name.into(),
+            indices: vec![idx],
+        }
+    }
+
+    /// Two-dimensional array element lvalue.
+    pub fn index2(name: impl Into<String>, i: Expr, j: Expr) -> Self {
+        LValue {
+            name: name.into(),
+            indices: vec![i, j],
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%` (ints only)
+    Rem,
+    /// `<<` (ints only)
+    Shl,
+    /// `>>` (ints only)
+    Shr,
+    /// `&` (ints only)
+    BitAnd,
+    /// `|` (ints only)
+    BitOr,
+    /// `^` (ints only)
+    BitXor,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+}
+
+impl BinOp {
+    /// Whether this operator produces an `int` regardless of operand type.
+    pub fn is_comparison(&self) -> bool {
+        use BinOp::*;
+        matches!(self, Lt | Le | Gt | Ge | Eq | Ne | And | Or)
+    }
+
+    /// Whether this operator only accepts integer operands.
+    pub fn int_only(&self) -> bool {
+        use BinOp::*;
+        matches!(self, Rem | Shl | Shr | BitAnd | BitOr | BitXor)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (result is `int` 0/1).
+    Not,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// Scalar variable reference.
+    Var(String),
+    /// Array element read.
+    Index {
+        /// Array name.
+        name: String,
+        /// One or two index expressions.
+        indices: Vec<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Function call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+}
+
+/// Expression-builder sugar. The arithmetic method names mirror the C
+/// operators they build (`add` builds `+`), which reads better at call
+/// sites than operator overloading on AST nodes would.
+#[allow(clippy::should_implement_trait)]
+impl Expr {
+    /// Integer literal builder.
+    pub fn int(v: i64) -> Expr {
+        Expr::IntLit(v)
+    }
+
+    /// Float literal builder.
+    pub fn float(v: f64) -> Expr {
+        Expr::FloatLit(v)
+    }
+
+    /// Variable reference builder.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// One-dimensional array read builder.
+    pub fn index(name: impl Into<String>, idx: Expr) -> Expr {
+        Expr::Index {
+            name: name.into(),
+            indices: vec![idx],
+        }
+    }
+
+    /// Two-dimensional array read builder.
+    pub fn index2(name: impl Into<String>, i: Expr, j: Expr) -> Expr {
+        Expr::Index {
+            name: name.into(),
+            indices: vec![i, j],
+        }
+    }
+
+    /// Call expression builder.
+    pub fn call(name: impl Into<String>, args: Vec<Expr>) -> Expr {
+        Expr::Call {
+            name: name.into(),
+            args,
+        }
+    }
+
+    /// Binary expression builder.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// `self + rhs`
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Add, self, rhs)
+    }
+
+    /// `self - rhs`
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Sub, self, rhs)
+    }
+
+    /// `self * rhs`
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Mul, self, rhs)
+    }
+
+    /// `self / rhs`
+    pub fn div(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Div, self, rhs)
+    }
+
+    /// `self % rhs`
+    pub fn rem(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Rem, self, rhs)
+    }
+
+    /// `self < rhs`
+    pub fn lt(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Lt, self, rhs)
+    }
+
+    /// `self <= rhs`
+    pub fn le(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Le, self, rhs)
+    }
+
+    /// `self > rhs`
+    pub fn gt(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Gt, self, rhs)
+    }
+
+    /// `self == rhs`
+    pub fn eq(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Eq, self, rhs)
+    }
+
+    /// `self != rhs`
+    pub fn ne(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Ne, self, rhs)
+    }
+
+    /// `-self`
+    pub fn neg(self) -> Expr {
+        Expr::Unary {
+            op: UnOp::Neg,
+            expr: Box::new(self),
+        }
+    }
+}
+
+/// Statement builders used heavily by the benchmark generator.
+impl Stmt {
+    /// `name = value;`
+    pub fn assign(name: impl Into<String>, value: Expr) -> Stmt {
+        Stmt::Assign {
+            target: LValue::var(name),
+            value,
+        }
+    }
+
+    /// `name[idx] = value;`
+    pub fn assign_index(name: impl Into<String>, idx: Expr, value: Expr) -> Stmt {
+        Stmt::Assign {
+            target: LValue::index(name, idx),
+            value,
+        }
+    }
+
+    /// A canonical counted loop `for (var = from; var < to; var = var + 1) body`.
+    pub fn for_range(var: &str, from: Expr, to: Expr, body: Block) -> Stmt {
+        Stmt::For {
+            init: Some(Box::new(Stmt::assign(var, from))),
+            cond: Expr::var(var).lt(to),
+            step: Some(Box::new(Stmt::assign(
+                var,
+                Expr::var(var).add(Expr::int(1)),
+            ))),
+            body,
+        }
+    }
+
+    /// Local declaration `int name;` / `float name;`.
+    pub fn decl(name: impl Into<String>, ty: Type) -> Stmt {
+        Stmt::Decl(VarDecl {
+            name: name.into(),
+            ty,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_helpers() {
+        assert!(Type::Int.is_scalar());
+        assert!(!Type::int_array(4).is_scalar());
+        assert_eq!(Type::float_array(8).scalar(), Some(Scalar::Float));
+        assert_eq!(Type::Void.scalar(), None);
+        assert_eq!(
+            Type::array2(Scalar::Int, 2, 3),
+            Type::Array {
+                elem: Scalar::Int,
+                dims: vec![2, 3]
+            }
+        );
+    }
+
+    #[test]
+    fn expr_builders_compose() {
+        let e = Expr::var("a").add(Expr::int(1)).mul(Expr::var("b"));
+        match e {
+            Expr::Binary {
+                op: BinOp::Mul, ..
+            } => {}
+            other => panic!("expected mul at root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn for_range_builder_shape() {
+        let s = Stmt::for_range("i", Expr::int(0), Expr::int(10), Block::default());
+        match s {
+            Stmt::For {
+                init: Some(_),
+                step: Some(_),
+                cond: Expr::Binary { op: BinOp::Lt, .. },
+                ..
+            } => {}
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::Shl.int_only());
+        assert!(!BinOp::Div.int_only());
+    }
+}

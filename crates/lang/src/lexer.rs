@@ -1,0 +1,318 @@
+//! Hand-written scanner for Tiny-C.
+
+use crate::token::{Token, TokenKind};
+use crate::{Error, Phase};
+
+/// Lexes `source` into a token stream terminated by [`TokenKind::Eof`].
+///
+/// Supports `//` line comments and `/* ... */` block comments.
+///
+/// # Errors
+///
+/// Returns an error on unknown characters, malformed numbers and unterminated
+/// block comments.
+///
+/// ```
+/// let toks = fegen_lang::lexer::lex("x = 1; // set x")?;
+/// assert_eq!(toks.len(), 5); // ident, '=', 1, ';', eof
+/// # Ok::<(), fegen_lang::Error>(())
+/// ```
+pub fn lex(source: &str) -> Result<Vec<Token>, Error> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, message: impl Into<String>) -> Error {
+        Error::new(Phase::Lex, message, Some(self.line))
+    }
+
+    fn push(&mut self, kind: TokenKind) {
+        self.out.push(Token {
+            kind,
+            line: self.line,
+        });
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, Error> {
+        while let Some(c) = self.peek() {
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek2() == Some(b'*') => {
+                    self.bump();
+                    self.bump();
+                    let mut closed = false;
+                    while let Some(c) = self.bump() {
+                        if c == b'*' && self.peek() == Some(b'/') {
+                            self.bump();
+                            closed = true;
+                            break;
+                        }
+                    }
+                    if !closed {
+                        return Err(self.err("unterminated block comment"));
+                    }
+                }
+                b'0'..=b'9' => self.number()?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(),
+                _ => self.symbol()?,
+            }
+        }
+        self.push(TokenKind::Eof);
+        Ok(self.out)
+    }
+
+    fn number(&mut self) -> Result<(), Error> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.bump();
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(b'0'..=b'9')) {
+            is_float = true;
+            self.bump();
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            let save = self.pos;
+            self.bump();
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.bump();
+            }
+            if matches!(self.peek(), Some(b'0'..=b'9')) {
+                is_float = true;
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.bump();
+                }
+            } else {
+                // Not an exponent after all (e.g. identifier follows).
+                self.pos = save;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii digits");
+        if is_float {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| self.err(format!("malformed float literal `{text}`")))?;
+            self.push(TokenKind::FloatLit(v));
+        } else {
+            let v: i64 = text
+                .parse()
+                .map_err(|_| self.err(format!("integer literal out of range `{text}`")))?;
+            self.push(TokenKind::IntLit(v));
+        }
+        Ok(())
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+        ) {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii ident");
+        let kind = match text {
+            "int" => TokenKind::KwInt,
+            "float" => TokenKind::KwFloat,
+            "void" => TokenKind::KwVoid,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "while" => TokenKind::KwWhile,
+            "for" => TokenKind::KwFor,
+            "return" => TokenKind::KwReturn,
+            _ => TokenKind::Ident(text.to_owned()),
+        };
+        self.push(kind);
+    }
+
+    fn symbol(&mut self) -> Result<(), Error> {
+        let c = self.bump().expect("caller checked peek");
+        let two = |l: &mut Self, second: u8, long: TokenKind, short: TokenKind| {
+            if l.peek() == Some(second) {
+                l.bump();
+                long
+            } else {
+                short
+            }
+        };
+        let kind = match c {
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b'[' => TokenKind::LBracket,
+            b']' => TokenKind::RBracket,
+            b';' => TokenKind::Semi,
+            b',' => TokenKind::Comma,
+            b'+' => TokenKind::Plus,
+            b'-' => TokenKind::Minus,
+            b'*' => TokenKind::Star,
+            b'/' => TokenKind::Slash,
+            b'%' => TokenKind::Percent,
+            b'^' => TokenKind::Caret,
+            b'=' => two(self, b'=', TokenKind::EqEq, TokenKind::Assign),
+            b'!' => two(self, b'=', TokenKind::Ne, TokenKind::Bang),
+            b'&' => two(self, b'&', TokenKind::AndAnd, TokenKind::Amp),
+            b'|' => two(self, b'|', TokenKind::OrOr, TokenKind::Pipe),
+            b'<' => {
+                if self.peek() == Some(b'<') {
+                    self.bump();
+                    TokenKind::Shl
+                } else {
+                    two(self, b'=', TokenKind::Le, TokenKind::Lt)
+                }
+            }
+            b'>' => {
+                if self.peek() == Some(b'>') {
+                    self.bump();
+                    TokenKind::Shr
+                } else {
+                    two(self, b'=', TokenKind::Ge, TokenKind::Gt)
+                }
+            }
+            other => {
+                return Err(self.err(format!("unexpected character `{}`", other as char)));
+            }
+        };
+        self.push(kind);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_assignment() {
+        assert_eq!(
+            kinds("x = 1;"),
+            vec![Ident("x".into()), Assign, IntLit(1), Semi, Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            kinds("int floaty for while"),
+            vec![KwInt, Ident("floaty".into()), KwFor, KwWhile, Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_float_literals() {
+        assert_eq!(kinds("1.5"), vec![FloatLit(1.5), Eof]);
+        assert_eq!(kinds("2.5e3"), vec![FloatLit(2500.0), Eof]);
+        assert_eq!(kinds("1e2"), vec![FloatLit(100.0), Eof]);
+    }
+
+    #[test]
+    fn integer_followed_by_ident_not_exponent() {
+        assert_eq!(kinds("3else"), vec![IntLit(3), KwElse, Eof]);
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        assert_eq!(
+            kinds("<= >= == != && || << >>"),
+            vec![Le, Ge, EqEq, Ne, AndAnd, OrOr, Shl, Shr, Eof]
+        );
+    }
+
+    #[test]
+    fn distinguishes_single_and_double_chars() {
+        assert_eq!(kinds("< <= & &&"), vec![Lt, Le, Amp, AndAnd, Eof]);
+    }
+
+    #[test]
+    fn skips_line_comments() {
+        assert_eq!(kinds("a // comment\n b"), vec![
+            Ident("a".into()),
+            Ident("b".into()),
+            Eof
+        ]);
+    }
+
+    #[test]
+    fn skips_block_comments() {
+        assert_eq!(kinds("a /* x\ny */ b"), vec![
+            Ident("a".into()),
+            Ident("b".into()),
+            Eof
+        ]);
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_error() {
+        assert!(lex("/* never ends").is_err());
+    }
+
+    #[test]
+    fn unknown_character_is_error() {
+        let err = lex("a $ b").unwrap_err();
+        assert!(err.message.contains('$'));
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn huge_integer_is_error() {
+        assert!(lex("99999999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,600 @@
+//! Recursive-descent parser for Tiny-C.
+//!
+//! Grammar (iteratively, with standard C precedence for expressions):
+//!
+//! ```text
+//! program   := (global | function)*
+//! global    := type ident array-dims? ';'
+//! function  := type ident '(' params? ')' block
+//! params    := param (',' param)*
+//! param     := type ident array-dims?
+//! block     := '{' stmt* '}'
+//! stmt      := decl | assign ';' | if | while | for | return | call ';' | block
+//! ```
+
+use crate::ast::*;
+use crate::token::{Token, TokenKind};
+use crate::{Error, Phase};
+
+/// Recursive-descent parser over a token stream produced by
+/// [`crate::lexer::lex`].
+#[derive(Debug)]
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Creates a parser over `tokens` (which must end with `Eof`).
+    pub fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].line
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        if self.pos < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> Error {
+        Error::new(Phase::Parse, message, Some(self.line()))
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), Error> {
+        if self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kind}`, found `{}`", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, Error> {
+        match self.bump() {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found `{other}`"))),
+        }
+    }
+
+    /// Parses a whole program. Consumes the parser.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first syntax error encountered.
+    pub fn parse_program(mut self) -> Result<Program, Error> {
+        let mut program = Program::new();
+        while *self.peek() != TokenKind::Eof {
+            let base = self.parse_base_type()?;
+            let name = self.expect_ident()?;
+            if *self.peek() == TokenKind::LParen {
+                program
+                    .functions
+                    .push(self.parse_function_rest(base, name)?);
+            } else {
+                let ty = self.parse_array_suffix(base)?;
+                self.expect(&TokenKind::Semi)?;
+                program.globals.push(VarDecl { name, ty });
+            }
+        }
+        Ok(program)
+    }
+
+    fn parse_base_type(&mut self) -> Result<Type, Error> {
+        match self.bump() {
+            TokenKind::KwInt => Ok(Type::Int),
+            TokenKind::KwFloat => Ok(Type::Float),
+            TokenKind::KwVoid => Ok(Type::Void),
+            other => Err(self.err(format!("expected type, found `{other}`"))),
+        }
+    }
+
+    /// After a scalar base type, parse optional `[N]` / `[N][M]` suffixes.
+    fn parse_array_suffix(&mut self, base: Type) -> Result<Type, Error> {
+        let mut dims = Vec::new();
+        while *self.peek() == TokenKind::LBracket {
+            self.bump();
+            match self.bump() {
+                TokenKind::IntLit(n) if n > 0 => dims.push(n as usize),
+                other => {
+                    return Err(
+                        self.err(format!("expected positive array extent, found `{other}`"))
+                    )
+                }
+            }
+            self.expect(&TokenKind::RBracket)?;
+        }
+        if dims.is_empty() {
+            return Ok(base);
+        }
+        if dims.len() > 2 {
+            return Err(self.err("arrays are limited to two dimensions"));
+        }
+        let elem = match base {
+            Type::Int => Scalar::Int,
+            Type::Float => Scalar::Float,
+            _ => return Err(self.err("array element type must be `int` or `float`")),
+        };
+        Ok(Type::Array { elem, dims })
+    }
+
+    fn parse_function_rest(&mut self, ret: Type, name: String) -> Result<Function, Error> {
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if *self.peek() != TokenKind::RParen {
+            loop {
+                let base = self.parse_base_type()?;
+                let pname = self.expect_ident()?;
+                let ty = self.parse_array_suffix(base)?;
+                if ty == Type::Void {
+                    return Err(self.err("parameter cannot have type `void`"));
+                }
+                params.push(Param { name: pname, ty });
+                if *self.peek() == TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        let body = self.parse_block()?;
+        Ok(Function {
+            name,
+            ret,
+            params,
+            body,
+        })
+    }
+
+    fn parse_block(&mut self) -> Result<Block, Error> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while *self.peek() != TokenKind::RBrace {
+            if *self.peek() == TokenKind::Eof {
+                return Err(self.err("unexpected end of input inside block"));
+            }
+            stmts.push(self.parse_stmt()?);
+        }
+        self.bump();
+        Ok(Block::new(stmts))
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, Error> {
+        match self.peek() {
+            TokenKind::KwInt | TokenKind::KwFloat => {
+                let base = self.parse_base_type()?;
+                let name = self.expect_ident()?;
+                let ty = self.parse_array_suffix(base)?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Decl(VarDecl { name, ty }))
+            }
+            TokenKind::KwIf => self.parse_if(),
+            TokenKind::KwWhile => self.parse_while(),
+            TokenKind::KwFor => self.parse_for(),
+            TokenKind::KwReturn => {
+                self.bump();
+                let value = if *self.peek() == TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Return(value))
+            }
+            TokenKind::LBrace => Ok(Stmt::Block(self.parse_block()?)),
+            TokenKind::Ident(_) => {
+                // Either `name(args);` (call statement) or an assignment.
+                if *self.peek2() == TokenKind::LParen {
+                    let expr = self.parse_expr()?;
+                    self.expect(&TokenKind::Semi)?;
+                    Ok(Stmt::ExprStmt(expr))
+                } else {
+                    let stmt = self.parse_assignment()?;
+                    self.expect(&TokenKind::Semi)?;
+                    Ok(stmt)
+                }
+            }
+            other => Err(self.err(format!("expected statement, found `{other}`"))),
+        }
+    }
+
+    /// Parses `lvalue = expr` without the trailing semicolon (shared by
+    /// plain assignment statements and `for` init/step clauses).
+    fn parse_assignment(&mut self) -> Result<Stmt, Error> {
+        let name = self.expect_ident()?;
+        let mut indices = Vec::new();
+        while *self.peek() == TokenKind::LBracket {
+            self.bump();
+            indices.push(self.parse_expr()?);
+            self.expect(&TokenKind::RBracket)?;
+        }
+        if indices.len() > 2 {
+            return Err(self.err("at most two array indices are supported"));
+        }
+        self.expect(&TokenKind::Assign)?;
+        let value = self.parse_expr()?;
+        Ok(Stmt::Assign {
+            target: LValue { name, indices },
+            value,
+        })
+    }
+
+    fn parse_if(&mut self) -> Result<Stmt, Error> {
+        self.expect(&TokenKind::KwIf)?;
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.parse_expr()?;
+        self.expect(&TokenKind::RParen)?;
+        let then_blk = self.parse_block()?;
+        let else_blk = if *self.peek() == TokenKind::KwElse {
+            self.bump();
+            if *self.peek() == TokenKind::KwIf {
+                // `else if` sugar: wrap the nested if in a block.
+                let nested = self.parse_if()?;
+                Some(Block::new(vec![nested]))
+            } else {
+                Some(self.parse_block()?)
+            }
+        } else {
+            None
+        };
+        Ok(Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+        })
+    }
+
+    fn parse_while(&mut self) -> Result<Stmt, Error> {
+        self.expect(&TokenKind::KwWhile)?;
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.parse_expr()?;
+        self.expect(&TokenKind::RParen)?;
+        let body = self.parse_block()?;
+        Ok(Stmt::While { cond, body })
+    }
+
+    fn parse_for(&mut self) -> Result<Stmt, Error> {
+        self.expect(&TokenKind::KwFor)?;
+        self.expect(&TokenKind::LParen)?;
+        let init = if *self.peek() == TokenKind::Semi {
+            None
+        } else {
+            Some(Box::new(self.parse_assignment()?))
+        };
+        self.expect(&TokenKind::Semi)?;
+        let cond = if *self.peek() == TokenKind::Semi {
+            // Empty condition means "always true".
+            Expr::int(1)
+        } else {
+            self.parse_expr()?
+        };
+        self.expect(&TokenKind::Semi)?;
+        let step = if *self.peek() == TokenKind::RParen {
+            None
+        } else {
+            Some(Box::new(self.parse_assignment()?))
+        };
+        self.expect(&TokenKind::RParen)?;
+        let body = self.parse_block()?;
+        Ok(Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        })
+    }
+
+    /// Expression parsing with precedence climbing.
+    pub(crate) fn parse_expr(&mut self) -> Result<Expr, Error> {
+        self.parse_bin(0)
+    }
+
+    fn parse_bin(&mut self, min_prec: u8) -> Result<Expr, Error> {
+        let mut lhs = self.parse_unary()?;
+        while let Some((op, prec)) = binop_of(self.peek()) {
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.parse_bin(prec + 1)?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, Error> {
+        match self.peek() {
+            TokenKind::Minus => {
+                self.bump();
+                // Fold `-literal` into a negative literal so negative
+                // constants round-trip through the printer unchanged.
+                match self.peek() {
+                    TokenKind::IntLit(v) => {
+                        let v = *v;
+                        self.bump();
+                        Ok(Expr::IntLit(-v))
+                    }
+                    TokenKind::FloatLit(v) => {
+                        let v = *v;
+                        self.bump();
+                        Ok(Expr::FloatLit(-v))
+                    }
+                    _ => Ok(self.parse_unary()?.neg()),
+                }
+            }
+            TokenKind::Bang => {
+                self.bump();
+                let expr = self.parse_unary()?;
+                Ok(Expr::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(expr),
+                })
+            }
+            _ => self.parse_primary(),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, Error> {
+        let line = self.line();
+        match self.bump() {
+            TokenKind::IntLit(v) => Ok(Expr::IntLit(v)),
+            TokenKind::FloatLit(v) => Ok(Expr::FloatLit(v)),
+            TokenKind::LParen => {
+                let e = self.parse_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                if *self.peek() == TokenKind::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if *self.peek() != TokenKind::RParen {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if *self.peek() == TokenKind::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(Expr::Call { name, args })
+                } else if *self.peek() == TokenKind::LBracket {
+                    let mut indices = Vec::new();
+                    while *self.peek() == TokenKind::LBracket {
+                        self.bump();
+                        indices.push(self.parse_expr()?);
+                        self.expect(&TokenKind::RBracket)?;
+                    }
+                    if indices.len() > 2 {
+                        return Err(self.err("at most two array indices are supported"));
+                    }
+                    Ok(Expr::Index { name, indices })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(Error::new(
+                Phase::Parse,
+                format!("expected expression, found `{other}`"),
+                Some(line),
+            )),
+        }
+    }
+}
+
+/// Binding power for binary operators (higher binds tighter).
+fn binop_of(kind: &TokenKind) -> Option<(BinOp, u8)> {
+    use TokenKind::*;
+    Some(match kind {
+        OrOr => (BinOp::Or, 1),
+        AndAnd => (BinOp::And, 2),
+        Pipe => (BinOp::BitOr, 3),
+        Caret => (BinOp::BitXor, 4),
+        Amp => (BinOp::BitAnd, 5),
+        EqEq => (BinOp::Eq, 6),
+        Ne => (BinOp::Ne, 6),
+        Lt => (BinOp::Lt, 7),
+        Le => (BinOp::Le, 7),
+        Gt => (BinOp::Gt, 7),
+        Ge => (BinOp::Ge, 7),
+        Shl => (BinOp::Shl, 8),
+        Shr => (BinOp::Shr, 8),
+        Plus => (BinOp::Add, 9),
+        Minus => (BinOp::Sub, 9),
+        Star => (BinOp::Mul, 10),
+        Slash => (BinOp::Div, 10),
+        Percent => (BinOp::Rem, 10),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Program {
+        Parser::new(lex(src).unwrap()).parse_program().unwrap()
+    }
+
+    fn parse_err(src: &str) -> Error {
+        Parser::new(lex(src).unwrap()).parse_program().unwrap_err()
+    }
+
+    #[test]
+    fn parses_empty_function() {
+        let p = parse("void f() { }");
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.functions[0].ret, Type::Void);
+        assert!(p.functions[0].body.stmts.is_empty());
+    }
+
+    #[test]
+    fn parses_globals_and_params() {
+        let p = parse("int g; float buf[64]; int f(int n, float a[8][4]) { return n; }");
+        assert_eq!(p.globals.len(), 2);
+        assert_eq!(p.globals[1].ty, Type::float_array(64));
+        assert_eq!(
+            p.functions[0].params[1].ty,
+            Type::Array {
+                elem: Scalar::Float,
+                dims: vec![8, 4]
+            }
+        );
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse("int f() { int x; x = 1 + 2 * 3; return x; }");
+        let Stmt::Assign { value, .. } = &p.functions[0].body.stmts[1] else {
+            panic!("expected assign");
+        };
+        // 1 + (2 * 3)
+        match value {
+            Expr::Binary {
+                op: BinOp::Add,
+                rhs,
+                ..
+            } => match rhs.as_ref() {
+                Expr::Binary { op: BinOp::Mul, .. } => {}
+                other => panic!("expected mul rhs, got {other:?}"),
+            },
+            other => panic!("expected add, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_comparison_below_arith() {
+        let p = parse("int f() { int x; x = 1 + 2 < 3 * 4; return x; }");
+        let Stmt::Assign { value, .. } = &p.functions[0].body.stmts[1] else {
+            panic!("expected assign");
+        };
+        assert!(matches!(value, Expr::Binary { op: BinOp::Lt, .. }));
+    }
+
+    #[test]
+    fn left_associativity_of_sub() {
+        let p = parse("int f() { int x; x = 10 - 3 - 2; return x; }");
+        let Stmt::Assign { value, .. } = &p.functions[0].body.stmts[1] else {
+            panic!("expected assign");
+        };
+        // (10 - 3) - 2
+        match value {
+            Expr::Binary {
+                op: BinOp::Sub,
+                lhs,
+                rhs,
+            } => {
+                assert!(matches!(lhs.as_ref(), Expr::Binary { op: BinOp::Sub, .. }));
+                assert!(matches!(rhs.as_ref(), Expr::IntLit(2)));
+            }
+            other => panic!("expected sub, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_for_loop() {
+        let p = parse("void f(int n) { int i; for (i = 0; i < n; i = i + 1) { } }");
+        assert!(matches!(
+            p.functions[0].body.stmts[1],
+            Stmt::For {
+                init: Some(_),
+                step: Some(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_for_with_empty_clauses() {
+        let p = parse("void f() { for (;;) { } }");
+        let Stmt::For {
+            init, cond, step, ..
+        } = &p.functions[0].body.stmts[0]
+        else {
+            panic!("expected for");
+        };
+        assert!(init.is_none() && step.is_none());
+        assert_eq!(*cond, Expr::int(1));
+    }
+
+    #[test]
+    fn parses_else_if_chain() {
+        let p = parse(
+            "int f(int x) { if (x > 1) { return 1; } else if (x > 0) { return 2; } \
+             else { return 3; } }",
+        );
+        let Stmt::If { else_blk, .. } = &p.functions[0].body.stmts[0] else {
+            panic!("expected if");
+        };
+        let inner = &else_blk.as_ref().unwrap().stmts[0];
+        assert!(matches!(inner, Stmt::If { else_blk: Some(_), .. }));
+    }
+
+    #[test]
+    fn parses_while_and_array_assign() {
+        let p = parse("void f(int a[4]) { int i; i = 0; while (i < 4) { a[i] = i; i = i + 1; } }");
+        assert!(matches!(p.functions[0].body.stmts[2], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn parses_call_statement_and_expression() {
+        let p = parse("int g(int x) { return x; } void f() { int y; g(1); y = g(2) + 1; }");
+        assert!(matches!(p.functions[1].body.stmts[1], Stmt::ExprStmt(_)));
+    }
+
+    #[test]
+    fn parses_unary_operators() {
+        let p = parse("int f(int x) { return -x + !x; }");
+        let Stmt::Return(Some(e)) = &p.functions[0].body.stmts[0] else {
+            panic!("expected return");
+        };
+        assert!(matches!(e, Expr::Binary { op: BinOp::Add, .. }));
+    }
+
+    #[test]
+    fn rejects_three_dimensional_arrays() {
+        let err = parse_err("int a[2][2][2];");
+        assert!(err.message.contains("two dimensions"));
+    }
+
+    #[test]
+    fn rejects_void_parameter() {
+        assert!(parse_err("int f(void x) { return 0; }")
+            .message
+            .contains("void"));
+    }
+
+    #[test]
+    fn rejects_zero_extent_array() {
+        assert!(parse_err("int a[0];").message.contains("positive"));
+    }
+
+    #[test]
+    fn rejects_missing_semicolon() {
+        let err = parse_err("int f() { int x x = 1; return x; }");
+        assert_eq!(err.phase, crate::Phase::Parse);
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let err = parse_err("int f() {\n  int x;\n  x = ;\n}");
+        assert_eq!(err.line, Some(3));
+    }
+}

@@ -1,0 +1,315 @@
+//! Pretty printer for Tiny-C programs.
+//!
+//! Output of [`print_program`] re-parses to an equal AST (round-trip property
+//! tested in the crate's property tests).
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Renders a program as Tiny-C source text.
+///
+/// ```
+/// let p = fegen_lang::parse_program("int f(int x){return x;}")?;
+/// let text = fegen_lang::print_program(&p);
+/// assert!(text.contains("int f(int x)"));
+/// # Ok::<(), fegen_lang::Error>(())
+/// ```
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    for g in &program.globals {
+        print_decl(&mut out, g, 0);
+    }
+    if !program.globals.is_empty() {
+        out.push('\n');
+    }
+    for (i, f) in program.functions.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        print_function(&mut out, f);
+    }
+    out
+}
+
+fn type_prefix(ty: &Type) -> &'static str {
+    match ty {
+        Type::Int => "int",
+        Type::Float => "float",
+        Type::Void => "void",
+        Type::Array { elem, .. } => match elem {
+            Scalar::Int => "int",
+            Scalar::Float => "float",
+        },
+    }
+}
+
+fn type_suffix(ty: &Type) -> String {
+    match ty {
+        Type::Array { dims, .. } => dims.iter().map(|d| format!("[{d}]")).collect(),
+        _ => String::new(),
+    }
+}
+
+fn print_decl(out: &mut String, d: &VarDecl, indent: usize) {
+    let pad = "    ".repeat(indent);
+    let _ = writeln!(
+        out,
+        "{pad}{} {}{};",
+        type_prefix(&d.ty),
+        d.name,
+        type_suffix(&d.ty)
+    );
+}
+
+fn print_function(out: &mut String, f: &Function) {
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .map(|p| format!("{} {}{}", type_prefix(&p.ty), p.name, type_suffix(&p.ty)))
+        .collect();
+    let _ = writeln!(
+        out,
+        "{} {}({}) {{",
+        type_prefix(&f.ret),
+        f.name,
+        params.join(", ")
+    );
+    for s in &f.body.stmts {
+        print_stmt(out, s, 1);
+    }
+    out.push_str("}\n");
+}
+
+fn print_block(out: &mut String, b: &Block, indent: usize) {
+    out.push_str("{\n");
+    for s in &b.stmts {
+        print_stmt(out, s, indent + 1);
+    }
+    let pad = "    ".repeat(indent);
+    let _ = write!(out, "{pad}}}");
+}
+
+fn print_stmt(out: &mut String, s: &Stmt, indent: usize) {
+    let pad = "    ".repeat(indent);
+    match s {
+        Stmt::Decl(d) => print_decl(out, d, indent),
+        Stmt::Assign { target, value } => {
+            let _ = writeln!(
+                out,
+                "{pad}{} = {};",
+                lvalue_str(target),
+                expr_str(value, 0)
+            );
+        }
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
+            let _ = write!(out, "{pad}if ({}) ", expr_str(cond, 0));
+            print_block(out, then_blk, indent);
+            if let Some(e) = else_blk {
+                out.push_str(" else ");
+                print_block(out, e, indent);
+            }
+            out.push('\n');
+        }
+        Stmt::While { cond, body } => {
+            let _ = write!(out, "{pad}while ({}) ", expr_str(cond, 0));
+            print_block(out, body, indent);
+            out.push('\n');
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            let clause = |s: &Option<Box<Stmt>>| -> String {
+                match s {
+                    Some(b) => match b.as_ref() {
+                        Stmt::Assign { target, value } => {
+                            format!("{} = {}", lvalue_str(target), expr_str(value, 0))
+                        }
+                        _ => String::new(),
+                    },
+                    None => String::new(),
+                }
+            };
+            let _ = write!(
+                out,
+                "{pad}for ({}; {}; {}) ",
+                clause(init),
+                expr_str(cond, 0),
+                clause(step)
+            );
+            print_block(out, body, indent);
+            out.push('\n');
+        }
+        Stmt::Return(None) => {
+            let _ = writeln!(out, "{pad}return;");
+        }
+        Stmt::Return(Some(e)) => {
+            let _ = writeln!(out, "{pad}return {};", expr_str(e, 0));
+        }
+        Stmt::ExprStmt(e) => {
+            let _ = writeln!(out, "{pad}{};", expr_str(e, 0));
+        }
+        Stmt::Block(b) => {
+            let _ = write!(out, "{pad}");
+            print_block(out, b, indent);
+            out.push('\n');
+        }
+    }
+}
+
+fn lvalue_str(lv: &LValue) -> String {
+    let mut s = lv.name.clone();
+    for idx in &lv.indices {
+        let _ = write!(s, "[{}]", expr_str(idx, 0));
+    }
+    s
+}
+
+fn binop_str(op: BinOp) -> &'static str {
+    use BinOp::*;
+    match op {
+        Add => "+",
+        Sub => "-",
+        Mul => "*",
+        Div => "/",
+        Rem => "%",
+        Shl => "<<",
+        Shr => ">>",
+        BitAnd => "&",
+        BitOr => "|",
+        BitXor => "^",
+        Lt => "<",
+        Le => "<=",
+        Gt => ">",
+        Ge => ">=",
+        Eq => "==",
+        Ne => "!=",
+        And => "&&",
+        Or => "||",
+    }
+}
+
+fn binop_prec(op: BinOp) -> u8 {
+    use BinOp::*;
+    match op {
+        Or => 1,
+        And => 2,
+        BitOr => 3,
+        BitXor => 4,
+        BitAnd => 5,
+        Eq | Ne => 6,
+        Lt | Le | Gt | Ge => 7,
+        Shl | Shr => 8,
+        Add | Sub => 9,
+        Mul | Div | Rem => 10,
+    }
+}
+
+/// Renders `e`, parenthesising when the operator binds no tighter than the
+/// enclosing precedence `min_prec`.
+fn expr_str(e: &Expr, min_prec: u8) -> String {
+    match e {
+        Expr::IntLit(v) => v.to_string(),
+        Expr::FloatLit(v) => {
+            let s = format!("{v}");
+            if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Expr::Var(name) => name.clone(),
+        Expr::Index { name, indices } => {
+            let mut s = name.clone();
+            for idx in indices {
+                let _ = write!(s, "[{}]", expr_str(idx, 0));
+            }
+            s
+        }
+        Expr::Unary { op, expr } => {
+            let sym = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+            };
+            format!("{sym}{}", expr_str(expr, 11))
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let prec = binop_prec(*op);
+            let body = format!(
+                "{} {} {}",
+                expr_str(lhs, prec),
+                binop_str(*op),
+                // +1: left associativity, right operand needs higher binding.
+                expr_str(rhs, prec + 1)
+            );
+            if prec < min_prec {
+                format!("({body})")
+            } else {
+                body
+            }
+        }
+        Expr::Call { name, args } => {
+            let args: Vec<String> = args.iter().map(|a| expr_str(a, 0)).collect();
+            format!("{name}({})", args.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{parse_program, print_program};
+
+    fn roundtrip(src: &str) {
+        let p1 = parse_program(src).unwrap();
+        let printed = print_program(&p1);
+        let p2 = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(p1, p2, "roundtrip mismatch:\n{printed}");
+    }
+
+    #[test]
+    fn roundtrips_simple_function() {
+        roundtrip("int f(int x) { return x + 1; }");
+    }
+
+    #[test]
+    fn roundtrips_control_flow() {
+        roundtrip(
+            "int f(int n, int a[16]) {\n\
+               int i; int s;\n\
+               s = 0;\n\
+               for (i = 0; i < n; i = i + 1) {\n\
+                 if (a[i] > 0) { s = s + a[i]; } else { s = s - 1; }\n\
+               }\n\
+               while (s > 100) { s = s >> 1; }\n\
+               return s;\n\
+             }",
+        );
+    }
+
+    #[test]
+    fn roundtrips_precedence_needing_parens() {
+        roundtrip("int f(int a, int b, int c) { return (a + b) * c - a * (b - c); }");
+    }
+
+    #[test]
+    fn roundtrips_globals_and_2d_arrays() {
+        roundtrip("float m[4][4]; void f() { m[1][2] = 3.5; }");
+    }
+
+    #[test]
+    fn roundtrips_float_without_fraction() {
+        roundtrip("float f() { return 2.0; }");
+    }
+
+    #[test]
+    fn roundtrips_logical_operators() {
+        roundtrip("int f(int a, int b) { return a > 0 && b > 0 || !(a == b); }");
+    }
+}

@@ -1,0 +1,145 @@
+//! Tokens of the Tiny-C language.
+
+use std::fmt;
+
+/// A lexical token with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// The kind of a [`Token`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Integer literal, e.g. `42`.
+    IntLit(i64),
+    /// Floating-point literal, e.g. `1.5`.
+    FloatLit(f64),
+    /// Identifier or keyword candidate.
+    Ident(String),
+    /// Keyword `int`.
+    KwInt,
+    /// Keyword `float`.
+    KwFloat,
+    /// Keyword `void`.
+    KwVoid,
+    /// Keyword `if`.
+    KwIf,
+    /// Keyword `else`.
+    KwElse,
+    /// Keyword `while`.
+    KwWhile,
+    /// Keyword `for`.
+    KwFor,
+    /// Keyword `return`.
+    KwReturn,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TokenKind::*;
+        match self {
+            IntLit(v) => write!(f, "{v}"),
+            FloatLit(v) => write!(f, "{v}"),
+            Ident(s) => write!(f, "{s}"),
+            KwInt => write!(f, "int"),
+            KwFloat => write!(f, "float"),
+            KwVoid => write!(f, "void"),
+            KwIf => write!(f, "if"),
+            KwElse => write!(f, "else"),
+            KwWhile => write!(f, "while"),
+            KwFor => write!(f, "for"),
+            KwReturn => write!(f, "return"),
+            LParen => write!(f, "("),
+            RParen => write!(f, ")"),
+            LBrace => write!(f, "{{"),
+            RBrace => write!(f, "}}"),
+            LBracket => write!(f, "["),
+            RBracket => write!(f, "]"),
+            Semi => write!(f, ";"),
+            Comma => write!(f, ","),
+            Assign => write!(f, "="),
+            Plus => write!(f, "+"),
+            Minus => write!(f, "-"),
+            Star => write!(f, "*"),
+            Slash => write!(f, "/"),
+            Percent => write!(f, "%"),
+            Shl => write!(f, "<<"),
+            Shr => write!(f, ">>"),
+            Amp => write!(f, "&"),
+            Pipe => write!(f, "|"),
+            Caret => write!(f, "^"),
+            Lt => write!(f, "<"),
+            Le => write!(f, "<="),
+            Gt => write!(f, ">"),
+            Ge => write!(f, ">="),
+            EqEq => write!(f, "=="),
+            Ne => write!(f, "!="),
+            AndAnd => write!(f, "&&"),
+            OrOr => write!(f, "||"),
+            Bang => write!(f, "!"),
+            Eof => write!(f, "<eof>"),
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Seeded k-fold cross-validation splits.
+//!
+//! The paper (§VI): "We split the loops into ten groups keeping one group
+//! out for testing so that we can perform ten-fold cross validation. Loops
+//! that are used for generating features and later learning a model are
+//! *never* used to evaluate the model."
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A k-fold splitter over `n` examples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KFold {
+    k: usize,
+    seed: u64,
+}
+
+impl KFold {
+    /// Creates a `k`-fold splitter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn new(k: usize, seed: u64) -> KFold {
+        assert!(k >= 2, "k-fold cross validation needs k >= 2");
+        KFold { k, seed }
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Produces the `(train, test)` index sets for each fold over `n`
+    /// examples. Every index appears in exactly one test set; shuffling is
+    /// deterministic in the seed.
+    pub fn splits(&self, n: usize) -> Vec<(Vec<usize>, Vec<usize>)> {
+        let mut indices: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        indices.shuffle(&mut rng);
+        let mut folds: Vec<Vec<usize>> = vec![Vec::new(); self.k];
+        for (i, idx) in indices.into_iter().enumerate() {
+            folds[i % self.k].push(idx);
+        }
+        (0..self.k)
+            .map(|f| {
+                let test = folds[f].clone();
+                let train = folds
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != f)
+                    .flat_map(|(_, fold)| fold.iter().copied())
+                    .collect();
+                (train, test)
+            })
+            .collect()
+    }
+
+    /// Splits `n` examples into a single `(train, holdout)` pair with the
+    /// given number of holdout parts out of `k` (e.g. the paper's internal
+    /// 8-train / 1-validate split uses `holdout_parts = 1` with `k = 9`).
+    pub fn single_split(&self, n: usize, holdout_parts: usize) -> (Vec<usize>, Vec<usize>) {
+        assert!(holdout_parts < self.k);
+        let mut indices: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        indices.shuffle(&mut rng);
+        let cut = n * holdout_parts / self.k;
+        let holdout = indices[..cut].to_vec();
+        let train = indices[cut..].to_vec();
+        (train, holdout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn each_index_tested_exactly_once() {
+        let kf = KFold::new(10, 42);
+        let splits = kf.splits(57);
+        let mut seen = BTreeSet::new();
+        for (_, test) in &splits {
+            for &i in test {
+                assert!(seen.insert(i), "index {i} tested twice");
+            }
+        }
+        assert_eq!(seen.len(), 57);
+    }
+
+    #[test]
+    fn train_and_test_are_disjoint_and_complete() {
+        let kf = KFold::new(5, 7);
+        for (train, test) in kf.splits(23) {
+            let train: BTreeSet<_> = train.into_iter().collect();
+            let test: BTreeSet<_> = test.into_iter().collect();
+            assert!(train.is_disjoint(&test));
+            assert_eq!(train.len() + test.len(), 23);
+        }
+    }
+
+    #[test]
+    fn splits_are_deterministic_per_seed() {
+        let a = KFold::new(4, 9).splits(40);
+        let b = KFold::new(4, 9).splits(40);
+        assert_eq!(a, b);
+        let c = KFold::new(4, 10).splits(40);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fold_sizes_are_balanced() {
+        let kf = KFold::new(10, 0);
+        for (_, test) in kf.splits(57) {
+            assert!(test.len() == 5 || test.len() == 6, "fold size {}", test.len());
+        }
+    }
+
+    #[test]
+    fn single_split_ratio() {
+        let kf = KFold::new(9, 1);
+        let (train, holdout) = kf.single_split(90, 1);
+        assert_eq!(holdout.len(), 10);
+        assert_eq!(train.len(), 80);
+        let all: BTreeSet<_> = train.iter().chain(holdout.iter()).collect();
+        assert_eq!(all.len(), 90);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn rejects_k_of_one() {
+        let _ = KFold::new(1, 0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Datasets: fixed-length feature vectors with class labels.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error constructing a [`Dataset`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// Feature rows have differing lengths.
+    RaggedRows,
+    /// `labels.len() != features.len()`.
+    LengthMismatch,
+    /// A label is `>= n_classes`.
+    LabelOutOfRange,
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::RaggedRows => write!(f, "feature rows have differing lengths"),
+            DataError::LengthMismatch => write!(f, "labels and features differ in length"),
+            DataError::LabelOutOfRange => write!(f, "label out of range"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+/// A supervised classification dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    features: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+    n_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset from feature rows and class labels.
+    ///
+    /// # Errors
+    ///
+    /// See [`DataError`].
+    pub fn new(
+        features: Vec<Vec<f64>>,
+        labels: Vec<usize>,
+        n_classes: usize,
+    ) -> Result<Dataset, DataError> {
+        if features.len() != labels.len() {
+            return Err(DataError::LengthMismatch);
+        }
+        if let Some(first) = features.first() {
+            if features.iter().any(|r| r.len() != first.len()) {
+                return Err(DataError::RaggedRows);
+            }
+        }
+        if labels.iter().any(|&l| l >= n_classes) {
+            return Err(DataError::LabelOutOfRange);
+        }
+        Ok(Dataset {
+            features,
+            labels,
+            n_classes,
+        })
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the dataset has no examples.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Number of features per example (0 for an empty dataset).
+    pub fn n_features(&self) -> usize {
+        self.features.first().map_or(0, Vec::len)
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Feature row of example `i`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.features[i]
+    }
+
+    /// Label of example `i`.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// The subset of examples at `indices` (cloned).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            features: indices.iter().map(|&i| self.features[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            n_classes: self.n_classes,
+        }
+    }
+
+    /// Class histogram of the dataset.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// The most frequent class (ties broken towards the smaller label).
+    pub fn majority_class(&self) -> usize {
+        let counts = self.class_counts();
+        counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, &c)| (c, usize::MAX - i))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Per-feature mean and standard deviation (σ of 0 is reported as 1 so
+    /// standardisation is always well-defined).
+    pub fn feature_stats(&self) -> Vec<(f64, f64)> {
+        let n = self.len().max(1) as f64;
+        let d = self.n_features();
+        let mut stats = vec![(0.0, 0.0); d];
+        for row in &self.features {
+            for (j, &v) in row.iter().enumerate() {
+                stats[j].0 += v;
+            }
+        }
+        for s in &mut stats {
+            s.0 /= n;
+        }
+        for row in &self.features {
+            for (j, &v) in row.iter().enumerate() {
+                let dlt = v - stats[j].0;
+                stats[j].1 += dlt * dlt;
+            }
+        }
+        for s in &mut stats {
+            s.1 = (s.1 / n).sqrt();
+            if s.1 < 1e-12 {
+                s.1 = 1.0;
+            }
+        }
+        stats
+    }
+
+    /// Returns the dataset standardised with the given per-feature stats
+    /// (compute stats on the training split; apply to both splits).
+    pub fn standardized(&self, stats: &[(f64, f64)]) -> Dataset {
+        let features = self
+            .features
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .zip(stats)
+                    .map(|(&v, &(m, s))| (v - m) / s)
+                    .collect()
+            })
+            .collect();
+        Dataset {
+            features,
+            labels: self.labels.clone(),
+            n_classes: self.n_classes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            vec![vec![0.0, 2.0], vec![1.0, 4.0], vec![2.0, 6.0], vec![3.0, 8.0]],
+            vec![0, 0, 1, 1],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(
+            Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![0, 0], 1),
+            Err(DataError::RaggedRows)
+        );
+        assert_eq!(
+            Dataset::new(vec![vec![1.0]], vec![0, 1], 2),
+            Err(DataError::LengthMismatch)
+        );
+        assert_eq!(
+            Dataset::new(vec![vec![1.0]], vec![3], 2),
+            Err(DataError::LabelOutOfRange)
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let d = toy();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.row(2), &[2.0, 6.0]);
+        assert_eq!(d.label(2), 1);
+        assert_eq!(d.class_counts(), vec![2, 2]);
+    }
+
+    #[test]
+    fn subset_selects_rows() {
+        let d = toy().subset(&[3, 0]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.row(0), &[3.0, 8.0]);
+        assert_eq!(d.label(1), 0);
+    }
+
+    #[test]
+    fn majority_class_breaks_ties_low() {
+        let d = toy();
+        assert_eq!(d.majority_class(), 0);
+        let e = Dataset::new(vec![vec![0.0]; 3], vec![1, 1, 0], 3).unwrap();
+        assert_eq!(e.majority_class(), 1);
+    }
+
+    #[test]
+    fn standardization_centers_and_scales() {
+        let d = toy();
+        let stats = d.feature_stats();
+        let z = d.standardized(&stats);
+        // Column means ≈ 0.
+        for j in 0..2 {
+            let mean: f64 = (0..z.len()).map(|i| z.row(i)[j]).sum::<f64>() / z.len() as f64;
+            assert!(mean.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_variance_feature_is_safe() {
+        let d = Dataset::new(vec![vec![5.0], vec![5.0]], vec![0, 1], 2).unwrap();
+        let stats = d.feature_stats();
+        let z = d.standardized(&stats);
+        assert!(z.row(0)[0].is_finite());
+    }
+}

@@ -1,0 +1,43 @@
+//! # fegen-ml — the machine-learning substrate
+//!
+//! The paper uses two learners, both re-implemented here from scratch:
+//!
+//! - a **C4.5-style decision tree** ([`tree::DecisionTree`]) — "selected for
+//!   its speed" as the fitness oracle of the feature search (§VI) and as the
+//!   shared model of the Figure 15 comparison;
+//! - a **support-vector machine** ([`svm::Svm`]) with a Gaussian RBF kernel
+//!   (σ = 1, C = 10) trained one-vs-all — the state-of-the-art comparison
+//!   scheme of Stephenson & Amarasinghe (§VII-B.2).
+//!
+//! Plus the supporting machinery:
+//!
+//! - [`data::Dataset`] — fixed-length feature vectors with class labels;
+//! - [`cv::KFold`] — seeded k-fold cross-validation splits (the paper uses
+//!   ten folds, with loops used for learning *never* used for evaluation);
+//! - [`metrics`] — accuracy and the paper's headline metric, *percentage of
+//!   the maximum available speedup*.
+//!
+//! ```
+//! use fegen_ml::data::Dataset;
+//! use fegen_ml::tree::{DecisionTree, TreeConfig};
+//!
+//! // y = x0 > 0.5, learnable by a depth-1 tree.
+//! let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 20.0]).collect();
+//! let ys: Vec<usize> = (0..20).map(|i| usize::from(i >= 10)).collect();
+//! let data = Dataset::new(xs, ys, 2)?;
+//! let tree = DecisionTree::train(&data, &TreeConfig::default());
+//! assert_eq!(tree.predict(&[0.1]), 0);
+//! assert_eq!(tree.predict(&[0.9]), 1);
+//! # Ok::<(), fegen_ml::data::DataError>(())
+//! ```
+
+pub mod cv;
+pub mod data;
+pub mod metrics;
+pub mod svm;
+pub mod tree;
+
+pub use cv::KFold;
+pub use data::Dataset;
+pub use svm::{Svm, SvmConfig};
+pub use tree::{DecisionTree, TreeConfig};

@@ -1,0 +1,343 @@
+//! Support-vector machine with a Gaussian RBF kernel, trained by SMO,
+//! multi-class via one-vs-all.
+//!
+//! This is the "state-of-the-art" comparison scheme of the paper (§VII-B.2),
+//! following Stephenson & Amarasinghe: "we learn K different classifiers
+//! (one for each unroll factor) each trained to distinguish the examples in
+//! a specific class from the examples in all the remaining classes. At
+//! prediction time … the class with the largest output is selected." Kernel
+//! and parameters match the paper: `k(x,x') = exp(-||x-x'||² / 2σ²)` with
+//! σ = 1 and C = 10.
+//!
+//! Inputs should be standardised (see [`crate::data::Dataset::standardized`])
+//! — with σ fixed at 1 the kernel width only suits unit-scale features,
+//! exactly as in the paper's setup.
+
+use crate::data::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// SVM hyper-parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SvmConfig {
+    /// Upper bound on the Lagrange multipliers (paper: 10).
+    pub c: f64,
+    /// RBF kernel width σ (paper: 1).
+    pub sigma: f64,
+    /// KKT violation tolerance.
+    pub tol: f64,
+    /// SMO terminates after this many passes without any update.
+    pub max_passes: usize,
+    /// Hard cap on SMO iterations per binary problem.
+    pub max_iters: usize,
+    /// Seed of the SMO partner-selection RNG.
+    pub seed: u64,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        SvmConfig {
+            c: 10.0,
+            sigma: 1.0,
+            tol: 1e-3,
+            max_passes: 3,
+            max_iters: 20_000,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// One binary (one-vs-all) classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Binary {
+    /// Indices into the stored support vectors.
+    alphas_y: Vec<f64>,
+    bias: f64,
+    /// Support vectors for this binary problem.
+    vectors: Vec<Vec<f64>>,
+}
+
+impl Binary {
+    fn decision(&self, x: &[f64], gamma: f64) -> f64 {
+        let mut sum = self.bias;
+        for (ay, v) in self.alphas_y.iter().zip(&self.vectors) {
+            sum += ay * rbf(v, x, gamma);
+        }
+        sum
+    }
+}
+
+/// A trained one-vs-all RBF SVM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Svm {
+    binaries: Vec<Binary>,
+    gamma: f64,
+}
+
+fn rbf(a: &[f64], b: &[f64], gamma: f64) -> f64 {
+    let mut d2 = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        d2 += d * d;
+    }
+    (-gamma * d2).exp()
+}
+
+impl Svm {
+    /// Trains one binary SMO problem per class.
+    ///
+    /// The dataset should already be standardised. Training is
+    /// deterministic for a fixed [`SvmConfig::seed`].
+    pub fn train(data: &Dataset, config: &SvmConfig) -> Svm {
+        let gamma = 1.0 / (2.0 * config.sigma * config.sigma);
+        let n = data.len();
+        // Precompute the kernel matrix once; shared by all K problems.
+        let kernel: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| rbf(data.row(i), data.row(j), gamma))
+                    .collect()
+            })
+            .collect();
+        let binaries = (0..data.n_classes())
+            .map(|class| {
+                let y: Vec<f64> = (0..n)
+                    .map(|i| if data.label(i) == class { 1.0 } else { -1.0 })
+                    .collect();
+                train_binary(data, &y, &kernel, config)
+            })
+            .collect();
+        Svm { binaries, gamma }
+    }
+
+    /// Predicts the class with the largest decision value.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        // Ties break towards the smaller class index.
+        let values = self.decision_values(row);
+        let mut best = 0usize;
+        for (i, v) in values.iter().enumerate().skip(1) {
+            if *v > values[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Per-class decision values (one-vs-all margins).
+    pub fn decision_values(&self, row: &[f64]) -> Vec<f64> {
+        self.binaries
+            .iter()
+            .map(|b| b.decision(row, self.gamma))
+            .collect()
+    }
+
+    /// Total number of stored support vectors across all binary problems.
+    pub fn n_support_vectors(&self) -> usize {
+        self.binaries.iter().map(|b| b.vectors.len()).sum()
+    }
+}
+
+/// Simplified SMO (Platt) on a precomputed kernel matrix.
+fn train_binary(data: &Dataset, y: &[f64], kernel: &[Vec<f64>], config: &SvmConfig) -> Binary {
+    let n = data.len();
+    if n == 0 {
+        return Binary {
+            alphas_y: vec![],
+            bias: 0.0,
+            vectors: vec![],
+        };
+    }
+    let mut alpha = vec![0.0f64; n];
+    let mut b = 0.0f64;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let decision = |alpha: &[f64], b: f64, i: usize| -> f64 {
+        let mut s = b;
+        for j in 0..n {
+            if alpha[j] != 0.0 {
+                s += alpha[j] * y[j] * kernel[i][j];
+            }
+        }
+        s
+    };
+
+    let mut passes = 0usize;
+    let mut iters = 0usize;
+    while passes < config.max_passes && iters < config.max_iters {
+        let mut changed = 0usize;
+        for i in 0..n {
+            iters += 1;
+            if iters >= config.max_iters {
+                break;
+            }
+            let e_i = decision(&alpha, b, i) - y[i];
+            let viol = (y[i] * e_i < -config.tol && alpha[i] < config.c)
+                || (y[i] * e_i > config.tol && alpha[i] > 0.0);
+            if !viol {
+                continue;
+            }
+            // Pick a random partner j != i.
+            let mut j = rng.gen_range(0..n - 1);
+            if j >= i {
+                j += 1;
+            }
+            let e_j = decision(&alpha, b, j) - y[j];
+            let (a_i_old, a_j_old) = (alpha[i], alpha[j]);
+            let (lo, hi) = if y[i] != y[j] {
+                (
+                    (a_j_old - a_i_old).max(0.0),
+                    (config.c + a_j_old - a_i_old).min(config.c),
+                )
+            } else {
+                (
+                    (a_i_old + a_j_old - config.c).max(0.0),
+                    (a_i_old + a_j_old).min(config.c),
+                )
+            };
+            if lo >= hi {
+                continue;
+            }
+            let eta = 2.0 * kernel[i][j] - kernel[i][i] - kernel[j][j];
+            if eta >= 0.0 {
+                continue;
+            }
+            let mut a_j = a_j_old - y[j] * (e_i - e_j) / eta;
+            a_j = a_j.clamp(lo, hi);
+            if (a_j - a_j_old).abs() < 1e-5 {
+                continue;
+            }
+            let a_i = a_i_old + y[i] * y[j] * (a_j_old - a_j);
+            alpha[i] = a_i;
+            alpha[j] = a_j;
+            let b1 = b - e_i
+                - y[i] * (a_i - a_i_old) * kernel[i][i]
+                - y[j] * (a_j - a_j_old) * kernel[i][j];
+            let b2 = b - e_j
+                - y[i] * (a_i - a_i_old) * kernel[i][j]
+                - y[j] * (a_j - a_j_old) * kernel[j][j];
+            b = if 0.0 < a_i && a_i < config.c {
+                b1
+            } else if 0.0 < a_j && a_j < config.c {
+                b2
+            } else {
+                (b1 + b2) / 2.0
+            };
+            changed += 1;
+        }
+        if changed == 0 {
+            passes += 1;
+        } else {
+            passes = 0;
+        }
+    }
+
+    // Keep only support vectors.
+    let mut alphas_y = Vec::new();
+    let mut vectors = Vec::new();
+    for i in 0..n {
+        if alpha[i] > 1e-8 {
+            alphas_y.push(alpha[i] * y[i]);
+            vectors.push(data.row(i).to_vec());
+        }
+    }
+    Binary {
+        alphas_y,
+        bias: b,
+        vectors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Dataset;
+
+    fn blobs() -> Dataset {
+        // Three well-separated 2-D blobs.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let centers = [(-3.0, 0.0), (3.0, 0.0), (0.0, 4.0)];
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for k in 0..12 {
+                let dx = (k % 4) as f64 * 0.2 - 0.3;
+                let dy = (k / 4) as f64 * 0.2 - 0.2;
+                xs.push(vec![cx + dx, cy + dy]);
+                ys.push(c);
+            }
+        }
+        Dataset::new(xs, ys, 3).unwrap()
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let d = blobs();
+        let svm = Svm::train(&d, &SvmConfig::default());
+        let correct = (0..d.len())
+            .filter(|&i| svm.predict(d.row(i)) == d.label(i))
+            .count();
+        assert_eq!(correct, d.len(), "train accuracy must be perfect on separated blobs");
+    }
+
+    #[test]
+    fn predicts_new_points_near_centers() {
+        let d = blobs();
+        let svm = Svm::train(&d, &SvmConfig::default());
+        assert_eq!(svm.predict(&[-3.1, 0.1]), 0);
+        assert_eq!(svm.predict(&[2.8, -0.1]), 1);
+        assert_eq!(svm.predict(&[0.1, 3.9]), 2);
+    }
+
+    #[test]
+    fn nonlinear_boundary_with_rbf() {
+        // Ring vs centre: not linearly separable.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for k in 0..24 {
+            let a = k as f64 * std::f64::consts::TAU / 24.0;
+            xs.push(vec![2.0 * a.cos(), 2.0 * a.sin()]);
+            ys.push(1);
+        }
+        for k in 0..12 {
+            let a = k as f64 * std::f64::consts::TAU / 12.0;
+            xs.push(vec![0.3 * a.cos(), 0.3 * a.sin()]);
+            ys.push(0);
+        }
+        let d = Dataset::new(xs, ys, 2).unwrap();
+        let svm = Svm::train(&d, &SvmConfig::default());
+        assert_eq!(svm.predict(&[0.0, 0.0]), 0);
+        assert_eq!(svm.predict(&[2.0, 0.0]), 1);
+        assert_eq!(svm.predict(&[0.0, -2.0]), 1);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let d = blobs();
+        let s1 = Svm::train(&d, &SvmConfig::default());
+        let s2 = Svm::train(&d, &SvmConfig::default());
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn empty_dataset_is_handled() {
+        let d = Dataset::new(vec![], vec![], 2).unwrap();
+        let svm = Svm::train(&d, &SvmConfig::default());
+        // Degenerate but defined: ties at zero decision value → class 0.
+        assert_eq!(svm.predict(&[1.0]), 0);
+    }
+
+    #[test]
+    fn decision_values_have_one_entry_per_class() {
+        let d = blobs();
+        let svm = Svm::train(&d, &SvmConfig::default());
+        assert_eq!(svm.decision_values(&[0.0, 0.0]).len(), 3);
+    }
+
+    #[test]
+    fn keeps_only_support_vectors() {
+        let d = blobs();
+        let svm = Svm::train(&d, &SvmConfig::default());
+        // At most every example in every binary problem; normally far fewer.
+        assert!(svm.n_support_vectors() <= 3 * d.len());
+        assert!(svm.n_support_vectors() > 0);
+    }
+}

@@ -1,0 +1,552 @@
+//! C4.5-style decision-tree classifier.
+//!
+//! Continuous attributes are split at midpoints between adjacent distinct
+//! values; splits are chosen by **gain ratio** among candidates whose
+//! information gain is at least the average positive gain (Quinlan's
+//! guard against the gain-ratio bias towards unbalanced splits). Subtrees
+//! are pruned with C4.5's pessimistic error estimate (confidence factor
+//! 0.25).
+//!
+//! [`DecisionTree::predict_traced`] additionally records the decision path,
+//! which the experiment harness uses to print the Figure 3 / Figure 4 style
+//! path listings.
+
+use crate::data::Dataset;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Training configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum depth of the tree.
+    pub max_depth: usize,
+    /// Minimum number of examples required to attempt a split.
+    pub min_split: usize,
+    /// Whether to apply pessimistic post-pruning.
+    pub prune: bool,
+    /// z-value of the pruning confidence bound (0.6925 ≈ CF 0.25, C4.5's
+    /// default).
+    pub prune_z: f64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 12,
+            min_split: 4,
+            prune: true,
+            prune_z: 0.6925,
+        }
+    }
+}
+
+/// One step of a traced prediction: the split consulted and the direction
+/// taken.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathStep {
+    /// Index of the feature consulted.
+    pub feature: usize,
+    /// Split threshold.
+    pub threshold: f64,
+    /// `true` when the example went left (`value <= threshold`).
+    pub went_left: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        label: usize,
+        /// Training examples that reached this leaf.
+        n: usize,
+        /// Of which misclassified.
+        errors: usize,
+        /// Class histogram of the training examples at this leaf.
+        dist: Vec<usize>,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A trained decision tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    root: Node,
+    n_features: usize,
+}
+
+impl DecisionTree {
+    /// Trains a tree on `data`.
+    ///
+    /// An empty dataset yields a tree that always predicts class 0.
+    pub fn train(data: &Dataset, config: &TreeConfig) -> DecisionTree {
+        let indices: Vec<usize> = (0..data.len()).collect();
+        let mut root = grow(data, &indices, config, 0);
+        if config.prune {
+            prune(&mut root, config.prune_z);
+        }
+        DecisionTree {
+            root,
+            n_features: data.n_features(),
+        }
+    }
+
+    /// Predicts the class of `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is shorter than the training feature count.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { label, .. } => return *label,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Predicts the class of `row`, recording every split consulted.
+    pub fn predict_traced(&self, row: &[f64]) -> (usize, Vec<PathStep>) {
+        let mut node = &self.root;
+        let mut path = Vec::new();
+        loop {
+            match node {
+                Node::Leaf { label, .. } => return (*label, path),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let went_left = row[*feature] <= *threshold;
+                    path.push(PathStep {
+                        feature: *feature,
+                        threshold: *threshold,
+                        went_left,
+                    });
+                    node = if went_left { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        fn count(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => count(left) + count(right),
+            }
+        }
+        count(&self.root)
+    }
+
+    /// Depth of the tree (a single leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        fn depth(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => 1 + depth(left).max(depth(right)),
+            }
+        }
+        depth(&self.root)
+    }
+
+    /// Number of features the tree was trained with.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Renders the tree as an indented `if (fK <= t)` listing, in the style
+    /// of the paper's Figure 3(b), with `names[k]` naming feature `k`
+    /// (falls back to `fK`).
+    pub fn render(&self, names: &[String]) -> String {
+        fn name(names: &[String], k: usize) -> String {
+            names.get(k).cloned().unwrap_or_else(|| format!("f{k}"))
+        }
+        fn go(n: &Node, names: &[String], out: &mut String, indent: usize) {
+            use std::fmt::Write;
+            let pad = "  ".repeat(indent);
+            match n {
+                Node::Leaf { label, .. } => {
+                    let _ = writeln!(out, "{pad}predict {label};");
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let _ = writeln!(out, "{pad}if( {} <= {} )", name(names, *feature), threshold);
+                    go(left, names, out, indent + 1);
+                    let _ = writeln!(out, "{pad}else");
+                    go(right, names, out, indent + 1);
+                }
+            }
+        }
+        let mut out = String::new();
+        go(&self.root, names, &mut out, 0);
+        out
+    }
+}
+
+impl fmt::Display for DecisionTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render(&[]))
+    }
+}
+
+fn entropy(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let total_f = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total_f;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+struct SplitChoice {
+    feature: usize,
+    threshold: f64,
+    gain: f64,
+    gain_ratio: f64,
+}
+
+fn grow(data: &Dataset, indices: &[usize], config: &TreeConfig, depth: usize) -> Node {
+    let make_leaf = |indices: &[usize]| -> Node {
+        let mut counts = vec![0usize; data.n_classes()];
+        for &i in indices {
+            counts[data.label(i)] += 1;
+        }
+        let (label, &n_max) = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, &c)| (c, usize::MAX - i))
+            .unwrap_or((0, &0));
+        Node::Leaf {
+            label,
+            n: indices.len(),
+            errors: indices.len() - n_max,
+            dist: counts,
+        }
+    };
+
+    if indices.len() < config.min_split || depth >= config.max_depth {
+        return make_leaf(indices);
+    }
+    let first_label = data.label(indices[0]);
+    if indices.iter().all(|&i| data.label(i) == first_label) {
+        return make_leaf(indices);
+    }
+
+    let Some(best) = best_split(data, indices) else {
+        return make_leaf(indices);
+    };
+
+    let (left, right): (Vec<usize>, Vec<usize>) = indices
+        .iter()
+        .partition(|&&i| data.row(i)[best.feature] <= best.threshold);
+    if left.is_empty() || right.is_empty() {
+        return make_leaf(indices);
+    }
+    Node::Split {
+        feature: best.feature,
+        threshold: best.threshold,
+        left: Box::new(grow(data, &left, config, depth + 1)),
+        right: Box::new(grow(data, &right, config, depth + 1)),
+    }
+}
+
+/// Finds the best (feature, threshold) by gain ratio among splits with at
+/// least average positive gain.
+fn best_split(data: &Dataset, indices: &[usize]) -> Option<SplitChoice> {
+    let n = indices.len();
+    let n_classes = data.n_classes();
+    let mut total_counts = vec![0usize; n_classes];
+    for &i in indices {
+        total_counts[data.label(i)] += 1;
+    }
+    let base_entropy = entropy(&total_counts, n);
+
+    let mut candidates: Vec<SplitChoice> = Vec::new();
+    let mut sorted: Vec<(f64, usize)> = Vec::with_capacity(n);
+    for feature in 0..data.n_features() {
+        sorted.clear();
+        sorted.extend(indices.iter().map(|&i| (data.row(i)[feature], data.label(i))));
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+        let mut left_counts = vec![0usize; n_classes];
+        let mut best_for_feature: Option<SplitChoice> = None;
+        for k in 0..n - 1 {
+            left_counts[sorted[k].1] += 1;
+            // Candidate threshold only between distinct values.
+            if sorted[k].0 == sorted[k + 1].0 {
+                continue;
+            }
+            let n_left = k + 1;
+            let n_right = n - n_left;
+            let mut right_counts = vec![0usize; n_classes];
+            for (c, (&t, &l)) in right_counts
+                .iter_mut()
+                .zip(total_counts.iter().zip(left_counts.iter()))
+            {
+                *c = t - l;
+            }
+            let split_entropy = (n_left as f64 / n as f64) * entropy(&left_counts, n_left)
+                + (n_right as f64 / n as f64) * entropy(&right_counts, n_right);
+            let gain = base_entropy - split_entropy;
+            if gain <= 1e-12 {
+                continue;
+            }
+            let p_left = n_left as f64 / n as f64;
+            let split_info = -(p_left * p_left.log2() + (1.0 - p_left) * (1.0 - p_left).log2());
+            let gain_ratio = gain / split_info.max(1e-12);
+            let threshold = (sorted[k].0 + sorted[k + 1].0) / 2.0;
+            let cand = SplitChoice {
+                feature,
+                threshold,
+                gain,
+                gain_ratio,
+            };
+            if best_for_feature
+                .as_ref()
+                .is_none_or(|b| cand.gain_ratio > b.gain_ratio)
+            {
+                best_for_feature = Some(cand);
+            }
+        }
+        if let Some(c) = best_for_feature {
+            candidates.push(c);
+        }
+    }
+    if candidates.is_empty() {
+        return None;
+    }
+    let avg_gain: f64 = candidates.iter().map(|c| c.gain).sum::<f64>() / candidates.len() as f64;
+    candidates
+        .into_iter()
+        // C4.5: restrict gain-ratio selection to at-least-average gain.
+        .filter(|c| c.gain >= avg_gain - 1e-12)
+        .max_by(|a, b| {
+            a.gain_ratio
+                .partial_cmp(&b.gain_ratio)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+}
+
+/// C4.5 pessimistic error: upper confidence bound on the leaf error rate.
+fn pessimistic_errors(n: usize, errors: usize, z: f64) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let f = errors as f64 / nf;
+    let z2 = z * z;
+    let ucb = (f + z2 / (2.0 * nf)
+        + z * (f * (1.0 - f) / nf + z2 / (4.0 * nf * nf)).sqrt())
+        / (1.0 + z2 / nf);
+    ucb * nf
+}
+
+/// Bottom-up subtree replacement (C4.5's pessimistic pruning): collapse a
+/// split when the upper confidence bound on the error of a leaf covering
+/// the same examples is no worse than the sum over its children. Returns
+/// `(class_histogram, pessimistic_errors)` for the subtree.
+fn prune(node: &mut Node, z: f64) -> (Vec<usize>, f64) {
+    match node {
+        Node::Leaf {
+            n, errors, dist, ..
+        } => (dist.clone(), pessimistic_errors(*n, *errors, z)),
+        Node::Split { left, right, .. } => {
+            let (dl, pl) = prune(left, z);
+            let (dr, pr) = prune(right, z);
+            let dist: Vec<usize> = dl.iter().zip(&dr).map(|(a, b)| a + b).collect();
+            let n: usize = dist.iter().sum();
+            let (label, &n_max) = dist
+                .iter()
+                .enumerate()
+                .max_by_key(|(i, &c)| (c, usize::MAX - i))
+                .expect("non-empty class histogram");
+            let leaf_errors = n - n_max;
+            let as_leaf = pessimistic_errors(n, leaf_errors, z);
+            if as_leaf <= pl + pr + 0.1 {
+                *node = Node::Leaf {
+                    label,
+                    n,
+                    errors: leaf_errors,
+                    dist,
+                };
+                let p = pessimistic_errors(n, leaf_errors, z);
+                let dist = match node {
+                    Node::Leaf { dist, .. } => dist.clone(),
+                    _ => unreachable!(),
+                };
+                (dist, p)
+            } else {
+                (dist, pl + pr)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Dataset;
+
+    fn xor_like() -> Dataset {
+        // Two features; class = (x0 > 0.5) XOR (x1 > 0.5): needs depth 2.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..8 {
+            for j in 0..8 {
+                let x0 = i as f64 / 8.0;
+                let x1 = j as f64 / 8.0;
+                xs.push(vec![x0, x1]);
+                ys.push(usize::from((x0 > 0.5) != (x1 > 0.5)));
+            }
+        }
+        Dataset::new(xs, ys, 2).unwrap()
+    }
+
+    #[test]
+    fn learns_threshold_split() {
+        let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let ys: Vec<usize> = (0..30).map(|i| usize::from(i >= 17)).collect();
+        let d = Dataset::new(xs, ys, 2).unwrap();
+        let t = DecisionTree::train(&d, &TreeConfig::default());
+        assert_eq!(t.predict(&[3.0]), 0);
+        assert_eq!(t.predict(&[16.4]), 0);
+        assert_eq!(t.predict(&[16.6]), 1);
+        assert_eq!(t.predict(&[29.0]), 1);
+    }
+
+    #[test]
+    fn learns_xor_with_depth_two() {
+        let d = xor_like();
+        let t = DecisionTree::train(&d, &TreeConfig::default());
+        let correct = (0..d.len())
+            .filter(|&i| t.predict(d.row(i)) == d.label(i))
+            .count();
+        assert!(
+            correct as f64 / d.len() as f64 > 0.95,
+            "xor accuracy {}/{}",
+            correct,
+            d.len()
+        );
+    }
+
+    #[test]
+    fn pure_dataset_yields_single_leaf() {
+        let d = Dataset::new(vec![vec![1.0], vec![2.0], vec![3.0]], vec![1, 1, 1], 2).unwrap();
+        let t = DecisionTree::train(&d, &TreeConfig::default());
+        assert_eq!(t.n_leaves(), 1);
+        assert_eq!(t.predict(&[100.0]), 1);
+    }
+
+    #[test]
+    fn empty_dataset_predicts_class_zero() {
+        let d = Dataset::new(vec![], vec![], 4).unwrap();
+        let t = DecisionTree::train(&d, &TreeConfig::default());
+        assert_eq!(t.predict(&[1.0, 2.0]), 0);
+    }
+
+    #[test]
+    fn constant_features_yield_majority_leaf() {
+        let d = Dataset::new(vec![vec![1.0]; 5], vec![0, 1, 1, 1, 0], 2).unwrap();
+        let t = DecisionTree::train(&d, &TreeConfig::default());
+        assert_eq!(t.n_leaves(), 1);
+        assert_eq!(t.predict(&[1.0]), 1);
+    }
+
+    #[test]
+    fn max_depth_is_respected() {
+        let d = xor_like();
+        let cfg = TreeConfig {
+            max_depth: 1,
+            prune: false,
+            ..TreeConfig::default()
+        };
+        let t = DecisionTree::train(&d, &cfg);
+        assert!(t.depth() <= 2, "depth {}", t.depth());
+    }
+
+    #[test]
+    fn traced_prediction_matches_plain() {
+        let d = xor_like();
+        let t = DecisionTree::train(&d, &TreeConfig::default());
+        for i in 0..d.len() {
+            let (label, path) = t.predict_traced(d.row(i));
+            assert_eq!(label, t.predict(d.row(i)));
+            // Path must be consistent with the row.
+            for step in &path {
+                assert_eq!(step.went_left, d.row(i)[step.feature] <= step.threshold);
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_shrinks_noisy_trees() {
+        // Random labels: an unpruned tree overfits into many leaves; the
+        // pruned tree must be no larger.
+        let xs: Vec<Vec<f64>> = (0..64).map(|i| vec![(i * 37 % 64) as f64]).collect();
+        let ys: Vec<usize> = (0..64).map(|i| (i * 13 + 5) % 2).collect();
+        let d = Dataset::new(xs, ys, 2).unwrap();
+        let unpruned = DecisionTree::train(
+            &d,
+            &TreeConfig {
+                prune: false,
+                ..TreeConfig::default()
+            },
+        );
+        let pruned = DecisionTree::train(&d, &TreeConfig::default());
+        assert!(
+            pruned.n_leaves() <= unpruned.n_leaves(),
+            "pruned {} vs unpruned {}",
+            pruned.n_leaves(),
+            unpruned.n_leaves()
+        );
+    }
+
+    #[test]
+    fn render_mentions_feature_names() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let ys: Vec<usize> = (0..20).map(|i| usize::from(i >= 10)).collect();
+        let d = Dataset::new(xs, ys, 2).unwrap();
+        let t = DecisionTree::train(&d, &TreeConfig::default());
+        let rendered = t.render(&["ninsns".to_owned()]);
+        assert!(rendered.contains("if( ninsns <="), "{rendered}");
+    }
+
+    #[test]
+    fn multiclass_prediction() {
+        let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let ys: Vec<usize> = (0..30).map(|i| i / 10).collect();
+        let d = Dataset::new(xs, ys, 3).unwrap();
+        let t = DecisionTree::train(&d, &TreeConfig::default());
+        assert_eq!(t.predict(&[5.0]), 0);
+        assert_eq!(t.predict(&[15.0]), 1);
+        assert_eq!(t.predict(&[25.0]), 2);
+    }
+}

@@ -1,0 +1,54 @@
+//! # fegen-rtl — the RTL-style compiler IR
+//!
+//! The paper studies loop unrolling "at the point at which loop unrolling
+//! occurs in GCC \[where\] the program has been lowered to the register
+//! transfer language (RTL). In RTL, instructions are in an algebraic form
+//! with a treed, list-of-lists representation" (§VI). This crate provides
+//! that substrate for the reproduction:
+//!
+//! - [`node`] — the RTL expression trees ([`node::Rtx`]), machine modes and
+//!   decoded instructions ([`node::Insn`]);
+//! - [`func`] — whole lowered functions and programs, memory layout for
+//!   arrays, loop regions;
+//! - [`lower`] — lowering from the Tiny-C AST (`fegen-lang`) to RTL;
+//! - [`mod@cfg`] — basic blocks, control-flow graph, natural-loop discovery and
+//!   loop depths;
+//! - [`unroll`] — the loop-unrolling transformation with **explicit per-loop
+//!   unroll factors** (the compiler extension the paper added to GCC);
+//! - [`heuristic`] — a re-creation of GCC's default unrolling heuristic and
+//!   the features it consults (`ninsns`, `av_ninsns`, `niter`, …; paper
+//!   Figure 3);
+//! - [`stateml`] — the 22 hand-crafted loop features of Stephenson &
+//!   Amarasinghe (paper Figure 14);
+//! - [`export`] — export of a loop's RTL (augmented with basic-block
+//!   structure and analysis attributes) as `fegen-core` [`fegen_core::ir::IrNode`]
+//!   trees for the feature generator.
+//!
+//! ```
+//! use fegen_rtl::lower::lower_program;
+//!
+//! let ast = fegen_lang::parse_program(
+//!     "int f(int n, int a[64]) {
+//!        int i; int s; s = 0;
+//!        for (i = 0; i < n; i = i + 1) { s = s + a[i]; }
+//!        return s;
+//!      }",
+//! )?;
+//! let rtl = lower_program(&ast)?;
+//! let f = &rtl.functions[0];
+//! assert_eq!(f.loops.len(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod cfg;
+pub mod export;
+pub mod func;
+pub mod heuristic;
+pub mod inline;
+pub mod lower;
+pub mod node;
+pub mod stateml;
+pub mod unroll;
+
+pub use func::{RtlFunction, RtlProgram};
+pub use node::{Insn, InsnBody, Mode, Rtx, RtxCode};

@@ -1,0 +1,194 @@
+//! Direct-mapped caches and a two-bit branch predictor.
+//!
+//! These are the micro-architectural mechanisms that make loop unrolling a
+//! non-trivial optimisation on the paper's Pentium target: unrolling
+//! amortises branch overhead and exposes ILP, but bloats the instruction
+//! footprint (I-cache), and the remainder iterations run in a branchy
+//! epilogue. The models are deliberately simple — direct-mapped,
+//! fixed-penalty — because only the *shape* of the trade-off needs to be
+//! faithful.
+
+/// A direct-mapped cache with power-of-two geometry.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    /// Tag per line (`u64::MAX` = invalid).
+    lines: Vec<u64>,
+    line_shift: u32,
+    index_mask: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates a cache of `n_lines` lines of `line_bytes` bytes each; both
+    /// must be powers of two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is not a power of two.
+    pub fn new(n_lines: usize, line_bytes: usize) -> Cache {
+        assert!(n_lines.is_power_of_two(), "n_lines must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line_bytes must be a power of two"
+        );
+        Cache {
+            lines: vec![u64::MAX; n_lines],
+            line_shift: line_bytes.trailing_zeros(),
+            index_mask: (n_lines - 1) as u64,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Accesses the byte address; returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let index = (line & self.index_mask) as usize;
+        if self.lines[index] == line {
+            self.hits += 1;
+            true
+        } else {
+            self.lines[index] = line;
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Total hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Resets contents and statistics.
+    pub fn reset(&mut self) {
+        self.lines.fill(u64::MAX);
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+/// A table of two-bit saturating counters.
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    counters: Vec<u8>,
+    mispredicts: u64,
+    predictions: u64,
+}
+
+impl BranchPredictor {
+    /// Creates a predictor with `entries` counters (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> BranchPredictor {
+        assert!(entries.is_power_of_two(), "entries must be a power of two");
+        BranchPredictor {
+            // Weakly taken: loops predict well from the start, as real
+            // predictors warmed by BTB allocation do.
+            counters: vec![2; entries],
+            mispredicts: 0,
+            predictions: 0,
+        }
+    }
+
+    /// Records the outcome of branch site `site`; returns `true` when the
+    /// prediction was correct.
+    pub fn predict_and_update(&mut self, site: u64, taken: bool) -> bool {
+        let i = (site as usize) & (self.counters.len() - 1);
+        let predicted_taken = self.counters[i] >= 2;
+        if taken && self.counters[i] < 3 {
+            self.counters[i] += 1;
+        } else if !taken && self.counters[i] > 0 {
+            self.counters[i] -= 1;
+        }
+        self.predictions += 1;
+        let correct = predicted_taken == taken;
+        if !correct {
+            self.mispredicts += 1;
+        }
+        correct
+    }
+
+    /// Total mispredictions so far.
+    pub fn mispredicts(&self) -> u64 {
+        self.mispredicts
+    }
+
+    /// Total predictions so far.
+    pub fn predictions(&self) -> u64 {
+        self.predictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_hits_after_first_touch() {
+        let mut c = Cache::new(64, 64);
+        assert!(!c.access(0));
+        assert!(c.access(8));
+        assert!(c.access(63));
+        assert!(!c.access(64));
+        assert_eq!(c.misses(), 2);
+        assert_eq!(c.hits(), 2);
+    }
+
+    #[test]
+    fn cache_conflicts_on_same_index() {
+        let mut c = Cache::new(4, 64);
+        // Addresses 0 and 4*64 map to index 0.
+        assert!(!c.access(0));
+        assert!(!c.access(4 * 64));
+        assert!(!c.access(0), "evicted by the conflicting line");
+    }
+
+    #[test]
+    fn cache_reset_clears_state() {
+        let mut c = Cache::new(4, 64);
+        c.access(0);
+        c.reset();
+        assert_eq!(c.misses(), 0);
+        assert!(!c.access(0));
+    }
+
+    #[test]
+    fn predictor_learns_loop_branches() {
+        let mut bp = BranchPredictor::new(16);
+        // A branch taken 100 times then not taken once (loop exit).
+        let mut wrong = 0;
+        for _ in 0..100 {
+            if !bp.predict_and_update(3, true) {
+                wrong += 1;
+            }
+        }
+        assert!(wrong <= 1, "warmup mispredicts: {wrong}");
+        assert!(!bp.predict_and_update(3, false), "exit should mispredict");
+    }
+
+    #[test]
+    fn predictor_struggles_with_alternating_pattern() {
+        let mut bp = BranchPredictor::new(16);
+        let mut wrong = 0;
+        for k in 0..100 {
+            if !bp.predict_and_update(5, k % 2 == 0) {
+                wrong += 1;
+            }
+        }
+        assert!(wrong >= 40, "alternating pattern mispredicts: {wrong}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn cache_rejects_non_power_of_two() {
+        let _ = Cache::new(3, 64);
+    }
+}

@@ -1,0 +1,248 @@
+//! Static per-block cost model: a dual-issue in-order scoreboard.
+//!
+//! For every basic block the model computes the cycles an in-order,
+//! two-wide Pentium-class pipeline needs to issue and complete the block's
+//! instructions, honouring register dependences and instruction latencies.
+//! Dynamic effects (cache misses, branch mispredictions) are added by the
+//! interpreter at run time on top of these static costs.
+
+use fegen_rtl::node::{InsnBody, Mode, Rtx, RtxCode};
+use fegen_rtl::RtlFunction;
+use std::collections::HashMap;
+
+/// Latency/penalty constants of the simulated machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Instructions issued per cycle.
+    pub issue_width: u64,
+    /// L1 data-cache miss penalty (cycles).
+    pub dcache_miss: u64,
+    /// Instruction-cache miss penalty per missing line (cycles).
+    pub icache_miss: u64,
+    /// Branch misprediction penalty (cycles).
+    pub mispredict: u64,
+    /// Fixed call/return overhead (cycles).
+    pub call_overhead: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            issue_width: 2,
+            dcache_miss: 20,
+            icache_miss: 10,
+            mispredict: 8,
+            call_overhead: 10,
+        }
+    }
+}
+
+/// Issue latency of a single instruction.
+pub fn insn_latency(body: &InsnBody) -> u64 {
+    match body {
+        InsnBody::Set { dest, src } => {
+            let mut lat = 1u64;
+            if src.code == RtxCode::Mem {
+                lat = lat.max(2); // L1 hit
+            }
+            src.visit(&mut |n: &Rtx| {
+                let l = match (n.code, n.mode) {
+                    (RtxCode::Mult, Mode::DF) => 5,
+                    (RtxCode::Mult, _) => 4,
+                    (RtxCode::Div, Mode::DF) => 30,
+                    (RtxCode::Div, _) => 16,
+                    (RtxCode::Mod, _) => 16,
+                    (RtxCode::Plus | RtxCode::Minus | RtxCode::Neg, Mode::DF) => 3,
+                    (RtxCode::Float | RtxCode::Fix | RtxCode::FloatExtend, _) => 3,
+                    _ => 1,
+                };
+                lat = lat.max(l);
+            });
+            let _ = dest;
+            lat
+        }
+        InsnBody::Call { .. } => 1,
+        _ => 1,
+    }
+}
+
+/// Statically computed block costs for one function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockCosts {
+    /// Cycles to execute each block once (dependences + issue bound).
+    pub cycles: Vec<u64>,
+    /// Spill overhead per block execution, from estimated register
+    /// pressure beyond the eight x86 integer registers.
+    pub spill: Vec<u64>,
+}
+
+/// Computes the static cost of every block of `func` (blocks as produced
+/// by [`fegen_rtl::cfg::Cfg::build`]).
+pub fn block_costs(func: &RtlFunction, cfg: &fegen_rtl::cfg::Cfg, model: &CostModel) -> BlockCosts {
+    let mut cycles = Vec::with_capacity(cfg.blocks.len());
+    let mut spill = Vec::with_capacity(cfg.blocks.len());
+    for b in &cfg.blocks {
+        let insns = &func.insns[b.start..b.end];
+        cycles.push(schedule_cost(insns, model));
+        spill.push(spill_cost(insns));
+    }
+    BlockCosts { cycles, spill }
+}
+
+/// In-order dual-issue scoreboard over a straight-line span.
+fn schedule_cost(insns: &[fegen_rtl::Insn], model: &CostModel) -> u64 {
+    let mut ready: HashMap<u32, u64> = HashMap::new();
+    let mut cycle = 0u64;
+    let mut slot = 0u64;
+    let mut done_max = 0u64;
+    for insn in insns {
+        if insn.is_label() {
+            continue;
+        }
+        // Operand readiness.
+        let mut used: Vec<u32> = Vec::new();
+        match &insn.body {
+            InsnBody::Set { dest, src } => {
+                src.regs_used(&mut used);
+                if dest.code == RtxCode::Mem {
+                    dest.ops[0].regs_used(&mut used);
+                }
+            }
+            InsnBody::CondJump { cond, .. } => cond.regs_used(&mut used),
+            InsnBody::Call { args, .. } => {
+                for a in args {
+                    a.regs_used(&mut used);
+                }
+            }
+            InsnBody::Return { value: Some(v) } => v.regs_used(&mut used),
+            _ => {}
+        }
+        let earliest = used
+            .iter()
+            .map(|r| ready.get(r).copied().unwrap_or(0))
+            .max()
+            .unwrap_or(0);
+        if slot >= model.issue_width {
+            cycle += 1;
+            slot = 0;
+        }
+        if earliest > cycle {
+            cycle = earliest;
+            slot = 0;
+        }
+        slot += 1;
+        let lat = insn_latency(&insn.body);
+        let done = cycle + lat;
+        done_max = done_max.max(done);
+        if let InsnBody::Set { dest, .. } = &insn.body {
+            if let Some(r) = dest.as_reg() {
+                ready.insert(r, done);
+            }
+        }
+        if let InsnBody::Call { dest: Some(d), .. } = &insn.body {
+            if let Some(r) = d.as_reg() {
+                ready.insert(r, done + model.call_overhead);
+            }
+        }
+    }
+    done_max.max(u64::from(insns.iter().any(|i| !i.is_label())))
+}
+
+/// Register-pressure spill estimate: beyond 8 live integer registers a
+/// Pentium must spill; each excess register costs roughly a store plus a
+/// (likely L1-hit) reload per block execution.
+fn spill_cost(insns: &[fegen_rtl::Insn]) -> u64 {
+    let mut regs: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    for insn in insns {
+        match &insn.body {
+            InsnBody::Set { dest, src } => {
+                let mut used = Vec::new();
+                src.regs_used(&mut used);
+                dest.regs_used(&mut used);
+                regs.extend(used);
+            }
+            InsnBody::CondJump { cond, .. } => {
+                let mut used = Vec::new();
+                cond.regs_used(&mut used);
+                regs.extend(used);
+            }
+            _ => {}
+        }
+    }
+    (regs.len() as u64).saturating_sub(8) * 3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fegen_rtl::cfg::Cfg;
+    use fegen_rtl::lower::lower_program;
+
+    fn costs(src: &str) -> (BlockCosts, Cfg) {
+        let ast = fegen_lang::parse_program(src).unwrap();
+        let p = lower_program(&ast).unwrap();
+        let f = &p.functions[0];
+        let cfg = Cfg::build(f);
+        (block_costs(f, &cfg, &CostModel::default()), cfg)
+    }
+
+    #[test]
+    fn longer_blocks_cost_more() {
+        let (a, _) = costs("int f(int x) { return x + 1; }");
+        let (b, _) = costs("int f(int x) { int t; t = x + 1; t = t * 3; t = t - x; return t; }");
+        assert!(b.cycles[0] > a.cycles[0]);
+    }
+
+    #[test]
+    fn division_dominates_cost() {
+        let (div, _) = costs("int f(int x) { return x / 3; }");
+        let (add, _) = costs("int f(int x) { return x + 3; }");
+        assert!(div.cycles[0] >= add.cycles[0] + 10);
+    }
+
+    #[test]
+    fn independent_ops_pair_up() {
+        // Eight independent adds: ≈ 4 issue cycles + 1 latency.
+        let (ind, _) = costs(
+            "void f(int a, int b) {\n\
+               int t0; int t1; int t2; int t3; int t4; int t5; int t6; int t7;\n\
+               t0 = a + 1; t1 = a + 2; t2 = a + 3; t3 = a + 4;\n\
+               t4 = b + 1; t5 = b + 2; t6 = b + 3; t7 = b + 4;\n\
+             }",
+        );
+        // Eight chained adds: ≥ 8 cycles.
+        let (dep, _) = costs(
+            "void f(int a) {\n\
+               int t;\n\
+               t = a + 1; t = t + 2; t = t + 3; t = t + 4;\n\
+               t = t + 1; t = t + 2; t = t + 3; t = t + 4;\n\
+             }",
+        );
+        assert!(
+            dep.cycles[0] > ind.cycles[0],
+            "dependent {} vs independent {}",
+            dep.cycles[0],
+            ind.cycles[0]
+        );
+    }
+
+    #[test]
+    fn spill_cost_kicks_in_beyond_eight_regs() {
+        let (small, _) = costs("int f(int x) { return x + 1; }");
+        assert_eq!(small.spill[0], 0);
+        // 12 simultaneously-referenced registers in one block.
+        let mut body = String::new();
+        for k in 0..12 {
+            body.push_str(&format!("int t{k}; t{k} = x + {k};\n"));
+        }
+        body.push_str("x = t0 + t1 + t2 + t3 + t4 + t5 + t6 + t7 + t8 + t9 + t10 + t11;\n");
+        let (big, _) = costs(&format!("void f(int x) {{ {body} }}"));
+        assert!(big.spill[0] > 0);
+    }
+
+    #[test]
+    fn empty_block_costs_at_most_one() {
+        let (c, _) = costs("void f() { }");
+        assert!(c.cycles[0] <= 1);
+    }
+}

@@ -1,0 +1,865 @@
+//! The RTL interpreter with cycle accounting.
+//!
+//! [`Machine`] executes lowered [`fegen_rtl::RtlProgram`]s and attributes
+//! cycles to the function executing them (exclusive of callees) — the
+//! paper's measurements record "the number of cycles required to execute
+//! the function containing the loop that had been altered" (§V).
+//!
+//! Cycle accounting = static block costs (see [`crate::cost`]) charged on
+//! every block entry, plus dynamic penalties: D-cache misses on actual
+//! addresses, I-cache misses on the block's code footprint, and branch
+//! mispredictions from a two-bit predictor.
+
+use crate::cache::{BranchPredictor, Cache};
+use crate::cost::{block_costs, BlockCosts, CostModel};
+use fegen_rtl::cfg::Cfg;
+use fegen_rtl::func::ParamKind;
+use fegen_rtl::node::{InsnBody, Mode, Rtx, RtxCode, RtxValue};
+use fegen_rtl::{RtlFunction, RtlProgram};
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Integer.
+    I(i64),
+    /// Float.
+    F(f64),
+}
+
+impl Value {
+    /// Integer view (floats truncate).
+    pub fn as_i(self) -> i64 {
+        match self {
+            Value::I(v) => v,
+            Value::F(v) => v as i64,
+        }
+    }
+
+    /// Float view.
+    pub fn as_f(self) -> f64 {
+        match self {
+            Value::I(v) => v as f64,
+            Value::F(v) => v,
+        }
+    }
+
+    /// Truthiness (non-zero).
+    pub fn is_true(self) -> bool {
+        match self {
+            Value::I(v) => v != 0,
+            Value::F(v) => v != 0.0,
+        }
+    }
+}
+
+/// An argument to [`Machine::call`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arg {
+    /// Scalar integer.
+    Int(i64),
+    /// Scalar float.
+    Float(f64),
+    /// Array argument: the name of an allocated array (global or
+    /// `func::local`).
+    Array(String),
+}
+
+/// Simulator error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// No function with that name.
+    UnknownFunction(String),
+    /// A `symbol_ref` did not resolve to an allocated array.
+    UnknownSymbol(String),
+    /// A memory access fell outside the allocated image.
+    BadAddress(i64),
+    /// The instruction budget was exhausted (runaway loop).
+    InsnLimit,
+    /// Call depth exceeded (unexpected recursion).
+    CallDepth,
+    /// A jump targeted a label that does not exist.
+    BadLabel(u32),
+    /// Wrong number or kind of arguments.
+    BadArguments(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            SimError::UnknownSymbol(n) => write!(f, "unknown symbol `{n}`"),
+            SimError::BadAddress(a) => write!(f, "memory access out of range at cell {a}"),
+            SimError::InsnLimit => write!(f, "instruction limit exceeded"),
+            SimError::CallDepth => write!(f, "call depth exceeded"),
+            SimError::BadLabel(l) => write!(f, "jump to unknown label {l}"),
+            SimError::BadArguments(m) => write!(f, "bad arguments: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Simulator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Pipeline cost constants.
+    pub model: CostModel,
+    /// D-cache lines (×64-byte lines; 256 = 16 KiB).
+    pub dcache_lines: usize,
+    /// I-cache lines (×64-byte lines).
+    pub icache_lines: usize,
+    /// Branch-predictor entries.
+    pub bp_entries: usize,
+    /// Abort after this many executed instructions.
+    pub max_insns: u64,
+    /// Maximum call depth.
+    pub max_depth: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            model: CostModel::default(),
+            dcache_lines: 256,
+            icache_lines: 256,
+            bp_entries: 512,
+            max_insns: 200_000_000,
+            max_depth: 64,
+        }
+    }
+}
+
+const LINE_BYTES: usize = 64;
+const INSN_BYTES: u64 = 4;
+
+/// Prepared per-function execution image.
+struct FuncImage<'p> {
+    func: &'p RtlFunction,
+    costs: BlockCosts,
+    /// Block index of every instruction.
+    block_of: Vec<usize>,
+    /// Whether the instruction index starts a block.
+    is_block_start: Vec<bool>,
+    /// Block span (start, end) per block.
+    spans: Vec<(usize, usize)>,
+    label_at: HashMap<u32, usize>,
+    /// Byte address of the function's first instruction.
+    code_base: u64,
+}
+
+/// The simulated machine: program, memory image, caches, predictor and
+/// per-function cycle counters.
+pub struct Machine<'p> {
+    program: &'p RtlProgram,
+    images: HashMap<&'p str, Rc<FuncImage<'p>>>,
+    /// Memory image: one 8-byte cell per array element.
+    pub memory: Vec<u64>,
+    dcache: Cache,
+    icache: Cache,
+    bp: BranchPredictor,
+    cycles_by_func: HashMap<String, u64>,
+    total_cycles: u64,
+    insns_executed: u64,
+    config: SimConfig,
+}
+
+impl<'p> fmt::Debug for Machine<'p> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("functions", &self.images.len())
+            .field("memory_cells", &self.memory.len())
+            .field("total_cycles", &self.total_cycles)
+            .field("insns_executed", &self.insns_executed)
+            .finish()
+    }
+}
+
+impl<'p> Machine<'p> {
+    /// Prepares a machine for `program` (builds CFGs and static block
+    /// costs for every function, zeroes memory).
+    pub fn new(program: &'p RtlProgram, config: SimConfig) -> Machine<'p> {
+        let mut images = HashMap::new();
+        let mut code_base = 0u64;
+        for f in &program.functions {
+            let cfg = Cfg::build(f);
+            let costs = block_costs(f, &cfg, &config.model);
+            let n = f.insns.len();
+            let mut block_of = vec![0usize; n];
+            let mut is_block_start = vec![false; n];
+            let mut spans = Vec::with_capacity(cfg.blocks.len());
+            for b in &cfg.blocks {
+                spans.push((b.start, b.end));
+                if b.start < n {
+                    is_block_start[b.start] = true;
+                }
+                block_of[b.start..b.end].fill(b.index);
+            }
+            let mut label_at = HashMap::new();
+            for (i, insn) in f.insns.iter().enumerate() {
+                if let InsnBody::Label(l) = insn.body {
+                    label_at.insert(l, i);
+                }
+            }
+            images.insert(
+                f.name.as_str(),
+                Rc::new(FuncImage {
+                    func: f,
+                    costs,
+                    block_of,
+                    is_block_start,
+                    spans,
+                    label_at,
+                    code_base,
+                }),
+            );
+            code_base += (n as u64 + 8) * INSN_BYTES;
+        }
+        let memory = vec![0u64; program.layout.total_cells() as usize];
+        Machine {
+            program,
+            images,
+            memory,
+            dcache: Cache::new(config.dcache_lines, LINE_BYTES),
+            icache: Cache::new(config.icache_lines, LINE_BYTES),
+            bp: BranchPredictor::new(config.bp_entries),
+            cycles_by_func: HashMap::new(),
+            total_cycles: 0,
+            insns_executed: 0,
+            config,
+        }
+    }
+
+    /// Calls `name` with `args`; returns the function's return value.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn call(&mut self, name: &str, args: &[Arg]) -> Result<Option<Value>, SimError> {
+        let image = self
+            .images
+            .get(name)
+            .ok_or_else(|| SimError::UnknownFunction(name.to_owned()))?;
+        let func = image.func;
+        if args.len() != func.params.len() {
+            return Err(SimError::BadArguments(format!(
+                "`{name}` expects {} arguments, got {}",
+                func.params.len(),
+                args.len()
+            )));
+        }
+        let mut scalars = Vec::new();
+        let mut arrays: HashMap<String, u64> = HashMap::new();
+        for (p, a) in func.params.iter().zip(args) {
+            match (&p.kind, a) {
+                (ParamKind::Scalar { mode, .. }, Arg::Int(v)) => {
+                    scalars.push(convert_to_mode(Value::I(*v), *mode));
+                }
+                (ParamKind::Scalar { mode, .. }, Arg::Float(v)) => {
+                    scalars.push(convert_to_mode(Value::F(*v), *mode));
+                }
+                (ParamKind::Array { .. }, Arg::Array(sym)) => {
+                    let info = self
+                        .program
+                        .layout
+                        .get(sym)
+                        .ok_or_else(|| SimError::UnknownSymbol(sym.clone()))?;
+                    arrays.insert(p.name.clone(), info.base);
+                }
+                _ => {
+                    return Err(SimError::BadArguments(format!(
+                        "argument for `{}` has the wrong kind",
+                        p.name
+                    )))
+                }
+            }
+        }
+        self.call_values(name, &scalars, arrays, 0)
+    }
+
+    /// Cycles attributed (exclusively) to function `name` so far.
+    pub fn cycles_of(&self, name: &str) -> u64 {
+        self.cycles_by_func.get(name).copied().unwrap_or(0)
+    }
+
+    /// Total cycles across all functions.
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Total instructions executed.
+    pub fn insns_executed(&self) -> u64 {
+        self.insns_executed
+    }
+
+    /// Branch mispredictions so far.
+    pub fn mispredicts(&self) -> u64 {
+        self.bp.mispredicts()
+    }
+
+    /// D-cache misses so far.
+    pub fn dcache_misses(&self) -> u64 {
+        self.dcache.misses()
+    }
+
+    /// I-cache misses so far.
+    pub fn icache_misses(&self) -> u64 {
+        self.icache.misses()
+    }
+
+    /// Reads one cell of an allocated array (for checking results).
+    ///
+    /// # Errors
+    ///
+    /// `UnknownSymbol` / `BadAddress` when the array or index is invalid.
+    pub fn read_array(&self, name: &str, index: usize) -> Result<Value, SimError> {
+        let info = self
+            .program
+            .layout
+            .get(name)
+            .ok_or_else(|| SimError::UnknownSymbol(name.to_owned()))?;
+        if index >= info.len {
+            return Err(SimError::BadAddress(index as i64));
+        }
+        let bits = self.memory[(info.base + index as u64) as usize];
+        Ok(match info.mode {
+            Mode::DF => Value::F(f64::from_bits(bits)),
+            _ => Value::I(bits as i64),
+        })
+    }
+
+    /// Writes one cell of an allocated array (for setting up inputs).
+    ///
+    /// # Errors
+    ///
+    /// `UnknownSymbol` / `BadAddress` when the array or index is invalid.
+    pub fn write_array(&mut self, name: &str, index: usize, value: Value) -> Result<(), SimError> {
+        let info = self
+            .program
+            .layout
+            .get(name)
+            .ok_or_else(|| SimError::UnknownSymbol(name.to_owned()))?;
+        if index >= info.len {
+            return Err(SimError::BadAddress(index as i64));
+        }
+        let bits = match info.mode {
+            Mode::DF => value.as_f().to_bits(),
+            _ => value.as_i() as u64,
+        };
+        self.memory[(info.base + index as u64) as usize] = bits;
+        Ok(())
+    }
+
+    fn call_values(
+        &mut self,
+        name: &str,
+        scalars: &[Value],
+        arrays: HashMap<String, u64>,
+        depth: usize,
+    ) -> Result<Option<Value>, SimError> {
+        if depth >= self.config.max_depth {
+            return Err(SimError::CallDepth);
+        }
+        let image: Rc<FuncImage<'p>> = Rc::clone(
+            self.images
+                .get(name)
+                .ok_or_else(|| SimError::UnknownFunction(name.to_owned()))?,
+        );
+        let func = image.func;
+        let code_base = image.code_base;
+
+        let mut regs: Vec<Value> = func
+            .reg_modes
+            .iter()
+            .map(|m| match m {
+                Mode::DF => Value::F(0.0),
+                _ => Value::I(0),
+            })
+            .collect();
+        let mut next_scalar = 0usize;
+        for p in &func.params {
+            if let ParamKind::Scalar { reg, .. } = p.kind {
+                regs[reg as usize] = scalars[next_scalar];
+                next_scalar += 1;
+            }
+        }
+
+        let mut cycles = 0u64;
+        let mut pc = 0usize;
+        let mut result: Option<Value> = None;
+
+        'exec: while pc < func.insns.len() {
+            // Charge block cost on block entry.
+            if image.is_block_start[pc] {
+                let b = image.block_of[pc];
+                let (bs, be) = image.spans[b];
+                cycles += image.costs.cycles[b] + image.costs.spill[b];
+                // Touch the block's I-cache lines.
+                let lo = code_base + bs as u64 * INSN_BYTES;
+                let hi = code_base + be as u64 * INSN_BYTES;
+                let mut addr = lo - lo % LINE_BYTES as u64;
+                while addr < hi {
+                    if !self.icache.access(addr) {
+                        cycles += self.config.model.icache_miss;
+                    }
+                    addr += LINE_BYTES as u64;
+                }
+            }
+
+            self.insns_executed += 1;
+            if self.insns_executed > self.config.max_insns {
+                return Err(SimError::InsnLimit);
+            }
+
+            let insn = &func.insns[pc];
+            match &insn.body {
+                InsnBody::Label(_) => {
+                    pc += 1;
+                }
+                InsnBody::Set { dest, src } => {
+                    let v = self.eval(src, &regs, &arrays, &mut cycles)?;
+                    match dest.code {
+                        RtxCode::Reg => {
+                            let r = dest.as_reg().expect("reg dest") as usize;
+                            regs[r] = convert_to_mode(v, dest.mode);
+                        }
+                        RtxCode::Mem => {
+                            let addr = self
+                                .eval(&dest.ops[0], &regs, &arrays, &mut cycles)?
+                                .as_i();
+                            self.store(addr, convert_to_mode(v, dest.mode), &mut cycles)?;
+                        }
+                        _ => unreachable!("set dest is reg or mem"),
+                    }
+                    pc += 1;
+                }
+                InsnBody::CondJump { cond, target } => {
+                    let taken = self
+                        .eval(cond, &regs, &arrays, &mut cycles)?
+                        .is_true();
+                    let site = code_base + pc as u64;
+                    if !self.bp.predict_and_update(site, taken) {
+                        cycles += self.config.model.mispredict;
+                    }
+                    if taken {
+                        pc = *image
+                            .label_at
+                            .get(target)
+                            .ok_or(SimError::BadLabel(*target))?;
+                    } else {
+                        pc += 1;
+                    }
+                }
+                InsnBody::Jump { target } => {
+                    pc = *image
+                        .label_at
+                        .get(target)
+                        .ok_or(SimError::BadLabel(*target))?;
+                }
+                InsnBody::Call {
+                    name: callee,
+                    args,
+                    dest,
+                } => {
+                    // Evaluate arguments in the caller.
+                    let callee_func = self
+                        .images
+                        .get(callee.as_str())
+                        .ok_or_else(|| SimError::UnknownFunction(callee.clone()))?
+                        .func;
+                    let mut scalar_vals = Vec::new();
+                    let mut array_binds: HashMap<String, u64> = HashMap::new();
+                    for (p, a) in callee_func.params.iter().zip(args) {
+                        match &p.kind {
+                            ParamKind::Array { .. } => {
+                                let RtxValue::Sym(sym) = &a.value else {
+                                    return Err(SimError::BadArguments(format!(
+                                        "array argument to `{callee}` is not a symbol"
+                                    )));
+                                };
+                                let base = match arrays.get(sym) {
+                                    Some(b) => *b,
+                                    None => {
+                                        self.program
+                                            .layout
+                                            .get(sym)
+                                            .ok_or_else(|| {
+                                                SimError::UnknownSymbol(sym.clone())
+                                            })?
+                                            .base
+                                    }
+                                };
+                                array_binds.insert(p.name.clone(), base);
+                            }
+                            ParamKind::Scalar { mode, .. } => {
+                                let v = self.eval(a, &regs, &arrays, &mut cycles)?;
+                                scalar_vals.push(convert_to_mode(v, *mode));
+                            }
+                        }
+                    }
+                    cycles += self.config.model.call_overhead;
+                    let ret = self.call_values(callee, &scalar_vals, array_binds, depth + 1)?;
+                    if let Some(d) = dest {
+                        let r = d.as_reg().expect("call dest is a reg") as usize;
+                        regs[r] = convert_to_mode(
+                            ret.ok_or_else(|| {
+                                SimError::BadArguments(format!("`{callee}` returned no value"))
+                            })?,
+                            d.mode,
+                        );
+                    }
+                    pc += 1;
+                }
+                InsnBody::Return { value } => {
+                    result = match value {
+                        Some(v) => Some(self.eval(v, &regs, &arrays, &mut cycles)?),
+                        None => None,
+                    };
+                    break 'exec;
+                }
+            }
+        }
+
+        *self.cycles_by_func.entry(name.to_owned()).or_insert(0) += cycles;
+        self.total_cycles += cycles;
+        Ok(result)
+    }
+
+    fn load(&mut self, addr: i64, mode: Mode, cycles: &mut u64) -> Result<Value, SimError> {
+        if addr < 0 || addr as usize >= self.memory.len() {
+            return Err(SimError::BadAddress(addr));
+        }
+        if !self.dcache.access(addr as u64 * 8) {
+            *cycles += self.config.model.dcache_miss;
+        }
+        let bits = self.memory[addr as usize];
+        Ok(match mode {
+            Mode::DF => Value::F(f64::from_bits(bits)),
+            _ => Value::I(bits as i64),
+        })
+    }
+
+    fn store(&mut self, addr: i64, value: Value, cycles: &mut u64) -> Result<(), SimError> {
+        if addr < 0 || addr as usize >= self.memory.len() {
+            return Err(SimError::BadAddress(addr));
+        }
+        if !self.dcache.access(addr as u64 * 8) {
+            *cycles += self.config.model.dcache_miss;
+        }
+        self.memory[addr as usize] = match value {
+            Value::F(v) => v.to_bits(),
+            Value::I(v) => v as u64,
+        };
+        Ok(())
+    }
+
+    fn eval(
+        &mut self,
+        rtx: &Rtx,
+        regs: &[Value],
+        arrays: &HashMap<String, u64>,
+        cycles: &mut u64,
+    ) -> Result<Value, SimError> {
+        use RtxCode::*;
+        Ok(match rtx.code {
+            Reg => regs[rtx.as_reg().expect("reg") as usize],
+            ConstInt => Value::I(rtx.as_const_int().expect("const_int")),
+            ConstDouble => match rtx.value {
+                RtxValue::Float(v) => Value::F(v),
+                _ => unreachable!("const_double payload"),
+            },
+            SymbolRef => {
+                let RtxValue::Sym(sym) = &rtx.value else {
+                    unreachable!("symbol_ref payload")
+                };
+                let base = match arrays.get(sym) {
+                    Some(b) => *b,
+                    None => {
+                        self.program
+                            .layout
+                            .get(sym)
+                            .ok_or_else(|| SimError::UnknownSymbol(sym.clone()))?
+                            .base
+                    }
+                };
+                Value::I(base as i64)
+            }
+            Mem => {
+                let addr = self.eval(&rtx.ops[0], regs, arrays, cycles)?.as_i();
+                self.load(addr, rtx.mode, cycles)?
+            }
+            Plus | Minus | Mult | Div | Mod | And | Ior | Xor | Ashift | Ashiftrt | Smin
+            | Smax => {
+                let a = self.eval(&rtx.ops[0], regs, arrays, cycles)?;
+                let b = self.eval(&rtx.ops[1], regs, arrays, cycles)?;
+                binary_op(rtx.code, rtx.mode, a, b)
+            }
+            Eq | Ne | Lt | Le | Gt | Ge => {
+                let a = self.eval(&rtx.ops[0], regs, arrays, cycles)?;
+                let b = self.eval(&rtx.ops[1], regs, arrays, cycles)?;
+                compare(rtx.code, a, b)
+            }
+            Neg => {
+                let a = self.eval(&rtx.ops[0], regs, arrays, cycles)?;
+                match convert_to_mode(a, rtx.mode) {
+                    Value::I(v) => Value::I(v.wrapping_neg()),
+                    Value::F(v) => Value::F(-v),
+                }
+            }
+            Abs => {
+                let a = self.eval(&rtx.ops[0], regs, arrays, cycles)?;
+                match convert_to_mode(a, rtx.mode) {
+                    Value::I(v) => Value::I(v.wrapping_abs()),
+                    Value::F(v) => Value::F(v.abs()),
+                }
+            }
+            Not => {
+                let a = self.eval(&rtx.ops[0], regs, arrays, cycles)?;
+                Value::I(!a.as_i())
+            }
+            Float | FloatExtend => {
+                let a = self.eval(&rtx.ops[0], regs, arrays, cycles)?;
+                Value::F(a.as_f())
+            }
+            Fix => {
+                let a = self.eval(&rtx.ops[0], regs, arrays, cycles)?;
+                Value::I(a.as_f() as i64)
+            }
+        })
+    }
+}
+
+fn convert_to_mode(v: Value, mode: Mode) -> Value {
+    match mode {
+        Mode::DF => Value::F(v.as_f()),
+        Mode::SI | Mode::CC => Value::I(v.as_i()),
+        Mode::Void => v,
+    }
+}
+
+fn binary_op(code: RtxCode, mode: Mode, a: Value, b: Value) -> Value {
+    use RtxCode::*;
+    if mode == Mode::DF {
+        let (a, b) = (a.as_f(), b.as_f());
+        return Value::F(match code {
+            Plus => a + b,
+            Minus => a - b,
+            Mult => a * b,
+            Div => {
+                if b == 0.0 {
+                    0.0
+                } else {
+                    a / b
+                }
+            }
+            Smin => a.min(b),
+            Smax => a.max(b),
+            _ => unreachable!("float op {code:?}"),
+        });
+    }
+    let (a, b) = (a.as_i(), b.as_i());
+    Value::I(match code {
+        Plus => a.wrapping_add(b),
+        Minus => a.wrapping_sub(b),
+        Mult => a.wrapping_mul(b),
+        Div => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        Mod => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_rem(b)
+            }
+        }
+        And => a & b,
+        Ior => a | b,
+        Xor => a ^ b,
+        Ashift => a.wrapping_shl((b & 63) as u32),
+        Ashiftrt => a.wrapping_shr((b & 63) as u32),
+        Smin => a.min(b),
+        Smax => a.max(b),
+        _ => unreachable!("int op {code:?}"),
+    })
+}
+
+fn compare(code: RtxCode, a: Value, b: Value) -> Value {
+    use RtxCode::*;
+    let ord = if matches!(a, Value::F(_)) || matches!(b, Value::F(_)) {
+        a.as_f().partial_cmp(&b.as_f())
+    } else {
+        Some(a.as_i().cmp(&b.as_i()))
+    };
+    let r = match (code, ord) {
+        (Eq, Some(o)) => o.is_eq(),
+        (Ne, Some(o)) => o.is_ne(),
+        (Lt, Some(o)) => o.is_lt(),
+        (Le, Some(o)) => o.is_le(),
+        (Gt, Some(o)) => o.is_gt(),
+        (Ge, Some(o)) => o.is_ge(),
+        (Ne, None) => true,
+        (_, None) => false,
+        _ => unreachable!("comparison code"),
+    };
+    Value::I(i64::from(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fegen_rtl::lower::lower_program;
+
+    fn machine_for(src: &str) -> (RtlProgram, SimConfig) {
+        let ast = fegen_lang::parse_program(src).unwrap();
+        (lower_program(&ast).unwrap(), SimConfig::default())
+    }
+
+    #[test]
+    fn computes_scalar_arithmetic() {
+        let (p, cfg) = machine_for("int f(int x) { return (x + 3) * 2 - x % 5; }");
+        let mut m = Machine::new(&p, cfg);
+        let r = m.call("f", &[Arg::Int(7)]).unwrap();
+        assert_eq!(r, Some(Value::I((7 + 3) * 2 - 7 % 5)));
+    }
+
+    #[test]
+    fn loops_accumulate_correctly() {
+        let (p, cfg) = machine_for(
+            "int f(int n) { int i; int s; s = 0; for (i = 1; i <= n; i = i + 1) { s = s + i; } return s; }",
+        );
+        let mut m = Machine::new(&p, cfg);
+        assert_eq!(m.call("f", &[Arg::Int(100)]).unwrap(), Some(Value::I(5050)));
+    }
+
+    #[test]
+    fn arrays_and_global_state() {
+        let (p, cfg) = machine_for(
+            "int g;\n\
+             int a[16];\n\
+             void fill(int n) { int i; for (i = 0; i < n; i = i + 1) { a[i] = i * i; } g = n; }\n\
+             int get(int i) { return a[i] + g; }",
+        );
+        let mut m = Machine::new(&p, cfg);
+        m.call("fill", &[Arg::Int(10)]).unwrap();
+        assert_eq!(m.call("get", &[Arg::Int(3)]).unwrap(), Some(Value::I(9 + 10)));
+        assert_eq!(m.read_array("a", 5).unwrap(), Value::I(25));
+        assert_eq!(m.read_array("g", 0).unwrap(), Value::I(10));
+    }
+
+    #[test]
+    fn float_arithmetic_and_conversions() {
+        let (p, cfg) = machine_for(
+            "float f(int n) { float s; int i; s = 0.0; for (i = 0; i < n; i = i + 1) { s = s + 0.5; } return s; }",
+        );
+        let mut m = Machine::new(&p, cfg);
+        assert_eq!(m.call("f", &[Arg::Int(8)]).unwrap(), Some(Value::F(4.0)));
+    }
+
+    #[test]
+    fn array_parameters_alias_caller_arrays() {
+        let (p, cfg) = machine_for(
+            "int buf[8];\n\
+             void set0(int a[8], int v) { a[0] = v; }\n\
+             int get0() { return buf[0]; }",
+        );
+        let mut m = Machine::new(&p, cfg);
+        m.call("set0", &[Arg::Array("buf".into()), Arg::Int(42)])
+            .unwrap();
+        assert_eq!(m.call("get0", &[]).unwrap(), Some(Value::I(42)));
+    }
+
+    #[test]
+    fn nested_calls_attribute_cycles_exclusively() {
+        let (p, cfg) = machine_for(
+            "int inner(int n) { int i; int s; s = 0; for (i = 0; i < n; i = i + 1) { s = s + i; } return s; }\n\
+             int outer(int n) { return inner(n) + inner(n); }",
+        );
+        let mut m = Machine::new(&p, cfg);
+        m.call("outer", &[Arg::Int(200)]).unwrap();
+        let inner = m.cycles_of("inner");
+        let outer = m.cycles_of("outer");
+        assert!(inner > outer, "inner {inner} should dominate outer {outer}");
+        assert_eq!(m.total_cycles(), inner + outer);
+    }
+
+    #[test]
+    fn cycles_scale_with_trip_count() {
+        let (p, cfg) = machine_for(
+            "int f(int n) { int i; int s; s = 0; for (i = 0; i < n; i = i + 1) { s = s + i; } return s; }",
+        );
+        let mut m1 = Machine::new(&p, cfg.clone());
+        m1.call("f", &[Arg::Int(10)]).unwrap();
+        let mut m2 = Machine::new(&p, cfg);
+        m2.call("f", &[Arg::Int(1000)]).unwrap();
+        let (c1, c2) = (m1.cycles_of("f"), m2.cycles_of("f"));
+        assert!(c2 > c1 * 50, "expected ~100x scaling: {c1} vs {c2}");
+    }
+
+    #[test]
+    fn branchy_loops_cost_more_than_straight_loops() {
+        let straight = "int f(int n) { int i; int s; s = 0; for (i = 0; i < n; i = i + 1) { s = s + 1; } return s; }";
+        // Alternating branch inside the loop defeats the predictor.
+        let branchy = "int f(int n) { int i; int s; s = 0; for (i = 0; i < n; i = i + 1) { if (i % 2 == 0) { s = s + 1; } else { s = s + 2; } } return s; }";
+        let (p1, c1) = machine_for(straight);
+        let (p2, c2) = machine_for(branchy);
+        let mut m1 = Machine::new(&p1, c1);
+        let mut m2 = Machine::new(&p2, c2);
+        m1.call("f", &[Arg::Int(500)]).unwrap();
+        m2.call("f", &[Arg::Int(500)]).unwrap();
+        assert!(m2.cycles_of("f") > m1.cycles_of("f"));
+        assert!(m2.mispredicts() > m1.mispredicts() + 100);
+    }
+
+    #[test]
+    fn dcache_misses_on_large_strided_access() {
+        let (p, cfg) = machine_for(
+            "int a[4096];\n\
+             void touch() { int i; for (i = 0; i < 4096; i = i + 8) { a[i] = i; } }",
+        );
+        let mut m = Machine::new(&p, cfg);
+        m.call("touch", &[]).unwrap();
+        // Stride 8 cells = one access per 64-byte line: every access misses
+        // on a 16 KiB cache over a 32 KiB array.
+        assert!(m.dcache_misses() >= 400, "misses {}", m.dcache_misses());
+    }
+
+    #[test]
+    fn insn_limit_stops_infinite_loops() {
+        let (p, mut cfg) = machine_for("void f() { for (;;) { } }");
+        cfg.max_insns = 10_000;
+        let mut m = Machine::new(&p, cfg);
+        assert_eq!(m.call("f", &[]), Err(SimError::InsnLimit));
+    }
+
+    #[test]
+    fn division_by_zero_is_defined() {
+        let (p, cfg) = machine_for("int f(int x) { return 10 / x + 10 % x; }");
+        let mut m = Machine::new(&p, cfg);
+        assert_eq!(m.call("f", &[Arg::Int(0)]).unwrap(), Some(Value::I(0)));
+    }
+
+    #[test]
+    fn wrong_arity_is_an_error() {
+        let (p, cfg) = machine_for("int f(int x) { return x; }");
+        let mut m = Machine::new(&p, cfg);
+        assert!(matches!(m.call("f", &[]), Err(SimError::BadArguments(_))));
+    }
+
+    #[test]
+    fn deterministic_cycle_counts() {
+        let (p, cfg) = machine_for(
+            "int f(int n) { int i; int s; s = 0; for (i = 0; i < n; i = i + 1) { s = s + i * 3; } return s; }",
+        );
+        let mut m1 = Machine::new(&p, cfg.clone());
+        let mut m2 = Machine::new(&p, cfg);
+        m1.call("f", &[Arg::Int(123)]).unwrap();
+        m2.call("f", &[Arg::Int(123)]).unwrap();
+        assert_eq!(m1.cycles_of("f"), m2.cycles_of("f"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Measurement-noise modelling and the paper's robust statistics.
+//!
+//! "For each differently compiled variation of a benchmark we ran that
+//! version of the program at least one hundred times. We applied a standard
+//! statistical technique to reduce the effects of noise: applying a log
+//! transform and removing outliers outside the 1.5 × IQR (interquartile
+//! range). The best unroll factor for each loop was determined as that with
+//! the lowest average … cycle count." (§V)
+//!
+//! The simulator itself is deterministic, so noise is *injected* by a
+//! calibrated model (multiplicative log-normal jitter plus occasional
+//! heavy-tailed outliers — the empirical shape of timing noise on an
+//! unloaded machine) and then removed again by [`robust_mean`], exercising
+//! the exact pipeline the paper used.
+
+use rand::Rng;
+
+/// Multiplicative timing-noise model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Standard deviation of the log-normal jitter (≈ relative noise).
+    pub sigma: f64,
+    /// Probability of a heavy outlier (context switch, interrupt).
+    pub outlier_prob: f64,
+    /// Multiplier applied on outlier runs.
+    pub outlier_scale: f64,
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel {
+            sigma: 0.01,
+            outlier_prob: 0.03,
+            outlier_scale: 1.6,
+        }
+    }
+}
+
+impl NoiseModel {
+    /// Draws `n` noisy observations of `true_cycles`.
+    pub fn samples<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        true_cycles: f64,
+        n: usize,
+    ) -> Vec<f64> {
+        (0..n)
+            .map(|_| {
+                // Box-Muller normal from two uniforms.
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                let mut v = true_cycles * (self.sigma * z).exp();
+                if rng.gen_bool(self.outlier_prob) {
+                    v *= self.outlier_scale;
+                }
+                v
+            })
+            .collect()
+    }
+}
+
+/// The paper's robust average: log transform, reject samples outside
+/// 1.5 × IQR, mean of the survivors, transformed back.
+///
+/// Returns `None` for an empty input; a single sample is its own mean.
+pub fn robust_mean(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut logs: Vec<f64> = samples.iter().map(|s| s.max(1e-12).ln()).collect();
+    logs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let q = |p: f64| -> f64 {
+        // Linear-interpolated quantile.
+        let idx = p * (logs.len() - 1) as f64;
+        let lo = idx.floor() as usize;
+        let hi = idx.ceil() as usize;
+        let frac = idx - lo as f64;
+        logs[lo] * (1.0 - frac) + logs[hi] * frac
+    };
+    let (q1, q3) = (q(0.25), q(0.75));
+    let iqr = q3 - q1;
+    let (lo, hi) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+    let kept: Vec<f64> = logs.iter().copied().filter(|&l| l >= lo && l <= hi).collect();
+    let kept = if kept.is_empty() { logs } else { kept };
+    let mean = kept.iter().sum::<f64>() / kept.len() as f64;
+    Some(mean.exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn robust_mean_of_constant_is_constant() {
+        let m = robust_mean(&[100.0; 50]).unwrap();
+        assert!((m - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn robust_mean_rejects_outliers() {
+        let mut samples = vec![100.0; 40];
+        samples.extend([500.0, 900.0]);
+        let m = robust_mean(&samples).unwrap();
+        assert!((m - 100.0).abs() < 1.0, "outliers not rejected: {m}");
+    }
+
+    #[test]
+    fn plain_mean_would_be_biased_but_robust_is_not() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let model = NoiseModel {
+            sigma: 0.02,
+            outlier_prob: 0.1,
+            outlier_scale: 3.0,
+        };
+        let samples = model.samples(&mut rng, 1000.0, 200);
+        let plain = samples.iter().sum::<f64>() / samples.len() as f64;
+        let robust = robust_mean(&samples).unwrap();
+        assert!(plain > 1050.0, "outliers should bias the plain mean: {plain}");
+        assert!(
+            (robust - 1000.0).abs() < 30.0,
+            "robust mean should recover the truth: {robust}"
+        );
+    }
+
+    #[test]
+    fn empty_input_is_none() {
+        assert_eq!(robust_mean(&[]), None);
+    }
+
+    #[test]
+    fn single_sample_is_identity() {
+        assert!((robust_mean(&[42.0]).unwrap() - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovers_ordering_of_close_variants() {
+        // Two variants 2% apart must stay correctly ordered after noise +
+        // robust averaging with 100 runs — the paper's measurement goal.
+        let mut rng = StdRng::seed_from_u64(42);
+        let model = NoiseModel::default();
+        let mut correct = 0;
+        for trial in 0..20 {
+            let a = 1000.0;
+            let b = 1020.0;
+            let ma = robust_mean(&model.samples(&mut rng, a, 100)).unwrap();
+            let mb = robust_mean(&model.samples(&mut rng, b, 100)).unwrap();
+            if ma < mb {
+                correct += 1;
+            }
+            let _ = trial;
+        }
+        assert!(correct >= 19, "ordering recovered in {correct}/20 trials");
+    }
+}

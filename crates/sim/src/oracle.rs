@@ -1,0 +1,465 @@
+//! Training-data generation: per-loop cycle tables across unroll factors.
+//!
+//! "We took each loop, one at a time, and unrolled it by different factors,
+//! zero to fifteen. This gave a compiled program for which all but one loop
+//! has the default unroll factor as determined by GCC's default heuristic.
+//! We executed each of these versions of the program … recording the number
+//! of cycles required to execute the function containing the loop that had
+//! been altered." (§V)
+
+use crate::interp::{Arg, Machine, SimConfig, SimError};
+use fegen_rtl::heuristic::{gcc_default_factors, GccParams};
+use fegen_rtl::node::InsnBody;
+use fegen_rtl::unroll::{apply_factors, UnrollError};
+use fegen_rtl::RtlProgram;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// One call the workload performs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallSpec {
+    /// Function to call.
+    pub func: String,
+    /// Arguments.
+    pub args: Vec<Arg>,
+}
+
+/// A benchmark workload: initialisation calls, then kernel calls.
+///
+/// Kernels must only read data written by `init` (or their own outputs);
+/// the measurement loop re-runs `init` before each measured kernel run, so
+/// in-place kernels are safe.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Workload {
+    /// Setup calls (fill input arrays).
+    pub init: Vec<CallSpec>,
+    /// Measured kernel calls.
+    pub kernels: Vec<CallSpec>,
+}
+
+/// Identifies one loop in one function.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LoopSite {
+    /// Containing function.
+    pub func: String,
+    /// Loop id within the function.
+    pub loop_id: usize,
+}
+
+impl fmt::Display for LoopSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.func, self.loop_id)
+    }
+}
+
+/// Configuration of the data-generation pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleConfig {
+    /// Largest unroll factor enumerated (paper: 15 → 16 table entries).
+    pub max_factor: usize,
+    /// Simulator configuration.
+    pub sim: SimConfig,
+    /// Parameters of the GCC default heuristic applied to the *other*
+    /// loops of each variant.
+    pub gcc: GccParams,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            max_factor: 15,
+            sim: SimConfig::default(),
+            gcc: GccParams::default(),
+        }
+    }
+}
+
+/// A measured loop: its site and the cycle table over factors `0..=max`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopMeasurement {
+    /// Which loop.
+    pub site: LoopSite,
+    /// `cycles[k]` = cycles of the containing function with factor `k`.
+    pub cycles: Vec<f64>,
+}
+
+impl LoopMeasurement {
+    /// The oracle-best factor.
+    pub fn best_factor(&self) -> usize {
+        fegen_ml_free_oracle(&self.cycles)
+    }
+}
+
+/// argmin without depending on `fegen-ml` from this crate.
+fn fegen_ml_free_oracle(cycles: &[f64]) -> usize {
+    cycles
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// Error from data generation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OracleError {
+    /// The simulator failed.
+    Sim(SimError),
+    /// The unroller failed.
+    Unroll(UnrollError),
+    /// A workload call references a missing function.
+    UnknownFunction(String),
+}
+
+impl fmt::Display for OracleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleError::Sim(e) => write!(f, "simulation failed: {e}"),
+            OracleError::Unroll(e) => write!(f, "unrolling failed: {e}"),
+            OracleError::UnknownFunction(n) => write!(f, "workload calls unknown `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+impl From<SimError> for OracleError {
+    fn from(e: SimError) -> Self {
+        OracleError::Sim(e)
+    }
+}
+
+impl From<UnrollError> for OracleError {
+    fn from(e: UnrollError) -> Self {
+        OracleError::Unroll(e)
+    }
+}
+
+/// The functions transitively reachable from the workload's kernel calls.
+pub fn kernel_functions(program: &RtlProgram, workload: &Workload) -> Vec<String> {
+    // Call graph.
+    let mut callees: HashMap<&str, Vec<&str>> = HashMap::new();
+    for f in &program.functions {
+        let mut out = Vec::new();
+        for insn in &f.insns {
+            if let InsnBody::Call { name, .. } = &insn.body {
+                out.push(name.as_str());
+            }
+        }
+        callees.insert(f.name.as_str(), out);
+    }
+    let mut seen: HashSet<&str> = HashSet::new();
+    let mut stack: Vec<&str> = workload.kernels.iter().map(|c| c.func.as_str()).collect();
+    while let Some(f) = stack.pop() {
+        if seen.insert(f) {
+            if let Some(cs) = callees.get(f) {
+                stack.extend(cs.iter().copied());
+            }
+        }
+    }
+    let mut out: Vec<String> = program
+        .functions
+        .iter()
+        .filter(|f| seen.contains(f.name.as_str()))
+        .map(|f| f.name.clone())
+        .collect();
+    out.sort();
+    out
+}
+
+/// Every loop site in the workload's kernel functions.
+pub fn loop_sites(program: &RtlProgram, workload: &Workload) -> Vec<LoopSite> {
+    let mut sites = Vec::new();
+    for name in kernel_functions(program, workload) {
+        let f = program.function(&name).expect("from program");
+        for l in &f.loops {
+            sites.push(LoopSite {
+                func: name.clone(),
+                loop_id: l.id,
+            });
+        }
+    }
+    sites
+}
+
+/// Builds a program variant: every kernel function unrolled with the GCC
+/// default factors, except that loop `site` (when `Some`) uses `factor`.
+///
+/// Non-kernel functions (initialisation) are left un-unrolled, identically
+/// in every variant.
+///
+/// # Errors
+///
+/// Returns an error when the unroller fails (corrupted loop regions).
+pub fn program_variant(
+    program: &RtlProgram,
+    kernel_funcs: &[String],
+    site: Option<(&LoopSite, usize)>,
+    gcc: &GccParams,
+    use_defaults_elsewhere: bool,
+) -> Result<RtlProgram, OracleError> {
+    let mut out = program.clone();
+    for name in kernel_funcs {
+        let f = out
+            .function(name)
+            .ok_or_else(|| OracleError::UnknownFunction(name.clone()))?;
+        let mut factors: HashMap<usize, usize> = if use_defaults_elsewhere {
+            gcc_default_factors(f, gcc)
+        } else {
+            HashMap::new()
+        };
+        if let Some((s, factor)) = site {
+            if &s.func == name {
+                factors.insert(s.loop_id, factor);
+            }
+        }
+        let new_f = apply_factors(f, &factors)?;
+        *out.function_mut(name).expect("present") = new_f;
+    }
+    Ok(out)
+}
+
+/// Applies explicit per-loop factors (`factors[func][loop_id]`) to the
+/// kernel functions; loops without an entry stay un-unrolled.
+///
+/// # Errors
+///
+/// Returns an error when the unroller fails.
+pub fn program_with_factors(
+    program: &RtlProgram,
+    kernel_funcs: &[String],
+    factors: &HashMap<String, HashMap<usize, usize>>,
+) -> Result<RtlProgram, OracleError> {
+    let mut out = program.clone();
+    for name in kernel_funcs {
+        let f = out
+            .function(name)
+            .ok_or_else(|| OracleError::UnknownFunction(name.clone()))?;
+        let empty = HashMap::new();
+        let per_loop = factors.get(name).unwrap_or(&empty);
+        let new_f = apply_factors(f, per_loop)?;
+        *out.function_mut(name).expect("present") = new_f;
+    }
+    Ok(out)
+}
+
+/// Runs the full workload on `program`; returns total cycles across all
+/// functions (init included — it is identical in every configuration).
+///
+/// # Errors
+///
+/// Returns an error when the simulator fails.
+pub fn run_workload(
+    program: &RtlProgram,
+    workload: &Workload,
+    sim: &SimConfig,
+) -> Result<u64, OracleError> {
+    let mut m = Machine::new(program, sim.clone());
+    for call in workload.init.iter().chain(&workload.kernels) {
+        m.call(&call.func, &call.args)?;
+    }
+    Ok(m.total_cycles())
+}
+
+/// Measures the cycle table of one loop site: one simulation per factor,
+/// re-running `init` each time, recording the containing function's
+/// exclusive cycles.
+///
+/// # Errors
+///
+/// Returns an error when unrolling or simulation fails.
+pub fn measure_site(
+    program: &RtlProgram,
+    workload: &Workload,
+    kernel_funcs: &[String],
+    site: &LoopSite,
+    config: &OracleConfig,
+) -> Result<LoopMeasurement, OracleError> {
+    let mut cycles = Vec::with_capacity(config.max_factor + 1);
+    // Kernel calls that can reach the function under measurement.
+    let relevant: Vec<&CallSpec> = workload
+        .kernels
+        .iter()
+        .filter(|c| {
+            let single = Workload {
+                init: vec![],
+                kernels: vec![(*c).clone()],
+            };
+            kernel_functions(program, &single)
+                .iter()
+                .any(|f| f == &site.func)
+        })
+        .collect();
+    for factor in 0..=config.max_factor {
+        let variant = program_variant(
+            program,
+            kernel_funcs,
+            Some((site, factor)),
+            &config.gcc,
+            true,
+        )?;
+        let mut m = Machine::new(&variant, config.sim.clone());
+        for call in &workload.init {
+            m.call(&call.func, &call.args)?;
+        }
+        for call in &relevant {
+            m.call(&call.func, &call.args)?;
+        }
+        cycles.push(m.cycles_of(&site.func) as f64);
+    }
+    Ok(LoopMeasurement {
+        site: site.clone(),
+        cycles,
+    })
+}
+
+/// Measures every loop site of the workload. This is the paper's §V data
+/// generation (2,778 loops × 16 factors at full scale).
+///
+/// # Errors
+///
+/// Returns the first unroll/simulation error.
+pub fn measure_workload(
+    program: &RtlProgram,
+    workload: &Workload,
+    config: &OracleConfig,
+) -> Result<Vec<LoopMeasurement>, OracleError> {
+    let kernel_funcs = kernel_functions(program, workload);
+    loop_sites(program, workload)
+        .iter()
+        .map(|site| measure_site(program, workload, &kernel_funcs, site, config))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fegen_rtl::lower::lower_program;
+
+    fn setup() -> (RtlProgram, Workload) {
+        let src = "\
+            int data[256];\n\
+            int out[256];\n\
+            void init() { int i; for (i = 0; i < 256; i = i + 1) { data[i] = i * 7 % 31; } }\n\
+            void scale(int n) { int i; for (i = 0; i < n; i = i + 1) { out[i] = data[i] * 3; } }\n\
+            int reduce(int n) { int i; int s; s = 0; for (i = 0; i < n; i = i + 1) { s = s + data[i]; } return s; }\n";
+        let ast = fegen_lang::parse_program(src).unwrap();
+        let program = lower_program(&ast).unwrap();
+        let workload = Workload {
+            init: vec![CallSpec {
+                func: "init".into(),
+                args: vec![],
+            }],
+            kernels: vec![
+                CallSpec {
+                    func: "scale".into(),
+                    args: vec![Arg::Int(200)],
+                },
+                CallSpec {
+                    func: "reduce".into(),
+                    args: vec![Arg::Int(200)],
+                },
+            ],
+        };
+        (program, workload)
+    }
+
+    #[test]
+    fn kernel_functions_exclude_init() {
+        let (p, w) = setup();
+        let funcs = kernel_functions(&p, &w);
+        assert_eq!(funcs, vec!["reduce".to_owned(), "scale".to_owned()]);
+    }
+
+    #[test]
+    fn loop_sites_enumerate_kernel_loops() {
+        let (p, w) = setup();
+        let sites = loop_sites(&p, &w);
+        assert_eq!(sites.len(), 2);
+    }
+
+    #[test]
+    fn cycle_tables_have_sixteen_entries_and_vary() {
+        let (p, w) = setup();
+        let config = OracleConfig::default();
+        let tables = measure_workload(&p, &w, &config).unwrap();
+        assert_eq!(tables.len(), 2);
+        for t in &tables {
+            assert_eq!(t.cycles.len(), 16);
+            assert!(t.cycles.iter().all(|&c| c > 0.0));
+            // Unrolling must change the cycle count somewhere.
+            let min = t.cycles.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = t.cycles.iter().cloned().fold(0.0, f64::max);
+            assert!(max > min, "flat cycle table for {}: {:?}", t.site, t.cycles);
+        }
+    }
+
+    #[test]
+    fn unrolling_preserves_results() {
+        // The reduce kernel must compute the same value at every factor.
+        let (p, w) = setup();
+        let kernel_funcs = kernel_functions(&p, &w);
+        let site = LoopSite {
+            func: "reduce".into(),
+            loop_id: 0,
+        };
+        let mut results = Vec::new();
+        for factor in [0usize, 1, 2, 3, 5, 7, 8, 15] {
+            let v = program_variant(
+                &p,
+                &kernel_funcs,
+                Some((&site, factor)),
+                &GccParams::default(),
+                true,
+            )
+            .unwrap();
+            let mut m = Machine::new(&v, SimConfig::default());
+            for c in &w.init {
+                m.call(&c.func, &c.args).unwrap();
+            }
+            let r = m.call("reduce", &[Arg::Int(200)]).unwrap();
+            results.push(r);
+        }
+        assert!(
+            results.windows(2).all(|w| w[0] == w[1]),
+            "unrolling changed semantics: {results:?}"
+        );
+    }
+
+    #[test]
+    fn best_factor_is_argmin() {
+        let m = LoopMeasurement {
+            site: LoopSite {
+                func: "f".into(),
+                loop_id: 0,
+            },
+            cycles: vec![100.0, 90.0, 85.0, 95.0],
+        };
+        assert_eq!(m.best_factor(), 2);
+    }
+
+    #[test]
+    fn run_workload_totals_cycles() {
+        let (p, w) = setup();
+        let total = run_workload(&p, &w, &SimConfig::default()).unwrap();
+        assert!(total > 1000, "workload should cost real cycles: {total}");
+    }
+
+    #[test]
+    fn program_with_factors_applies_per_function() {
+        let (p, w) = setup();
+        let kernel_funcs = kernel_functions(&p, &w);
+        let factors = HashMap::from([(
+            "scale".to_owned(),
+            HashMap::from([(0usize, 4usize)]),
+        )]);
+        let v = program_with_factors(&p, &kernel_funcs, &factors).unwrap();
+        assert!(
+            v.function("scale").unwrap().insns.len() > p.function("scale").unwrap().insns.len()
+        );
+        assert_eq!(
+            v.function("reduce").unwrap().insns.len(),
+            p.function("reduce").unwrap().insns.len()
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! Benchmark assembly: templates → complete Tiny-C programs.
+
+use crate::names::{benchmark_names, SuiteName};
+use crate::templates::{all_templates, KernelCtx};
+use crate::{Benchmark, CallDesc, SuiteConfig};
+use fegen_lang::ast::{Block, Function, Program, Stmt, Type};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates the whole suite (see [`SuiteConfig`]).
+pub fn generate_suite(config: &SuiteConfig) -> Vec<Benchmark> {
+    let names = benchmark_names();
+    (0..config.n_benchmarks)
+        .map(|i| {
+            let (name, suite) = names[i % names.len()];
+            let name = if i < names.len() {
+                name.to_owned()
+            } else {
+                format!("{name}_{}", i / names.len())
+            };
+            generate_benchmark(&name, suite, i, config)
+        })
+        .collect()
+}
+
+/// Generates one benchmark deterministically from `(config.seed, index)`.
+pub fn generate_benchmark(
+    name: &str,
+    suite: SuiteName,
+    index: usize,
+    config: &SuiteConfig,
+) -> Benchmark {
+    let mut rng = StdRng::seed_from_u64(
+        config
+            .seed
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            .wrapping_add(index as u64),
+    );
+    let mut ctx = KernelCtx::new(config.scale);
+    let templates = all_templates();
+    let suite_col = match suite {
+        SuiteName::MediaBench => 0,
+        SuiteName::MiBench => 1,
+        SuiteName::Utdsp => 2,
+    };
+    let total_weight: u32 = templates.iter().map(|(_, _, w)| w[suite_col]).sum();
+
+    // Vary the per-benchmark loop count around the configured mean.
+    let lo = (config.loops_per_benchmark * 6 / 10).max(2);
+    let hi = config.loops_per_benchmark * 14 / 10 + 1;
+    let target_loops = rng.gen_range(lo..=hi);
+
+    let mut kernels = Vec::new();
+    let mut calls: Vec<CallDesc> = Vec::new();
+    let mut n_loops = 0usize;
+    while n_loops < target_loops {
+        let mut pick = rng.gen_range(0..total_weight);
+        let template = templates
+            .iter()
+            .find(|(_, _, w)| {
+                if pick < w[suite_col] {
+                    true
+                } else {
+                    pick -= w[suite_col];
+                    false
+                }
+            })
+            .map(|(_, t, _)| *t)
+            .expect("weighted pick in range");
+        let k = template(&mut ctx, &mut rng);
+        n_loops += k.n_loops;
+        calls.push(k.call.clone());
+        kernels.push(k);
+    }
+
+    // Assemble the program: globals, init, helpers, kernels.
+    let mut program = Program::new();
+    program.globals = ctx.globals.clone();
+    let init = Function {
+        name: "init".into(),
+        ret: Type::Void,
+        params: vec![],
+        body: Block::new(
+            std::iter::once(Stmt::decl("i", Type::Int))
+                .chain(ctx.init_stmts.clone())
+                .collect(),
+        ),
+    };
+    program.functions.push(init);
+    for k in &kernels {
+        program.functions.extend(k.helpers.iter().cloned());
+    }
+    for k in &kernels {
+        program.functions.push(k.func.clone());
+    }
+
+    debug_assert!(
+        fegen_lang::sema::check(&program).is_ok(),
+        "generated benchmark `{name}` fails sema: {}",
+        fegen_lang::print_program(&program)
+    );
+
+    Benchmark {
+        name: name.to_owned(),
+        suite,
+        program,
+        init: vec![CallDesc {
+            func: "init".into(),
+            args: vec![],
+        }],
+        kernels: calls,
+        n_loops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_configured_size() {
+        let cfg = SuiteConfig::tiny();
+        let suite = generate_suite(&cfg);
+        assert_eq!(suite.len(), cfg.n_benchmarks);
+    }
+
+    #[test]
+    fn benchmarks_are_semantically_valid() {
+        for b in generate_suite(&SuiteConfig::tiny()) {
+            fegen_lang::sema::check(&b.program)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_suite(&SuiteConfig::tiny());
+        let b = generate_suite(&SuiteConfig::tiny());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = SuiteConfig::tiny();
+        let a = generate_suite(&cfg);
+        cfg.seed += 1;
+        let b = generate_suite(&cfg);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn loop_counts_near_target() {
+        let cfg = SuiteConfig::quick();
+        for b in generate_suite(&cfg) {
+            assert!(
+                b.n_loops >= cfg.loops_per_benchmark / 2
+                    && b.n_loops <= cfg.loops_per_benchmark * 2,
+                "{}: {} loops vs target {}",
+                b.name,
+                b.n_loops,
+                cfg.loops_per_benchmark
+            );
+        }
+    }
+
+    #[test]
+    fn paper_scale_loop_total_is_close_to_2778() {
+        let cfg = SuiteConfig::paper();
+        let total: usize = generate_suite(&cfg).iter().map(|b| b.n_loops).sum();
+        assert!(
+            (2_300..=3_300).contains(&total),
+            "total loops {total} too far from 2,778"
+        );
+    }
+
+    #[test]
+    fn every_kernel_call_targets_an_existing_function() {
+        for b in generate_suite(&SuiteConfig::tiny()) {
+            for c in b.init.iter().chain(&b.kernels) {
+                assert!(
+                    b.program.function(&c.func).is_some(),
+                    "{} calls missing `{}`",
+                    b.name,
+                    c.func
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn names_follow_the_paper_suites() {
+        let suite = generate_suite(&SuiteConfig::paper());
+        assert_eq!(suite.len(), 57);
+        assert!(suite.iter().any(|b| b.name == "security_sha"));
+        assert!(suite.iter().any(|b| b.name == "histogram_arrays"));
+        assert!(suite.iter().any(|b| b.name == "adpcm_encode"));
+    }
+}

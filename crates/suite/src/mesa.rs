@@ -1,0 +1,82 @@
+//! The motivating example of the paper's Figure 2: a loop from the `mesa`
+//! benchmark in MediaBench.
+//!
+//! ```c
+//! for (i = 0; i < EXP_TABLE_SIZE - 1; i++) {
+//!     l->SpotExpTable[i][1] =
+//!         l->SpotExpTable[i+1][0] - l->SpotExpTable[i][0];
+//! }
+//! ```
+//!
+//! Here `SpotExpTable` is a 2-column float table; the loop computes forward
+//! differences of column 0 into column 1. The trip count
+//! (`EXP_TABLE_SIZE - 1`) is passed in by the harness, so the compile-time
+//! trip count is unknown — exactly the situation in Mesa, where the
+//! constant lives in another translation unit's `#define` as far as the
+//! RTL unroller is concerned.
+
+use crate::{ArgDesc, Benchmark, CallDesc, SuiteName};
+use fegen_lang::parse_program;
+
+/// Size of the simulated `SpotExpTable` (Mesa's `EXP_TABLE_SIZE` is 512;
+/// the loop runs `EXP_TABLE_SIZE - 1` iterations).
+pub const EXP_TABLE_SIZE: usize = 512;
+
+/// Builds the `mesa_spotexp` benchmark around the Figure 2 loop.
+///
+/// The kernel function is `spot_exp` and contains exactly one loop —
+/// loop id 0 — which is the loop of the motivating example.
+pub fn mesa_example() -> Benchmark {
+    let src = format!(
+        "float spot_exp_table[{n}][2];\n\
+         void init() {{\n\
+           int i;\n\
+           for (i = 0; i < {n}; i = i + 1) {{\n\
+             spot_exp_table[i][0] = (i % 37) * 0.25 + i * 0.125;\n\
+             spot_exp_table[i][1] = 0.0;\n\
+           }}\n\
+         }}\n\
+         void spot_exp(int n) {{\n\
+           int i;\n\
+           for (i = 0; i < n; i = i + 1) {{\n\
+             spot_exp_table[i][1] = spot_exp_table[i + 1][0] - spot_exp_table[i][0];\n\
+           }}\n\
+         }}\n",
+        n = EXP_TABLE_SIZE
+    );
+    let program = parse_program(&src).expect("mesa example parses");
+    Benchmark {
+        name: "mesa_spotexp".into(),
+        suite: SuiteName::MediaBench,
+        program,
+        init: vec![CallDesc {
+            func: "init".into(),
+            args: vec![],
+        }],
+        kernels: vec![CallDesc {
+            func: "spot_exp".into(),
+            args: vec![ArgDesc::Int(EXP_TABLE_SIZE as i64 - 1)],
+        }],
+        n_loops: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_is_valid_and_has_one_kernel_loop() {
+        let b = mesa_example();
+        assert_eq!(b.kernels.len(), 1);
+        assert_eq!(b.n_loops, 1);
+        assert!(b.program.function("spot_exp").is_some());
+    }
+
+    #[test]
+    fn trip_count_matches_figure_2() {
+        let b = mesa_example();
+        let CallDesc { args, .. } = &b.kernels[0];
+        assert_eq!(args[0], ArgDesc::Int(511));
+    }
+}

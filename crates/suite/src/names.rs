@@ -1,0 +1,120 @@
+//! The 57 benchmark names, mirroring the programs of the three suites the
+//! paper draws from.
+
+use std::fmt;
+
+/// Which original suite a benchmark name comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SuiteName {
+    /// MediaBench (codecs, media processing).
+    MediaBench,
+    /// MiBench (embedded: security, network, automotive, consumer).
+    MiBench,
+    /// UTDSP (DSP kernels and applications).
+    Utdsp,
+}
+
+impl fmt::Display for SuiteName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SuiteName::MediaBench => write!(f, "MediaBench"),
+            SuiteName::MiBench => write!(f, "MiBench"),
+            SuiteName::Utdsp => write!(f, "UTDSP"),
+        }
+    }
+}
+
+/// The 57 benchmark names with their suite of origin; index order is the
+/// canonical benchmark order of every experiment.
+pub fn benchmark_names() -> Vec<(&'static str, SuiteName)> {
+    use SuiteName::*;
+    vec![
+        // MediaBench (13)
+        ("adpcm_encode", MediaBench),
+        ("adpcm_decode", MediaBench),
+        ("epic_encode", MediaBench),
+        ("epic_decode", MediaBench),
+        ("g721_encode", MediaBench),
+        ("g721_decode", MediaBench),
+        ("gsm_toast", MediaBench),
+        ("gsm_untoast", MediaBench),
+        ("jpeg_encode", MediaBench),
+        ("jpeg_decode", MediaBench),
+        ("mesa_mipmap", MediaBench),
+        ("mpeg2_encode", MediaBench),
+        ("pegwit", MediaBench),
+        // MiBench (21)
+        ("security_sha", MiBench),
+        ("security_blowfish", MiBench),
+        ("security_rijndael", MiBench),
+        ("telecomm_crc32", MiBench),
+        ("network_dijkstra", MiBench),
+        ("network_patricia", MiBench),
+        ("automotive_qsort", MiBench),
+        ("automotive_susan_c", MiBench),
+        ("automotive_susan_e", MiBench),
+        ("automotive_susan_s", MiBench),
+        ("automotive_basicmath", MiBench),
+        ("automotive_bitcount", MiBench),
+        ("office_stringsearch", MiBench),
+        ("telecomm_fft", MiBench),
+        ("telecomm_ifft", MiBench),
+        ("telecomm_adpcm_c", MiBench),
+        ("telecomm_adpcm_d", MiBench),
+        ("telecomm_gsm", MiBench),
+        ("consumer_jpeg_c", MiBench),
+        ("consumer_lame", MiBench),
+        ("consumer_typeset", MiBench),
+        // UTDSP (23)
+        ("histogram_arrays", Utdsp),
+        ("histogram_ptrs", Utdsp),
+        ("lmsfir_arrays", Utdsp),
+        ("lmsfir_ptrs", Utdsp),
+        ("iir_arrays", Utdsp),
+        ("iir_ptrs", Utdsp),
+        ("latnrm_arrays", Utdsp),
+        ("latnrm_ptrs", Utdsp),
+        ("mult_arrays", Utdsp),
+        ("mult_ptrs", Utdsp),
+        ("fir_arrays", Utdsp),
+        ("fir_ptrs", Utdsp),
+        ("fft_1024", Utdsp),
+        ("fft_256", Utdsp),
+        ("adpcm_utdsp", Utdsp),
+        ("compress_utdsp", Utdsp),
+        ("edge_detect", Utdsp),
+        ("spectral", Utdsp),
+        ("trellis", Utdsp),
+        ("v32_modem", Utdsp),
+        ("g722_utdsp", Utdsp),
+        ("jpeg_utdsp", Utdsp),
+        ("lpc_utdsp", Utdsp),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_57_unique_names() {
+        let names = benchmark_names();
+        assert_eq!(names.len(), 57);
+        let set: std::collections::HashSet<&str> = names.iter().map(|(n, _)| *n).collect();
+        assert_eq!(set.len(), 57);
+    }
+
+    #[test]
+    fn all_three_suites_represented() {
+        let names = benchmark_names();
+        for suite in [SuiteName::MediaBench, SuiteName::MiBench, SuiteName::Utdsp] {
+            assert!(names.iter().any(|(_, s)| *s == suite));
+        }
+    }
+
+    #[test]
+    fn security_sha_present() {
+        // Called out repeatedly in the paper's results discussion.
+        assert!(benchmark_names().iter().any(|(n, _)| *n == "security_sha"));
+    }
+}

@@ -1,0 +1,67 @@
+//! Compare unrolling heuristics on a single generated benchmark: GCC's
+//! default decisions vs the oracle, loop by loop — a per-benchmark slice
+//! of the Figure 12 limit study.
+//!
+//! Run with: `cargo run --release --example compare_heuristics`
+
+use fegen::rtl::heuristic::{gcc_default_factor, gcc_features, GccParams, GCC_FEATURE_NAMES};
+use fegen::rtl::lower::lower_program;
+use fegen::sim::oracle::{kernel_functions, measure_site, CallSpec, LoopSite, OracleConfig, Workload};
+use fegen::suite::{generate_benchmark, ArgDesc, SuiteConfig, SuiteName};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = SuiteConfig::tiny();
+    let bench = generate_benchmark("demo_dsp", SuiteName::Utdsp, 7, &config);
+    println!("benchmark `{}` with {} loops", bench.name, bench.n_loops);
+
+    let rtl = lower_program(&bench.program)?;
+    let to_args = |a: &ArgDesc| match a {
+        ArgDesc::Int(v) => fegen::sim::Arg::Int(*v),
+        ArgDesc::Float(v) => fegen::sim::Arg::Float(*v),
+        ArgDesc::Array(n) => fegen::sim::Arg::Array(n.clone()),
+    };
+    let workload = Workload {
+        init: bench
+            .init
+            .iter()
+            .map(|c| CallSpec { func: c.func.clone(), args: c.args.iter().map(to_args).collect() })
+            .collect(),
+        kernels: bench
+            .kernels
+            .iter()
+            .map(|c| CallSpec { func: c.func.clone(), args: c.args.iter().map(to_args).collect() })
+            .collect(),
+    };
+
+    let oracle_config = OracleConfig::default();
+    let kernel_funcs = kernel_functions(&rtl, &workload);
+    println!();
+    println!(
+        "{:<18} {:>4} {:>6} {:>9} {:>9}  features",
+        "loop", "gcc", "best", "gcc-spd", "best-spd"
+    );
+    for func_name in &kernel_funcs {
+        let func = rtl.function(func_name).expect("kernel function");
+        for region in &func.loops {
+            let site = LoopSite { func: func_name.clone(), loop_id: region.id };
+            let m = measure_site(&rtl, &workload, &kernel_funcs, &site, &oracle_config)?;
+            let gcc = gcc_default_factor(func, region, &GccParams::default());
+            let best = m.best_factor();
+            let feats = gcc_features(func, region);
+            let brief: Vec<String> = GCC_FEATURE_NAMES
+                .iter()
+                .zip(&feats)
+                .take(3)
+                .map(|(n, v)| format!("{n}={v:.0}"))
+                .collect();
+            println!(
+                "{:<18} {gcc:>4} {best:>6} {:>9.4} {:>9.4}  {}",
+                site.to_string(),
+                m.cycles[0] / m.cycles[gcc.min(15)],
+                m.cycles[0] / m.cycles[best],
+                brief.join(" ")
+            );
+        }
+    }
+    Ok(())
+}

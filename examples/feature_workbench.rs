@@ -1,0 +1,71 @@
+//! Feature workbench: explore the feature grammar interactively-ish.
+//!
+//! Derives the grammar from a benchmark suite's exported loops, prints the
+//! discovered vocabulary, generates a handful of random features (the GP's
+//! raw material), and evaluates any features passed as CLI arguments over
+//! a sample of loops.
+//!
+//! Run with:
+//! `cargo run --release --example feature_workbench -- "count(filter(//*, is-type(mem)))"`
+
+use fegen::core::{parse_feature, Grammar};
+use fegen::rtl::export::export_loop;
+use fegen::rtl::lower::lower_program;
+use fegen::suite::{generate_suite, SuiteConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Exported loop corpus from a tiny suite.
+    let suite = generate_suite(&SuiteConfig::tiny());
+    let mut corpus = Vec::new();
+    for b in &suite {
+        let rtl = lower_program(&b.program)?;
+        for f in &rtl.functions {
+            if f.name == "init" {
+                continue;
+            }
+            for region in &f.loops {
+                corpus.push(export_loop(f, region, &rtl.layout));
+            }
+        }
+    }
+    println!("exported {} loops from {} benchmarks", corpus.len(), suite.len());
+
+    // The automatically derived grammar (paper §VI).
+    let grammar = Grammar::derive(corpus.iter());
+    println!();
+    println!(
+        "grammar vocabulary: {} node kinds, {} numeric attrs, {} bool attrs, {} enum attrs",
+        grammar.kinds().len(),
+        grammar.num_attrs().len(),
+        grammar.bool_attrs().len(),
+        grammar.enum_attrs().len()
+    );
+    let kinds: Vec<String> = grammar.kinds().iter().map(|k| k.as_str()).collect();
+    println!("kinds: {}", kinds.join(" "));
+    for a in grammar.num_attrs() {
+        println!("  @{} in [{}, {}]", a.name, a.min, a.max);
+    }
+
+    // Random sentences of the grammar — what the GP population starts from.
+    println!();
+    println!("random features:");
+    let mut rng = StdRng::seed_from_u64(2009);
+    for _ in 0..8 {
+        let f = grammar.gen_feature(&mut rng, 5);
+        let v = f.eval_default(&corpus[0])?;
+        println!("  {v:>12.2} <- {f}");
+    }
+
+    // Evaluate user-provided features over the corpus.
+    for arg in std::env::args().skip(1) {
+        let f = parse_feature(&arg)?;
+        println!();
+        println!("`{f}` over the corpus:");
+        for (i, ir) in corpus.iter().take(10).enumerate() {
+            println!("  loop {i:>2}: {}", f.eval_default(ir)?);
+        }
+    }
+    Ok(())
+}

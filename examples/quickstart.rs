@@ -1,0 +1,104 @@
+//! Quickstart: the whole system in one page.
+//!
+//! Parse a Tiny-C kernel, lower it to RTL, export a loop for the feature
+//! generator, evaluate a hand-written feature on it, and run a miniature
+//! GP feature search against measured cycle tables.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use fegen::core::{parse_feature, FeatureSearch, SearchConfig, TrainingExample};
+use fegen::rtl::export::export_loop;
+use fegen::rtl::lower::lower_program;
+use fegen::sim::oracle::{measure_workload, CallSpec, OracleConfig, Workload};
+use fegen::sim::Arg;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A small program: two kernels with different unrolling behaviour.
+    // Streaming kernels at several constant trip counts, plus short-trip
+    // nested kernels: enough variety for the feature search to have
+    // something to discover.
+    let mut src = String::from(
+        "int data[512];\nint out[512];\n\
+         void init() { int i; for (i = 0; i < 512; i = i + 1) { data[i] = i * 31 % 97; } }\n",
+    );
+    for trip in [12, 48, 120, 240, 480] {
+        src.push_str(&format!(
+            "int stream{trip}(int n) {{ int i; int s; s = 0;\n\
+               for (i = 0; i < {trip}; i = i + 1) {{ s = s + data[i] * 3; }} return s; }}\n"
+        ));
+    }
+    for inner in [2, 3, 5] {
+        src.push_str(&format!(
+            "void shorty{inner}(int n) {{ int i; int j;\n\
+               for (j = 0; j < n; j = j + 1) {{\n\
+                 for (i = 0; i < {inner}; i = i + 1) {{ out[i] = data[i] + j; }}\n\
+               }}\n\
+             }}\n"
+        ));
+    }
+    let src = src.as_str();
+    let ast = fegen::lang::parse_program(src)?;
+    let rtl = lower_program(&ast)?;
+    println!("lowered {} functions", rtl.functions.len());
+
+    // 2. Export a loop and evaluate a feature expression on it.
+    let stream = rtl.function("stream480").expect("kernel exists");
+    let ir = export_loop(stream, &stream.loops[0], &rtl.layout);
+    let feature = parse_feature("count(filter(//*, is-type(mem)))")?;
+    println!(
+        "feature `{feature}` = {} on the stream loop",
+        feature.eval_default(&ir)?
+    );
+    let trip = parse_feature("get-attr(@num-iter)")?;
+    println!("feature `{trip}` = {}", trip.eval_default(&ir)?);
+
+    // 3. Measure every loop's cycle table over unroll factors 0..=15.
+    let mut kernels = Vec::new();
+    for trip in [12, 48, 120, 240, 480] {
+        kernels.push(CallSpec { func: format!("stream{trip}"), args: vec![Arg::Int(0)] });
+    }
+    for inner in [2, 3, 5] {
+        kernels.push(CallSpec { func: format!("shorty{inner}"), args: vec![Arg::Int(300)] });
+    }
+    let workload = Workload {
+        init: vec![CallSpec { func: "init".into(), args: vec![] }],
+        kernels,
+    };
+    let tables = measure_workload(&rtl, &workload, &OracleConfig::default())?;
+    let mut examples = Vec::new();
+    for t in &tables {
+        println!(
+            "loop {:<10} best factor {:>2}, speedup at best {:.4}",
+            t.site.to_string(),
+            t.best_factor(),
+            t.cycles[0] / t.cycles[t.best_factor()]
+        );
+        let f = rtl.function(&t.site.func).expect("function exists");
+        let region = f.loops.iter().find(|l| l.id == t.site.loop_id).expect("loop");
+        examples.push(TrainingExample {
+            ir: export_loop(f, region, &rtl.layout),
+            cycles: t.cycles.clone(),
+        });
+    }
+
+    // 4. Search for features that let a decision tree predict good factors.
+    //    (Tiny budgets — this is a demo, not an experiment.)
+    let mut config = SearchConfig::quick();
+    config.max_features = 3;
+    config.max_total_generations = 60;
+    // Two loops is a *very* small training set; disable the internal
+    // holdout rotation so the demo stays deterministic and instant.
+    config.internal_folds = 1;
+    config.internal_k = 3;
+    let search = FeatureSearch::from_examples(&examples, config);
+    let outcome = search.run(&examples);
+    println!(
+        "search used {} generations and found {} feature(s):",
+        outcome.total_generations,
+        outcome.features.len()
+    );
+    for step in &outcome.steps {
+        println!("  internal speedup {:.4} <- {}", step.speedup, step.feature);
+    }
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Unroll explorer: the paper's §V data generation in miniature.
+//!
+//! Takes a Tiny-C kernel (from a file passed as the first argument, or a
+//! built-in FIR filter), lowers it, unrolls its first loop by every factor
+//! 0..=15 and prints the simulated cycle table — the raw material the
+//! whole learning pipeline is built on.
+//!
+//! Run with: `cargo run --release --example unroll_explorer [source.tc]`
+
+use fegen::rtl::lower::lower_program;
+use fegen::rtl::unroll::unroll_loop;
+use fegen::sim::{Arg, Machine, SimConfig};
+
+const BUILTIN: &str = "\
+    float signal[1024];\n\
+    float filtered[1024];\n\
+    void init() { int i; for (i = 0; i < 1024; i = i + 1) { signal[i] = (i % 64) * 0.25; } }\n\
+    void fir(int n) {\n\
+      int i;\n\
+      for (i = 0; i < n; i = i + 1) {\n\
+        filtered[i] = signal[i] * 0.5 + signal[i + 1] * 0.3 + signal[i + 2] * 0.2;\n\
+      }\n\
+    }\n";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(path)?,
+        None => BUILTIN.to_owned(),
+    };
+    let ast = fegen::lang::parse_program(&source)?;
+    let rtl = lower_program(&ast)?;
+
+    // The kernel = the last function; `init`, when present, fills inputs.
+    let kernel = rtl.functions.last().expect("at least one function");
+    let kernel_name = kernel.name.clone();
+    if kernel.loops.is_empty() {
+        return Err(format!("function `{kernel_name}` has no loops").into());
+    }
+    println!(";; exploring loop 0 of `{kernel_name}`");
+    println!(";; {} instructions before unrolling", kernel.insns.len());
+    println!();
+    println!("{:>6} {:>12} {:>9} {:>8} {:>8} {:>9}", "factor", "cycles", "speedup", "insns", "ic-miss", "mispred");
+
+    let mut baseline = None;
+    for factor in 0..=15usize {
+        let unrolled = unroll_loop(rtl.function(&kernel_name).expect("kernel"), 0, factor)?;
+        let mut program = rtl.clone();
+        *program.function_mut(&kernel_name).expect("kernel") = unrolled;
+
+        let mut machine = Machine::new(&program, SimConfig::default());
+        if program.function("init").is_some() {
+            machine.call("init", &[])?;
+        }
+        // Scalar int parameters get a default trip count of 500.
+        let args: Vec<Arg> = program
+            .function(&kernel_name)
+            .expect("kernel")
+            .params
+            .iter()
+            .map(|_| Arg::Int(500))
+            .collect();
+        machine.call(&kernel_name, &args)?;
+        let cycles = machine.cycles_of(&kernel_name);
+        let base = *baseline.get_or_insert(cycles);
+        println!(
+            "{factor:>6} {cycles:>12} {:>9.4} {:>8} {:>8} {:>9}",
+            base as f64 / cycles as f64,
+            program.function(&kernel_name).expect("kernel").insns.len(),
+            machine.icache_misses(),
+            machine.mispredicts(),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,294 @@
+//! `fegen` — command-line front end for the whole toolchain.
+//!
+//! ```text
+//! fegen parse   <file>                         check + pretty-print a Tiny-C program
+//! fegen rtl     <file> [func]                  dump lowered RTL
+//! fegen loops   <file>                         list loops with analysis facts
+//! fegen unroll  <file> <func> <loop> <factor>  dump RTL after unrolling
+//! fegen run     <file> <func> [int args...]    simulate a call, report cycles
+//! fegen table   <file> <func> <loop> [n]       cycle table over factors 0..=15
+//! fegen export  <file> <func> <loop>           dump a loop's feature-generator IR
+//! fegen grammar <file>                         derive and print the feature grammar
+//! fegen eval    <file> <func> <loop> <expr>    evaluate a feature expression
+//! fegen suite   <index>                        print a generated benchmark's source
+//! ```
+
+use fegen::core::{parse_feature, Grammar};
+use fegen::rtl::export::export_loop;
+use fegen::rtl::heuristic::{gcc_default_factor, gcc_features, GccParams, GCC_FEATURE_NAMES};
+use fegen::rtl::lower::lower_program;
+use fegen::rtl::unroll::unroll_loop;
+use fegen::rtl::RtlProgram;
+use fegen::sim::{Arg, Machine, SimConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fegen: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type Anyhow = Box<dyn std::error::Error>;
+
+fn run(args: &[String]) -> Result<(), Anyhow> {
+    let Some(cmd) = args.first() else {
+        print_usage();
+        return Ok(());
+    };
+    match cmd.as_str() {
+        "parse" => cmd_parse(arg(args, 1)?),
+        "rtl" => cmd_rtl(arg(args, 1)?, args.get(2).map(String::as_str)),
+        "loops" => cmd_loops(arg(args, 1)?),
+        "unroll" => cmd_unroll(
+            arg(args, 1)?,
+            arg(args, 2)?,
+            parse_num(arg(args, 3)?)?,
+            parse_num(arg(args, 4)?)?,
+        ),
+        "run" => cmd_run(arg(args, 1)?, arg(args, 2)?, &args[3..]),
+        "table" => cmd_table(
+            arg(args, 1)?,
+            arg(args, 2)?,
+            parse_num(arg(args, 3)?)?,
+            args.get(4).map(|s| parse_num(s)).transpose()?,
+        ),
+        "export" => cmd_export(arg(args, 1)?, arg(args, 2)?, parse_num(arg(args, 3)?)?),
+        "grammar" => cmd_grammar(arg(args, 1)?),
+        "eval" => cmd_eval(
+            arg(args, 1)?,
+            arg(args, 2)?,
+            parse_num(arg(args, 3)?)?,
+            arg(args, 4)?,
+        ),
+        "suite" => cmd_suite(parse_num(arg(args, 1)?)?),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (try `fegen help`)").into()),
+    }
+}
+
+fn print_usage() {
+    println!("fegen — automatic feature generation for optimizing compilation");
+    println!();
+    println!("  fegen parse   <file>                         check + pretty-print");
+    println!("  fegen rtl     <file> [func]                  dump lowered RTL");
+    println!("  fegen loops   <file>                         list loops + analysis facts");
+    println!("  fegen unroll  <file> <func> <loop> <factor>  dump unrolled RTL");
+    println!("  fegen run     <file> <func> [int args...]    simulate a call");
+    println!("  fegen table   <file> <func> <loop> [n]       cycle table, factors 0..=15");
+    println!("  fegen export  <file> <func> <loop>           dump feature-generator IR");
+    println!("  fegen grammar <file>                         derive the feature grammar");
+    println!("  fegen eval    <file> <func> <loop> <expr>    evaluate a feature");
+    println!("  fegen suite   <index>                        print benchmark #index source");
+}
+
+fn arg(args: &[String], i: usize) -> Result<&str, Anyhow> {
+    args.get(i)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing argument #{i} (try `fegen help`)").into())
+}
+
+fn parse_num(s: &str) -> Result<usize, Anyhow> {
+    Ok(s.parse::<usize>()
+        .map_err(|_| format!("`{s}` is not a number"))?)
+}
+
+fn load(path: &str) -> Result<(fegen::lang::Program, RtlProgram), Anyhow> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("reading `{path}`: {e}"))?;
+    let ast = fegen::lang::parse_program(&source)?;
+    let rtl = lower_program(&ast)?;
+    Ok((ast, rtl))
+}
+
+fn find_func<'p>(rtl: &'p RtlProgram, name: &str) -> Result<&'p fegen::rtl::RtlFunction, Anyhow> {
+    rtl.function(name)
+        .ok_or_else(|| format!("no function `{name}`").into())
+}
+
+fn cmd_parse(path: &str) -> Result<(), Anyhow> {
+    let (ast, _) = load(path)?;
+    print!("{}", fegen::lang::print_program(&ast));
+    Ok(())
+}
+
+fn cmd_rtl(path: &str, func: Option<&str>) -> Result<(), Anyhow> {
+    let (_, rtl) = load(path)?;
+    for f in &rtl.functions {
+        if func.is_none_or(|n| n == f.name) {
+            print!("{}", f.dump());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_loops(path: &str) -> Result<(), Anyhow> {
+    let (_, rtl) = load(path)?;
+    println!(
+        "{:<24} {:>5} {:>6} {:>7} {:>7} {:>8} {:>8}",
+        "loop", "depth", "simple", "trip", "ninsns", "branches", "gcc-dflt"
+    );
+    for f in &rtl.functions {
+        for region in &f.loops {
+            let feats = gcc_features(f, region);
+            println!(
+                "{:<24} {:>5} {:>6} {:>7} {:>7} {:>8} {:>8}",
+                format!("{}#{}", f.name, region.id),
+                region.depth,
+                region.is_simple(),
+                region
+                    .trip_count()
+                    .map_or("?".to_owned(), |t| t.to_string()),
+                feats[0],
+                feats[4],
+                gcc_default_factor(f, region, &GccParams::default()),
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_unroll(path: &str, func: &str, loop_id: usize, factor: usize) -> Result<(), Anyhow> {
+    let (_, rtl) = load(path)?;
+    let f = find_func(&rtl, func)?;
+    let unrolled = unroll_loop(f, loop_id, factor)?;
+    print!("{}", unrolled.dump());
+    Ok(())
+}
+
+fn cmd_run(path: &str, func: &str, rest: &[String]) -> Result<(), Anyhow> {
+    let (_, rtl) = load(path)?;
+    let _ = find_func(&rtl, func)?;
+    let mut machine = Machine::new(&rtl, SimConfig::default());
+    if rtl.function("init").is_some() && func != "init" {
+        machine.call("init", &[])?;
+    }
+    let call_args: Vec<Arg> = rest
+        .iter()
+        .map(|s| -> Result<Arg, Anyhow> {
+            if let Ok(v) = s.parse::<i64>() {
+                Ok(Arg::Int(v))
+            } else if let Ok(v) = s.parse::<f64>() {
+                Ok(Arg::Float(v))
+            } else {
+                Ok(Arg::Array(s.clone()))
+            }
+        })
+        .collect::<Result<_, _>>()?;
+    let result = machine.call(func, &call_args)?;
+    println!("result:      {result:?}");
+    println!("cycles:      {} (function), {} (total)", machine.cycles_of(func), machine.total_cycles());
+    println!("insns:       {}", machine.insns_executed());
+    println!("dcache miss: {}", machine.dcache_misses());
+    println!("icache miss: {}", machine.icache_misses());
+    println!("mispredicts: {}", machine.mispredicts());
+    Ok(())
+}
+
+fn cmd_table(path: &str, func: &str, loop_id: usize, n: Option<usize>) -> Result<(), Anyhow> {
+    let (_, rtl) = load(path)?;
+    let f = find_func(&rtl, func)?;
+    let call_args: Vec<Arg> = f
+        .params
+        .iter()
+        .map(|_| Arg::Int(n.unwrap_or(200) as i64))
+        .collect();
+    let mut baseline = None;
+    println!("{:>6} {:>12} {:>9}", "factor", "cycles", "speedup");
+    for factor in 0..=15usize {
+        let unrolled = unroll_loop(f, loop_id, factor)?;
+        let mut program = rtl.clone();
+        *program.function_mut(func).expect("checked") = unrolled;
+        let mut machine = Machine::new(&program, SimConfig::default());
+        if program.function("init").is_some() && func != "init" {
+            machine.call("init", &[])?;
+        }
+        machine.call(func, &call_args)?;
+        let cycles = machine.cycles_of(func);
+        let base = *baseline.get_or_insert(cycles);
+        println!("{factor:>6} {cycles:>12} {:>9.4}", base as f64 / cycles as f64);
+    }
+    Ok(())
+}
+
+fn cmd_export(path: &str, func: &str, loop_id: usize) -> Result<(), Anyhow> {
+    let (_, rtl) = load(path)?;
+    let f = find_func(&rtl, func)?;
+    let region = f
+        .loops
+        .iter()
+        .find(|l| l.id == loop_id)
+        .ok_or_else(|| format!("no loop #{loop_id} in `{func}`"))?;
+    print!("{}", export_loop(f, region, &rtl.layout).dump());
+    Ok(())
+}
+
+fn exported_corpus(rtl: &RtlProgram) -> Vec<fegen::core::ir::IrNode> {
+    let mut corpus = Vec::new();
+    for f in &rtl.functions {
+        for region in &f.loops {
+            corpus.push(export_loop(f, region, &rtl.layout));
+        }
+    }
+    corpus
+}
+
+fn cmd_grammar(path: &str) -> Result<(), Anyhow> {
+    let (_, rtl) = load(path)?;
+    let corpus = exported_corpus(&rtl);
+    if corpus.is_empty() {
+        return Err("the program has no loops to derive a grammar from".into());
+    }
+    let g = Grammar::derive(corpus.iter());
+    println!("derived from {} exported loops", corpus.len());
+    let kinds: Vec<String> = g.kinds().iter().map(|k| k.as_str()).collect();
+    println!("node kinds ({}): {}", kinds.len(), kinds.join(" "));
+    for a in g.num_attrs() {
+        println!("num  @{:<16} in [{}, {}]", a.name.as_str(), a.min, a.max);
+    }
+    for a in g.bool_attrs() {
+        println!("bool @{}", a.as_str());
+    }
+    for a in g.enum_attrs() {
+        let vals: Vec<String> = a.values.iter().map(|v| v.as_str()).collect();
+        println!("enum @{:<16} in {{{}}}", a.name.as_str(), vals.join(", "));
+    }
+    Ok(())
+}
+
+fn cmd_eval(path: &str, func: &str, loop_id: usize, expr: &str) -> Result<(), Anyhow> {
+    let (_, rtl) = load(path)?;
+    let f = find_func(&rtl, func)?;
+    let region = f
+        .loops
+        .iter()
+        .find(|l| l.id == loop_id)
+        .ok_or_else(|| format!("no loop #{loop_id} in `{func}`"))?;
+    let ir = export_loop(f, region, &rtl.layout);
+    let feature = parse_feature(expr)?;
+    println!("{}", feature.eval_default(&ir)?);
+    Ok(())
+}
+
+fn cmd_suite(index: usize) -> Result<(), Anyhow> {
+    let config = fegen::suite::SuiteConfig::paper();
+    let names = fegen::suite::benchmark_names();
+    if index >= names.len() {
+        return Err(format!("suite index out of range (0..{})", names.len()).into());
+    }
+    let (name, suite_name) = names[index];
+    let b = fegen::suite::generate_benchmark(name, suite_name, index, &config);
+    println!("// benchmark {} ({}), {} loops", b.name, b.suite, b.n_loops);
+    print!("{}", fegen::lang::print_program(&b.program));
+    Ok(())
+}
+
+// Silence "unused" for names referenced only in help text.
+#[allow(dead_code)]
+const _: [&str; 6] = GCC_FEATURE_NAMES;

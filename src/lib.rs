@@ -1,0 +1,22 @@
+//! # fegen — Automatic Feature Generation for ML-Based Optimizing Compilation
+//!
+//! Umbrella crate of the CGO 2009 reproduction (Leather, Bonilla, O'Boyle).
+//! It re-exports the workspace crates under stable module names so examples
+//! and integration tests can use a single dependency:
+//!
+//! - [`lang`] — the Tiny-C source language front end,
+//! - [`rtl`] — the RTL-style compiler IR, loop analysis and unrolling,
+//! - [`sim`] — the cycle-approximate CPU simulator and measurement pipeline,
+//! - [`suite`] — the synthetic MediaBench/MiBench/UTDSP-style benchmark suite,
+//! - [`ml`] — the machine-learning substrate (C4.5 tree, RBF SVM, CV),
+//! - [`core`] — the paper's contribution: feature grammars, the feature
+//!   expression language and the GP feature search.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
+
+pub use fegen_core as core;
+pub use fegen_lang as lang;
+pub use fegen_ml as ml;
+pub use fegen_rtl as rtl;
+pub use fegen_sim as sim;
+pub use fegen_suite as suite;

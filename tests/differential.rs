@@ -1,0 +1,515 @@
+//! Differential testing: an independent AST-level reference interpreter
+//! executed against the RTL pipeline (lowering + the cycle-accounting
+//! machine) on randomly generated programs. Any divergence is a bug in
+//! lowering, unrolling or the simulator.
+
+mod reference {
+    //! A deliberately naive tree-walking interpreter for Tiny-C. It shares
+    //! no code with `fegen-rtl`/`fegen-sim`; the only common ground is the
+    //! AST.
+
+    use fegen_lang::ast::*;
+    use std::collections::HashMap;
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub enum V {
+        I(i64),
+        F(f64),
+    }
+
+    impl V {
+        pub fn as_i(self) -> i64 {
+            match self {
+                V::I(v) => v,
+                V::F(v) => v as i64,
+            }
+        }
+        pub fn as_f(self) -> f64 {
+            match self {
+                V::I(v) => v as f64,
+                V::F(v) => v,
+            }
+        }
+        fn truthy(self) -> bool {
+            match self {
+                V::I(v) => v != 0,
+                V::F(v) => v != 0.0,
+            }
+        }
+    }
+
+    /// Arrays are stored by name in a global store; array parameters are
+    /// name-aliases resolved per frame.
+    pub struct Ref<'p> {
+        program: &'p Program,
+        pub arrays: HashMap<String, (Vec<V>, Vec<usize>)>,
+        steps: u64,
+    }
+
+    enum Flow {
+        Normal,
+        Return(Option<V>),
+    }
+
+    struct Frame {
+        scalars: HashMap<String, V>,
+        aliases: HashMap<String, String>,
+    }
+
+    impl<'p> Ref<'p> {
+        pub fn new(program: &'p Program) -> Self {
+            let mut arrays = HashMap::new();
+            for g in &program.globals {
+                match &g.ty {
+                    Type::Array { elem, dims } => {
+                        let len: usize = dims.iter().product();
+                        let zero = match elem {
+                            Scalar::Int => V::I(0),
+                            Scalar::Float => V::F(0.0),
+                        };
+                        arrays.insert(g.name.clone(), (vec![zero; len], dims.clone()));
+                    }
+                    Type::Int => {
+                        arrays.insert(g.name.clone(), (vec![V::I(0)], vec![]));
+                    }
+                    Type::Float => {
+                        arrays.insert(g.name.clone(), (vec![V::F(0.0)], vec![]));
+                    }
+                    Type::Void => {}
+                }
+            }
+            Ref {
+                program,
+                arrays,
+                steps: 0,
+            }
+        }
+
+        pub fn call(&mut self, name: &str, args: Vec<V>, array_args: Vec<String>) -> Option<V> {
+            let func = self.program.function(name).expect("function exists");
+            let mut frame = Frame {
+                scalars: HashMap::new(),
+                aliases: HashMap::new(),
+            };
+            let mut scalars = args.into_iter();
+            let mut arrays = array_args.into_iter();
+            for p in &func.params {
+                match &p.ty {
+                    Type::Array { .. } => {
+                        frame
+                            .aliases
+                            .insert(p.name.clone(), arrays.next().expect("array arg"));
+                    }
+                    Type::Int => {
+                        frame
+                            .scalars
+                            .insert(p.name.clone(), V::I(scalars.next().expect("arg").as_i()));
+                    }
+                    Type::Float => {
+                        frame
+                            .scalars
+                            .insert(p.name.clone(), V::F(scalars.next().expect("arg").as_f()));
+                    }
+                    Type::Void => {}
+                }
+            }
+            match self.block(&func.body, &mut frame) {
+                Flow::Return(v) => v.map(|v| match func.ret {
+                    Type::Int => V::I(v.as_i()),
+                    Type::Float => V::F(v.as_f()),
+                    _ => v,
+                }),
+                Flow::Normal => None,
+            }
+        }
+
+        fn resolve<'a>(&self, frame: &'a Frame, name: &'a str) -> String {
+            let mut n = name;
+            while let Some(next) = frame.aliases.get(n) {
+                n = next;
+            }
+            // Local arrays live under "func::name" — but the reference
+            // interpreter stores them by the same key used at decl time.
+            n.to_owned()
+        }
+
+        fn block(&mut self, b: &Block, frame: &mut Frame) -> Flow {
+            for s in &b.stmts {
+                if let Flow::Return(v) = self.stmt(s, frame) {
+                    return Flow::Return(v);
+                }
+            }
+            Flow::Normal
+        }
+
+        fn stmt(&mut self, s: &Stmt, frame: &mut Frame) -> Flow {
+            self.steps += 1;
+            assert!(self.steps < 10_000_000, "reference interpreter runaway");
+            match s {
+                Stmt::Decl(d) => {
+                    match &d.ty {
+                        Type::Array { elem, dims } => {
+                            let len: usize = dims.iter().product();
+                            let zero = match elem {
+                                Scalar::Int => V::I(0),
+                                Scalar::Float => V::F(0.0),
+                            };
+                            // Register under the bare name; lookups resolve
+                            // locals before globals via aliases.
+                            frame.aliases.insert(d.name.clone(), format!("local${}", d.name));
+                            self.arrays
+                                .insert(format!("local${}", d.name), (vec![zero; len], dims.clone()));
+                        }
+                        Type::Int => {
+                            frame.scalars.insert(d.name.clone(), V::I(0));
+                        }
+                        Type::Float => {
+                            frame.scalars.insert(d.name.clone(), V::F(0.0));
+                        }
+                        Type::Void => {}
+                    }
+                    Flow::Normal
+                }
+                Stmt::Assign { target, value } => {
+                    let v = self.expr(value, frame);
+                    if target.indices.is_empty() && frame.scalars.contains_key(&target.name) {
+                        let coerced = match frame.scalars[&target.name] {
+                            V::I(_) => V::I(v.as_i()),
+                            V::F(_) => V::F(v.as_f()),
+                        };
+                        frame.scalars.insert(target.name.clone(), coerced);
+                    } else {
+                        let idx: Vec<i64> = target
+                            .indices
+                            .iter()
+                            .map(|e| self.expr(e, frame).as_i())
+                            .collect();
+                        let key = self.resolve(frame, &target.name);
+                        let (cells, dims) = self.arrays.get_mut(&key).expect("array exists");
+                        let flat = flatten(&idx, dims);
+                        cells[flat] = match cells[flat] {
+                            V::I(_) => V::I(v.as_i()),
+                            V::F(_) => V::F(v.as_f()),
+                        };
+                        let coerced = cells[flat];
+                        let _ = coerced;
+                    }
+                    Flow::Normal
+                }
+                Stmt::If {
+                    cond,
+                    then_blk,
+                    else_blk,
+                } => {
+                    if self.expr(cond, frame).truthy() {
+                        self.block(then_blk, frame)
+                    } else if let Some(e) = else_blk {
+                        self.block(e, frame)
+                    } else {
+                        Flow::Normal
+                    }
+                }
+                Stmt::While { cond, body } => {
+                    while self.expr(cond, frame).truthy() {
+                        if let Flow::Return(v) = self.block(body, frame) {
+                            return Flow::Return(v);
+                        }
+                    }
+                    Flow::Normal
+                }
+                Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                } => {
+                    if let Some(i) = init {
+                        if let Flow::Return(v) = self.stmt(i, frame) {
+                            return Flow::Return(v);
+                        }
+                    }
+                    while self.expr(cond, frame).truthy() {
+                        if let Flow::Return(v) = self.block(body, frame) {
+                            return Flow::Return(v);
+                        }
+                        if let Some(st) = step {
+                            if let Flow::Return(v) = self.stmt(st, frame) {
+                                return Flow::Return(v);
+                            }
+                        }
+                    }
+                    Flow::Normal
+                }
+                Stmt::Return(e) => {
+                    let v = e.as_ref().map(|e| self.expr(e, frame));
+                    Flow::Return(v)
+                }
+                Stmt::ExprStmt(e) => {
+                    let _ = self.expr(e, frame);
+                    Flow::Normal
+                }
+                Stmt::Block(b) => self.block(b, frame),
+            }
+        }
+
+        fn expr(&mut self, e: &Expr, frame: &mut Frame) -> V {
+            match e {
+                Expr::IntLit(v) => V::I(*v),
+                Expr::FloatLit(v) => V::F(*v),
+                Expr::Var(name) => {
+                    if let Some(v) = frame.scalars.get(name) {
+                        *v
+                    } else {
+                        // Global scalar.
+                        let key = self.resolve(frame, name);
+                        self.arrays[&key].0[0]
+                    }
+                }
+                Expr::Index { name, indices } => {
+                    let idx: Vec<i64> = indices
+                        .iter()
+                        .map(|e| self.expr(e, frame).as_i())
+                        .collect();
+                    let key = self.resolve(frame, name);
+                    let (cells, dims) = &self.arrays[&key];
+                    cells[flatten(&idx, dims)]
+                }
+                Expr::Unary { op, expr } => {
+                    let v = self.expr(expr, frame);
+                    match op {
+                        UnOp::Neg => match v {
+                            V::I(x) => V::I(x.wrapping_neg()),
+                            V::F(x) => V::F(-x),
+                        },
+                        UnOp::Not => V::I(i64::from(!v.truthy())),
+                    }
+                }
+                Expr::Binary { op, lhs, rhs } => {
+                    let a = self.expr(lhs, frame);
+                    let b = self.expr(rhs, frame);
+                    binop(*op, a, b)
+                }
+                Expr::Call { name, args } => {
+                    let callee = self.program.function(name).expect("callee exists").clone();
+                    let mut scalar_args = Vec::new();
+                    let mut array_args = Vec::new();
+                    for (p, a) in callee.params.iter().zip(args) {
+                        match &p.ty {
+                            Type::Array { .. } => {
+                                let Expr::Var(n) = a else {
+                                    panic!("array arg is a name")
+                                };
+                                array_args.push(self.resolve(frame, n));
+                            }
+                            _ => scalar_args.push(self.expr(a, frame)),
+                        }
+                    }
+                    self.call(name, scalar_args, array_args).unwrap_or(V::I(0))
+                }
+            }
+        }
+    }
+
+    fn flatten(idx: &[i64], dims: &[usize]) -> usize {
+        match (idx.len(), dims.len()) {
+            (0, _) => 0,
+            (1, _) => idx[0] as usize,
+            (2, 2) => idx[0] as usize * dims[1] + idx[1] as usize,
+            _ => panic!("index arity"),
+        }
+    }
+
+    fn binop(op: BinOp, a: V, b: V) -> V {
+        use BinOp::*;
+        let float = matches!(a, V::F(_)) || matches!(b, V::F(_));
+        match op {
+            Add | Sub | Mul | Div if float => {
+                let (x, y) = (a.as_f(), b.as_f());
+                V::F(match op {
+                    Add => x + y,
+                    Sub => x - y,
+                    Mul => x * y,
+                    Div => {
+                        if y == 0.0 {
+                            0.0
+                        } else {
+                            x / y
+                        }
+                    }
+                    _ => unreachable!(),
+                })
+            }
+            Add => V::I(a.as_i().wrapping_add(b.as_i())),
+            Sub => V::I(a.as_i().wrapping_sub(b.as_i())),
+            Mul => V::I(a.as_i().wrapping_mul(b.as_i())),
+            Div => V::I(if b.as_i() == 0 { 0 } else { a.as_i().wrapping_div(b.as_i()) }),
+            Rem => V::I(if b.as_i() == 0 { 0 } else { a.as_i().wrapping_rem(b.as_i()) }),
+            Shl => V::I(a.as_i().wrapping_shl((b.as_i() & 63) as u32)),
+            Shr => V::I(a.as_i().wrapping_shr((b.as_i() & 63) as u32)),
+            BitAnd => V::I(a.as_i() & b.as_i()),
+            BitOr => V::I(a.as_i() | b.as_i()),
+            BitXor => V::I(a.as_i() ^ b.as_i()),
+            Lt | Le | Gt | Ge | Eq | Ne => {
+                let r = if float {
+                    let (x, y) = (a.as_f(), b.as_f());
+                    match op {
+                        Lt => x < y,
+                        Le => x <= y,
+                        Gt => x > y,
+                        Ge => x >= y,
+                        Eq => x == y,
+                        Ne => x != y,
+                        _ => unreachable!(),
+                    }
+                } else {
+                    let (x, y) = (a.as_i(), b.as_i());
+                    match op {
+                        Lt => x < y,
+                        Le => x <= y,
+                        Gt => x > y,
+                        Ge => x >= y,
+                        Eq => x == y,
+                        Ne => x != y,
+                        _ => unreachable!(),
+                    }
+                };
+                V::I(i64::from(r))
+            }
+            And => V::I(i64::from(a.truthy() && b.truthy())),
+            Or => V::I(i64::from(a.truthy() || b.truthy())),
+        }
+    }
+}
+
+use fegen::rtl::lower::lower_program;
+use fegen::sim::{Arg, Machine, SimConfig, Value};
+use fegen::suite::{generate_suite, ArgDesc, SuiteConfig};
+use reference::{Ref, V};
+
+fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+}
+
+fn values_agree(rtl: Option<Value>, reference: Option<V>) -> bool {
+    match (rtl, reference) {
+        (None, None) => true,
+        (Some(Value::I(a)), Some(v)) => a == v.as_i(),
+        (Some(Value::F(a)), Some(v)) => approx_eq(a, v.as_f()),
+        _ => false,
+    }
+}
+
+#[test]
+fn rtl_machine_matches_reference_interpreter_on_generated_suite() {
+    // Note: local arrays in benchmarks use distinct names per kernel
+    // (the generator allocates globals only), so the reference
+    // interpreter's simple alias scheme is sufficient.
+    let suite = generate_suite(&SuiteConfig::tiny());
+    for b in &suite {
+        let rtl = lower_program(&b.program).unwrap();
+        let mut machine = Machine::new(&rtl, SimConfig::default());
+        let mut reference = Ref::new(&b.program);
+
+        for call in b.init.iter().chain(&b.kernels) {
+            let sim_args: Vec<Arg> = call
+                .args
+                .iter()
+                .map(|a| match a {
+                    ArgDesc::Int(v) => Arg::Int(*v),
+                    ArgDesc::Float(v) => Arg::Float(*v),
+                    ArgDesc::Array(n) => Arg::Array(n.clone()),
+                })
+                .collect();
+            let mut scalar_args = Vec::new();
+            let mut array_args = Vec::new();
+            for a in &call.args {
+                match a {
+                    ArgDesc::Int(v) => scalar_args.push(V::I(*v)),
+                    ArgDesc::Float(v) => scalar_args.push(V::F(*v)),
+                    ArgDesc::Array(n) => array_args.push(n.clone()),
+                }
+            }
+            let rtl_result = machine
+                .call(&call.func, &sim_args)
+                .unwrap_or_else(|e| panic!("{}::{}: {e}", b.name, call.func));
+            let ref_result = reference.call(&call.func, scalar_args, array_args);
+            assert!(
+                values_agree(rtl_result, ref_result),
+                "{}::{} returned {rtl_result:?} vs reference {ref_result:?}",
+                b.name,
+                call.func
+            );
+        }
+
+        // Compare every global array cell-by-cell.
+        for g in &b.program.globals {
+            let (cells, _) = &reference.arrays[&g.name];
+            for (i, &expected) in cells.iter().enumerate() {
+                let got = machine.read_array(&g.name, i).unwrap();
+                assert!(
+                    values_agree(Some(got), Some(expected)),
+                    "{}: {}[{i}] = {got:?} vs reference {expected:?}",
+                    b.name,
+                    g.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn differential_on_handwritten_corner_cases() {
+    let cases: &[(&str, &str, Vec<Arg>, Vec<V>)] = &[
+        (
+            "negative division truncates toward zero",
+            "int f(int a, int b) { return a / b + a % b; }",
+            vec![Arg::Int(-7), Arg::Int(2)],
+            vec![V::I(-7), V::I(2)],
+        ),
+        (
+            "mixed int float arithmetic",
+            "float f(int a) { return a * 0.5 + a / 2; }",
+            vec![Arg::Int(7)],
+            vec![V::I(7)],
+        ),
+        (
+            "float to int truncation",
+            "int f(float x) { return x * 3.7; }",
+            vec![Arg::Float(2.5)],
+            vec![V::F(2.5)],
+        ),
+        (
+            "shift and mask",
+            "int f(int x) { return ((x << 3) ^ (x >> 1)) & 1023; }",
+            vec![Arg::Int(12345)],
+            vec![V::I(12345)],
+        ),
+        (
+            "short circuit equivalence without side effects",
+            "int f(int a, int b) { return (a > 0 && b > 0) + (a > 0 || b > 0); }",
+            vec![Arg::Int(3), Arg::Int(0)],
+            vec![V::I(3), V::I(0)],
+        ),
+        (
+            "nested loops with early return",
+            "int f(int n) { int i; int j; int s; s = 0;\n\
+             for (i = 0; i < n; i = i + 1) {\n\
+               for (j = 0; j < i; j = j + 1) { s = s + j; if (s > 50) { return s; } }\n\
+             } return s; }",
+            vec![Arg::Int(20)],
+            vec![V::I(20)],
+        ),
+    ];
+    for (name, src, sim_args, ref_args) in cases {
+        let ast = fegen::lang::parse_program(src).unwrap();
+        let rtl = lower_program(&ast).unwrap();
+        let mut machine = Machine::new(&rtl, SimConfig::default());
+        let got = machine.call("f", sim_args).unwrap();
+        let mut reference = Ref::new(&ast);
+        let expected = reference.call("f", ref_args.clone(), vec![]);
+        assert!(
+            values_agree(got, expected),
+            "{name}: rtl {got:?} vs reference {expected:?}"
+        );
+    }
+}

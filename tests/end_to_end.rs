@@ -1,0 +1,145 @@
+//! End-to-end integration: suite generation → lowering → simulation →
+//! feature search → deployment, across crate boundaries.
+
+use fegen::core::{FeatureSearch, SearchConfig};
+use fegen::rtl::export::export_loop;
+use fegen::rtl::lower::lower_program;
+use fegen::sim::oracle::{measure_workload, CallSpec, OracleConfig, Workload};
+use fegen::sim::Arg;
+use fegen::suite::{generate_suite, ArgDesc, SuiteConfig};
+
+fn to_sim_args(args: &[ArgDesc]) -> Vec<Arg> {
+    args.iter()
+        .map(|a| match a {
+            ArgDesc::Int(v) => Arg::Int(*v),
+            ArgDesc::Float(v) => Arg::Float(*v),
+            ArgDesc::Array(n) => Arg::Array(n.clone()),
+        })
+        .collect()
+}
+
+#[test]
+fn suite_benchmarks_lower_simulate_and_measure() {
+    let suite = generate_suite(&SuiteConfig::tiny());
+    let mut total_loops = 0;
+    for b in &suite {
+        let rtl = lower_program(&b.program).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let workload = Workload {
+            init: b
+                .init
+                .iter()
+                .map(|c| CallSpec {
+                    func: c.func.clone(),
+                    args: to_sim_args(&c.args),
+                })
+                .collect(),
+            kernels: b
+                .kernels
+                .iter()
+                .map(|c| CallSpec {
+                    func: c.func.clone(),
+                    args: to_sim_args(&c.args),
+                })
+                .collect(),
+        };
+        let tables = measure_workload(&rtl, &workload, &OracleConfig::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        assert!(!tables.is_empty(), "{} measured no loops", b.name);
+        for t in &tables {
+            assert_eq!(t.cycles.len(), 16);
+            assert!(t.cycles.iter().all(|&c| c.is_finite() && c > 0.0));
+        }
+        total_loops += tables.len();
+    }
+    assert!(total_loops >= 9, "tiny suite should have several loops");
+}
+
+#[test]
+fn feature_search_improves_over_baseline_on_real_exports() {
+    // Build training examples from real suite loops, run the search, and
+    // check the found features actually evaluate on every loop.
+    let suite = generate_suite(&SuiteConfig::tiny());
+    let mut examples = Vec::new();
+    for b in &suite {
+        let rtl = lower_program(&b.program).unwrap();
+        let workload = Workload {
+            init: b
+                .init
+                .iter()
+                .map(|c| CallSpec {
+                    func: c.func.clone(),
+                    args: to_sim_args(&c.args),
+                })
+                .collect(),
+            kernels: b
+                .kernels
+                .iter()
+                .map(|c| CallSpec {
+                    func: c.func.clone(),
+                    args: to_sim_args(&c.args),
+                })
+                .collect(),
+        };
+        for t in measure_workload(&rtl, &workload, &OracleConfig::default()).unwrap() {
+            let f = rtl.function(&t.site.func).unwrap();
+            let region = f.loops.iter().find(|l| l.id == t.site.loop_id).unwrap();
+            examples.push(fegen::core::TrainingExample {
+                ir: export_loop(f, region, &rtl.layout),
+                cycles: t.cycles,
+            });
+        }
+    }
+
+    let mut config = SearchConfig::quick();
+    config.max_features = 3;
+    config.max_total_generations = 90;
+    config.gp.population = 16;
+    config.gp.max_generations = 10;
+    let search = FeatureSearch::from_examples(&examples, config);
+    let outcome = search.run(&examples);
+
+    // The search may or may not find improving features at this tiny
+    // budget, but whatever it reports must be consistent.
+    let mut prev = outcome.baseline_speedup;
+    for step in &outcome.steps {
+        assert!(step.speedup > prev, "accepted a non-improving feature");
+        assert!(
+            step.speedup <= outcome.oracle_speedup + 1e-9,
+            "speedup {} exceeds the oracle ceiling {}",
+            step.speedup,
+            outcome.oracle_speedup
+        );
+        prev = step.speedup;
+    }
+    for f in &outcome.features {
+        for e in &examples {
+            f.eval_default(&e.ir)
+                .unwrap_or_else(|err| panic!("found feature fails on a training loop: {err}"));
+        }
+        // And every found feature must round-trip through its textual form.
+        let printed = f.to_string();
+        assert_eq!(fegen::core::parse_feature(&printed).unwrap(), *f);
+    }
+}
+
+#[test]
+fn mesa_example_pipeline() {
+    let b = fegen::suite::mesa_example();
+    let rtl = lower_program(&b.program).unwrap();
+    let workload = Workload {
+        init: vec![CallSpec {
+            func: "init".into(),
+            args: vec![],
+        }],
+        kernels: vec![CallSpec {
+            func: "spot_exp".into(),
+            args: vec![Arg::Int(511)],
+        }],
+    };
+    let tables = measure_workload(&rtl, &workload, &OracleConfig::default()).unwrap();
+    assert_eq!(tables.len(), 1);
+    let t = &tables[0];
+    // The forward-difference loop must benefit from some unrolling.
+    assert!(t.best_factor() >= 2, "mesa loop best factor {}", t.best_factor());
+    assert!(t.cycles[0] / t.cycles[t.best_factor()] > 1.01);
+}

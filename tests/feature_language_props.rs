@@ -1,0 +1,137 @@
+//! Property-based tests of the feature language over real exported IR:
+//! print/parse round-trips, evaluator determinism and totality, and the
+//! GP operators' structural invariants.
+
+use fegen::core::grammar::Grammar;
+use fegen::core::ir::IrNode;
+use fegen::core::lang::visit::{self, Sort};
+use fegen::core::lang::{parse_feature, Evaluator};
+use fegen::rtl::export::export_loop;
+use fegen::rtl::lower::lower_program;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A real exported loop plus the grammar derived from a corpus around it.
+fn corpus() -> (Grammar, Vec<IrNode>) {
+    let src = "\
+        int a[128]; float f[128]; int idx[64]; int tab[32]; int m[8][8];\n\
+        int k1(int n) { int i; int s; s = 0; for (i = 0; i < n; i = i + 1) { s = s + a[i]; } return s; }\n\
+        void k2(int n) { int i; for (i = 1; i < 100; i = i + 1) { f[i] = f[i] * 0.5 + f[i - 1] * 0.25; } }\n\
+        void k3() { int i; int j; for (i = 0; i < 8; i = i + 1) { for (j = 0; j < 8; j = j + 1) { m[i][j] = i * j; } } }\n\
+        void k4(int n) { int i; for (i = 0; i < n; i = i + 1) { tab[a[idx[i % 64]] % 32] = i; } }\n";
+    let ast = fegen::lang::parse_program(src).unwrap();
+    let rtl = lower_program(&ast).unwrap();
+    let mut irs = Vec::new();
+    for func in &rtl.functions {
+        for region in &func.loops {
+            irs.push(export_loop(func, region, &rtl.layout));
+        }
+    }
+    let grammar = Grammar::derive(irs.iter());
+    (grammar, irs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any generated feature prints to text that parses back to the same AST.
+    #[test]
+    fn generated_features_roundtrip(seed in 0u64..10_000, depth in 2usize..7) {
+        let (grammar, _) = corpus();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = grammar.gen_feature(&mut rng, depth);
+        let printed = f.to_string();
+        let reparsed = parse_feature(&printed)
+            .unwrap_or_else(|e| panic!("`{printed}`: {e}"));
+        prop_assert_eq!(f, reparsed);
+    }
+
+    /// Evaluation is total (modulo the budget) and deterministic on real IR.
+    #[test]
+    fn evaluation_is_deterministic_and_finite(seed in 0u64..10_000) {
+        let (grammar, irs) = corpus();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = grammar.gen_feature(&mut rng, 5);
+        for ir in &irs {
+            let a = f.eval_with_budget(ir, 500_000);
+            let b = f.eval_with_budget(ir, 500_000);
+            prop_assert_eq!(&a, &b);
+            if let Ok(v) = a {
+                prop_assert!(v.is_finite(), "non-finite value from {}", f);
+            }
+        }
+    }
+
+    /// A larger budget never changes a successful result.
+    #[test]
+    fn budget_only_gates_never_alters(seed in 0u64..10_000) {
+        let (grammar, irs) = corpus();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = grammar.gen_feature(&mut rng, 4);
+        let ir = &irs[seed as usize % irs.len()];
+        if let Ok(small) = f.eval_with_budget(ir, 50_000) {
+            let big = f.eval_with_budget(ir, 5_000_000).unwrap();
+            prop_assert_eq!(small, big);
+        }
+    }
+
+    /// Mutation produces a valid same-sort tree; crossover conserves total size.
+    #[test]
+    fn gp_operators_preserve_invariants(seed in 0u64..10_000) {
+        let (grammar, irs) = corpus();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = grammar.gen_feature(&mut rng, 5);
+        let b = grammar.gen_feature(&mut rng, 5);
+
+        let m = fegen::core::gp::mutate(&grammar, &a, &mut rng, 4);
+        let printed = m.to_string();
+        prop_assert_eq!(parse_feature(&printed).unwrap(), m);
+
+        let (c1, c2) = fegen::core::gp::crossover(&a, &b, &mut rng);
+        prop_assert_eq!(c1.size() + c2.size(), a.size() + b.size());
+        // Children still evaluate on real IR (or time out; never panic).
+        for c in [&c1, &c2] {
+            let _ = c.eval_with_budget(&irs[0], 200_000);
+        }
+    }
+
+    /// Subtree pick/replace agree for every position of every sort.
+    #[test]
+    fn pick_replace_identity(seed in 0u64..10_000) {
+        let (grammar, _) = corpus();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = grammar.gen_feature(&mut rng, 5);
+        let counts = visit::counts(&f);
+        for sort in [Sort::Num, Sort::Bool, Sort::Seq] {
+            for i in 0..counts.get(sort) {
+                let sub = visit::pick(&f, sort, i).expect("within counts");
+                let same = visit::replace(&f, sort, i, &sub).expect("within counts");
+                prop_assert_eq!(&same, &f);
+            }
+        }
+    }
+}
+
+#[test]
+fn evaluator_budget_is_monotone_in_work() {
+    // A feature over descendants costs more on bigger IR.
+    let (_, irs) = corpus();
+    let f = parse_feature("sum(//*, count(//*))").unwrap();
+    let mut costs: Vec<(usize, u64)> = irs
+        .iter()
+        .map(|ir| {
+            let mut ev = Evaluator::new(u64::MAX / 2);
+            let before = ev.remaining();
+            let _ = ev.eval(&f, ir);
+            (ir.size(), before - ev.remaining())
+        })
+        .collect();
+    costs.sort();
+    for w in costs.windows(2) {
+        assert!(
+            w[0].1 <= w[1].1 * 2,
+            "cost should grow with IR size: {costs:?}"
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests of the Tiny-C front end over *random ASTs*: the pretty
+//! printer and parser must round-trip any well-formed program, not just
+//! the ones the suite generator happens to emit.
+
+use fegen_lang::ast::*;
+use fegen_lang::{parse_program, print_program};
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    // Small pool so expressions reference declared names.
+    prop::sample::select(vec!["a", "b", "c", "x", "y"]).prop_map(str::to_owned)
+}
+
+fn literal() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(Expr::IntLit),
+        // Finite floats with short decimal forms (printer round-trip is
+        // exact for these; `{}` prints shortest-roundtrip anyway).
+        (-100i32..100).prop_map(|v| Expr::FloatLit(v as f64 / 4.0)),
+    ]
+}
+
+fn arith_op() -> impl Strategy<Value = BinOp> {
+    prop::sample::select(vec![
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::Lt,
+        BinOp::Le,
+        BinOp::Gt,
+        BinOp::Ge,
+        BinOp::Eq,
+        BinOp::Ne,
+        BinOp::And,
+        BinOp::Or,
+    ])
+}
+
+/// Integer-typed expressions (safe as array indices: the name pool's
+/// scalars are all `int`).
+fn int_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-64i64..64).prop_map(Expr::IntLit),
+        ident().prop_map(Expr::Var),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (
+                prop::sample::select(vec![BinOp::Add, BinOp::Sub, BinOp::Mul]),
+                inner.clone(),
+                inner
+            )
+                .prop_map(|(op, a, b)| Expr::bin(op, a, b)),
+        ]
+    })
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![literal(), ident().prop_map(Expr::Var)];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (arith_op(), inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| Expr::bin(op, a, b)),
+            inner.clone().prop_map(|e| e.neg()),
+            inner.prop_map(|e| Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(e)
+            }),
+            (ident(), int_expr()).prop_map(|(n, i)| Expr::Index {
+                name: format!("arr_{n}"),
+                indices: vec![i],
+            }),
+        ]
+    })
+}
+
+fn stmt(depth: u32) -> BoxedStrategy<Stmt> {
+    let assign = (ident(), expr()).prop_map(|(n, e)| Stmt::assign(n, e));
+    let array_assign = (ident(), int_expr(), expr())
+        .prop_map(|(n, i, e)| Stmt::assign_index(format!("arr_{n}"), i, e));
+    if depth == 0 {
+        prop_oneof![assign, array_assign].boxed()
+    } else {
+        let block = prop::collection::vec(stmt(depth - 1), 0..4).prop_map(Block::new);
+        prop_oneof![
+            3 => assign,
+            2 => array_assign,
+            2 => (expr(), block.clone(), prop::option::of(block.clone())).prop_map(
+                |(cond, then_blk, else_blk)| Stmt::If {
+                    cond,
+                    then_blk,
+                    else_blk,
+                }
+            ),
+            1 => (ident(), expr(), block.clone()).prop_map(|(v, to, body)| Stmt::For {
+                init: Some(Box::new(Stmt::assign(v.clone(), Expr::int(0)))),
+                cond: Expr::var(v.clone()).lt(to),
+                step: Some(Box::new(Stmt::assign(
+                    v.clone(),
+                    Expr::var(v).add(Expr::int(1))
+                ))),
+                body,
+            }),
+            1 => block.prop_map(Stmt::Block),
+        ]
+        .boxed()
+    }
+}
+
+fn program() -> impl Strategy<Value = Program> {
+    prop::collection::vec(stmt(3), 1..6).prop_map(|stmts| {
+        let mut p = Program::new();
+        // Declare the whole name pool so every reference resolves.
+        for n in ["a", "b", "c", "x", "y"] {
+            p.globals.push(VarDecl {
+                name: n.to_owned(),
+                ty: Type::Int,
+            });
+            p.globals.push(VarDecl {
+                name: format!("arr_{n}"),
+                ty: Type::int_array(64),
+            });
+        }
+        p.functions.push(Function {
+            name: "f".into(),
+            ret: Type::Void,
+            params: vec![],
+            body: Block::new(stmts),
+        });
+        p
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Printing reaches a fixpoint after one parse: the parser may
+    /// canonicalise (e.g. fold `-0` to `0`), but the canonical form must
+    /// be stable — print(parse(print(p))) == print(p) up to that first
+    /// canonicalisation.
+    #[test]
+    fn printer_parser_roundtrip(p in program()) {
+        let printed = print_program(&p);
+        let once = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("{e}\n---\n{printed}"));
+        let printed_once = print_program(&once);
+        let twice = parse_program(&printed_once)
+            .unwrap_or_else(|e| panic!("{e}\n---\n{printed_once}"));
+        prop_assert_eq!(&once, &twice, "canonical form unstable:\n{}", printed_once);
+        prop_assert_eq!(print_program(&twice), printed_once);
+    }
+
+    /// Random programs also lower without errors (sema passed, so lowering
+    /// must accept them).
+    #[test]
+    fn checked_programs_lower(p in program()) {
+        let printed = print_program(&p);
+        let reparsed = parse_program(&printed).expect("roundtrip");
+        fegen_rtl::lower::lower_program(&reparsed)
+            .unwrap_or_else(|e| panic!("{e}\n---\n{printed}"));
+    }
+}

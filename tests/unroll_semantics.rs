@@ -1,0 +1,93 @@
+//! Semantics preservation: unrolling any loop of any generated benchmark
+//! by any factor must not change what the program computes.
+
+use fegen::rtl::lower::lower_program;
+use fegen::rtl::unroll::apply_factors;
+use fegen::sim::{Arg, Machine, SimConfig, Value};
+use fegen::suite::{generate_suite, ArgDesc, Benchmark, SuiteConfig};
+use std::collections::HashMap;
+
+fn to_sim_args(args: &[ArgDesc]) -> Vec<Arg> {
+    args.iter()
+        .map(|a| match a {
+            ArgDesc::Int(v) => Arg::Int(*v),
+            ArgDesc::Float(v) => Arg::Float(*v),
+            ArgDesc::Array(n) => Arg::Array(n.clone()),
+        })
+        .collect()
+}
+
+/// Runs the benchmark's full workload and returns every kernel return
+/// value plus a digest of all of memory.
+fn observe(b: &Benchmark, program: &fegen::rtl::RtlProgram) -> (Vec<Option<Value>>, u64) {
+    let mut m = Machine::new(program, SimConfig::default());
+    let mut results = Vec::new();
+    for call in b.init.iter().chain(&b.kernels) {
+        results.push(
+            m.call(&call.func, &to_sim_args(&call.args))
+                .unwrap_or_else(|e| panic!("{}::{}: {e}", b.name, call.func)),
+        );
+    }
+    // FNV-style digest of the memory image.
+    let mut h = 0xcbf29ce484222325u64;
+    for &cell in &m.memory {
+        h ^= cell;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (results, h)
+}
+
+#[test]
+fn unrolling_never_changes_observable_behaviour() {
+    let suite = generate_suite(&SuiteConfig::tiny());
+    for (bi, b) in suite.iter().enumerate() {
+        let rtl = lower_program(&b.program).unwrap();
+        let reference = observe(b, &rtl);
+        // Several deterministic-but-arbitrary factor assignments.
+        for variant in 0..3u64 {
+            let mut unrolled = rtl.clone();
+            for f in &mut unrolled.functions {
+                if f.name == "init" {
+                    continue;
+                }
+                let factors: HashMap<usize, usize> = f
+                    .loops
+                    .iter()
+                    .map(|l| {
+                        let mix = (l.id as u64)
+                            .wrapping_mul(2654435761)
+                            .wrapping_add(variant * 97 + bi as u64);
+                        (l.id, (mix % 16) as usize)
+                    })
+                    .collect();
+                *f = apply_factors(f, &factors)
+                    .unwrap_or_else(|e| panic!("{}::{}: {e}", b.name, f.name));
+            }
+            let observed = observe(b, &unrolled);
+            assert_eq!(
+                reference, observed,
+                "{} variant {variant}: unrolling changed results",
+                b.name
+            );
+        }
+    }
+}
+
+#[test]
+fn gcc_default_factors_preserve_behaviour() {
+    use fegen::rtl::heuristic::{gcc_default_factors, GccParams};
+    let suite = generate_suite(&SuiteConfig::tiny());
+    for b in &suite {
+        let rtl = lower_program(&b.program).unwrap();
+        let reference = observe(b, &rtl);
+        let mut unrolled = rtl.clone();
+        for f in &mut unrolled.functions {
+            if f.name == "init" {
+                continue;
+            }
+            let factors = gcc_default_factors(f, &GccParams::default());
+            *f = apply_factors(f, &factors).unwrap();
+        }
+        assert_eq!(reference, observe(b, &unrolled), "{}", b.name);
+    }
+}
