@@ -23,7 +23,10 @@ pub mod methods;
 pub mod pipeline;
 pub mod report;
 
-pub use pipeline::{build_suite_data, ExperimentConfig, LoopRecord, SuiteData};
+pub use pipeline::{
+    build_suite_data, try_build_suite_data, ExperimentConfig, LoopRecord, PipelineError,
+    SuiteData,
+};
 
 /// Parses the common CLI flags (`--paper`, `--quick`, `--seed N`,
 /// `--folds N`).

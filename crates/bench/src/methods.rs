@@ -11,7 +11,7 @@
 //!   grammar from the training loops, run the GP feature search, train a
 //!   tree over the found features, predict the held-out loops.
 
-use crate::pipeline::{LoopRecord, SuiteData};
+use crate::pipeline::{LoopRecord, PipelineError, SuiteData};
 use fegen_core::{FeatureSearch, SearchConfig, SearchOutcome};
 use fegen_ml::data::Dataset;
 use fegen_ml::svm::{Svm, SvmConfig};
@@ -36,7 +36,12 @@ pub fn predict_cv_tree(
     let loops = &data.loops;
     let xs: Vec<Vec<f64>> = loops.iter().map(&features).collect();
     let ys = labels(loops);
-    let dataset = Dataset::new(xs, ys, N_CLASSES).expect("rectangular features");
+    let fallback = majority(&ys);
+    // A ragged feature mapping cannot train a model; fall back to the
+    // majority factor rather than aborting the evaluation.
+    let Ok(dataset) = Dataset::new(xs, ys, N_CLASSES) else {
+        return vec![fallback; loops.len()];
+    };
     let mut out = vec![0usize; loops.len()];
     for (train, test) in KFold::new(folds, seed).splits(loops.len()) {
         let model = DecisionTree::train(&dataset.subset(&train), tree);
@@ -59,7 +64,10 @@ pub fn predict_cv_svm(
     let loops = &data.loops;
     let xs: Vec<Vec<f64>> = loops.iter().map(&features).collect();
     let ys = labels(loops);
-    let dataset = Dataset::new(xs, ys, N_CLASSES).expect("rectangular features");
+    let fallback = majority(&ys);
+    let Ok(dataset) = Dataset::new(xs, ys, N_CLASSES) else {
+        return vec![fallback; loops.len()];
+    };
     let mut out = vec![0usize; loops.len()];
     for (train, test) in KFold::new(folds, seed).splits(loops.len()) {
         let train_set = dataset.subset(&train);
@@ -85,12 +93,33 @@ pub struct OursResult {
 }
 
 /// Cross-validated run of the paper's technique.
+///
+/// # Panics
+///
+/// Panics when a fold's feature search fails; use [`try_predict_cv_ours`]
+/// for a typed error naming the fold.
 pub fn predict_cv_ours(
     data: &SuiteData,
     folds: usize,
     seed: u64,
     search: &SearchConfig,
 ) -> OursResult {
+    match try_predict_cv_ours(data, folds, seed, search) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`predict_cv_ours`]: a failing fold surfaces as
+/// [`PipelineError::Search`] with the fold index and the underlying
+/// [`fegen_core::SearchError`], instead of aborting the whole evaluation
+/// with a panic.
+pub fn try_predict_cv_ours(
+    data: &SuiteData,
+    folds: usize,
+    seed: u64,
+    search: &SearchConfig,
+) -> Result<OursResult, PipelineError> {
     let examples = data.training_examples();
     let ys = labels(&data.loops);
     let mut factors = vec![0usize; examples.len()];
@@ -104,18 +133,22 @@ pub fn predict_cv_ours(
         let mut cfg = search.clone();
         cfg.seed = seed ^ (fold as u64).wrapping_mul(0x9e37);
         let fs = FeatureSearch::from_examples(&train_examples, cfg.clone());
-        let outcome = fs.run(&train_examples);
+        let outcome = fs
+            .try_run(&train_examples)
+            .map_err(|source| PipelineError::Search { fold, source })?;
 
         // Deploy: train the final tree over the found features on the
-        // training loops, predict the held-out loops.
+        // training loops, predict the held-out loops. The feature matrix is
+        // rectangular by construction; a degenerate one falls back to the
+        // majority predictor rather than aborting the evaluation.
         let matrix_train = fs.feature_matrix(&outcome.features, &train_examples);
         let ys_train: Vec<usize> = train.iter().map(|&i| ys[i]).collect();
         let model = if outcome.features.is_empty() {
             None
         } else {
-            let ds = Dataset::new(matrix_train, ys_train.clone(), N_CLASSES)
-                .expect("rectangular matrix");
-            Some(DecisionTree::train(&ds, &cfg.tree))
+            Dataset::new(matrix_train, ys_train.clone(), N_CLASSES)
+                .ok()
+                .map(|ds| DecisionTree::train(&ds, &cfg.tree))
         };
         // Fallback when the search found nothing: majority factor.
         let majority = majority(&ys_train);
@@ -129,7 +162,7 @@ pub fn predict_cv_ours(
         }
         outcomes.push(outcome);
     }
-    OursResult { factors, outcomes }
+    Ok(OursResult { factors, outcomes })
 }
 
 fn majority(ys: &[usize]) -> usize {

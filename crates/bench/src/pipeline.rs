@@ -1,5 +1,11 @@
 //! The shared experiment pipeline: compile the suite, generate training
 //! data (per-loop cycle tables), export loop IR and hand-feature vectors.
+//!
+//! Every stage has a fallible `try_*` entry point returning
+//! [`PipelineError`], which names the stage, the benchmark and — where it
+//! applies — the loop site or cross-validation fold that failed. The
+//! original panicking functions remain as thin wrappers for the figure
+//! binaries, where dying with a precise message *is* the error handling.
 
 use fegen_core::ir::IrNode;
 use fegen_rtl::export::export_loop;
@@ -14,6 +20,99 @@ use fegen_sim::oracle::{
 use fegen_sim::{Arg, SimConfig};
 use fegen_suite::{ArgDesc, Benchmark, SuiteConfig};
 use std::collections::HashMap;
+use std::fmt;
+
+/// A typed failure of the experiment pipeline, naming the stage and the
+/// benchmark (and loop site / CV fold where applicable) that failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// A generated benchmark failed to lower to RTL.
+    Compile {
+        /// Benchmark name.
+        bench: String,
+        /// Lowering error text.
+        detail: String,
+    },
+    /// Measuring one loop site's cycle table failed.
+    Measure {
+        /// Benchmark name.
+        bench: String,
+        /// Loop site (`func#loop`).
+        site: String,
+        /// Measurement error text.
+        detail: String,
+    },
+    /// A loop site reported by discovery no longer resolves in the program.
+    MissingSite {
+        /// Benchmark name.
+        bench: String,
+        /// Loop site (`func#loop`).
+        site: String,
+    },
+    /// The baseline (no-unrolling) workload run failed.
+    Baseline {
+        /// Benchmark name.
+        bench: String,
+        /// Simulator error text.
+        detail: String,
+    },
+    /// Deploying a factor assignment (unrolling or re-running the
+    /// workload) failed.
+    Deploy {
+        /// Benchmark name.
+        bench: String,
+        /// Unroll/simulator error text.
+        detail: String,
+    },
+    /// The feature search of one cross-validation fold failed.
+    Search {
+        /// Fold index (0-based).
+        fold: usize,
+        /// The underlying search error (names the candidate situation:
+        /// e.g. no viable candidate after N generations).
+        source: fegen_core::SearchError,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Compile { bench, detail } => {
+                write!(f, "compile stage: benchmark `{bench}` fails to lower: {detail}")
+            }
+            PipelineError::Measure {
+                bench,
+                site,
+                detail,
+            } => write!(
+                f,
+                "measure stage: benchmark `{bench}`, site {site}: {detail}"
+            ),
+            PipelineError::MissingSite { bench, site } => write!(
+                f,
+                "measure stage: benchmark `{bench}` has no loop at site {site}"
+            ),
+            PipelineError::Baseline { bench, detail } => {
+                write!(f, "baseline stage: benchmark `{bench}`: {detail}")
+            }
+            PipelineError::Deploy { bench, detail } => {
+                write!(f, "deploy stage: benchmark `{bench}`: {detail}")
+            }
+            PipelineError::Search { fold, source } => {
+                write!(f, "search stage: fold {fold}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Search { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// A suite benchmark lowered to RTL with its executable workload.
 #[derive(Debug, Clone)]
@@ -42,10 +141,20 @@ pub fn to_sim_arg(a: &ArgDesc) -> Arg {
 /// # Panics
 ///
 /// Panics when the generated benchmark fails to lower — that would be a
-/// suite-generator bug, not a user error.
+/// suite-generator bug, not a user error. Use [`try_compile`] to handle it.
 pub fn compile(b: &Benchmark) -> CompiledBenchmark {
-    let rtl = lower_program(&b.program)
-        .unwrap_or_else(|e| panic!("benchmark `{}` fails to lower: {e}", b.name));
+    match try_compile(b) {
+        Ok(cb) => cb,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`compile`].
+pub fn try_compile(b: &Benchmark) -> Result<CompiledBenchmark, PipelineError> {
+    let rtl = lower_program(&b.program).map_err(|e| PipelineError::Compile {
+        bench: b.name.clone(),
+        detail: e.to_string(),
+    })?;
     let to_calls = |calls: &[fegen_suite::CallDesc]| -> Vec<CallSpec> {
         calls
             .iter()
@@ -55,7 +164,7 @@ pub fn compile(b: &Benchmark) -> CompiledBenchmark {
             })
             .collect()
     };
-    CompiledBenchmark {
+    Ok(CompiledBenchmark {
         name: b.name.clone(),
         suite: b.suite,
         rtl,
@@ -63,7 +172,7 @@ pub fn compile(b: &Benchmark) -> CompiledBenchmark {
             init: to_calls(&b.init),
             kernels: to_calls(&b.kernels),
         },
-    }
+    })
 }
 
 /// One measured loop with everything every method needs.
@@ -155,23 +264,44 @@ impl ExperimentConfig {
 
 /// Generates the suite, compiles it and measures every loop (§V data
 /// generation). This is the expensive step every binary starts with.
+///
+/// # Panics
+///
+/// Panics on any stage failure; use [`try_build_suite_data`] for a typed
+/// error naming the benchmark and loop site.
 pub fn build_suite_data(config: &ExperimentConfig) -> SuiteData {
+    match try_build_suite_data(config) {
+        Ok(data) => data,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`build_suite_data`].
+pub fn try_build_suite_data(config: &ExperimentConfig) -> Result<SuiteData, PipelineError> {
     let suite = fegen_suite::generate_suite(&config.suite);
     let mut benchmarks = Vec::with_capacity(suite.len());
     let mut loops = Vec::new();
     let mut baseline_cycles = Vec::with_capacity(suite.len());
     for (bench_idx, b) in suite.iter().enumerate() {
-        let cb = compile(b);
+        let cb = try_compile(b)?;
         let kernel_funcs = kernel_functions(&cb.rtl, &cb.workload);
         for site in fegen_sim::oracle::loop_sites(&cb.rtl, &cb.workload) {
             let m = measure_site(&cb.rtl, &cb.workload, &kernel_funcs, &site, &config.oracle)
-                .unwrap_or_else(|e| panic!("measuring {} {site}: {e}", cb.name));
-            let func = cb.rtl.function(&site.func).expect("site from program");
+                .map_err(|e| PipelineError::Measure {
+                    bench: cb.name.clone(),
+                    site: site.to_string(),
+                    detail: e.to_string(),
+                })?;
+            let missing = || PipelineError::MissingSite {
+                bench: cb.name.clone(),
+                site: site.to_string(),
+            };
+            let func = cb.rtl.function(&site.func).ok_or_else(missing)?;
             let region = func
                 .loops
                 .iter()
                 .find(|l| l.id == site.loop_id)
-                .expect("loop id valid");
+                .ok_or_else(missing)?;
             loops.push(LoopRecord {
                 bench: bench_idx,
                 site: site.clone(),
@@ -182,18 +312,20 @@ pub fn build_suite_data(config: &ExperimentConfig) -> SuiteData {
                 gcc_default_factor: gcc_default_factor(func, region, &config.oracle.gcc),
             });
         }
-        let base =
-            run_workload(&cb.rtl, &cb.workload, &config.oracle.sim).unwrap_or_else(|e| {
-                panic!("baseline run of {}: {e}", cb.name)
-            }) as f64;
+        let base = run_workload(&cb.rtl, &cb.workload, &config.oracle.sim).map_err(|e| {
+            PipelineError::Baseline {
+                bench: cb.name.clone(),
+                detail: e.to_string(),
+            }
+        })? as f64;
         baseline_cycles.push(base);
         benchmarks.push(cb);
     }
-    SuiteData {
+    Ok(SuiteData {
         benchmarks,
         loops,
         baseline_cycles,
-    }
+    })
 }
 
 impl SuiteData {
@@ -206,6 +338,19 @@ impl SuiteData {
         factors: &[usize],
         sim: &SimConfig,
     ) -> f64 {
+        match self.try_benchmark_speedup(bench_idx, factors, sim) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`SuiteData::benchmark_speedup`].
+    pub fn try_benchmark_speedup(
+        &self,
+        bench_idx: usize,
+        factors: &[usize],
+        sim: &SimConfig,
+    ) -> Result<f64, PipelineError> {
         let cb = &self.benchmarks[bench_idx];
         let mut per_func: HashMap<String, HashMap<usize, usize>> = HashMap::new();
         for (rec, &f) in self.loops.iter().zip(factors) {
@@ -217,11 +362,15 @@ impl SuiteData {
             }
         }
         let kernel_funcs = kernel_functions(&cb.rtl, &cb.workload);
+        let deploy = |detail: String| PipelineError::Deploy {
+            bench: cb.name.clone(),
+            detail,
+        };
         let program = program_with_factors(&cb.rtl, &kernel_funcs, &per_func)
-            .unwrap_or_else(|e| panic!("unrolling {}: {e}", cb.name));
+            .map_err(|e| deploy(format!("unrolling: {e}")))?;
         let cycles = run_workload(&program, &cb.workload, sim)
-            .unwrap_or_else(|e| panic!("running {}: {e}", cb.name)) as f64;
-        self.baseline_cycles[bench_idx] / cycles
+            .map_err(|e| deploy(format!("running: {e}")))? as f64;
+        Ok(self.baseline_cycles[bench_idx] / cycles)
     }
 
     /// Per-benchmark speedups for a full factor assignment.
@@ -258,17 +407,35 @@ impl SuiteData {
 /// exported IR and hand features — everything the Figure 2/3/4 binaries
 /// need.
 pub fn mesa_record(config: &ExperimentConfig) -> (CompiledBenchmark, LoopRecord) {
+    match try_mesa_record(config) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`mesa_record`].
+pub fn try_mesa_record(
+    config: &ExperimentConfig,
+) -> Result<(CompiledBenchmark, LoopRecord), PipelineError> {
     let bench = fegen_suite::mesa_example();
-    let cb = compile(&bench);
+    let cb = try_compile(&bench)?;
     let kernel_funcs = kernel_functions(&cb.rtl, &cb.workload);
     let site = LoopSite {
         func: "spot_exp".into(),
         loop_id: 0,
     };
     let m = measure_site(&cb.rtl, &cb.workload, &kernel_funcs, &site, &config.oracle)
-        .expect("mesa example measures");
-    let func = cb.rtl.function("spot_exp").expect("kernel exists");
-    let region = &func.loops[0];
+        .map_err(|e| PipelineError::Measure {
+            bench: cb.name.clone(),
+            site: site.to_string(),
+            detail: e.to_string(),
+        })?;
+    let missing = || PipelineError::MissingSite {
+        bench: cb.name.clone(),
+        site: site.to_string(),
+    };
+    let func = cb.rtl.function("spot_exp").ok_or_else(missing)?;
+    let region = func.loops.first().ok_or_else(missing)?;
     let record = LoopRecord {
         bench: 0,
         site,
@@ -278,7 +445,7 @@ pub fn mesa_record(config: &ExperimentConfig) -> (CompiledBenchmark, LoopRecord)
         stateml_feats: stateml_features(func, region),
         gcc_default_factor: gcc_default_factor(func, region, &config.oracle.gcc),
     };
-    (cb, record)
+    Ok((cb, record))
 }
 
 /// Arithmetic mean.

@@ -1,0 +1,257 @@
+//! Deterministic fault injection for the search runtime.
+//!
+//! The integration tests (and any soak harness) need to *prove* that the
+//! engine survives misbehaving evaluators: a fitness function that panics,
+//! exhausts its step budget, or returns NaN must cost one candidate, never
+//! the search. [`FaultInjector`] wraps any [`FitnessFn`] and injects those
+//! failures at seeded, reproducible points:
+//!
+//! - [`FaultTrigger::OnCall`] fires on the Nth fitness call — exact with
+//!   `threads = 1`, approximate (but still bounded) under parallel
+//!   evaluation, which is all cooperative cancellation needs.
+//! - [`FaultTrigger::OnMatch`] fires on candidates whose expression text
+//!   hashes into a residue class — a property of the *candidate*, so the
+//!   same individuals fail regardless of thread count or evaluation order.
+//!   This is what the determinism tests use.
+//!
+//! [`CancelToken`] is the cooperative cancellation primitive the
+//! [`crate::search::SearchDriver`] polls between GP generations; a
+//! [`FaultKind::Cancel`] plan flips it from inside the evaluator, which is
+//! the deterministic stand-in for "the process was killed here".
+
+use crate::gp::FitnessFn;
+use crate::lang::FeatureExpr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cooperative cancellation flag, shared between the party requesting the
+/// stop and the search driver polling for it.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// What failure to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic inside the fitness call (the engine must isolate it).
+    Panic,
+    /// Behave as if the evaluator ran out of step budget: the candidate is
+    /// reported invalid, exactly like `EvalError::BudgetExceeded` surfacing
+    /// as a `None` fitness.
+    ExhaustBudget,
+    /// Return `NaN` fitness (the engine must sanitize it to invalid).
+    NanFitness,
+    /// Flip the injector's [`CancelToken`] and then evaluate normally, so an
+    /// interrupted run's state matches an uninterrupted run's state at the
+    /// same point — the property the resume tests rely on.
+    Cancel,
+}
+
+/// When a plan fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTrigger {
+    /// Fire on the `n`th fitness call (1-based), once.
+    OnCall(u64),
+    /// Fire on every candidate whose expression-text hash `h` satisfies
+    /// `h % modulus == residue`. Order-independent, thread-count-independent.
+    OnMatch {
+        /// Hash modulus (0 is treated as "never fires").
+        modulus: u64,
+        /// Residue class that triggers the fault.
+        residue: u64,
+    },
+}
+
+/// One injection rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// When to fire.
+    pub trigger: FaultTrigger,
+    /// What to inject.
+    pub kind: FaultKind,
+}
+
+/// Seeded fault-injection harness wrapping a fitness function.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plans: Vec<FaultPlan>,
+    calls: AtomicU64,
+    injected: AtomicU64,
+    cancel: CancelToken,
+}
+
+/// FNV-1a, the stable hash used for [`FaultTrigger::OnMatch`] and the
+/// checkpoint identity fingerprints.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl FaultInjector {
+    /// An injector executing `plans` (checked in order; first match wins).
+    pub fn new(plans: Vec<FaultPlan>) -> Self {
+        FaultInjector {
+            plans,
+            calls: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+            cancel: CancelToken::new(),
+        }
+    }
+
+    /// The token [`FaultKind::Cancel`] plans flip. Hand a clone to the
+    /// search driver so injected cancellations interrupt the run.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Total fitness calls observed so far.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::SeqCst)
+    }
+
+    /// Total faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::SeqCst)
+    }
+
+    /// Wraps `inner` so that fitness calls pass through the injector.
+    pub fn wrap<'a, F: FitnessFn>(&'a self, inner: &'a F) -> InjectedFitness<'a, F> {
+        InjectedFitness {
+            injector: self,
+            inner,
+        }
+    }
+
+    fn decide(&self, key: &str) -> Option<FaultKind> {
+        let call = self.calls.fetch_add(1, Ordering::SeqCst) + 1;
+        let hash = fnv1a(key.as_bytes());
+        for plan in &self.plans {
+            let fires = match plan.trigger {
+                FaultTrigger::OnCall(n) => call == n,
+                FaultTrigger::OnMatch { modulus, residue } => {
+                    modulus > 0 && hash % modulus == residue % modulus
+                }
+            };
+            if fires {
+                self.injected.fetch_add(1, Ordering::SeqCst);
+                return Some(plan.kind);
+            }
+        }
+        None
+    }
+}
+
+/// A [`FitnessFn`] with faults injected; produced by [`FaultInjector::wrap`].
+pub struct InjectedFitness<'a, F> {
+    injector: &'a FaultInjector,
+    inner: &'a F,
+}
+
+impl<F: FitnessFn> FitnessFn for InjectedFitness<'_, F> {
+    fn fitness(&self, expr: &FeatureExpr) -> Option<f64> {
+        match self.injector.decide(&expr.to_string()) {
+            Some(FaultKind::Panic) => panic!("injected fault: evaluator panic"),
+            Some(FaultKind::ExhaustBudget) => None,
+            Some(FaultKind::NanFitness) => Some(f64::NAN),
+            Some(FaultKind::Cancel) => {
+                self.injector.cancel.cancel();
+                self.inner.fitness(expr)
+            }
+            None => self.inner.fitness(expr),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::parse_feature;
+
+    fn feature(text: &str) -> FeatureExpr {
+        parse_feature(text).unwrap()
+    }
+
+    #[test]
+    fn on_call_fires_exactly_once() {
+        let inj = FaultInjector::new(vec![FaultPlan {
+            trigger: FaultTrigger::OnCall(2),
+            kind: FaultKind::ExhaustBudget,
+        }]);
+        let inner = |_: &FeatureExpr| Some(1.0);
+        let wrapped = inj.wrap(&inner);
+        let f = feature("count(//*)");
+        assert_eq!(wrapped.fitness(&f), Some(1.0));
+        assert_eq!(wrapped.fitness(&f), None);
+        assert_eq!(wrapped.fitness(&f), Some(1.0));
+        assert_eq!(inj.calls(), 3);
+        assert_eq!(inj.injected(), 1);
+    }
+
+    #[test]
+    fn on_match_depends_only_on_the_candidate() {
+        let inj = FaultInjector::new(vec![FaultPlan {
+            trigger: FaultTrigger::OnMatch {
+                modulus: 1,
+                residue: 0,
+            },
+            kind: FaultKind::NanFitness,
+        }]);
+        let inner = |_: &FeatureExpr| Some(1.0);
+        let wrapped = inj.wrap(&inner);
+        // modulus 1 matches everything, in any call order.
+        for text in ["count(//*)", "1", "get-attr(@x)"] {
+            let got = wrapped.fitness(&feature(text));
+            assert!(got.is_some_and(f64::is_nan), "{text}: {got:?}");
+        }
+    }
+
+    #[test]
+    fn cancel_flips_the_token_and_still_evaluates() {
+        let inj = FaultInjector::new(vec![FaultPlan {
+            trigger: FaultTrigger::OnCall(1),
+            kind: FaultKind::Cancel,
+        }]);
+        let token = inj.cancel_token();
+        assert!(!token.is_cancelled());
+        let inner = |_: &FeatureExpr| Some(4.0);
+        let wrapped = inj.wrap(&inner);
+        // The faulting call still returns the inner result: interrupting
+        // must not perturb search state relative to an uninterrupted run.
+        assert_eq!(wrapped.fitness(&feature("1")), Some(4.0));
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn injected_panic_unwinds() {
+        let inj = FaultInjector::new(vec![FaultPlan {
+            trigger: FaultTrigger::OnCall(1),
+            kind: FaultKind::Panic,
+        }]);
+        let inner = |_: &FeatureExpr| Some(0.0);
+        let wrapped = inj.wrap(&inner);
+        let f = feature("1");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            wrapped.fitness(&f)
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -5,14 +5,39 @@
 //! follows the paper's §VI settings, available as [`GpConfig::paper`]:
 //! population 100, stop after 15 generations without improvement or 200
 //! generations total.
+//!
+//! # Fault tolerance
+//!
+//! The engine is built to survive misbehaving fitness functions:
+//!
+//! - Every fitness call is wrapped in [`std::panic::catch_unwind`]; a panic
+//!   costs that one candidate (it is memoised as invalid, exactly like a
+//!   timeout) and increments [`GpState::panics`], never the whole run.
+//! - Non-finite fitness values are sanitized to "invalid" so a NaN can never
+//!   poison tournament comparisons or the best-so-far record.
+//! - If panics keep occurring ([`GpEngine::DEGRADE_AFTER_PANIC_GENS`]
+//!   generations with at least one panic each), parallel evaluation degrades
+//!   to sequential for the rest of the run — the conservative mode when the
+//!   evaluator is evidently unsound under concurrency.
+//!
+//! # Stepping and checkpointing
+//!
+//! The run loop is exposed one generation at a time: [`GpEngine::init_state`]
+//! builds a [`GpState`], [`GpEngine::step`] advances it by one generation,
+//! and [`GpState::snapshot`] / [`GpState::from_snapshot`] convert the full
+//! mid-run state (population, memoised fitness cache, RNG stream, counters)
+//! to and from a serializable form. Resuming from a snapshot provably
+//! continues the same deterministic trajectory — see the `checkpoint_resume`
+//! integration tests.
 
 use crate::gp::ops;
 use crate::grammar::Grammar;
 use crate::lang::FeatureExpr;
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Fitness oracle for candidate features.
 ///
@@ -147,6 +172,157 @@ pub struct GpRun {
     pub generations: usize,
     /// Total fitness evaluations that were *not* served from the memo.
     pub evaluations: usize,
+    /// Fitness calls that panicked and were isolated.
+    pub panics: usize,
+}
+
+impl GpRun {
+    /// The best individual, or a typed error when every candidate of every
+    /// generation was invalid (all-timeout / all-panic populations).
+    pub fn best(&self) -> Result<&Evaluated, crate::error::SearchError> {
+        self.best
+            .as_ref()
+            .ok_or(crate::error::SearchError::NoViableCandidate {
+                generations: self.generations,
+                evaluations: self.evaluations,
+            })
+    }
+}
+
+/// Whether a [`GpEngine::step`] left the run able to continue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpStatus {
+    /// More generations may follow.
+    Running,
+    /// The run reached its generation cap or stagnation limit.
+    Converged,
+}
+
+/// Full mid-run state of a GP search, advanced by [`GpEngine::step`].
+#[derive(Debug, Clone)]
+pub struct GpState {
+    /// Current population.
+    pub population: Vec<FeatureExpr>,
+    /// Best valid individual seen so far.
+    pub best: Option<Evaluated>,
+    /// Generations since the last strict quality improvement.
+    pub stagnant: usize,
+    /// Generations executed.
+    pub generations: usize,
+    /// Fitness evaluations not served from the memo.
+    pub evaluations: usize,
+    /// Fitness calls that panicked and were isolated.
+    pub panics: usize,
+    /// Generations in which at least one panic occurred.
+    panic_generations: usize,
+    /// Whether parallel evaluation has been degraded to sequential.
+    degraded: bool,
+    /// Fitness memo keyed by expression text. Shared across generations;
+    /// also what makes panic outcomes identical across thread counts.
+    memo: HashMap<String, Option<f64>>,
+    /// The run's private RNG stream.
+    rng: StdRng,
+}
+
+/// Serializable form of [`GpState`]; expressions travel as their canonical
+/// text (print/parse round-trips are exact — property-tested in
+/// `feature_language_props`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpSnapshot {
+    /// Population, printed.
+    pub population: Vec<String>,
+    /// Best individual as `(printed expression, quality)`.
+    pub best: Option<(String, f64)>,
+    /// Generations since the last strict improvement.
+    pub stagnant: usize,
+    /// Generations executed.
+    pub generations: usize,
+    /// Fitness evaluations not served from the memo.
+    pub evaluations: usize,
+    /// Panics isolated so far.
+    pub panics: usize,
+    /// Generations with at least one panic.
+    pub panic_generations: usize,
+    /// Whether evaluation has degraded to sequential.
+    pub degraded: bool,
+    /// Fitness memo, sorted by key for canonical output.
+    pub memo: Vec<(String, Option<f64>)>,
+    /// RNG stream state.
+    pub rng: [u64; 4],
+}
+
+impl GpState {
+    /// Captures the full state in serializable form.
+    pub fn snapshot(&self) -> GpSnapshot {
+        let mut memo: Vec<(String, Option<f64>)> = self
+            .memo
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        memo.sort_by(|(a, _), (b, _)| a.cmp(b));
+        GpSnapshot {
+            population: self.population.iter().map(|e| e.to_string()).collect(),
+            best: self
+                .best
+                .as_ref()
+                .map(|b| (b.expr.to_string(), b.quality)),
+            stagnant: self.stagnant,
+            generations: self.generations,
+            evaluations: self.evaluations,
+            panics: self.panics,
+            panic_generations: self.panic_generations,
+            degraded: self.degraded,
+            memo,
+            rng: self.rng.state(),
+        }
+    }
+
+    /// Rebuilds a state from a snapshot. Fails with a description when an
+    /// expression no longer parses (a corrupt or hand-edited snapshot).
+    pub fn from_snapshot(snapshot: &GpSnapshot) -> Result<GpState, String> {
+        let parse = |text: &str| {
+            crate::lang::parse_feature(text)
+                .map_err(|e| format!("unparseable expression `{text}`: {e}"))
+        };
+        let mut population = Vec::with_capacity(snapshot.population.len());
+        for text in &snapshot.population {
+            population.push(parse(text)?);
+        }
+        let best = match &snapshot.best {
+            None => None,
+            Some((text, quality)) => {
+                let expr = parse(text)?;
+                let size = expr.size();
+                Some(Evaluated {
+                    expr,
+                    quality: *quality,
+                    size,
+                })
+            }
+        };
+        Ok(GpState {
+            population,
+            best,
+            stagnant: snapshot.stagnant,
+            generations: snapshot.generations,
+            evaluations: snapshot.evaluations,
+            panics: snapshot.panics,
+            panic_generations: snapshot.panic_generations,
+            degraded: snapshot.degraded,
+            memo: snapshot.memo.iter().cloned().collect(),
+            rng: StdRng::from_state(snapshot.rng),
+        })
+    }
+
+    /// Finishes the run, extracting the result.
+    pub fn into_run(self) -> GpRun {
+        GpRun {
+            best: self.best,
+            generations: self.generations,
+            evaluations: self.evaluations,
+            panics: self.panics,
+        }
+    }
 }
 
 /// Generational GP engine over a feature grammar.
@@ -157,115 +333,199 @@ pub struct GpEngine<'a> {
 }
 
 impl<'a> GpEngine<'a> {
+    /// After this many generations that each saw at least one isolated
+    /// panic, parallel evaluation degrades to sequential for the rest of
+    /// the run.
+    pub const DEGRADE_AFTER_PANIC_GENS: usize = 3;
+
     /// Creates an engine over `grammar` with the given configuration.
     pub fn new(grammar: &'a Grammar, config: GpConfig) -> Self {
         GpEngine { grammar, config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GpConfig {
+        &self.config
+    }
+
+    /// Builds the initial state: a ramped-depth random population and the
+    /// run's RNG stream.
+    pub fn init_state(&self, mut rng: StdRng) -> GpState {
+        let cfg = &self.config;
+        let population: Vec<FeatureExpr> = (0..cfg.population)
+            .map(|i| {
+                // Ramped initial depths for structural diversity.
+                let depth = 2 + i % cfg.init_depth.max(1);
+                self.grammar.gen_feature(&mut rng, depth)
+            })
+            .collect();
+        GpState {
+            population,
+            best: None,
+            stagnant: 0,
+            generations: 0,
+            evaluations: 0,
+            panics: 0,
+            panic_generations: 0,
+            degraded: false,
+            memo: HashMap::new(),
+            rng,
+        }
     }
 
     /// Runs the search, maximising `fitness`.
     ///
     /// Deterministic for a given seed and fitness function (also with
     /// `threads > 1`: parallelism only affects evaluation order, and fitness
-    /// values are memoised by expression text).
+    /// values — including isolated panics — are memoised by expression
+    /// text).
     pub fn run<F: FitnessFn>(&self, fitness: &F, rng: &mut StdRng) -> GpRun {
-        let cfg = &self.config;
-        let memo: Mutex<HashMap<String, Option<f64>>> = Mutex::new(HashMap::new());
-        let evaluations = Mutex::new(0usize);
-
-        let mut population: Vec<FeatureExpr> = (0..cfg.population)
-            .map(|i| {
-                // Ramped initial depths for structural diversity.
-                let depth = 2 + i % cfg.init_depth.max(1);
-                self.grammar.gen_feature(rng, depth)
-            })
-            .collect();
-
-        let mut best: Option<Evaluated> = None;
-        let mut stagnant = 0usize;
-        let mut generations = 0usize;
-
-        for _gen in 0..cfg.max_generations {
-            generations += 1;
-            let scored = self.evaluate_all(&population, fitness, &memo, &evaluations);
-
-            // Track the best valid individual, with parsimony.
-            let mut improved = false;
-            for ev in scored.iter().flatten() {
-                if best.as_ref().is_none_or(|b| ev.better_than_with(b, cfg.parsimony)) {
-                    // Only count strictly better quality as "improvement"
-                    // for the stagnation rule; shorter-at-equal-quality
-                    // refines the record without resetting the clock.
-                    if best.as_ref().is_none_or(|b| ev.quality > b.quality) {
-                        improved = true;
-                    }
-                    best = Some(ev.clone());
-                }
-            }
-            if improved {
-                stagnant = 0;
-            } else {
-                stagnant += 1;
-                if stagnant >= cfg.stagnation_limit {
-                    break;
-                }
-            }
-
-            population = self.breed(&population, &scored, rng);
-        }
-
-        let evaluations = *evaluations.lock();
-        GpRun {
-            best,
-            generations,
-            evaluations,
-        }
+        let mut state = self.init_state(rng.clone());
+        while let GpStatus::Running = self.step(&mut state, fitness) {}
+        *rng = StdRng::from_state(state.rng.state());
+        state.into_run()
     }
 
+    /// Advances the run by one generation: evaluate the current population,
+    /// update the best-so-far record, and (unless converged) breed the next
+    /// generation.
+    pub fn step<F: FitnessFn>(&self, state: &mut GpState, fitness: &F) -> GpStatus {
+        let cfg = &self.config;
+        if state.generations >= cfg.max_generations
+            || (state.stagnant >= cfg.stagnation_limit && state.generations > 0)
+        {
+            return GpStatus::Converged;
+        }
+        let scored = self.evaluate_all(state, fitness);
+        state.generations += 1;
+
+        // Track the best valid individual, with parsimony.
+        let mut improved = false;
+        for ev in scored.iter().flatten() {
+            if state
+                .best
+                .as_ref()
+                .is_none_or(|b| ev.better_than_with(b, cfg.parsimony))
+            {
+                // Only count strictly better quality as "improvement" for
+                // the stagnation rule; shorter-at-equal-quality refines the
+                // record without resetting the clock.
+                if state.best.as_ref().is_none_or(|b| ev.quality > b.quality) {
+                    improved = true;
+                }
+                state.best = Some(ev.clone());
+            }
+        }
+        if improved {
+            state.stagnant = 0;
+        } else {
+            state.stagnant += 1;
+            if state.stagnant >= cfg.stagnation_limit {
+                return GpStatus::Converged;
+            }
+        }
+        if state.generations >= cfg.max_generations {
+            return GpStatus::Converged;
+        }
+
+        let parents = std::mem::take(&mut state.population);
+        state.population = self.breed(&parents, &scored, &mut state.rng);
+        GpStatus::Running
+    }
+
+    /// Evaluates the population, reading and feeding the memo.
+    ///
+    /// Duplicate individuals are evaluated once; the memo is updated with
+    /// every distinct new expression — deterministically, whatever the
+    /// thread count. Panicking fitness calls are caught and recorded as
+    /// invalid.
     fn evaluate_all<F: FitnessFn>(
         &self,
-        population: &[FeatureExpr],
+        state: &mut GpState,
         fitness: &F,
-        memo: &Mutex<HashMap<String, Option<f64>>>,
-        evaluations: &Mutex<usize>,
     ) -> Vec<Option<Evaluated>> {
-        let eval_one = |expr: &FeatureExpr| -> Option<Evaluated> {
-            let key = expr.to_string();
-            if let Some(q) = memo.lock().get(&key) {
-                return q.map(|quality| Evaluated {
-                    expr: expr.clone(),
-                    quality,
-                    size: expr.size(),
-                });
+        let keys: Vec<String> = state.population.iter().map(|e| e.to_string()).collect();
+
+        // Distinct not-yet-memoised expressions, in first-appearance order.
+        let mut pending: Vec<usize> = Vec::new();
+        let mut claimed: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        for (i, key) in keys.iter().enumerate() {
+            if !state.memo.contains_key(key) && claimed.insert(key) {
+                pending.push(i);
             }
-            let q = fitness.fitness(expr);
-            *evaluations.lock() += 1;
-            memo.lock().insert(key, q);
-            q.map(|quality| Evaluated {
-                expr: expr.clone(),
-                quality,
-                size: expr.size(),
-            })
+        }
+
+        // One guarded fitness call: a panic or a non-finite value both
+        // cost exactly this candidate.
+        let eval_one = |expr: &FeatureExpr| -> (Option<f64>, bool) {
+            match catch_unwind(AssertUnwindSafe(|| fitness.fitness(expr))) {
+                Ok(Some(q)) if q.is_finite() => (Some(q), false),
+                Ok(_) => (None, false),
+                Err(_) => (None, true),
+            }
         };
 
-        if self.config.threads <= 1 {
-            population.iter().map(eval_one).collect()
+        let threads = self.config.threads;
+        let results: Vec<(Option<f64>, bool)> = if threads <= 1
+            || state.degraded
+            || pending.len() <= 1
+        {
+            pending
+                .iter()
+                .map(|&i| eval_one(&state.population[i]))
+                .collect()
         } else {
-            let mut out: Vec<Option<Evaluated>> = vec![None; population.len()];
-            let chunk = population.len().div_ceil(self.config.threads);
-            crossbeam::scope(|s| {
-                for (pop_chunk, out_chunk) in
-                    population.chunks(chunk).zip(out.chunks_mut(chunk))
-                {
-                    s.spawn(move |_| {
-                        for (expr, slot) in pop_chunk.iter().zip(out_chunk.iter_mut()) {
+            let exprs: Vec<&FeatureExpr> =
+                pending.iter().map(|&i| &state.population[i]).collect();
+            let mut out: Vec<(Option<f64>, bool)> = vec![(None, false); exprs.len()];
+            let chunk = exprs.len().div_ceil(threads);
+            let eval_one = &eval_one;
+            std::thread::scope(|s| {
+                for (expr_chunk, out_chunk) in exprs.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                    s.spawn(move || {
+                        for (expr, slot) in expr_chunk.iter().zip(out_chunk.iter_mut()) {
                             *slot = eval_one(expr);
                         }
                     });
                 }
-            })
-            .expect("gp evaluation worker panicked");
+            });
             out
+        };
+
+        let mut generation_panics = 0usize;
+        for (&i, (quality, panicked)) in pending.iter().zip(results) {
+            state.memo.insert(keys[i].clone(), quality);
+            state.evaluations += 1;
+            if panicked {
+                state.panics += 1;
+                generation_panics += 1;
+            }
         }
+        if generation_panics > 0 {
+            state.panic_generations += 1;
+            if state.panic_generations >= Self::DEGRADE_AFTER_PANIC_GENS && threads > 1 {
+                // The evaluator keeps dying; stop trusting it under
+                // concurrency. Results are unchanged (the memo is shared),
+                // only the execution strategy degrades.
+                state.degraded = true;
+            }
+        }
+
+        keys.iter()
+            .zip(state.population.iter())
+            .map(|(key, expr)| {
+                state
+                    .memo
+                    .get(key)
+                    .copied()
+                    .flatten()
+                    .map(|quality| Evaluated {
+                        expr: expr.clone(),
+                        quality,
+                        size: expr.size(),
+                    })
+            })
+            .collect()
     }
 
     /// Tournament selection over the scored population; invalid individuals
@@ -276,25 +536,22 @@ impl<'a> GpEngine<'a> {
         scored: &[Option<Evaluated>],
         rng: &mut StdRng,
     ) -> &'p FeatureExpr {
-        let mut winner: Option<usize> = None;
-        for _ in 0..self.config.tournament_size {
+        let mut winner = rng.gen_range(0..population.len());
+        for _ in 1..self.config.tournament_size.max(1) {
             let i = rng.gen_range(0..population.len());
-            winner = Some(match winner {
-                None => i,
-                Some(w) => match (&scored[i], &scored[w]) {
-                    (Some(a), Some(b)) => {
-                        if a.better_than_with(b, self.config.parsimony) {
-                            i
-                        } else {
-                            w
-                        }
+            winner = match (&scored[i], &scored[winner]) {
+                (Some(a), Some(b)) => {
+                    if a.better_than_with(b, self.config.parsimony) {
+                        i
+                    } else {
+                        winner
                     }
-                    (Some(_), None) => i,
-                    _ => w,
-                },
-            });
+                }
+                (Some(_), None) => i,
+                _ => winner,
+            };
         }
-        &population[winner.expect("tournament_size >= 1")]
+        &population[winner]
     }
 
     fn breed(
@@ -392,7 +649,7 @@ mod tests {
         let engine = GpEngine::new(&g, GpConfig::quick());
         let mut rng = StdRng::seed_from_u64(2);
         let run = engine.run(&fit, &mut rng);
-        let best = run.best.expect("some individual must be valid");
+        let best = run.best().expect("some individual must be valid");
         assert!(
             best.quality > -0.51,
             "expected near-perfect fitness, got {} for {}",
@@ -442,6 +699,10 @@ mod tests {
         let engine = GpEngine::new(&g, cfg);
         let run = engine.run(&fit, &mut StdRng::seed_from_u64(0));
         assert!(run.best.is_none());
+        assert!(matches!(
+            run.best(),
+            Err(crate::error::SearchError::NoViableCandidate { .. })
+        ));
     }
 
     #[test]
@@ -450,7 +711,7 @@ mod tests {
         let fit = |_: &FeatureExpr| Some(5.0);
         let engine = GpEngine::new(&g, GpConfig::quick());
         let run = engine.run(&fit, &mut StdRng::seed_from_u64(3));
-        let best = run.best.unwrap();
+        let best = run.best().expect("constant fitness validates everyone");
         // With constant fitness the best must be a minimal (size-1) feature.
         assert_eq!(best.size, 1, "parsimony should find a size-1 expression, got {}", best.expr);
     }
@@ -492,6 +753,7 @@ mod tests {
         let par = run_with(3);
         assert_eq!(seq.best, par.best, "threading must not change results");
         assert_eq!(seq.generations, par.generations);
+        assert_eq!(seq.evaluations, par.evaluations);
     }
 
     #[test]
@@ -503,5 +765,105 @@ mod tests {
         let r2 = engine.run(&fit, &mut StdRng::seed_from_u64(9));
         assert_eq!(r1.best, r2.best);
         assert_eq!(r1.generations, r2.generations);
+    }
+
+    #[test]
+    fn panicking_fitness_costs_one_candidate_not_the_run() {
+        let (g, ir) = grammar_and_ir();
+        // Panic on every expression mentioning `depth`; everything else
+        // evaluates normally.
+        let fit = |e: &FeatureExpr| -> Option<f64> {
+            let text = e.to_string();
+            if text.contains("depth") {
+                panic!("injected: evaluator bug on {text}");
+            }
+            e.eval_with_budget(&ir, 10_000).ok()
+        };
+        let cfg = GpConfig {
+            max_generations: 6,
+            ..GpConfig::quick()
+        };
+        let engine = GpEngine::new(&g, cfg);
+        let run = engine.run(&fit, &mut StdRng::seed_from_u64(14));
+        // The run completes; whatever best it found does not mention the
+        // poisoned attribute.
+        assert_eq!(run.generations, 6);
+        if let Some(best) = &run.best {
+            assert!(!best.expr.to_string().contains("depth"));
+        }
+    }
+
+    #[test]
+    fn panic_isolation_is_thread_count_invariant() {
+        let (g, ir) = grammar_and_ir();
+        let fit = |e: &FeatureExpr| -> Option<f64> {
+            let text = e.to_string();
+            if crate::faults::fnv1a(text.as_bytes()).is_multiple_of(5) {
+                panic!("injected: hash-selected panic");
+            }
+            e.eval_with_budget(&ir, 10_000).ok()
+        };
+        let run_with = |threads: usize| {
+            let cfg = GpConfig {
+                threads,
+                max_generations: 6,
+                ..GpConfig::quick()
+            };
+            GpEngine::new(&g, cfg).run(&fit, &mut StdRng::seed_from_u64(33))
+        };
+        let seq = run_with(1);
+        let par = run_with(4);
+        assert_eq!(seq.best, par.best);
+        assert_eq!(seq.generations, par.generations);
+        assert_eq!(seq.panics, par.panics);
+        assert!(seq.panics > 0, "the fault pattern should have fired");
+    }
+
+    #[test]
+    fn nan_fitness_is_sanitized_to_invalid() {
+        let (g, _ir) = grammar_and_ir();
+        let fit = |_: &FeatureExpr| Some(f64::NAN);
+        let cfg = GpConfig {
+            max_generations: 2,
+            ..GpConfig::quick()
+        };
+        let run = GpEngine::new(&g, cfg).run(&fit, &mut StdRng::seed_from_u64(0));
+        assert!(run.best.is_none(), "NaN must never become a best fitness");
+    }
+
+    #[test]
+    fn snapshot_resume_continues_identically() {
+        let (g, ir) = grammar_and_ir();
+        let fit = |e: &FeatureExpr| e.eval_with_budget(&ir, 10_000).ok();
+        let cfg = GpConfig {
+            max_generations: 9,
+            stagnation_limit: 9,
+            ..GpConfig::quick()
+        };
+        let engine = GpEngine::new(&g, cfg);
+
+        // Uninterrupted reference run.
+        let mut reference = engine.init_state(StdRng::seed_from_u64(77));
+        while let GpStatus::Running = engine.step(&mut reference, &fit) {}
+        let reference = reference.into_run();
+
+        // Run 4 generations, snapshot, round-trip through serialization,
+        // resume to completion.
+        let mut state = engine.init_state(StdRng::seed_from_u64(77));
+        for _ in 0..4 {
+            assert_eq!(engine.step(&mut state, &fit), GpStatus::Running);
+        }
+        let snapshot = state.snapshot();
+        drop(state);
+        let text = serde_json::to_string(&snapshot).expect("snapshot serializes");
+        let back: GpSnapshot = serde_json::from_str(&text).expect("snapshot parses");
+        assert_eq!(back, snapshot);
+        let mut resumed = GpState::from_snapshot(&back).expect("snapshot restores");
+        while let GpStatus::Running = engine.step(&mut resumed, &fit) {}
+        let resumed = resumed.into_run();
+
+        assert_eq!(resumed.best, reference.best);
+        assert_eq!(resumed.generations, reference.generations);
+        assert_eq!(resumed.evaluations, reference.evaluations);
     }
 }

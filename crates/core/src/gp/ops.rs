@@ -20,7 +20,9 @@ fn random_position<R: Rng + ?Sized>(expr: &FeatureExpr, rng: &mut R) -> (Sort, u
         }
         i -= n;
     }
-    unreachable!("index within total")
+    // `i` was drawn below the sum of the per-sort counts, so one of the
+    // branches above returned; the numeric root is the safe fallback.
+    (Sort::Num, 0)
 }
 
 /// Mutation (paper Figure 9): select a random non-terminal in the parse tree
@@ -39,7 +41,10 @@ pub fn mutate<R: Rng + ?Sized>(
         Sort::Bool => AnyExpr::Bool(grammar.gen_bool(rng, regrow_depth)),
         Sort::Seq => AnyExpr::Seq(grammar.gen_seq(rng, regrow_depth)),
     };
-    visit::replace(expr, sort, idx, &replacement).expect("position from random_position is valid")
+    // Positions come from `counts` over the same tree, so `replace` always
+    // succeeds; an (impossible) out-of-range index degrades to a no-op
+    // mutation rather than a panic mid-search.
+    visit::replace(expr, sort, idx, &replacement).unwrap_or_else(|| expr.clone())
 }
 
 /// Crossover (paper Figure 10): select non-terminals of the same sort in two
@@ -66,6 +71,9 @@ pub fn crossover<R: Rng + ?Sized>(
         }
     }
     debug_assert!(total > 0, "Sort::Num present in every feature");
+    if total == 0 {
+        return (a.clone(), b.clone());
+    }
     let mut pick = rng.gen_range(0..total);
     let mut sort = Sort::Num;
     for (i, s) in SORTS.iter().enumerate() {
@@ -77,10 +85,18 @@ pub fn crossover<R: Rng + ?Sized>(
     }
     let ia = rng.gen_range(0..ca.get(sort));
     let ib = rng.gen_range(0..cb.get(sort));
-    let sub_a = visit::pick(a, sort, ia).expect("index within counts");
-    let sub_b = visit::pick(b, sort, ib).expect("index within counts");
-    let child_a = visit::replace(a, sort, ia, &sub_b).expect("index within counts");
-    let child_b = visit::replace(b, sort, ib, &sub_a).expect("index within counts");
+    // Indices are drawn below the respective counts, so pick/replace always
+    // succeed; if they ever did not, crossover degrades to cloning the
+    // parents rather than panicking mid-search.
+    let (Some(sub_a), Some(sub_b)) = (visit::pick(a, sort, ia), visit::pick(b, sort, ib)) else {
+        return (a.clone(), b.clone());
+    };
+    let (Some(child_a), Some(child_b)) = (
+        visit::replace(a, sort, ia, &sub_b),
+        visit::replace(b, sort, ib, &sub_a),
+    ) else {
+        return (a.clone(), b.clone());
+    };
     (child_a, child_b)
 }
 

@@ -29,6 +29,12 @@
 //!   construction of a base feature list, one GP search per added feature,
 //!   with a decision-tree-based fitness function under internal
 //!   cross-validation.
+//! - [`error`] — the typed error hierarchy of the search runtime.
+//! - [`checkpoint`] — versioned, atomically-written snapshots of a running
+//!   search, enabling deterministic kill-and-resume.
+//! - [`faults`] — a seeded fault-injection harness (panicking, budget-
+//!   exhausting or NaN-returning evaluators, cooperative cancellation) used
+//!   to *prove* the runtime's fault tolerance in tests.
 //!
 //! # Quickstart
 //!
@@ -54,13 +60,21 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod checkpoint;
+pub mod error;
+pub mod faults;
 pub mod grammar;
 pub mod gp;
 pub mod ir;
 pub mod lang;
 pub mod search;
 
+pub use checkpoint::{SearchCheckpoint, CHECKPOINT_FILE, CHECKPOINT_VERSION};
+pub use error::{CheckpointError, SearchError};
+pub use faults::{CancelToken, FaultInjector, FaultKind, FaultPlan, FaultTrigger};
 pub use grammar::Grammar;
 pub use ir::{AttrValue, IrNode, Symbol};
 pub use lang::{parse_feature, FeatureExpr};
-pub use search::{FeatureSearch, SearchConfig, SearchOutcome, TrainingExample};
+pub use search::{
+    FeatureSearch, SearchConfig, SearchDriver, SearchOutcome, TrainingExample,
+};

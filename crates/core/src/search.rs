@@ -13,7 +13,11 @@
 //! stagnant generations or 200 generations; the outer loop stops after
 //! 2,500 total generations or 5 consecutive failed additions.
 
-use crate::gp::{GpConfig, GpEngine};
+use crate::checkpoint::{self, SearchCheckpoint, StepRecord, CHECKPOINT_VERSION};
+use crate::error::{CheckpointError, SearchError};
+use crate::faults::{CancelToken, FaultInjector};
+use crate::gp::engine::{GpSnapshot, GpState, GpStatus};
+use crate::gp::{FitnessFn, GpConfig, GpEngine, GpRun};
 use crate::grammar::Grammar;
 use crate::ir::IrNode;
 use crate::lang::FeatureExpr;
@@ -23,6 +27,7 @@ use fegen_ml::tree::{DecisionTree, TreeConfig};
 use fegen_ml::KFold;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::path::{Path, PathBuf};
 
 /// One training loop: its exported IR and the measured cycle table.
 ///
@@ -186,124 +191,36 @@ impl FeatureSearch {
 
     /// Runs the greedy feature-list construction over `examples`.
     ///
+    /// Convenience wrapper over [`FeatureSearch::try_run`] for callers that
+    /// cannot recover anyway.
+    ///
     /// # Panics
     ///
-    /// Panics if `examples` is empty or any example has an empty cycle
-    /// table.
+    /// Panics if the search fails (e.g. `examples` is empty or an example
+    /// has an empty cycle table). Use [`FeatureSearch::try_run`] or
+    /// [`FeatureSearch::driver`] for typed errors.
     pub fn run(&self, examples: &[TrainingExample]) -> SearchOutcome {
-        assert!(!examples.is_empty(), "feature search needs training examples");
-        let cfg = &self.config;
-        let n_classes = examples
-            .iter()
-            .map(|e| e.cycles.len())
-            .max()
-            .expect("non-empty");
-        assert!(n_classes > 0, "examples must have non-empty cycle tables");
-        let labels: Vec<usize> = examples.iter().map(|e| e.best_value()).collect();
-        let tables: Vec<Vec<f64>> = examples.iter().map(|e| e.cycles.clone()).collect();
-
-        // Fixed internal splits for the whole search, so every candidate is
-        // judged on the same validation loops. With `internal_folds == 1`
-        // this is the paper's single 8-of-9 train / 1-of-9 validate split;
-        // larger values rotate the holdout and average, reducing fitness
-        // variance.
-        let splits: Vec<(Vec<usize>, Vec<usize>)> = if cfg.internal_folds <= 1 {
-            vec![KFold::new(cfg.internal_k, cfg.seed).single_split(examples.len(), 1)]
-        } else {
-            KFold::new(cfg.internal_folds.max(2), cfg.seed)
-                .splits(examples.len())
-                .into_iter()
-                .take(cfg.internal_folds)
-                .collect()
-        };
-
-        // Oracle ceiling on the validation loops.
-        let oracle_speedup = splits
-            .iter()
-            .map(|(_, valid_idx)| {
-                mean_speedup_at(&tables, valid_idx, |i| metrics::oracle_choice(&tables[i]))
-            })
-            .sum::<f64>()
-            / splits.len() as f64;
-
-        // Featureless baseline: majority best-factor of each training split.
-        let baseline_speedup = splits
-            .iter()
-            .map(|(train_idx, valid_idx)| {
-                let majority = majority_label(train_idx, &labels, n_classes);
-                mean_speedup_at(&tables, valid_idx, |_| majority)
-            })
-            .sum::<f64>()
-            / splits.len() as f64;
-
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9e3779b97f4a7c15);
-        let mut base_columns: Vec<Vec<f64>> = Vec::new();
-        let mut features: Vec<FeatureExpr> = Vec::new();
-        let mut steps: Vec<SearchStep> = Vec::new();
-        let mut best_speedup = baseline_speedup;
-        let mut failed = 0usize;
-        let mut total_generations = 0usize;
-
-        while features.len() < cfg.max_features
-            && failed < cfg.max_failed_additions
-            && total_generations < cfg.max_total_generations
-        {
-            let fitness = |expr: &FeatureExpr| -> Option<f64> {
-                let column = self.feature_column(expr, examples)?;
-                let total: f64 = splits
-                    .iter()
-                    .map(|(train_idx, valid_idx)| {
-                        self.model_speedup(
-                            &base_columns,
-                            Some(&column),
-                            &labels,
-                            &tables,
-                            n_classes,
-                            train_idx,
-                            valid_idx,
-                        )
-                    })
-                    .sum();
-                Some(total / splits.len() as f64)
-            };
-
-            let mut gp = cfg.gp.clone();
-            // Never exceed the outer generation budget.
-            gp.max_generations = gp
-                .max_generations
-                .min(cfg.max_total_generations - total_generations);
-            let engine = GpEngine::new(&self.grammar, gp);
-            let mut run_rng = StdRng::seed_from_u64(rng.gen());
-            let run = engine.run(&fitness, &mut run_rng);
-            total_generations += run.generations;
-
-            match run.best {
-                Some(best) if best.quality > best_speedup + 1e-12 => {
-                    best_speedup = best.quality;
-                    let column = self
-                        .feature_column(&best.expr, examples)
-                        .expect("best individual was evaluated successfully");
-                    base_columns.push(column);
-                    steps.push(SearchStep {
-                        feature: best.expr.clone(),
-                        speedup: best.quality,
-                        generations: run.generations,
-                    });
-                    features.push(best.expr);
-                    failed = 0;
-                }
-                _ => {
-                    failed += 1;
-                }
-            }
+        match self.try_run(examples) {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("feature search failed: {e}"),
         }
+    }
 
-        SearchOutcome {
-            features,
-            steps,
-            baseline_speedup,
-            oracle_speedup,
-            total_generations,
+    /// Runs the greedy feature-list construction, reporting failures as
+    /// typed [`SearchError`]s.
+    pub fn try_run(&self, examples: &[TrainingExample]) -> Result<SearchOutcome, SearchError> {
+        self.driver().run(examples)
+    }
+
+    /// A configurable runner for this search: checkpointing, cooperative
+    /// cancellation and fault injection are opt-in per run.
+    pub fn driver(&self) -> SearchDriver<'_> {
+        SearchDriver {
+            search: self,
+            checkpoint_dir: None,
+            checkpoint_every: 5,
+            cancel: None,
+            injector: None,
         }
     }
 
@@ -367,22 +284,12 @@ impl FeatureSearch {
             return features.to_vec();
         }
         let cfg = &self.config;
-        let n_classes = examples
-            .iter()
-            .map(|e| e.cycles.len())
-            .max()
-            .expect("non-empty");
+        let Some(n_classes) = examples.iter().map(|e| e.cycles.len()).max() else {
+            return features.to_vec();
+        };
         let labels: Vec<usize> = examples.iter().map(|e| e.best_value()).collect();
         let tables: Vec<Vec<f64>> = examples.iter().map(|e| e.cycles.clone()).collect();
-        let splits: Vec<(Vec<usize>, Vec<usize>)> = if cfg.internal_folds <= 1 {
-            vec![KFold::new(cfg.internal_k, cfg.seed).single_split(examples.len(), 1)]
-        } else {
-            KFold::new(cfg.internal_folds.max(2), cfg.seed)
-                .splits(examples.len())
-                .into_iter()
-                .take(cfg.internal_folds)
-                .collect()
-        };
+        let splits = internal_splits(cfg, examples.len());
         let score = |columns: &[Vec<f64>]| -> f64 {
             splits
                 .iter()
@@ -453,11 +360,436 @@ impl FeatureSearch {
                 row.push(v);
             }
         }
-        let data = Dataset::new(rows, labels.to_vec(), n_classes)
-            .expect("columns are rectangular by construction");
+        // Columns are rectangular by construction; if the dataset were ever
+        // malformed the candidate scores zero instead of crashing the search.
+        let Ok(data) = Dataset::new(rows, labels.to_vec(), n_classes) else {
+            return 0.0;
+        };
         let train = data.subset(train_idx);
         let tree = DecisionTree::train(&train, &self.config.tree);
         mean_speedup_at(tables, valid_idx, |i| tree.predict(data.row(i)))
+    }
+}
+
+/// Fixed internal splits for the whole search, so every candidate is judged
+/// on the same validation loops. With `internal_folds == 1` this is the
+/// paper's single 8-of-9 train / 1-of-9 validate split; larger values rotate
+/// the holdout and average, reducing fitness variance.
+fn internal_splits(cfg: &SearchConfig, n: usize) -> Vec<(Vec<usize>, Vec<usize>)> {
+    if cfg.internal_folds <= 1 {
+        vec![KFold::new(cfg.internal_k, cfg.seed).single_split(n, 1)]
+    } else {
+        KFold::new(cfg.internal_folds.max(2), cfg.seed)
+            .splits(n)
+            .into_iter()
+            .take(cfg.internal_folds)
+            .collect()
+    }
+}
+
+/// Outer-loop progress at a checkpointable boundary, already in serialized
+/// form. Captured at the start of each per-feature GP run (with the RNG
+/// state *after* the run's seed draw) so mid-GP checkpoints can describe
+/// the enclosing search.
+struct OuterProgress {
+    fingerprint: u64,
+    digest: u64,
+    rng: [u64; 4],
+    features: Vec<String>,
+    steps: Vec<StepRecord>,
+    best_speedup: f64,
+    failed: usize,
+    total_generations: usize,
+}
+
+/// Configurable runner for a [`FeatureSearch`]: adds checkpoint/resume,
+/// cooperative cancellation and fault injection to the plain greedy loop.
+///
+/// ```no_run
+/// # use fegen_core::search::{FeatureSearch, SearchConfig, TrainingExample};
+/// # let examples: Vec<TrainingExample> = vec![];
+/// # let search = FeatureSearch::from_examples(&examples, SearchConfig::quick());
+/// let outcome = search
+///     .driver()
+///     .checkpoint("ckpt-dir", 5)
+///     .run(&examples);
+/// // ... later, after an interruption:
+/// let resumed = search.driver().resume("ckpt-dir", &examples);
+/// ```
+pub struct SearchDriver<'a> {
+    search: &'a FeatureSearch,
+    checkpoint_dir: Option<PathBuf>,
+    checkpoint_every: usize,
+    cancel: Option<CancelToken>,
+    injector: Option<&'a FaultInjector>,
+}
+
+impl<'a> SearchDriver<'a> {
+    /// Enables checkpointing into `dir`, writing a snapshot every `every`
+    /// GP generations (and at every outer-loop boundary). The checkpoint
+    /// file is removed when the search completes.
+    pub fn checkpoint(mut self, dir: impl Into<PathBuf>, every: usize) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self.checkpoint_every = every.max(1);
+        self
+    }
+
+    /// Installs a cooperative cancellation token, polled between GP
+    /// generations. When it flips, the run stops with
+    /// [`SearchError::Interrupted`] — after writing a checkpoint, if
+    /// checkpointing is enabled.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Routes every fitness evaluation through `injector`. If no cancel
+    /// token was installed yet, the injector's own token is adopted, so
+    /// [`crate::faults::FaultKind::Cancel`] plans interrupt the run.
+    pub fn fault_injector(mut self, injector: &'a FaultInjector) -> Self {
+        if self.cancel.is_none() {
+            self.cancel = Some(injector.cancel_token());
+        }
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Runs the search from scratch.
+    pub fn run(&self, examples: &[TrainingExample]) -> Result<SearchOutcome, SearchError> {
+        self.run_inner(examples, None)
+    }
+
+    /// Resumes a search from a checkpoint written by an earlier run with
+    /// the same configuration and training examples. `path` may be the
+    /// checkpoint file or the directory containing it.
+    ///
+    /// A resumed run continues the exact deterministic trajectory of the
+    /// interrupted one: checkpoints are only written at generation
+    /// boundaries, and cancellation never perturbs search state, so the
+    /// final [`SearchOutcome`] equals an uninterrupted run's.
+    pub fn resume(
+        &self,
+        path: impl AsRef<Path>,
+        examples: &[TrainingExample],
+    ) -> Result<SearchOutcome, SearchError> {
+        let resolved = checkpoint::resolve_path(path.as_ref());
+        let ckpt = SearchCheckpoint::load(&resolved)?;
+        self.run_inner(examples, Some((resolved, ckpt)))
+    }
+
+    fn run_inner(
+        &self,
+        examples: &[TrainingExample],
+        resume: Option<(PathBuf, SearchCheckpoint)>,
+    ) -> Result<SearchOutcome, SearchError> {
+        let search = self.search;
+        let cfg = &search.config;
+        if examples.is_empty() {
+            return Err(SearchError::EmptyTrainingSet);
+        }
+        let Some(n_classes) = examples.iter().map(|e| e.cycles.len()).max() else {
+            return Err(SearchError::EmptyTrainingSet);
+        };
+        if n_classes == 0 {
+            return Err(SearchError::InvalidConfig {
+                detail: "training examples must have non-empty cycle tables".into(),
+            });
+        }
+        if cfg.gp.population == 0 {
+            return Err(SearchError::InvalidConfig {
+                detail: "GP population must be positive".into(),
+            });
+        }
+        let labels: Vec<usize> = examples.iter().map(|e| e.best_value()).collect();
+        let tables: Vec<Vec<f64>> = examples.iter().map(|e| e.cycles.clone()).collect();
+        let splits = internal_splits(cfg, examples.len());
+
+        // Oracle ceiling on the validation loops.
+        let oracle_speedup = splits
+            .iter()
+            .map(|(_, valid_idx)| {
+                mean_speedup_at(&tables, valid_idx, |i| metrics::oracle_choice(&tables[i]))
+            })
+            .sum::<f64>()
+            / splits.len() as f64;
+
+        // Featureless baseline: majority best-factor of each training split.
+        let baseline_speedup = splits
+            .iter()
+            .map(|(train_idx, valid_idx)| {
+                let majority = majority_label(train_idx, &labels, n_classes);
+                mean_speedup_at(&tables, valid_idx, |_| majority)
+            })
+            .sum::<f64>()
+            / splits.len() as f64;
+
+        let fingerprint = checkpoint::config_fingerprint(cfg);
+        let digest = checkpoint::examples_digest(examples);
+
+        // Outer state: fresh, or restored from the checkpoint. Feature
+        // columns, splits and the baseline are deterministic functions of
+        // the inputs and are recomputed rather than stored.
+        let mut rng;
+        let mut base_columns: Vec<Vec<f64>> = Vec::new();
+        let mut features: Vec<FeatureExpr> = Vec::new();
+        let mut steps: Vec<SearchStep> = Vec::new();
+        let mut best_speedup = baseline_speedup;
+        let mut failed = 0usize;
+        let mut total_generations = 0usize;
+        let mut pending_gp: Option<GpState> = None;
+        let resumed_from: Option<PathBuf> = resume.as_ref().map(|(path, _)| path.clone());
+
+        match resume {
+            None => {
+                rng = StdRng::seed_from_u64(cfg.seed ^ 0x9e3779b97f4a7c15);
+            }
+            Some((path, ckpt)) => {
+                ckpt.verify_identity(&path, cfg, examples)?;
+                rng = StdRng::from_state(ckpt.rng);
+                for text in &ckpt.features {
+                    let expr = crate::lang::parse_feature(text).map_err(|e| {
+                        CheckpointError::Corrupt {
+                            path: path.clone(),
+                            detail: format!("unparseable feature `{text}`: {e}"),
+                        }
+                    })?;
+                    let Some(column) = search.feature_column(&expr, examples) else {
+                        return Err(CheckpointError::StateMismatch {
+                            path: path.clone(),
+                            detail: format!(
+                                "checkpointed feature `{text}` no longer evaluates \
+                                 on the training examples"
+                            ),
+                        }
+                        .into());
+                    };
+                    base_columns.push(column);
+                    features.push(expr);
+                }
+                for record in &ckpt.steps {
+                    let feature =
+                        crate::lang::parse_feature(&record.feature).map_err(|e| {
+                            CheckpointError::Corrupt {
+                                path: path.clone(),
+                                detail: format!(
+                                    "unparseable step feature `{}`: {e}",
+                                    record.feature
+                                ),
+                            }
+                        })?;
+                    steps.push(SearchStep {
+                        feature,
+                        speedup: record.speedup,
+                        generations: record.generations,
+                    });
+                }
+                best_speedup = ckpt.best_speedup;
+                failed = ckpt.failed;
+                total_generations = ckpt.total_generations;
+                pending_gp = match &ckpt.gp {
+                    None => None,
+                    Some(snapshot) => Some(GpState::from_snapshot(snapshot).map_err(|e| {
+                        CheckpointError::Corrupt {
+                            path: path.clone(),
+                            detail: e,
+                        }
+                    })?),
+                };
+            }
+        }
+
+        while features.len() < cfg.max_features
+            && failed < cfg.max_failed_additions
+            && total_generations < cfg.max_total_generations
+        {
+            let fitness = |expr: &FeatureExpr| -> Option<f64> {
+                let column = search.feature_column(expr, examples)?;
+                let total: f64 = splits
+                    .iter()
+                    .map(|(train_idx, valid_idx)| {
+                        search.model_speedup(
+                            &base_columns,
+                            Some(&column),
+                            &labels,
+                            &tables,
+                            n_classes,
+                            train_idx,
+                            valid_idx,
+                        )
+                    })
+                    .sum();
+                Some(total / splits.len() as f64)
+            };
+
+            let mut gp = cfg.gp.clone();
+            // Never exceed the outer generation budget.
+            gp.max_generations = gp
+                .max_generations
+                .min(cfg.max_total_generations - total_generations);
+            let engine = GpEngine::new(&search.grammar, gp);
+            // A restored mid-GP state already consumed its seed draw before
+            // the checkpoint was written; drawing again would fork the
+            // deterministic trajectory.
+            let state = match pending_gp.take() {
+                Some(state) => state,
+                None => engine.init_state(StdRng::seed_from_u64(rng.gen())),
+            };
+            let progress = OuterProgress {
+                fingerprint,
+                digest,
+                rng: rng.state(),
+                features: features.iter().map(|f| f.to_string()).collect(),
+                steps: steps
+                    .iter()
+                    .map(|s| StepRecord {
+                        feature: s.feature.to_string(),
+                        speedup: s.speedup,
+                        generations: s.generations,
+                    })
+                    .collect(),
+                best_speedup,
+                failed,
+                total_generations,
+            };
+
+            // `InjectedFitness` and the plain closure are distinct types, so
+            // the two arms instantiate `drive_gp` separately instead of
+            // erasing to `dyn` (the blanket closure impl forbids it anyway).
+            let run = match self.injector {
+                Some(injector) => {
+                    let wrapped = injector.wrap(&fitness);
+                    self.drive_gp(&engine, state, &wrapped, &progress)?
+                }
+                None => self.drive_gp(&engine, state, &fitness, &progress)?,
+            };
+            total_generations += run.generations;
+
+            match run.best {
+                Some(best) if best.quality > best_speedup + 1e-12 => {
+                    // Re-derive the winning column; a feature that stops
+                    // evaluating (flaky evaluator) costs this addition,
+                    // not the search.
+                    match search.feature_column(&best.expr, examples) {
+                        Some(column) => {
+                            best_speedup = best.quality;
+                            base_columns.push(column);
+                            steps.push(SearchStep {
+                                feature: best.expr.clone(),
+                                speedup: best.quality,
+                                generations: run.generations,
+                            });
+                            features.push(best.expr);
+                            failed = 0;
+                        }
+                        None => failed += 1,
+                    }
+                }
+                _ => {
+                    failed += 1;
+                }
+            }
+
+            // Outer-boundary checkpoint: the completed step is durable even
+            // if the next GP run never writes one.
+            if self.checkpoint_dir.is_some() {
+                let progress = OuterProgress {
+                    fingerprint,
+                    digest,
+                    rng: rng.state(),
+                    features: features.iter().map(|f| f.to_string()).collect(),
+                    steps: steps
+                        .iter()
+                        .map(|s| StepRecord {
+                            feature: s.feature.to_string(),
+                            speedup: s.speedup,
+                            generations: s.generations,
+                        })
+                        .collect(),
+                    best_speedup,
+                    failed,
+                    total_generations,
+                };
+                self.write_checkpoint(&progress, None)?;
+            }
+        }
+
+        // A completed search leaves no checkpoint behind; a crash after
+        // this point re-runs the search, it does not resume a stale state.
+        // This covers both the driver's own checkpoint directory and the
+        // file a resumed run was loaded from.
+        if let Some(dir) = &self.checkpoint_dir {
+            let _ = std::fs::remove_file(dir.join(checkpoint::CHECKPOINT_FILE));
+        }
+        if let Some(path) = &resumed_from {
+            let _ = std::fs::remove_file(path);
+        }
+
+        Ok(SearchOutcome {
+            features,
+            steps,
+            baseline_speedup,
+            oracle_speedup,
+            total_generations,
+        })
+    }
+
+    /// Drives one GP run generation by generation, polling for cancellation
+    /// and writing periodic checkpoints.
+    fn drive_gp<F: FitnessFn>(
+        &self,
+        engine: &GpEngine<'_>,
+        mut state: GpState,
+        fitness: &F,
+        progress: &OuterProgress,
+    ) -> Result<GpRun, SearchError> {
+        let mut since_checkpoint = 0usize;
+        loop {
+            if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                // Cancellation only chooses *which* generation boundary the
+                // run stops at; the state content is exactly what an
+                // uninterrupted run holds here, which is what makes resume
+                // bit-identical.
+                let checkpoint = self.write_checkpoint(progress, Some(state.snapshot()))?;
+                return Err(SearchError::Interrupted {
+                    checkpoint,
+                    total_generations: progress.total_generations + state.generations,
+                });
+            }
+            match engine.step(&mut state, fitness) {
+                GpStatus::Converged => return Ok(state.into_run()),
+                GpStatus::Running => {
+                    since_checkpoint += 1;
+                    if self.checkpoint_dir.is_some() && since_checkpoint >= self.checkpoint_every
+                    {
+                        self.write_checkpoint(progress, Some(state.snapshot()))?;
+                        since_checkpoint = 0;
+                    }
+                }
+            }
+        }
+    }
+
+    fn write_checkpoint(
+        &self,
+        progress: &OuterProgress,
+        gp: Option<GpSnapshot>,
+    ) -> Result<Option<PathBuf>, SearchError> {
+        let Some(dir) = &self.checkpoint_dir else {
+            return Ok(None);
+        };
+        let ckpt = SearchCheckpoint {
+            version: CHECKPOINT_VERSION,
+            config_fingerprint: progress.fingerprint,
+            examples_digest: progress.digest,
+            rng: progress.rng,
+            features: progress.features.clone(),
+            steps: progress.steps.clone(),
+            best_speedup: progress.best_speedup,
+            failed: progress.failed,
+            total_generations: progress.total_generations,
+            gp,
+        };
+        Ok(Some(ckpt.save(dir)?))
     }
 }
 

@@ -64,7 +64,7 @@ impl KernelCtx {
     /// Base array length for this benchmark scale (always with 16 cells of
     /// slack so compound conditions may read one element past `n`).
     pub fn array_len(&self, rng: &mut StdRng) -> usize {
-        let base = [256usize, 512, 1024][rng.gen_range(0..3)];
+        let base = [256usize, 512, 1024][rng.gen_range(0..3usize)];
         ((base as f64 * self.scale) as usize).max(64) + 16
     }
 
@@ -75,7 +75,7 @@ impl KernelCtx {
             name: name.clone(),
             ty: Type::int_array(len),
         });
-        let a = rng.gen_range(3..23) * 2 + 1;
+        let a = rng.gen_range(3i64..23) * 2 + 1;
         let b = rng.gen_range(0..17);
         let m = rng.gen_range(13..251);
         self.push_fill(
@@ -113,7 +113,7 @@ impl KernelCtx {
             name: name.clone(),
             ty: Type::int_array(len),
         });
-        let a = rng.gen_range(3..29) * 2 + 1;
+        let a = rng.gen_range(3i64..29) * 2 + 1;
         self.push_fill(
             &name,
             len,
@@ -232,8 +232,8 @@ fn call_n(func: &str, n: usize) -> CallDesc {
 fn trip(rng: &mut StdRng, len: usize) -> usize {
     let max = len - 16;
     match rng.gen_range(0..10) {
-        0..=1 => rng.gen_range(4..24).min(max),
-        2..=4 => rng.gen_range(24..128).min(max),
+        0..=1 => rng.gen_range(4usize..24).min(max),
+        2..=4 => rng.gen_range(24usize..128).min(max),
         _ => rng.gen_range(max / 2..=max),
     }
 }
@@ -549,7 +549,7 @@ fn t_gather(ctx: &mut KernelCtx, rng: &mut StdRng) -> Kernel {
 fn t_histogram(ctx: &mut KernelCtx, rng: &mut StdRng) -> Kernel {
     let len = ctx.array_len(rng);
     let a = ctx.int_array(rng, len);
-    let bins = [16usize, 32, 64][rng.gen_range(0..3)];
+    let bins = [16usize, 32, 64][rng.gen_range(0..3usize)];
     let tab = ctx.out_array(Scalar::Int, bins);
     let name = ctx.fresh("histogram");
     let n = trip(rng, len);
@@ -586,7 +586,7 @@ fn t_bitops(ctx: &mut KernelCtx, rng: &mut StdRng) -> Kernel {
     let out = ctx.out_array(Scalar::Int, len);
     let s1 = rng.gen_range(1..6);
     let s2 = rng.gen_range(1..5);
-    let mask = [255i64, 1023, 65535][rng.gen_range(0..3)];
+    let mask = [255i64, 1023, 65535][rng.gen_range(0..3usize)];
     let name = ctx.fresh("bitops");
     let n = trip(rng, len);
     let bound = bound_expr(rng, n);
@@ -698,7 +698,7 @@ fn t_strided(ctx: &mut KernelCtx, rng: &mut StdRng) -> Kernel {
     let len = ctx.array_len(rng);
     let a = ctx.int_array(rng, len);
     let out = ctx.out_array(Scalar::Int, len);
-    let stride = [2i64, 3, 4][rng.gen_range(0..3)];
+    let stride = [2i64, 3, 4][rng.gen_range(0..3usize)];
     let name = ctx.fresh("strided");
     let n = trip(rng, len);
     let bound = bound_expr(rng, n);

@@ -11,9 +11,24 @@
 //! fegen grammar <file>                         derive and print the feature grammar
 //! fegen eval    <file> <func> <loop> <expr>    evaluate a feature expression
 //! fegen suite   <index>                        print a generated benchmark's source
+//! fegen search  <file> [flags]                 run the GP feature search on a program
+//! ```
+//!
+//! `fegen search` flags:
+//!
+//! ```text
+//! --checkpoint-dir <dir>   write resumable snapshots into <dir>
+//! --checkpoint-every <n>   snapshot every n GP generations (default 5)
+//! --resume <path>          continue from a checkpoint file or directory
+//! --seed <n>               master seed (default from the quick preset)
+//! --paper                  paper-scale budgets instead of the quick preset
 //! ```
 
-use fegen::core::{parse_feature, Grammar};
+use fegen::core::search::SearchDriver;
+use fegen::core::{
+    parse_feature, FeatureSearch, Grammar, SearchConfig, SearchError, SearchOutcome,
+    TrainingExample,
+};
 use fegen::rtl::export::export_loop;
 use fegen::rtl::heuristic::{gcc_default_factor, gcc_features, GccParams, GCC_FEATURE_NAMES};
 use fegen::rtl::lower::lower_program;
@@ -66,6 +81,7 @@ fn run(args: &[String]) -> Result<(), Anyhow> {
             arg(args, 4)?,
         ),
         "suite" => cmd_suite(parse_num(arg(args, 1)?)?),
+        "search" => cmd_search(arg(args, 1)?, &args[2..]),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -87,6 +103,14 @@ fn print_usage() {
     println!("  fegen grammar <file>                         derive the feature grammar");
     println!("  fegen eval    <file> <func> <loop> <expr>    evaluate a feature");
     println!("  fegen suite   <index>                        print benchmark #index source");
+    println!("  fegen search  <file> [flags]                 run the GP feature search");
+    println!();
+    println!("search flags:");
+    println!("  --checkpoint-dir <dir>   write resumable snapshots into <dir>");
+    println!("  --checkpoint-every <n>   snapshot every n GP generations (default 5)");
+    println!("  --resume <path>          continue from a checkpoint file or directory");
+    println!("  --seed <n>               master seed");
+    println!("  --paper                  paper-scale budgets (default: quick preset)");
 }
 
 fn arg(args: &[String], i: usize) -> Result<&str, Anyhow> {
@@ -287,6 +311,162 @@ fn cmd_suite(index: usize) -> Result<(), Anyhow> {
     println!("// benchmark {} ({}), {} loops", b.name, b.suite, b.n_loops);
     print!("{}", fegen::lang::print_program(&b.program));
     Ok(())
+}
+
+/// Measures one loop's cycle table over unroll factors 0..=15 (the same
+/// protocol as `fegen table`) and pairs it with the loop's exported IR.
+fn loop_example(
+    rtl: &RtlProgram,
+    f: &fegen::rtl::RtlFunction,
+    loop_id: usize,
+) -> Result<TrainingExample, Anyhow> {
+    let region = f
+        .loops
+        .iter()
+        .find(|l| l.id == loop_id)
+        .ok_or_else(|| format!("no loop #{loop_id} in `{}`", f.name))?;
+    let call_args: Vec<Arg> = f.params.iter().map(|_| Arg::Int(200)).collect();
+    let mut cycles = Vec::with_capacity(16);
+    for factor in 0..=15usize {
+        let unrolled = unroll_loop(f, loop_id, factor)?;
+        let mut program = rtl.clone();
+        let slot = program
+            .function_mut(&f.name)
+            .ok_or_else(|| format!("no function `{}`", f.name))?;
+        *slot = unrolled;
+        let mut machine = Machine::new(&program, SimConfig::default());
+        if program.function("init").is_some() && f.name != "init" {
+            machine.call("init", &[])?;
+        }
+        machine.call(&f.name, &call_args)?;
+        cycles.push(machine.cycles_of(&f.name) as f64);
+    }
+    Ok(TrainingExample {
+        ir: export_loop(f, region, &rtl.layout),
+        cycles,
+    })
+}
+
+/// Builds the training corpus for `fegen search`: every measurable loop of
+/// the program. Loops that fail to unroll or simulate are skipped with a
+/// notice instead of aborting the search.
+fn training_examples_from(rtl: &RtlProgram) -> Vec<TrainingExample> {
+    let mut examples = Vec::new();
+    for f in &rtl.functions {
+        if f.name == "init" {
+            continue;
+        }
+        for region in &f.loops {
+            match loop_example(rtl, f, region.id) {
+                Ok(e) => examples.push(e),
+                Err(e) => eprintln!("fegen: skipping {}#{}: {e}", f.name, region.id),
+            }
+        }
+    }
+    examples
+}
+
+fn cmd_search(path: &str, flags: &[String]) -> Result<(), Anyhow> {
+    let mut checkpoint_dir: Option<String> = None;
+    let mut checkpoint_every = 5usize;
+    let mut resume: Option<String> = None;
+    let mut seed: Option<u64> = None;
+    let mut paper = false;
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, Anyhow> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value").into())
+        };
+        match flag.as_str() {
+            "--checkpoint-dir" => checkpoint_dir = Some(value("--checkpoint-dir")?),
+            "--checkpoint-every" => {
+                checkpoint_every = parse_num(&value("--checkpoint-every")?)?.max(1)
+            }
+            "--resume" => resume = Some(value("--resume")?),
+            "--seed" => {
+                let v = value("--seed")?;
+                seed = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| format!("`{v}` is not a number"))?,
+                );
+            }
+            "--paper" => paper = true,
+            other => return Err(format!("unknown search flag `{other}`").into()),
+        }
+    }
+
+    let (_, rtl) = load(path)?;
+    let examples = training_examples_from(&rtl);
+    if examples.is_empty() {
+        return Err("the program has no measurable loops to search over".into());
+    }
+    println!("searching over {} loops", examples.len());
+
+    let mut config = if paper {
+        SearchConfig::paper()
+    } else {
+        SearchConfig::quick()
+    };
+    if let Some(s) = seed {
+        config.seed = s;
+    }
+    let search = FeatureSearch::from_examples(&examples, config);
+    let mut driver: SearchDriver = search.driver();
+    if let Some(dir) = &checkpoint_dir {
+        driver = driver.checkpoint(dir, checkpoint_every);
+    }
+    let result = match &resume {
+        Some(p) => driver.resume(p, &examples),
+        None => driver.run(&examples),
+    };
+    match result {
+        Ok(outcome) => {
+            print_outcome(&outcome);
+            Ok(())
+        }
+        Err(SearchError::Interrupted {
+            checkpoint,
+            total_generations,
+        }) => {
+            match checkpoint {
+                Some(p) => Err(format!(
+                    "interrupted after {total_generations} generations; \
+                     resume with `--resume {}`",
+                    p.display()
+                )
+                .into()),
+                None => Err(format!(
+                    "interrupted after {total_generations} generations \
+                     (run with --checkpoint-dir to make interruptions resumable)"
+                )
+                .into()),
+            }
+        }
+        Err(e) => Err(e.into()),
+    }
+}
+
+fn print_outcome(outcome: &SearchOutcome) {
+    println!(
+        "baseline speedup {:.4}, oracle ceiling {:.4}, {} generations",
+        outcome.baseline_speedup, outcome.oracle_speedup, outcome.total_generations
+    );
+    if outcome.features.is_empty() {
+        println!("no feature improved on the baseline");
+        return;
+    }
+    println!("{:>4} {:>9} {:>6}  feature", "#", "speedup", "gens");
+    for (i, step) in outcome.steps.iter().enumerate() {
+        println!(
+            "{:>4} {:>9.4} {:>6}  {}",
+            i + 1,
+            step.speedup,
+            step.generations,
+            step.feature
+        );
+    }
 }
 
 // Silence "unused" for names referenced only in help text.

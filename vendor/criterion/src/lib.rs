@@ -1,0 +1,268 @@
+//! Offline vendored benchmark harness exposing the criterion API subset the
+//! workspace benches use. Instead of criterion's statistical sampling it
+//! runs a short warm-up, then a fixed measurement window, and prints the
+//! mean wall-clock time per iteration. Good enough to spot order-of-
+//! magnitude regressions; not a statistics engine.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; prevents the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation (recorded for display only).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How batched inputs are sized; accepted for API compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    measurement: Duration,
+    warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_millis(300),
+            warm_up: Duration::from_millis(50),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<N: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            measurement: self.measurement,
+            warm_up: self.warm_up,
+            result: None,
+        };
+        f(&mut bencher);
+        bencher.report(&name.into(), None);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; this harness uses a time window rather
+    /// than a sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-iteration throughput annotation.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Adjusts the measurement window.
+    pub fn measurement_time(&mut self, window: Duration) -> &mut Self {
+        self.criterion.measurement = window;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<N: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            measurement: self.criterion.measurement,
+            warm_up: self.criterion.warm_up,
+            result: None,
+        };
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, name.into()), self.throughput);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; runs the measured routine.
+pub struct Bencher {
+    measurement: Duration,
+    warm_up: Duration,
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate a per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < self.measurement {
+            black_box(routine());
+            iters += 1;
+            if iters >= 10_000_000 {
+                break;
+            }
+        }
+        self.result = Some((start.elapsed(), iters.max(1)));
+    }
+
+    /// Measures `routine` over inputs built by `setup` (setup excluded from
+    /// the timing as closely as this simple harness can manage).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+
+        let mut measured = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while measured < self.measurement {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+            iters += 1;
+            if iters >= 10_000_000 {
+                break;
+            }
+        }
+        self.result = Some((measured, iters.max(1)));
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        let Some((elapsed, iters)) = self.result else {
+            println!("{name:<40} (no measurement)");
+            return;
+        };
+        let per_iter = elapsed.as_secs_f64() / iters as f64;
+        let mut line = format!("{name:<40} {:>12}/iter ({iters} iters)", fmt_time(per_iter));
+        if let Some(tp) = throughput {
+            let (count, unit) = match tp {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            if per_iter > 0.0 {
+                line.push_str(&format!(
+                    "  {:.3e} {unit}/s",
+                    count as f64 / per_iter
+                ));
+            }
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes flags like `--bench`; they are accepted
+            // and ignored. A positional filter argument is also ignored —
+            // this harness always runs everything.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(5),
+            warm_up: Duration::from_millis(1),
+        };
+        let mut hits = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| hits = hits.wrapping_add(1)));
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn groups_support_throughput_and_batched() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(5),
+            warm_up: Duration::from_millis(1),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,62 @@
+//! Named generators. Only [`StdRng`] is provided.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard deterministic generator: xoshiro256++.
+///
+/// Unlike upstream `rand`, the internal state is inspectable via
+/// [`StdRng::state`] and restorable via [`StdRng::from_state`] — the
+/// checkpointing layer in `fegen-core` serializes generators this way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// The raw 256-bit state.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a previously captured [`state`](Self::state),
+    /// continuing the exact same stream.
+    pub fn from_state(s: [u64; 4]) -> StdRng {
+        if s == [0; 4] {
+            // The all-zero state is a fixed point of xoshiro; remap it.
+            return StdRng::seed_from_u64(0);
+        }
+        StdRng { s }
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> StdRng {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(chunk);
+            s[i] = u64::from_le_bytes(b);
+        }
+        StdRng::from_state(s)
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}

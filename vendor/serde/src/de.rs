@@ -1,0 +1,285 @@
+//! Deserialization traits.
+//!
+//! Mirror image of [`crate::ser`]: a `Deserializer` hands over a complete
+//! [`Value`] tree via [`Deserializer::take_value`], and typed impls pattern
+//! match on it. The helpers at the bottom ([`into_map`], [`field`],
+//! [`into_variant`], …) are the runtime support library of the vendored
+//! `serde_derive` macros.
+
+use crate::Value;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Display;
+use std::hash::Hash;
+use std::marker::PhantomData;
+
+/// Error constraint for deserializers.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from a message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A source of serialized data.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Surrenders the complete value tree.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// The canonical deserializer: replays a [`Value`].
+pub struct ValueDeserializer<E> {
+    value: Value,
+    _marker: PhantomData<E>,
+}
+
+impl<E> ValueDeserializer<E> {
+    /// Wraps `value` for deserialization with error type `E`.
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer {
+            value,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: Error> Deserializer<'de> for ValueDeserializer<E> {
+    type Error = E;
+
+    fn take_value(self) -> Result<Value, E> {
+        Ok(self.value)
+    }
+}
+
+/// Deserializes a typed value out of a [`Value`] tree.
+pub fn from_value<'de, T: Deserialize<'de>, E: Error>(value: Value) -> Result<T, E> {
+    T::deserialize(ValueDeserializer::<E>::new(value))
+}
+
+fn unexpected<E: Error>(expected: &str, got: &Value) -> E {
+    E::custom(format!("expected {expected}, found {}", got.kind()))
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types used across the workspace.
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.take_value()? {
+                    Value::I64(v) => <$t>::try_from(v)
+                        .map_err(|_| D::Error::custom(format!(
+                            "integer {v} out of range for {}", stringify!($t)))),
+                    Value::U64(v) => <$t>::try_from(v)
+                        .map_err(|_| D::Error::custom(format!(
+                            "integer {v} out of range for {}", stringify!($t)))),
+                    other => Err(unexpected("integer", &other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_de_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(unexpected("bool", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::F64(v) => Ok(v),
+            Value::I64(v) => Ok(v as f64),
+            Value::U64(v) => Ok(v as f64),
+            other => Err(unexpected("float", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(unexpected("string", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Unit => Ok(()),
+            other => Err(unexpected("unit", &other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Unit => Ok(None),
+            v => from_value(v).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Seq(items) => items.into_iter().map(from_value).collect(),
+            other => Err(unexpected("sequence", &other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let items = Vec::<T>::deserialize(d)?;
+        let n = items.len();
+        items
+            .try_into()
+            .map_err(|_| D::Error::custom(format!("expected array of {N} elements, found {n}")))
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Seq(items) if items.len() == 2 => {
+                let mut it = items.into_iter();
+                let a = from_value(it.next().unwrap_or(Value::Unit))?;
+                let b = from_value(it.next().unwrap_or(Value::Unit))?;
+                Ok((a, b))
+            }
+            other => Err(unexpected("2-element sequence", &other)),
+        }
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>, C: Deserialize<'de>> Deserialize<'de>
+    for (A, B, C)
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Seq(items) if items.len() == 3 => {
+                let mut it = items.into_iter();
+                let a = from_value(it.next().unwrap_or(Value::Unit))?;
+                let b = from_value(it.next().unwrap_or(Value::Unit))?;
+                let c = from_value(it.next().unwrap_or(Value::Unit))?;
+                Ok((a, b, c))
+            }
+            other => Err(unexpected("3-element sequence", &other)),
+        }
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for HashMap<K, V>
+where
+    K: Deserialize<'de> + Eq + Hash,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| Ok((from_value(k)?, from_value(v)?)))
+                .collect(),
+            other => Err(unexpected("map", &other)),
+        }
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| Ok((from_value(k)?, from_value(v)?)))
+                .collect(),
+            other => Err(unexpected("map", &other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime support for the vendored derive macros.
+
+/// Unwraps a [`Value::Map`] (derive support).
+pub fn into_map<E: Error>(value: Value) -> Result<Vec<(Value, Value)>, E> {
+    match value {
+        Value::Map(entries) => Ok(entries),
+        other => Err(unexpected("map", &other)),
+    }
+}
+
+/// Unwraps a [`Value::Seq`] of exactly `n` elements (derive support).
+pub fn into_seq_n<E: Error>(value: Value, n: usize) -> Result<Vec<Value>, E> {
+    match value {
+        Value::Seq(items) if items.len() == n => Ok(items),
+        Value::Seq(items) => Err(E::custom(format!(
+            "expected sequence of {n} elements, found {}",
+            items.len()
+        ))),
+        other => Err(unexpected("sequence", &other)),
+    }
+}
+
+/// Extracts and deserializes the struct field `name` (derive support).
+pub fn field<'de, T: Deserialize<'de>, E: Error>(
+    entries: &mut Vec<(Value, Value)>,
+    name: &str,
+) -> Result<T, E> {
+    let idx = entries
+        .iter()
+        .position(|(k, _)| matches!(k, Value::Str(s) if s == name))
+        .ok_or_else(|| E::custom(format!("missing field `{name}`")))?;
+    let (_, value) = entries.swap_remove(idx);
+    from_value(value).map_err(|e: E| E::custom(format!("field `{name}`: {e}")))
+}
+
+/// Splits an enum encoding into `(variant_name, payload)` (derive support).
+///
+/// Unit variants are encoded as a bare string (no payload); variants with
+/// data as a one-entry map `{variant: payload}`.
+pub fn into_variant<E: Error>(value: Value) -> Result<(String, Option<Value>), E> {
+    match value {
+        Value::Str(name) => Ok((name, None)),
+        Value::Map(mut entries) if entries.len() == 1 => {
+            let (k, v) = entries.pop().expect("len checked");
+            match k {
+                Value::Str(name) => Ok((name, Some(v))),
+                other => Err(unexpected("variant name string", &other)),
+            }
+        }
+        other => Err(unexpected("enum variant", &other)),
+    }
+}

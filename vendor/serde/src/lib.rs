@@ -1,0 +1,50 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! small serde-shaped serialization framework. It keeps the upstream trait
+//! *signatures* that this repository's code actually writes against —
+//! `#[derive(Serialize, Deserialize)]`, `fn serialize<S: Serializer>`,
+//! `String::deserialize(d)?` — while funnelling all data through one
+//! self-describing [`Value`] tree instead of upstream's zero-copy visitor
+//! machinery. The companion vendored `serde_json` crate renders [`Value`]s
+//! as JSON text.
+//!
+//! Supported shapes are exactly what the workspace needs: primitives,
+//! strings, tuples, arrays, `Vec`, `Option`, `Box`, `HashMap`/`BTreeMap`,
+//! structs and enums (unit/newtype/tuple/struct variants) via the derive
+//! macros in the vendored `serde_derive`.
+
+pub mod de;
+pub mod ser;
+mod value;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::Value;
+
+use std::fmt;
+
+/// The one concrete error type of the vendored framework.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}

@@ -1,0 +1,55 @@
+//! The self-describing data model every serialization passes through.
+
+/// A serialized value.
+///
+/// Structs and struct variants serialize to [`Value::Map`] with string keys;
+/// sequences, tuples and tuple variants to [`Value::Seq`]; enum variants with
+/// payloads to a one-entry map `{variant: payload}`; unit variants to
+/// [`Value::Str`]; `None` to [`Value::Unit`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `()`, `None`, JSON `null`.
+    Unit,
+    /// Booleans.
+    Bool(bool),
+    /// Signed integers (all integer types that fit).
+    I64(i64),
+    /// Unsigned integers above `i64::MAX`.
+    U64(u64),
+    /// Floating point (including non-finite values).
+    F64(f64),
+    /// Strings and unit enum variants.
+    Str(String),
+    /// Sequences, tuples, tuple variants.
+    Seq(Vec<Value>),
+    /// Maps, structs, struct variants, payload-carrying enum variants.
+    Map(Vec<(Value, Value)>),
+}
+
+impl crate::ser::Serialize for Value {
+    fn serialize<S: crate::ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.clone())
+    }
+}
+
+impl<'de> crate::de::Deserialize<'de> for Value {
+    fn deserialize<D: crate::de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.take_value()
+    }
+}
+
+impl Value {
+    /// Name of the value's shape, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Unit => "unit",
+            Value::Bool(_) => "bool",
+            Value::I64(_) => "integer",
+            Value::U64(_) => "unsigned integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` macros.
+//!
+//! Emits impls against the vendored value-centric `serde` crate. The parser
+//! is hand-rolled over `proc_macro::TokenStream` (no `syn`/`quote`, since the
+//! build environment has no registry access) and supports exactly the shapes
+//! this workspace derives on: non-generic structs (named, tuple, unit) and
+//! non-generic enums with unit / tuple / struct variants.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+/// Parsed shape of a struct body or an enum variant.
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().expect("literal parses")
+}
+
+type Iter = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips `#[...]` attributes (including doc comments).
+fn skip_attrs(iter: &mut Iter) {
+    while let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        iter.next();
+        // The bracket group of the attribute (and `!` for inner attributes).
+        if let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == '!' {
+                iter.next();
+            }
+        }
+        iter.next();
+    }
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+fn skip_vis(iter: &mut Iter) {
+    if let Some(TokenTree::Ident(id)) = iter.peek() {
+        if id.to_string() == "pub" {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next();
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(iter: &mut Iter, what: &str) -> Result<String, String> {
+    match iter.next() {
+        Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+        other => Err(format!("serde derive: expected {what}, found {other:?}")),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter: Iter = input.into_iter().peekable();
+    skip_attrs(&mut iter);
+    skip_vis(&mut iter);
+    let kw = expect_ident(&mut iter, "`struct` or `enum`")?;
+    let name = expect_ident(&mut iter, "type name")?;
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde derive: generic type `{name}` is not supported by the vendored derive"
+            ));
+        }
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("serde derive: unexpected struct body {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("serde derive: unexpected enum body {other:?}")),
+            };
+            let mut variants = Vec::new();
+            let mut it: Iter = body.into_iter().peekable();
+            while it.peek().is_some() {
+                skip_attrs(&mut it);
+                if it.peek().is_none() {
+                    break;
+                }
+                let vname = expect_ident(&mut it, "variant name")?;
+                let fields = match it.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                        it.next();
+                        f
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let f = Fields::Named(parse_named_fields(g.stream())?);
+                        it.next();
+                        f
+                    }
+                    _ => Fields::Unit,
+                };
+                match it.next() {
+                    None => {}
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                        return Err(format!(
+                            "serde derive: explicit discriminant on `{vname}` is not supported"
+                        ));
+                    }
+                    other => {
+                        return Err(format!("serde derive: unexpected token {other:?} after variant"))
+                    }
+                }
+                variants.push((vname, fields));
+            }
+            Ok(Item::Enum { name, variants })
+        }
+        other => Err(format!("serde derive: cannot derive for `{other}` items")),
+    }
+}
+
+/// Parses `name: Type, ...` field lists, returning the names.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let mut iter: Iter = stream.into_iter().peekable();
+    while iter.peek().is_some() {
+        skip_attrs(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        skip_vis(&mut iter);
+        names.push(expect_ident(&mut iter, "field name")?);
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("serde derive: expected `:`, found {other:?}")),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        for tok in iter.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(names)
+}
+
+/// Counts tuple-struct / tuple-variant fields.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_token = false;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                fields += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    fields + usize::from(saw_token)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (emitted as source text, then re-parsed).
+
+/// `to_value(expr)` mapped into the serializer's error type.
+fn ser_value(expr: &str) -> String {
+    format!(
+        "serde::ser::to_value({expr}).map_err(<__S::Error as serde::ser::Error>::custom)?"
+    )
+}
+
+fn named_fields_to_map(fields: &[String], access: impl Fn(&str) -> String) -> String {
+    let mut out = String::from("{ let mut __fields: Vec<(serde::Value, serde::Value)> = Vec::new();");
+    for f in fields {
+        out.push_str(&format!(
+            "__fields.push((serde::Value::Str(String::from(\"{f}\")), {}));",
+            ser_value(&access(f))
+        ));
+    }
+    out.push_str("serde::Value::Map(__fields) }");
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let value = match fields {
+                Fields::Unit => "serde::Value::Unit".to_owned(),
+                Fields::Named(names) => {
+                    named_fields_to_map(names, |f| format!("&self.{f}"))
+                }
+                Fields::Tuple(1) => {
+                    // Newtype structs serialize transparently (as upstream).
+                    ser_value("&self.0")
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> =
+                        (0..*n).map(|i| ser_value(&format!("&self.{i}"))).collect();
+                    format!("serde::Value::Seq(vec![{}])", items.join(", "))
+                }
+            };
+            (name, format!("let __value = {value}; __s.serialize_value(__value)"))
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => __s.serialize_value(serde::Value::Str(String::from(\"{vname}\"))),"
+                    )),
+                    Fields::Named(fnames) => {
+                        let binders = fnames.join(", ");
+                        let map = named_fields_to_map(fnames, |f| f.to_owned());
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binders} }} => {{ let __payload = {map}; \
+                             __s.serialize_value(serde::Value::Map(vec![(serde::Value::Str(String::from(\"{vname}\")), __payload)])) }},"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            ser_value("__f0")
+                        } else {
+                            let items: Vec<String> =
+                                binders.iter().map(|b| ser_value(b)).collect();
+                            format!("serde::Value::Seq(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {{ let __payload = {payload}; \
+                             __s.serialize_value(serde::Value::Map(vec![(serde::Value::Str(String::from(\"{vname}\")), __payload)])) }},",
+                            binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            (name, format!("match self {{ {arms} }}"))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl serde::ser::Serialize for {name} {{ \
+         fn serialize<__S: serde::ser::Serializer>(&self, __s: __S) \
+         -> core::result::Result<__S::Ok, __S::Error> {{ {body} }} }}"
+    )
+}
+
+/// `from_value::<_, __D::Error>(expr)?`.
+fn de_value(expr: &str) -> String {
+    format!("serde::de::from_value::<_, __D::Error>({expr})?")
+}
+
+fn named_fields_from_map(fields: &[String]) -> String {
+    fields
+        .iter()
+        .map(|f| format!("{f}: serde::de::field::<_, __D::Error>(&mut __map, \"{f}\")?"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("let _ = __d.take_value()?; Ok({name})"),
+                Fields::Named(names) => format!(
+                    "let mut __map = serde::de::into_map::<__D::Error>(__d.take_value()?)?; \
+                     Ok({name} {{ {} }})",
+                    named_fields_from_map(names)
+                ),
+                Fields::Tuple(1) => format!(
+                    "Ok({name}({}))",
+                    de_value("__d.take_value()?")
+                ),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|_| de_value("__items.next().unwrap_or(serde::Value::Unit)"))
+                        .collect();
+                    format!(
+                        "let mut __items = serde::de::into_seq_n::<__D::Error>(__d.take_value()?, {n})?.into_iter(); \
+                         Ok({name}({}))",
+                        items.join(", ")
+                    )
+                }
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),"));
+                    }
+                    Fields::Named(fnames) => arms.push_str(&format!(
+                        "\"{vname}\" => {{ let mut __map = serde::de::into_map::<__D::Error>(__require_payload(\"{vname}\", __payload)?)?; \
+                         Ok({name}::{vname} {{ {} }}) }},",
+                        named_fields_from_map(fnames)
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}({})),",
+                        de_value("__require_payload(\"{X}\", __payload)?").replace("{X}", vname)
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|_| de_value("__items.next().unwrap_or(serde::Value::Unit)"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "\"{vname}\" => {{ let mut __items = serde::de::into_seq_n::<__D::Error>(__require_payload(\"{vname}\", __payload)?, {n})?.into_iter(); \
+                             Ok({name}::{vname}({})) }},",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "fn __require_payload<__E: serde::de::Error>(__variant: &str, __p: Option<serde::Value>) -> core::result::Result<serde::Value, __E> {{ \
+                     __p.ok_or_else(|| <__E as serde::de::Error>::custom(format!(\"variant `{{__variant}}` expects a payload\"))) \
+                 }} \
+                 let (__tag, __payload) = serde::de::into_variant::<__D::Error>(__d.take_value()?)?; \
+                 match __tag.as_str() {{ {arms} \
+                 __other => Err(<__D::Error as serde::de::Error>::custom(format!(\"unknown {name} variant `{{__other}}`\"))) }}"
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "#[automatically_derived] impl<'de> serde::de::Deserialize<'de> for {name} {{ \
+         fn deserialize<__D: serde::de::Deserializer<'de>>(__d: __D) \
+         -> core::result::Result<Self, __D::Error> {{ {body} }} }}"
+    )
+}
