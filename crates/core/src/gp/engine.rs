@@ -198,6 +198,34 @@ pub enum GpStatus {
     Converged,
 }
 
+/// One memoised fitness record. The expression tree itself is stored (not
+/// its printed text) so hash collisions are detected by structural equality
+/// — strictly stronger than comparing printed forms, and allocation-free —
+/// and so snapshots can still print the canonical text on demand.
+#[derive(Debug, Clone)]
+struct MemoEntry {
+    expr: FeatureExpr,
+    fit: Option<f64>,
+}
+
+/// Fitness memo keyed by the 64-bit structural hash of the canonical form
+/// ([`FeatureExpr::structural_hash`]). Looking up a candidate hashes the
+/// tree directly — no print, no allocation — where the old `String`-keyed
+/// memo printed every individual every generation. Colliding hashes chain
+/// into a short vector and are resolved by tree equality.
+type Memo = HashMap<u64, Vec<MemoEntry>>;
+
+fn memo_get(memo: &Memo, hash: u64, expr: &FeatureExpr) -> Option<Option<f64>> {
+    memo.get(&hash)?
+        .iter()
+        .find(|e| e.expr == *expr)
+        .map(|e| e.fit)
+}
+
+fn memo_insert(memo: &mut Memo, hash: u64, expr: FeatureExpr, fit: Option<f64>) {
+    memo.entry(hash).or_default().push(MemoEntry { expr, fit });
+}
+
 /// Full mid-run state of a GP search, advanced by [`GpEngine::step`].
 #[derive(Debug, Clone)]
 pub struct GpState {
@@ -217,9 +245,9 @@ pub struct GpState {
     panic_generations: usize,
     /// Whether parallel evaluation has been degraded to sequential.
     degraded: bool,
-    /// Fitness memo keyed by expression text. Shared across generations;
+    /// Fitness memo keyed by structural hash. Shared across generations;
     /// also what makes panic outcomes identical across thread counts.
-    memo: HashMap<String, Option<f64>>,
+    memo: Memo,
     /// The run's private RNG stream.
     rng: StdRng,
 }
@@ -252,12 +280,16 @@ pub struct GpSnapshot {
 }
 
 impl GpState {
-    /// Captures the full state in serializable form.
+    /// Captures the full state in serializable form. The memo travels as
+    /// sorted `(canonical text, fitness)` pairs — printing happens only
+    /// here, at checkpoint time, keeping the snapshot format byte-identical
+    /// to the `String`-keyed memo it replaced.
     pub fn snapshot(&self) -> GpSnapshot {
         let mut memo: Vec<(String, Option<f64>)> = self
             .memo
-            .iter()
-            .map(|(k, v)| (k.clone(), *v))
+            .values()
+            .flatten()
+            .map(|e| (e.expr.to_string(), e.fit))
             .collect();
         memo.sort_by(|(a, _), (b, _)| a.cmp(b));
         GpSnapshot {
@@ -300,6 +332,12 @@ impl GpState {
                 })
             }
         };
+        let mut memo: Memo = HashMap::new();
+        for (text, fit) in &snapshot.memo {
+            let expr = parse(text)?;
+            let hash = expr.structural_hash();
+            memo_insert(&mut memo, hash, expr, *fit);
+        }
         Ok(GpState {
             population,
             best,
@@ -309,7 +347,7 @@ impl GpState {
             panics: snapshot.panics,
             panic_generations: snapshot.panic_generations,
             degraded: snapshot.degraded,
-            memo: snapshot.memo.iter().cloned().collect(),
+            memo,
             rng: StdRng::from_state(snapshot.rng),
         })
     }
@@ -377,8 +415,8 @@ impl<'a> GpEngine<'a> {
     ///
     /// Deterministic for a given seed and fitness function (also with
     /// `threads > 1`: parallelism only affects evaluation order, and fitness
-    /// values — including isolated panics — are memoised by expression
-    /// text).
+    /// values — including isolated panics — are memoised by structural
+    /// hash).
     pub fn run<F: FitnessFn>(&self, fitness: &F, rng: &mut StdRng) -> GpRun {
         let mut state = self.init_state(rng.clone());
         while let GpStatus::Running = self.step(&mut state, fitness) {}
@@ -444,13 +482,26 @@ impl<'a> GpEngine<'a> {
         state: &mut GpState,
         fitness: &F,
     ) -> Vec<Option<Evaluated>> {
-        let keys: Vec<String> = state.population.iter().map(|e| e.to_string()).collect();
+        // Structural hashes instead of printed text: no per-candidate
+        // print+alloc. Collisions (same hash, different tree) are resolved
+        // by tree equality everywhere the hash is consulted.
+        let hashes: Vec<u64> = state
+            .population
+            .iter()
+            .map(FeatureExpr::structural_hash)
+            .collect();
 
         // Distinct not-yet-memoised expressions, in first-appearance order.
         let mut pending: Vec<usize> = Vec::new();
-        let mut claimed: std::collections::HashSet<&str> = std::collections::HashSet::new();
-        for (i, key) in keys.iter().enumerate() {
-            if !state.memo.contains_key(key) && claimed.insert(key) {
+        for i in 0..state.population.len() {
+            let expr = &state.population[i];
+            if memo_get(&state.memo, hashes[i], expr).is_some() {
+                continue;
+            }
+            let claimed = pending
+                .iter()
+                .any(|&j| hashes[j] == hashes[i] && state.population[j] == *expr);
+            if !claimed {
                 pending.push(i);
             }
         }
@@ -494,7 +545,12 @@ impl<'a> GpEngine<'a> {
 
         let mut generation_panics = 0usize;
         for (&i, (quality, panicked)) in pending.iter().zip(results) {
-            state.memo.insert(keys[i].clone(), quality);
+            memo_insert(
+                &mut state.memo,
+                hashes[i],
+                state.population[i].clone(),
+                quality,
+            );
             state.evaluations += 1;
             if panicked {
                 state.panics += 1;
@@ -511,13 +567,11 @@ impl<'a> GpEngine<'a> {
             }
         }
 
-        keys.iter()
+        hashes
+            .iter()
             .zip(state.population.iter())
-            .map(|(key, expr)| {
-                state
-                    .memo
-                    .get(key)
-                    .copied()
+            .map(|(&hash, expr)| {
+                memo_get(&state.memo, hash, expr)
                     .flatten()
                     .map(|quality| Evaluated {
                         expr: expr.clone(),

@@ -397,7 +397,7 @@ mod tests {
     fn derive_collects_vocabulary() {
         let c = corpus();
         let g = Grammar::derive(c.iter());
-        let kind_names: Vec<String> = g.kinds().iter().map(|k| k.as_str()).collect();
+        let kind_names: Vec<&str> = g.kinds().iter().map(|k| k.as_str()).collect();
         assert_eq!(kind_names, vec!["basic-block", "insn", "loop"]);
         assert_eq!(g.bool_attrs().len(), 1);
         assert_eq!(g.enum_attrs().len(), 1);

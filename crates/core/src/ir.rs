@@ -23,8 +23,12 @@ use std::sync::OnceLock;
 pub struct Symbol(u32);
 
 struct Interner {
-    names: Vec<String>,
-    map: HashMap<String, Symbol>,
+    // Interned names are leaked once and live for the process lifetime, so
+    // resolution hands out `&'static str` without allocating or holding the
+    // lock. The table only ever grows (grammar vocabularies are tiny), so the
+    // leak is bounded by the number of distinct symbols.
+    names: Vec<&'static str>,
+    map: HashMap<&'static str, Symbol>,
 }
 
 fn interner() -> &'static RwLock<Interner> {
@@ -57,20 +61,32 @@ impl Symbol {
             return *sym;
         }
         let sym = Symbol(guard.names.len() as u32);
-        guard.names.push(name.to_owned());
-        guard.map.insert(name.to_owned(), sym);
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        guard.names.push(leaked);
+        guard.map.insert(leaked, sym);
         sym
     }
 
     /// Returns the string this symbol was interned from.
-    pub fn as_str(&self) -> String {
-        interner().read().names[self.0 as usize].clone()
+    ///
+    /// Resolution is allocation-free: the interner leaks each distinct name
+    /// once, so the returned `&'static str` is just a table lookup under a
+    /// briefly-held read lock.
+    pub fn as_str(&self) -> &'static str {
+        interner().read().names[self.0 as usize]
+    }
+
+    /// Index of this symbol in the intern table. Useful as a dense array key;
+    /// note the index depends on interning order and is not stable across
+    /// processes (hash the string for stable keys).
+    pub fn index(&self) -> usize {
+        self.0 as usize
     }
 }
 
 impl fmt::Display for Symbol {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.as_str())
+        f.write_str(self.as_str())
     }
 }
 
@@ -82,7 +98,7 @@ impl From<&str> for Symbol {
 
 impl Serialize for Symbol {
     fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_str(&self.as_str())
+        s.serialize_str(self.as_str())
     }
 }
 
@@ -297,6 +313,194 @@ impl<'a> Iterator for Iter<'a> {
     }
 }
 
+/// A preorder arena flattening of an [`IrNode`] tree.
+///
+/// The feature-evaluation hot path (see [`crate::lang::vm`]) never walks the
+/// pointer tree: the arena stores one structure-of-arrays entry per node in
+/// preorder, so
+///
+/// - the **descendants** of node `i` are the contiguous index range
+///   `i + 1 .. subtree_end(i)` (the `//*` sequence is a slice scan),
+/// - the **children** of node `i` are reached by sibling jumps:
+///   `j = i + 1`, then `j = subtree_end(j)` while `j < subtree_end(i)`
+///   (the `/*` and `[n]` sequences touch only child headers),
+/// - per-kind and per-attribute **postings lists** (sorted node indices)
+///   answer "how many `insn` nodes under `i`" with two binary searches.
+///
+/// Attributes stay sorted by name symbol per node, so lookup is a binary
+/// search over a flat slice, exactly as on [`IrNode`].
+#[derive(Debug, Clone)]
+pub struct IrArena {
+    kinds: Vec<Symbol>,
+    /// Exclusive end (in preorder indices) of each node's subtree.
+    subtree_end: Vec<u32>,
+    /// `attr_off[i] .. attr_off[i + 1]` indexes `attrs` for node `i`.
+    attr_off: Vec<u32>,
+    attrs: Vec<(Symbol, AttrValue)>,
+    child_count: Vec<u32>,
+    kind_postings: HashMap<Symbol, Vec<u32>>,
+    attr_postings: HashMap<Symbol, Vec<u32>>,
+}
+
+impl IrArena {
+    /// Flattens `root` into a preorder arena. The tree is walked exactly
+    /// once; the arena holds copies of the (Copy) kinds and attribute values.
+    pub fn from_tree(root: &IrNode) -> IrArena {
+        let n = root.size();
+        let mut arena = IrArena {
+            kinds: Vec::with_capacity(n),
+            subtree_end: Vec::with_capacity(n),
+            attr_off: Vec::with_capacity(n + 1),
+            attrs: Vec::new(),
+            child_count: Vec::with_capacity(n),
+            kind_postings: HashMap::new(),
+            attr_postings: HashMap::new(),
+        };
+        arena.push_subtree(root);
+        arena.attr_off.push(arena.attrs.len() as u32);
+        arena
+    }
+
+    fn push_subtree(&mut self, node: &IrNode) {
+        let idx = self.kinds.len() as u32;
+        self.kinds.push(node.kind);
+        self.subtree_end.push(0); // patched below
+        self.attr_off.push(self.attrs.len() as u32);
+        self.attrs.extend_from_slice(&node.attrs);
+        self.child_count.push(node.children.len() as u32);
+        self.kind_postings.entry(node.kind).or_default().push(idx);
+        for (name, _) in &node.attrs {
+            self.attr_postings.entry(*name).or_default().push(idx);
+        }
+        for child in &node.children {
+            self.push_subtree(child);
+        }
+        self.subtree_end[idx as usize] = self.kinds.len() as u32;
+    }
+
+    /// Number of nodes in the arena.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// True when the arena holds no nodes (never for `from_tree`).
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Kind of node `i`.
+    #[inline]
+    pub fn kind(&self, i: u32) -> Symbol {
+        self.kinds[i as usize]
+    }
+
+    /// Exclusive preorder end of node `i`'s subtree; descendants of `i` are
+    /// `i + 1 .. subtree_end(i)`.
+    #[inline]
+    pub fn subtree_end(&self, i: u32) -> u32 {
+        self.subtree_end[i as usize]
+    }
+
+    /// Number of direct children of node `i`.
+    #[inline]
+    pub fn child_count(&self, i: u32) -> u32 {
+        self.child_count[i as usize]
+    }
+
+    /// Number of (strict) descendants of node `i`.
+    #[inline]
+    pub fn descendant_count(&self, i: u32) -> u32 {
+        self.subtree_end[i as usize] - i - 1
+    }
+
+    /// Attributes of node `i`, sorted by name symbol.
+    #[inline]
+    pub fn attrs(&self, i: u32) -> &[(Symbol, AttrValue)] {
+        let lo = self.attr_off[i as usize] as usize;
+        let hi = self.attr_off[i as usize + 1] as usize;
+        &self.attrs[lo..hi]
+    }
+
+    /// Looks up an attribute of node `i` by name (binary search).
+    #[inline]
+    pub fn attr(&self, i: u32, name: Symbol) -> Option<AttrValue> {
+        let attrs = self.attrs(i);
+        attrs
+            .binary_search_by_key(&name, |(n, _)| *n)
+            .ok()
+            .map(|k| attrs[k].1)
+    }
+
+    /// Iterates the direct children of node `i` (their arena indices), in
+    /// order, via sibling jumps over subtree spans.
+    #[inline]
+    pub fn children(&self, i: u32) -> ChildIndices<'_> {
+        ChildIndices {
+            arena: self,
+            next: i + 1,
+            end: self.subtree_end[i as usize],
+        }
+    }
+
+    /// Index of the `n`-th (0-based) child of node `i`, if it exists.
+    pub fn nth_child(&self, i: u32, n: usize) -> Option<u32> {
+        self.children(i).nth(n)
+    }
+
+    /// Number of nodes of `kind` with preorder index in `lo..hi` (two binary
+    /// searches over the kind's postings list).
+    pub fn count_kind_in(&self, kind: Symbol, lo: u32, hi: u32) -> u32 {
+        Self::count_in(self.kind_postings.get(&kind), lo, hi)
+    }
+
+    /// Number of nodes carrying attribute `name` with preorder index in
+    /// `lo..hi`.
+    pub fn count_attr_in(&self, name: Symbol, lo: u32, hi: u32) -> u32 {
+        Self::count_in(self.attr_postings.get(&name), lo, hi)
+    }
+
+    /// Preorder indices in `lo..hi` of the nodes carrying attribute `name`
+    /// (a contiguous slice of the attribute's postings list).
+    pub fn attr_nodes_in(&self, name: Symbol, lo: u32, hi: u32) -> &[u32] {
+        let Some(p) = self.attr_postings.get(&name) else {
+            return &[];
+        };
+        let a = p.partition_point(|&i| i < lo);
+        let b = p.partition_point(|&i| i < hi);
+        &p[a..b]
+    }
+
+    fn count_in(postings: Option<&Vec<u32>>, lo: u32, hi: u32) -> u32 {
+        let Some(p) = postings else { return 0 };
+        let a = p.partition_point(|&i| i < lo);
+        let b = p.partition_point(|&i| i < hi);
+        (b - a) as u32
+    }
+}
+
+/// Iterator over the direct children (arena indices) of a node. Created by
+/// [`IrArena::children`].
+#[derive(Debug, Clone)]
+pub struct ChildIndices<'a> {
+    arena: &'a IrArena,
+    next: u32,
+    end: u32,
+}
+
+impl Iterator for ChildIndices<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.next >= self.end {
+            return None;
+        }
+        let cur = self.next;
+        self.next = self.arena.subtree_end[cur as usize];
+        Some(cur)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,8 +556,65 @@ mod tests {
             });
             r.child("r", |_| {});
         });
-        let kinds: Vec<String> = n.iter().map(|x| x.kind().as_str()).collect();
+        let kinds: Vec<&str> = n.iter().map(|x| x.kind().as_str()).collect();
         assert_eq!(kinds, vec!["root", "l", "ll", "r"]);
+    }
+
+    #[test]
+    fn arena_matches_tree_shape() {
+        let n = IrNode::build("root", |r| {
+            r.attr_num("num-iter", 5.0);
+            r.child("l", |l| {
+                l.attr_bool("flag", true);
+                l.child("ll", |_| {});
+                l.child("lr", |_| {});
+            });
+            r.child("r", |x| {
+                x.attr_enum("mode", "SI");
+            });
+        });
+        let arena = IrArena::from_tree(&n);
+        assert_eq!(arena.len(), 5);
+        // Preorder: root=0, l=1, ll=2, lr=3, r=4.
+        assert_eq!(arena.kind(0), Symbol::intern("root"));
+        assert_eq!(arena.subtree_end(0), 5);
+        assert_eq!(arena.subtree_end(1), 4);
+        assert_eq!(arena.child_count(0), 2);
+        assert_eq!(arena.descendant_count(0), 4);
+        assert_eq!(arena.children(0).collect::<Vec<_>>(), vec![1, 4]);
+        assert_eq!(arena.children(1).collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(arena.nth_child(0, 1), Some(4));
+        assert_eq!(arena.nth_child(0, 2), None);
+        assert_eq!(
+            arena.attr(0, Symbol::intern("num-iter")),
+            Some(AttrValue::Num(5.0))
+        );
+        assert_eq!(arena.attr(1, Symbol::intern("num-iter")), None);
+        assert_eq!(arena.count_kind_in(Symbol::intern("ll"), 1, 4), 1);
+        assert_eq!(arena.count_kind_in(Symbol::intern("ll"), 3, 5), 0);
+        assert_eq!(arena.count_attr_in(Symbol::intern("flag"), 0, 5), 1);
+    }
+
+    #[test]
+    fn arena_agrees_with_preorder_iter() {
+        let n = IrNode::build("a", |a| {
+            a.child("b", |b| {
+                b.child("c", |_| {});
+                b.child("d", |_| {});
+            });
+            a.child("e", |e| {
+                e.child("f", |_| {});
+            });
+        });
+        let arena = IrArena::from_tree(&n);
+        let tree_kinds: Vec<Symbol> = n.iter().map(|x| x.kind()).collect();
+        let arena_kinds: Vec<Symbol> = (0..arena.len() as u32).map(|i| arena.kind(i)).collect();
+        assert_eq!(tree_kinds, arena_kinds);
+        for (i, node) in n.iter().enumerate() {
+            let i = i as u32;
+            assert_eq!(arena.subtree_end(i) - i, node.size() as u32);
+            assert_eq!(arena.child_count(i) as usize, node.children().len());
+        }
     }
 
     #[test]

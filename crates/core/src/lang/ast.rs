@@ -196,6 +196,226 @@ impl SeqExpr {
     }
 }
 
+/// A 128-bit structural fingerprint of an expression: two independent 64-bit
+/// hash streams over a canonical, unambiguous encoding of the tree.
+///
+/// Two expressions have equal fingerprints iff they are structurally equal
+/// (up to 2⁻¹²⁸-grade collisions; callers that cannot tolerate even that
+/// compare the trees on fingerprint equality, which is what the GP memo
+/// does). Symbols are hashed by their **string content**, never by interner
+/// index, so fingerprints are stable across processes, interning orders and
+/// checkpoint resumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u128);
+
+impl Fingerprint {
+    /// The low 64 bits — a convenient single-word structural hash.
+    pub fn low64(self) -> u64 {
+        self.0 as u64
+    }
+}
+
+/// Two decorrelated 64-bit streams: FNV-1a and a murmur-style
+/// multiply-rotate. Collisions would have to occur in both simultaneously.
+struct FpHasher {
+    a: u64,
+    b: u64,
+}
+
+impl FpHasher {
+    fn new() -> FpHasher {
+        FpHasher {
+            a: 0xcbf2_9ce4_8422_2325,
+            b: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    fn byte(&mut self, x: u8) {
+        self.a = (self.a ^ u64::from(x)).wrapping_mul(0x100_0000_01b3);
+        self.b = (self.b ^ u64::from(x))
+            .wrapping_mul(0xff51_afd7_ed55_8ccd)
+            .rotate_left(23);
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &x in bytes {
+            self.byte(x);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn sym(&mut self, s: Symbol) {
+        let name = s.as_str();
+        self.u64(name.len() as u64);
+        self.bytes(name.as_bytes());
+    }
+
+    fn finish(&self) -> Fingerprint {
+        // Final avalanche so trailing bytes affect high bits of both lanes.
+        let mut a = self.a;
+        a ^= a >> 33;
+        a = a.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        a ^= a >> 29;
+        let mut b = self.b;
+        b ^= b >> 31;
+        b = b.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        b ^= b >> 33;
+        Fingerprint((u128::from(a) << 64) | u128::from(b))
+    }
+}
+
+fn hash_feature(h: &mut FpHasher, e: &FeatureExpr) {
+    use FeatureExpr::*;
+    match e {
+        Const(c) => {
+            h.byte(1);
+            h.f64(*c);
+        }
+        GetAttr(a) => {
+            h.byte(2);
+            h.sym(*a);
+        }
+        Count(s) => {
+            h.byte(3);
+            hash_seq(h, s);
+        }
+        Sum(s, e) => {
+            h.byte(4);
+            hash_seq(h, s);
+            hash_feature(h, e);
+        }
+        Max(s, e) => {
+            h.byte(5);
+            hash_seq(h, s);
+            hash_feature(h, e);
+        }
+        Min(s, e) => {
+            h.byte(6);
+            hash_seq(h, s);
+            hash_feature(h, e);
+        }
+        Avg(s, e) => {
+            h.byte(7);
+            hash_seq(h, s);
+            hash_feature(h, e);
+        }
+        Arith(op, a, b) => {
+            h.byte(8);
+            h.byte(*op as u8);
+            hash_feature(h, a);
+            hash_feature(h, b);
+        }
+        Neg(a) => {
+            h.byte(9);
+            hash_feature(h, a);
+        }
+    }
+}
+
+fn hash_bool(h: &mut FpHasher, e: &BoolExpr) {
+    use BoolExpr::*;
+    match e {
+        IsType(k) => {
+            h.byte(20);
+            h.sym(*k);
+        }
+        HasAttr(a) => {
+            h.byte(21);
+            h.sym(*a);
+        }
+        AttrEqEnum(a, v) => {
+            h.byte(22);
+            h.sym(*a);
+            h.sym(*v);
+        }
+        AttrCmpNum(a, op, k) => {
+            h.byte(23);
+            h.sym(*a);
+            h.byte(*op as u8);
+            h.f64(*k);
+        }
+        Cmp(op, a, b) => {
+            h.byte(24);
+            h.byte(*op as u8);
+            hash_feature(h, a);
+            hash_feature(h, b);
+        }
+        ChildMatches(n, p) => {
+            h.byte(25);
+            h.u64(*n as u64);
+            hash_bool(h, p);
+        }
+        Not(p) => {
+            h.byte(26);
+            hash_bool(h, p);
+        }
+        And(a, b) => {
+            h.byte(27);
+            hash_bool(h, a);
+            hash_bool(h, b);
+        }
+        Or(a, b) => {
+            h.byte(28);
+            hash_bool(h, a);
+            hash_bool(h, b);
+        }
+    }
+}
+
+fn hash_seq(h: &mut FpHasher, e: &SeqExpr) {
+    match e {
+        SeqExpr::Children => h.byte(40),
+        SeqExpr::Descendants => h.byte(41),
+        SeqExpr::Filter(s, p) => {
+            h.byte(42);
+            hash_seq(h, s);
+            hash_bool(h, p);
+        }
+    }
+}
+
+impl FeatureExpr {
+    /// Structural fingerprint of this expression (see [`Fingerprint`]).
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut h = FpHasher::new();
+        hash_feature(&mut h, self);
+        h.finish()
+    }
+
+    /// 64-bit structural hash — [`Fingerprint::low64`] of [`fingerprint`]
+    /// (callers needing collision safety compare trees on hash equality).
+    ///
+    /// [`fingerprint`]: FeatureExpr::fingerprint
+    pub fn structural_hash(&self) -> u64 {
+        self.fingerprint().low64()
+    }
+}
+
+impl BoolExpr {
+    /// Structural fingerprint of this predicate (see [`Fingerprint`]).
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut h = FpHasher::new();
+        hash_bool(&mut h, self);
+        h.finish()
+    }
+}
+
+impl SeqExpr {
+    /// Structural fingerprint of this sequence (see [`Fingerprint`]).
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut h = FpHasher::new();
+        hash_seq(&mut h, self);
+        h.finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +442,45 @@ mod tests {
     fn depth_follows_longest_path() {
         // arith -> count -> filter -> {descendants | is-type}
         assert_eq!(sample().depth(), 4);
+    }
+
+    #[test]
+    fn fingerprints_separate_structure() {
+        let a = sample();
+        let b = sample();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.structural_hash(), b.structural_hash());
+        // Different constant.
+        let c = FeatureExpr::Arith(
+            ArithOp::Add,
+            Box::new(FeatureExpr::Count(SeqExpr::Filter(
+                Box::new(SeqExpr::Descendants),
+                Box::new(BoolExpr::IsType(Symbol::intern("insn"))),
+            ))),
+            Box::new(FeatureExpr::Const(3.0)),
+        );
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        // Different operator, same operands.
+        let d = FeatureExpr::Arith(
+            ArithOp::Sub,
+            Box::new(FeatureExpr::Const(1.0)),
+            Box::new(FeatureExpr::Const(2.0)),
+        );
+        let e = FeatureExpr::Arith(
+            ArithOp::Add,
+            Box::new(FeatureExpr::Const(1.0)),
+            Box::new(FeatureExpr::Const(2.0)),
+        );
+        assert_ne!(d.fingerprint(), e.fingerprint());
+        // Symbols hash by content: distinct kinds differ.
+        let f = BoolExpr::IsType(Symbol::intern("insn"));
+        let g = BoolExpr::IsType(Symbol::intern("reg"));
+        assert_ne!(f.fingerprint(), g.fingerprint());
+        // Children vs descendants.
+        assert_ne!(
+            SeqExpr::Children.fingerprint(),
+            SeqExpr::Descendants.fingerprint()
+        );
     }
 
     #[test]

@@ -1,0 +1,742 @@
+//! Compilation of feature expressions to flat stack bytecode.
+//!
+//! The GP search evaluates each candidate feature over *every* exported loop
+//! (the paper, §VI: fitness = evaluate over all loops + train a tree), so a
+//! candidate is compiled **once** and the resulting [`Program`] is executed
+//! once per loop by the VM in [`super::vm`]. Compilation is a single pass
+//! over the AST; the bytecode preserves the interpreter's step-charging
+//! order *exactly* (one unit charge at every AST-node entry, one unit per
+//! sequence element), so `BudgetExceeded` decisions are identical for any
+//! budget — see DESIGN.md §11 for the argument.
+//!
+//! Three extra pieces of compile-time analysis:
+//!
+//! - **Indexed counts**: `count(/*)`, `count(//*)` and
+//!   `count(filter(/*|//*, p))` for a *pure* predicate `p` (any boolean
+//!   combination of attribute/kind tests and child probes — no `Cmp`, whose
+//!   operands may aggregate) compile to a single [`Op::CountIndexed`] that
+//!   answers from the arena's postings lists (single atoms) or a tight
+//!   arena scan (combinations) and bulk-charges the exact step total the
+//!   interpreter would have charged.
+//! - **Fused aggregates**: any aggregate whose filter predicates are all
+//!   pure and whose body is a leaf (`Const`, `get-attr`, or an indexed
+//!   `count`) compiles to a single [`Op::AggFused`] the VM runs as one
+//!   tight arena loop — no per-element bytecode dispatch or frame traffic.
+//! - **Common-subexpression numbering**: every aggregate evaluated at the
+//!   *root* context is wrapped in [`Op::CacheBegin`]/[`Op::CacheEnd`] keyed
+//!   by its structural [`Fingerprint`], so GP siblings sharing subtrees
+//!   share per-loop results across the population (the cache itself lives
+//!   in [`super::vm::EvalPool`]).
+
+use super::ast::{ArithOp, BoolExpr, CmpOp, FeatureExpr, Fingerprint, SeqExpr};
+use super::eval::bool_symbols;
+use crate::ir::Symbol;
+
+/// Compile-time classification of an `@flag == V` target so the VM compares
+/// symbols, never strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BoolView {
+    /// Target is neither `true` nor `false`: boolean attributes never match.
+    NotBool,
+    /// Target is the literal `true`.
+    True,
+    /// Target is the literal `false`.
+    False,
+}
+
+impl BoolView {
+    fn of(target: Symbol) -> BoolView {
+        let (t, f) = bool_symbols();
+        if target == t {
+            BoolView::True
+        } else if target == f {
+            BoolView::False
+        } else {
+            BoolView::NotBool
+        }
+    }
+}
+
+/// One bytecode instruction. Stack discipline: numeric ops use the `f64`
+/// stack, boolean ops the `bool` stack; every op that corresponds to an AST
+/// node entry charges exactly one step (compound nodes via [`Op::Charge`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Op {
+    /// Charge one step (entry of an `Arith`/`Neg`/`Cmp`/`Not`/`And`/`Or`
+    /// node whose value is produced by a later op).
+    Charge,
+    /// Charge 1; push a literal (non-finite literals raise `NonFinite`,
+    /// as in the interpreter).
+    PushConst(f64),
+    /// Charge 1; push the context node's numeric attribute view (missing or
+    /// enum attributes push `0.0`).
+    LoadAttr(Symbol),
+    /// Pop `b`, `a`; push `a op b` (protected division); non-finite raises.
+    Arith(ArithOp),
+    /// Pop `v`; push `-v`.
+    Neg,
+    /// Charge 1; push whether the context node's kind equals the symbol.
+    IsType(Symbol),
+    /// Charge 1; push whether the context node carries the attribute.
+    HasAttr(Symbol),
+    /// Charge 1; push the `@a == V` test (enum by symbol, bool via the
+    /// precomputed [`BoolView`]).
+    AttrEqEnum(Symbol, Symbol, BoolView),
+    /// Charge 1; push the `@a OP k` numeric test (false when missing or
+    /// non-numeric).
+    AttrCmpNum(Symbol, CmpOp, f64),
+    /// Pop two numbers; push the comparison (the `Cmp` node's entry charge
+    /// is a preceding [`Op::Charge`]).
+    CmpNum(CmpOp),
+    /// Pop a bool; push its negation.
+    NotBool,
+    /// Pop a bool; if `false`, push `false` and jump (short-circuit `&&`).
+    AndJump(u32),
+    /// Pop a bool; if `true`, push `true` and jump (short-circuit `||`).
+    OrJump(u32),
+    /// Charge 1; `/[idx][p]`: if the context node has an `idx`-th child,
+    /// save the context and descend into it; otherwise push `false` and
+    /// jump to `skip`.
+    ChildCtx {
+        /// Child position.
+        idx: u32,
+        /// Jump target when the child is missing (past the matching
+        /// [`Op::PopCtx`]).
+        skip: u32,
+    },
+    /// Restore the context saved by the matching [`Op::ChildCtx`].
+    PopCtx,
+    /// Charge 1 (the aggregate node's entry); push an aggregate frame and
+    /// start iterating (operand indexes [`Program::aggs`]).
+    AggStart(u32),
+    /// Pop a predicate result; `true` falls through to the next predicate
+    /// or the body, `false` advances the top frame to the next element.
+    PredGate,
+    /// Accumulate one element (pops the body value except for `count`) and
+    /// advance the top frame.
+    AggAccum,
+    /// Indexed count with bulk charging (operand indexes
+    /// [`Program::counts`]).
+    CountIndexed(u32),
+    /// Fused aggregate: pure predicates + leaf body run as one tight arena
+    /// loop with bulk charging (operand indexes [`Program::fused`]).
+    AggFused(u32),
+    /// CSE cache probe (operand indexes [`Program::keys`]); on hit, charge
+    /// the recorded steps and short-circuit to `end`.
+    CacheBegin {
+        /// Index into [`Program::keys`].
+        key_idx: u32,
+        /// Jump target on a cache hit (past the matching [`Op::CacheEnd`]).
+        end: u32,
+    },
+    /// Record the enclosing region's `(steps, value)` into the cache.
+    CacheEnd,
+    /// End of program; the feature value is the top of the numeric stack.
+    Return,
+}
+
+/// Aggregate discriminator shared by compiler and VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AggKind {
+    /// `count(s)`
+    Count,
+    /// `sum(s, e)`
+    Sum,
+    /// `max(s, e)`
+    Max,
+    /// `min(s, e)`
+    Min,
+    /// `avg(s, e)`
+    Avg,
+}
+
+/// Static description of one general aggregate site.
+#[derive(Debug, Clone)]
+pub(crate) struct AggMeta {
+    pub kind: AggKind,
+    /// `true` for `/*` (children), `false` for `//*` (descendants).
+    pub children_base: bool,
+    /// First op of the per-element code (predicates, body, `AggAccum`).
+    pub body_pc: u32,
+    /// First op after the aggregate (the `CacheEnd` when cached).
+    pub end_pc: u32,
+}
+
+/// A pure (fixed-cost, side-effect-free) predicate atom usable by the
+/// indexed-count fast path.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum PureAtom {
+    IsType(Symbol),
+    HasAttr(Symbol),
+    AttrEq(Symbol, Symbol, BoolView),
+    AttrCmp(Symbol, CmpOp, f64),
+}
+
+/// A pure predicate: side-effect-free, cannot raise `NonFinite`, and its
+/// step cost is computable while scanning the arena.
+#[derive(Debug, Clone)]
+pub(crate) enum PurePred {
+    /// A single atom under zero or more negations — answerable in closed
+    /// form from the arena's postings lists.
+    Atom {
+        atom: PureAtom,
+        /// Parity of the `Not` layers.
+        negated: bool,
+        /// Exact interpreter step cost of evaluating the predicate once
+        /// (1 for the atom plus 1 per `Not` layer).
+        cost: u64,
+    },
+    /// A boolean combination of atoms and fixed-position child probes —
+    /// answered by a tight arena scan that accumulates the interpreter's
+    /// exact short-circuit step cost per element. When every atom is an
+    /// `is-type` test of the element itself, `kinds` carries a verdict
+    /// table precomputed at compile time and the scan needs no per-element
+    /// predicate evaluation at all.
+    Tree {
+        expr: PureExpr,
+        kinds: Option<KindTable>,
+    },
+}
+
+/// Per-kind verdict table for a kinds-only predicate tree: verdict and
+/// exact short-circuit step cost are pure functions of the element's kind,
+/// and every kind the tree does not mention follows the identical
+/// all-atoms-false trace, collapsed into `default`.
+#[derive(Debug, Clone)]
+pub(crate) struct KindTable {
+    /// `(kind, verdict, exact step cost)` for each kind the tree mentions.
+    pub entries: Vec<(Symbol, bool, u64)>,
+    /// Verdict and cost for every other kind.
+    pub default: (bool, u64),
+}
+
+/// A pure predicate tree. Every node costs exactly one interpreter step at
+/// entry; `&&`/`||` short-circuit and a missing child probe skips its inner
+/// predicate, so the cost is data-dependent but exactly reproducible.
+#[derive(Debug, Clone)]
+pub(crate) enum PureExpr {
+    Atom(PureAtom),
+    Not(Box<PureExpr>),
+    And(Box<PureExpr>, Box<PureExpr>),
+    Or(Box<PureExpr>, Box<PureExpr>),
+    /// `/[idx][p]`: probe the `idx`-th child; `false` when missing.
+    Child(u32, Box<PureExpr>),
+}
+
+/// Static description of one indexed-count site.
+#[derive(Debug, Clone)]
+pub(crate) struct CountMeta {
+    /// `true` for `/*`, `false` for `//*`.
+    pub children_base: bool,
+    /// The filter predicate, if any.
+    pub pred: Option<PurePred>,
+}
+
+/// Static description of one fused aggregate: every filter predicate is
+/// pure and the body is a leaf, so the VM runs the whole aggregate as one
+/// tight arena loop with bulk step charging — no per-element dispatch.
+#[derive(Debug, Clone)]
+pub(crate) struct FusedAggMeta {
+    pub kind: AggKind,
+    /// `true` for `/*`, `false` for `//*`.
+    pub children_base: bool,
+    /// Filter predicates in interpreter evaluation order (innermost
+    /// first); an element is accumulated when all hold, and evaluation
+    /// (with its step charges) stops at the first that fails.
+    pub preds: Vec<PurePred>,
+    pub body: FusedBody,
+}
+
+/// Leaf bodies a fused aggregate can evaluate without bytecode.
+#[derive(Debug, Clone)]
+pub(crate) enum FusedBody {
+    /// `count` aggregates have no body.
+    None,
+    /// A literal (cost 1 per element).
+    Const(f64),
+    /// `get-attr(@a)` at the element (cost 1 per element).
+    Attr(Symbol),
+    /// A nested indexed `count` evaluated at the element.
+    Count(CountMeta),
+}
+
+/// A compiled feature: flat bytecode plus side tables. Compile once per
+/// candidate, execute once per loop.
+#[derive(Debug, Clone)]
+pub struct Program {
+    pub(crate) ops: Vec<Op>,
+    pub(crate) aggs: Vec<AggMeta>,
+    pub(crate) counts: Vec<CountMeta>,
+    pub(crate) fused: Vec<FusedAggMeta>,
+    /// Structural CSE keys for `CacheBegin` sites.
+    pub(crate) keys: Vec<Fingerprint>,
+}
+
+impl Program {
+    /// Compiles a feature expression. Pure function of the expression.
+    pub fn compile(expr: &FeatureExpr) -> Program {
+        let mut c = Compiler {
+            prog: Program {
+                ops: Vec::new(),
+                aggs: Vec::new(),
+                counts: Vec::new(),
+                fused: Vec::new(),
+                keys: Vec::new(),
+            },
+        };
+        c.num(expr, true);
+        c.prog.ops.push(Op::Return);
+        c.prog
+    }
+
+    /// Number of bytecode ops (diagnostics / tests).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the program is empty (never after `compile`).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of CSE cache sites (root-context aggregates).
+    pub fn cache_sites(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+struct Compiler {
+    prog: Program,
+}
+
+impl Compiler {
+    fn pc(&self) -> u32 {
+        self.prog.ops.len() as u32
+    }
+
+    /// Compiles a numeric expression. `root` is true while the context node
+    /// is the evaluation root — only root-context aggregates are CSE-cached
+    /// (aggregate bodies and filter predicates switch context to sequence
+    /// elements, so cache regions never nest).
+    fn num(&mut self, e: &FeatureExpr, root: bool) {
+        use FeatureExpr::*;
+        match e {
+            Const(c) => self.prog.ops.push(Op::PushConst(*c)),
+            GetAttr(a) => self.prog.ops.push(Op::LoadAttr(*a)),
+            Arith(op, a, b) => {
+                self.prog.ops.push(Op::Charge);
+                self.num(a, root);
+                self.num(b, root);
+                self.prog.ops.push(Op::Arith(*op));
+            }
+            Neg(a) => {
+                self.prog.ops.push(Op::Charge);
+                self.num(a, root);
+                self.prog.ops.push(Op::Neg);
+            }
+            Count(seq) => {
+                if let Some(meta) = indexed_count(seq) {
+                    let idx = self.prog.counts.len() as u32;
+                    self.prog.counts.push(meta);
+                    self.prog.ops.push(Op::CountIndexed(idx));
+                } else {
+                    self.aggregate(AggKind::Count, seq, None, e, root);
+                }
+            }
+            Sum(seq, body) => self.aggregate(AggKind::Sum, seq, Some(body), e, root),
+            Max(seq, body) => self.aggregate(AggKind::Max, seq, Some(body), e, root),
+            Min(seq, body) => self.aggregate(AggKind::Min, seq, Some(body), e, root),
+            Avg(seq, body) => self.aggregate(AggKind::Avg, seq, Some(body), e, root),
+        }
+    }
+
+    fn aggregate(
+        &mut self,
+        kind: AggKind,
+        seq: &SeqExpr,
+        body: Option<&FeatureExpr>,
+        whole: &FeatureExpr,
+        root: bool,
+    ) {
+        // Unwrap nested filters; the interpreter evaluates predicates
+        // innermost-first, so reverse the collection order.
+        let mut preds: Vec<&BoolExpr> = Vec::new();
+        let mut base = seq;
+        while let SeqExpr::Filter(inner, p) = base {
+            preds.push(p);
+            base = inner;
+        }
+        preds.reverse();
+        let children_base = matches!(base, SeqExpr::Children);
+
+        let cache_at = root.then(|| {
+            let key_idx = self.prog.keys.len() as u32;
+            self.prog.keys.push(whole.fingerprint());
+            let at = self.pc() as usize;
+            self.prog.ops.push(Op::CacheBegin { key_idx, end: 0 });
+            at
+        });
+
+        if let Some(fused) = fuse(kind, children_base, &preds, body) {
+            let idx = self.prog.fused.len() as u32;
+            self.prog.fused.push(fused);
+            self.prog.ops.push(Op::AggFused(idx));
+            if let Some(at) = cache_at {
+                self.prog.ops.push(Op::CacheEnd);
+                let after = self.pc();
+                let Op::CacheBegin { end, .. } = &mut self.prog.ops[at] else {
+                    unreachable!("cache_at points at CacheBegin")
+                };
+                *end = after;
+            }
+            return;
+        }
+
+        let agg_idx = self.prog.aggs.len() as u32;
+        self.prog.aggs.push(AggMeta {
+            kind,
+            children_base,
+            body_pc: 0,
+            end_pc: 0,
+        });
+        self.prog.ops.push(Op::AggStart(agg_idx));
+        let body_pc = self.pc();
+        for p in preds {
+            self.boolean(p);
+            self.prog.ops.push(Op::PredGate);
+        }
+        if let Some(b) = body {
+            self.num(b, false);
+        }
+        self.prog.ops.push(Op::AggAccum);
+        // When cached, the frame finalizes onto the CacheEnd op.
+        let end_pc = self.pc();
+        if let Some(at) = cache_at {
+            self.prog.ops.push(Op::CacheEnd);
+            let after = self.pc();
+            let Op::CacheBegin { end, .. } = &mut self.prog.ops[at] else {
+                unreachable!("cache_at points at CacheBegin")
+            };
+            *end = after;
+        }
+        let meta = &mut self.prog.aggs[agg_idx as usize];
+        meta.body_pc = body_pc;
+        meta.end_pc = end_pc;
+    }
+
+    fn boolean(&mut self, e: &BoolExpr) {
+        use BoolExpr::*;
+        match e {
+            IsType(k) => self.prog.ops.push(Op::IsType(*k)),
+            HasAttr(a) => self.prog.ops.push(Op::HasAttr(*a)),
+            AttrEqEnum(a, v) => self.prog.ops.push(Op::AttrEqEnum(*a, *v, BoolView::of(*v))),
+            AttrCmpNum(a, op, k) => self.prog.ops.push(Op::AttrCmpNum(*a, *op, *k)),
+            Cmp(op, a, b) => {
+                self.prog.ops.push(Op::Charge);
+                self.num(a, false);
+                self.num(b, false);
+                self.prog.ops.push(Op::CmpNum(*op));
+            }
+            ChildMatches(idx, p) => {
+                let at = self.pc() as usize;
+                self.prog.ops.push(Op::ChildCtx {
+                    idx: *idx as u32,
+                    skip: 0,
+                });
+                self.boolean(p);
+                self.prog.ops.push(Op::PopCtx);
+                let after = self.pc();
+                let Op::ChildCtx { skip, .. } = &mut self.prog.ops[at] else {
+                    unreachable!("at points at ChildCtx")
+                };
+                *skip = after;
+            }
+            Not(p) => {
+                self.prog.ops.push(Op::Charge);
+                self.boolean(p);
+                self.prog.ops.push(Op::NotBool);
+            }
+            And(a, b) => {
+                self.prog.ops.push(Op::Charge);
+                self.boolean(a);
+                let at = self.pc() as usize;
+                self.prog.ops.push(Op::AndJump(0));
+                self.boolean(b);
+                let after = self.pc();
+                let Op::AndJump(t) = &mut self.prog.ops[at] else {
+                    unreachable!("at points at AndJump")
+                };
+                *t = after;
+            }
+            Or(a, b) => {
+                self.prog.ops.push(Op::Charge);
+                self.boolean(a);
+                let at = self.pc() as usize;
+                self.prog.ops.push(Op::OrJump(0));
+                self.boolean(b);
+                let after = self.pc();
+                let Op::OrJump(t) = &mut self.prog.ops[at] else {
+                    unreachable!("at points at OrJump")
+                };
+                *t = after;
+            }
+        }
+    }
+}
+
+/// Attempts to fuse an aggregate: every filter predicate must be pure and
+/// the body a leaf. Anything else keeps the general frame path.
+fn fuse(
+    kind: AggKind,
+    children_base: bool,
+    preds: &[&BoolExpr],
+    body: Option<&FeatureExpr>,
+) -> Option<FusedAggMeta> {
+    let preds: Vec<PurePred> = preds.iter().map(|p| pure_pred(p)).collect::<Option<_>>()?;
+    let body = match body {
+        None => FusedBody::None,
+        Some(FeatureExpr::Const(c)) => FusedBody::Const(*c),
+        Some(FeatureExpr::GetAttr(a)) => FusedBody::Attr(*a),
+        Some(FeatureExpr::Count(seq)) => FusedBody::Count(indexed_count(seq)?),
+        Some(_) => return None,
+    };
+    Some(FusedAggMeta {
+        kind,
+        children_base,
+        preds,
+        body,
+    })
+}
+
+/// Recognizes `count` sequences answerable from the arena indices.
+fn indexed_count(seq: &SeqExpr) -> Option<CountMeta> {
+    match seq {
+        SeqExpr::Children => Some(CountMeta {
+            children_base: true,
+            pred: None,
+        }),
+        SeqExpr::Descendants => Some(CountMeta {
+            children_base: false,
+            pred: None,
+        }),
+        SeqExpr::Filter(inner, p) => {
+            let children_base = match **inner {
+                SeqExpr::Children => true,
+                SeqExpr::Descendants => false,
+                SeqExpr::Filter(..) => return None,
+            };
+            let pred = pure_pred(p)?;
+            Some(CountMeta {
+                children_base,
+                pred: Some(pred),
+            })
+        }
+    }
+}
+
+/// Classifies a predicate as pure (arena-computable, error-free): a single
+/// atom under negations (postings-list counting), or failing that, any
+/// boolean combination of atoms and child probes (scan counting).
+fn pure_pred(p: &BoolExpr) -> Option<PurePred> {
+    let mut negs = 0u64;
+    let mut q = p;
+    while let BoolExpr::Not(inner) = q {
+        negs += 1;
+        q = inner;
+    }
+    if let Some(atom) = pure_atom(q) {
+        return Some(PurePred::Atom {
+            atom,
+            negated: negs % 2 == 1,
+            cost: 1 + negs,
+        });
+    }
+    let expr = pure_tree(p)?;
+    let kinds = kind_table(&expr);
+    Some(PurePred::Tree { expr, kinds })
+}
+
+/// Builds the per-kind verdict table for a kinds-only tree; `None` when the
+/// tree reads attributes or probes children (verdict then depends on more
+/// than the kind).
+fn kind_table(e: &PureExpr) -> Option<KindTable> {
+    let mut kinds = Vec::new();
+    if !collect_kinds(e, &mut kinds) {
+        return None;
+    }
+    let entries = kinds
+        .iter()
+        .map(|&k| {
+            let mut steps = 0u64;
+            let verdict = eval_at_kind(e, Some(k), &mut steps);
+            (k, verdict, steps)
+        })
+        .collect();
+    let mut steps = 0u64;
+    let verdict = eval_at_kind(e, None, &mut steps);
+    Some(KindTable {
+        entries,
+        default: (verdict, steps),
+    })
+}
+
+/// Collects the distinct kind symbols an `is-type`-only tree mentions;
+/// false when any other atom (or a child probe) appears.
+fn collect_kinds(e: &PureExpr, out: &mut Vec<Symbol>) -> bool {
+    match e {
+        PureExpr::Atom(PureAtom::IsType(k)) => {
+            if !out.contains(k) {
+                out.push(*k);
+            }
+            true
+        }
+        PureExpr::Atom(_) | PureExpr::Child(..) => false,
+        PureExpr::Not(inner) => collect_kinds(inner, out),
+        PureExpr::And(a, b) | PureExpr::Or(a, b) => collect_kinds(a, out) && collect_kinds(b, out),
+    }
+}
+
+/// Evaluates a kinds-only tree for an element of the given kind (`None`
+/// stands for any kind the tree does not mention), accumulating the exact
+/// interpreter step cost: one per node entered, short-circuit honoured.
+fn eval_at_kind(e: &PureExpr, kind: Option<Symbol>, steps: &mut u64) -> bool {
+    *steps += 1;
+    match e {
+        PureExpr::Atom(PureAtom::IsType(k)) => Some(*k) == kind,
+        PureExpr::Not(inner) => !eval_at_kind(inner, kind, steps),
+        PureExpr::And(a, b) => eval_at_kind(a, kind, steps) && eval_at_kind(b, kind, steps),
+        PureExpr::Or(a, b) => eval_at_kind(a, kind, steps) || eval_at_kind(b, kind, steps),
+        PureExpr::Atom(_) | PureExpr::Child(..) => {
+            unreachable!("kind table is only built for kinds-only trees")
+        }
+    }
+}
+
+fn pure_atom(q: &BoolExpr) -> Option<PureAtom> {
+    match q {
+        BoolExpr::IsType(k) => Some(PureAtom::IsType(*k)),
+        BoolExpr::HasAttr(a) => Some(PureAtom::HasAttr(*a)),
+        BoolExpr::AttrEqEnum(a, v) => Some(PureAtom::AttrEq(*a, *v, BoolView::of(*v))),
+        BoolExpr::AttrCmpNum(a, op, k) => Some(PureAtom::AttrCmp(*a, *op, *k)),
+        _ => None,
+    }
+}
+
+/// Recognizes boolean combinations that stay pure all the way down. `Cmp`
+/// is excluded: its numeric operands can aggregate or raise `NonFinite`.
+fn pure_tree(p: &BoolExpr) -> Option<PureExpr> {
+    if let Some(atom) = pure_atom(p) {
+        return Some(PureExpr::Atom(atom));
+    }
+    match p {
+        BoolExpr::Not(inner) => Some(PureExpr::Not(Box::new(pure_tree(inner)?))),
+        BoolExpr::And(a, b) => Some(PureExpr::And(
+            Box::new(pure_tree(a)?),
+            Box::new(pure_tree(b)?),
+        )),
+        BoolExpr::Or(a, b) => Some(PureExpr::Or(
+            Box::new(pure_tree(a)?),
+            Box::new(pure_tree(b)?),
+        )),
+        BoolExpr::ChildMatches(idx, inner) => {
+            Some(PureExpr::Child(*idx as u32, Box::new(pure_tree(inner)?)))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::parse::parse_feature;
+
+    fn compile(src: &str) -> Program {
+        Program::compile(&parse_feature(src).unwrap())
+    }
+
+    #[test]
+    fn simple_counts_use_indexed_path() {
+        for src in [
+            "count(/*)",
+            "count(//*)",
+            "count(filter(//*, is-type(insn)))",
+            "count(filter(/*, has-attr(@x)))",
+            "count(filter(//*, !has-attr(@x)))",
+            "count(filter(//*, @mode==SI))",
+            "count(filter(//*, @num-iter > 4))",
+            "count(filter(//*, is-type(a) && is-type(b)))",
+            "count(filter(//*, !(is-type(a) || is-type(b))))",
+            "count(filter(//*, is-type(a) && /[0][is-type(b) || has-attr(@x)]))",
+        ] {
+            let p = compile(src);
+            assert_eq!(p.counts.len(), 1, "{src} should compile to CountIndexed");
+            assert!(p.aggs.is_empty(), "{src} should not need a frame");
+        }
+    }
+
+    #[test]
+    fn pure_leaf_aggregates_fuse() {
+        for src in [
+            "sum(//*, 1)",
+            "sum(//*, get-attr(@weight))",
+            "sum(//*, count(/*))",
+            "avg(filter(/*, is-type(basic-block)), count(filter(//*, is-type(insn))))",
+            "max(filter(//*, !is-type(insn)), get-attr(@depth))",
+            "min(//*, count(//*))",
+            "count(filter(filter(//*, is-type(a)), is-type(b)))",
+        ] {
+            let p = compile(src);
+            assert_eq!(p.fused.len(), 1, "{src} should compile to AggFused");
+            assert!(p.aggs.is_empty(), "{src} should not need a frame");
+        }
+    }
+
+    #[test]
+    fn complex_counts_fall_back_to_frames() {
+        for src in [
+            "count(filter(//*, count(/*) > 1))",
+            "count(filter(//*, is-type(a) && count(/*) > 0))",
+            "sum(//*, 1 + get-attr(@x))",
+            "sum(//*, sum(//*, 1))",
+            "sum(filter(//*, count(/*) > 0), 1)",
+        ] {
+            let p = compile(src);
+            assert!(!p.aggs.is_empty(), "{src} needs a general aggregate");
+        }
+    }
+
+    #[test]
+    fn root_aggregates_are_cache_sites() {
+        // Two root-context aggregates, one nested (not cached).
+        let p = compile("sum(//*, count(/*)) + max(//*, 1)");
+        assert_eq!(p.cache_sites(), 2);
+        // Indexed counts are not cache sites.
+        let p = compile("count(//*) + 1");
+        assert_eq!(p.cache_sites(), 0);
+    }
+
+    #[test]
+    fn jump_targets_are_patched() {
+        // The `count(/*) > 0` clause makes the predicate impure, keeping the
+        // aggregate on the frame path (a fully pure pred would fuse and emit
+        // no jumps at all) — so the jump ops below really are present.
+        let p = compile(
+            "sum(filter(//*, is-type(a) && (is-type(b) || /[0][is-type(c)]) && count(/*) > 0), 1)",
+        );
+        assert!(p.fused.is_empty());
+        assert!(
+            p.ops
+                .iter()
+                .any(|op| matches!(op, Op::AndJump(_) | Op::OrJump(_))),
+            "expected the frame path with short-circuit jumps"
+        );
+        for op in &p.ops {
+            match op {
+                Op::AndJump(t) | Op::OrJump(t) => assert_ne!(*t, 0),
+                Op::ChildCtx { skip, .. } => assert_ne!(*skip, 0),
+                Op::CacheBegin { end, .. } => assert_ne!(*end, 0),
+                _ => {}
+            }
+        }
+    }
+}

@@ -10,8 +10,16 @@
 //! (typically deeply nested aggregates over `//*`) are discarded.
 
 use super::ast::{ArithOp, BoolExpr, FeatureExpr, SeqExpr};
-use crate::ir::{AttrValue, IrNode};
+use crate::ir::{AttrValue, IrNode, Symbol};
 use std::fmt;
+use std::sync::OnceLock;
+
+/// Interned `true`/`false` symbols, resolved once so the `@flag == true`
+/// comparison in the hot loop is a `u32` equality, not a string compare.
+pub(crate) fn bool_symbols() -> (Symbol, Symbol) {
+    static SYMS: OnceLock<(Symbol, Symbol)> = OnceLock::new();
+    *SYMS.get_or_init(|| (Symbol::intern("true"), Symbol::intern("false")))
+}
 
 /// Error produced when evaluating a feature expression.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -172,8 +180,8 @@ impl Evaluator {
                 Some(AttrValue::Enum(v)) => v == *value,
                 Some(AttrValue::Bool(b)) => {
                     // `@flag == true` / `@flag == false`
-                    let value = value.as_str();
-                    (value == "true" && b) || (value == "false" && !b)
+                    let (t, f) = bool_symbols();
+                    (*value == t && b) || (*value == f && !b)
                 }
                 _ => false,
             },

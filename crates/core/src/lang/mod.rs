@@ -12,13 +12,17 @@
 //! - [`visit`] addresses subtrees by `(sort, pre-order index)`.
 
 mod ast;
+mod compile;
 mod eval;
 pub(crate) mod parse;
 mod print;
 pub mod visit;
+pub mod vm;
 
-pub use ast::{ArithOp, BoolExpr, CmpOp, FeatureExpr, SeqExpr};
+pub use ast::{ArithOp, BoolExpr, CmpOp, FeatureExpr, Fingerprint, SeqExpr};
+pub use compile::Program;
 pub use eval::{EvalError, Evaluator, DEFAULT_BUDGET};
+pub use vm::{EvalEngine, EvalPool};
 pub use parse::{
     feature_list_from_text, feature_list_to_text, parse_feature, parse_predicate, ParseError,
 };

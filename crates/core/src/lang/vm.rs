@@ -1,0 +1,1079 @@
+//! The bytecode VM and the pooled evaluation engine.
+//!
+//! [`Vm`] executes a compiled [`Program`] over one [`IrArena`] with an
+//! explicit frame stack for aggregates — no recursion, no pointer chasing,
+//! no per-node allocation. It reproduces the interpreter in
+//! [`super::eval`] **bit-for-bit**: same values (floating-point operations
+//! in the same order), same [`EvalError`] outcomes, and the same
+//! `BudgetExceeded` decision for every budget. The interpreter stays the
+//! reference oracle; `tests/vm_differential.rs` enforces the equivalence on
+//! generated features × generated trees.
+//!
+//! [`EvalPool`] is the engine the GP search uses: it flattens every
+//! training loop into an arena **once**, compiles each candidate **once**
+//! (memoised by structural fingerprint), and shares a CSE result cache of
+//! `(steps, outcome)` pairs across candidates, loops and worker threads.
+//! Cached entries are pure functions of their key, so racing inserts are
+//! idempotent and results are invariant under thread count — the
+//! determinism argument is spelled out in DESIGN.md §11.
+
+use super::ast::{ArithOp, FeatureExpr, Fingerprint};
+use super::compile::{
+    AggKind, BoolView, CountMeta, FusedBody, Op, Program, PureAtom, PureExpr, PurePred,
+};
+use super::eval::EvalError;
+use crate::ir::{AttrValue, IrArena, IrNode, Symbol};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One cached CSE result: the exact step cost of evaluating the subtree at
+/// this loop, and its outcome. `BudgetExceeded` outcomes are **never**
+/// cached — their step totals are truncated by the failing budget, so they
+/// are not transferable to other budgets.
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry {
+    steps: u64,
+    /// `Ok(value)` or `Err(())` for `NonFinite`.
+    outcome: Result<f64, ()>,
+}
+
+/// Shared CSE result cache keyed by `(subtree fingerprint, loop index)`.
+///
+/// Replaying a hit charges the recorded `steps` against the current budget
+/// (failing with `BudgetExceeded` exactly when the interpreter would have
+/// run out mid-subtree, since every interpreter charge is one unit and the
+/// decision depends only on the running total), then yields the recorded
+/// outcome.
+#[derive(Debug, Default)]
+struct EvalCache {
+    map: RwLock<HashMap<(Fingerprint, u32), CacheEntry>>,
+}
+
+/// Epoch-flush capacity bound: inserting past this clears the map. Entries
+/// are pure functions of their key, so flushing only costs recomputation.
+const RESULT_CACHE_CAP: usize = 1 << 20;
+
+impl EvalCache {
+    fn get(&self, key: Fingerprint, loop_idx: u32) -> Option<CacheEntry> {
+        self.map.read().get(&(key, loop_idx)).copied()
+    }
+
+    fn insert(&self, key: Fingerprint, loop_idx: u32, entry: CacheEntry) {
+        let mut map = self.map.write();
+        if map.len() >= RESULT_CACHE_CAP {
+            map.clear();
+        }
+        map.insert((key, loop_idx), entry);
+    }
+}
+
+/// An in-flight aggregate: iterator state plus the accumulator. The static
+/// aggregate description is copied in at [`Op::AggStart`] so the
+/// per-element hot path (`advance`, `AggAccum`) touches only this struct —
+/// no side-table lookups.
+#[derive(Debug, Clone, Copy)]
+struct AggFrame {
+    kind: AggKind,
+    body_pc: u32,
+    end_pc: u32,
+    /// Next arena index to consider (children advance by sibling jump,
+    /// descendants by `+1`).
+    next: u32,
+    /// Exclusive end of the iteration span.
+    end: u32,
+    children: bool,
+    acc: f64,
+    n: u64,
+    started: bool,
+    saved_ctx: u32,
+}
+
+/// An open CSE region (root-context aggregate being computed on a miss).
+#[derive(Debug, Clone, Copy)]
+struct CacheFrame {
+    key: Fingerprint,
+    entry_remaining: u64,
+}
+
+/// The bytecode interpreter. One instance per (program, loop) execution;
+/// stacks are tiny (bounded by expression depth).
+struct Vm<'a> {
+    arena: &'a IrArena,
+    remaining: u64,
+    nums: Vec<f64>,
+    bools: Vec<bool>,
+    frames: Vec<AggFrame>,
+    cache_frames: Vec<CacheFrame>,
+    ctx_saves: Vec<u32>,
+    ctx: u32,
+}
+
+impl<'a> Vm<'a> {
+    /// Runs `prog` over `arena` with the given step budget, using `cache`
+    /// (when provided) for CSE regions.
+    fn run(
+        prog: &Program,
+        arena: &'a IrArena,
+        loop_idx: u32,
+        budget: u64,
+        cache: Option<&EvalCache>,
+    ) -> Result<f64, EvalError> {
+        // Stacks start empty and allocate lazily on first push: most
+        // programs touch only the numeric stack, and evals run once per
+        // (feature, loop) pair, so avoided mallocs are a measurable share
+        // of small-loop evaluation cost.
+        let mut vm = Vm {
+            arena,
+            remaining: budget,
+            nums: Vec::new(),
+            bools: Vec::new(),
+            frames: Vec::new(),
+            cache_frames: Vec::new(),
+            ctx_saves: Vec::new(),
+            ctx: 0,
+        };
+        let result = vm.exec(prog, loop_idx, cache);
+        // A NonFinite error inside an open CSE region is itself cacheable:
+        // the steps burned up to the error are deterministic, and a replay
+        // charges them before re-raising (matching the interpreter, which
+        // does not zero the budget on NonFinite).
+        if let (Err(EvalError::NonFinite), Some(c)) = (&result, cache) {
+            for fr in &vm.cache_frames {
+                let steps = fr.entry_remaining - vm.remaining;
+                c.insert(
+                    fr.key,
+                    loop_idx,
+                    CacheEntry {
+                        steps,
+                        outcome: Err(()),
+                    },
+                );
+            }
+        }
+        result
+    }
+
+    /// Charges `cost` steps, mirroring `Evaluator::step` (including zeroing
+    /// the remaining budget on failure).
+    #[inline]
+    fn charge(&mut self, cost: u64) -> Result<(), EvalError> {
+        if self.remaining < cost {
+            self.remaining = 0;
+            return Err(EvalError::BudgetExceeded);
+        }
+        self.remaining -= cost;
+        Ok(())
+    }
+
+    #[inline]
+    fn push_num(&mut self, v: f64) -> Result<(), EvalError> {
+        if !v.is_finite() {
+            return Err(EvalError::NonFinite);
+        }
+        self.nums.push(v);
+        Ok(())
+    }
+
+    #[inline]
+    fn pop_num(&mut self) -> f64 {
+        self.nums.pop().expect("numeric stack underflow")
+    }
+
+    #[inline]
+    fn pop_bool(&mut self) -> bool {
+        self.bools.pop().expect("boolean stack underflow")
+    }
+
+    fn exec(
+        &mut self,
+        prog: &Program,
+        loop_idx: u32,
+        cache: Option<&EvalCache>,
+    ) -> Result<f64, EvalError> {
+        let mut pc = 0usize;
+        loop {
+            match prog.ops[pc] {
+                Op::Charge => {
+                    self.charge(1)?;
+                    pc += 1;
+                }
+                Op::PushConst(c) => {
+                    self.charge(1)?;
+                    self.push_num(c)?;
+                    pc += 1;
+                }
+                Op::LoadAttr(name) => {
+                    self.charge(1)?;
+                    let v = self
+                        .arena
+                        .attr(self.ctx, name)
+                        .and_then(|a| a.as_num())
+                        .unwrap_or(0.0);
+                    self.push_num(v)?;
+                    pc += 1;
+                }
+                Op::Arith(op) => {
+                    let b = self.pop_num();
+                    let a = self.pop_num();
+                    let v = match op {
+                        ArithOp::Add => a + b,
+                        ArithOp::Sub => a - b,
+                        ArithOp::Mul => a * b,
+                        ArithOp::Div => {
+                            if b.abs() < 1e-12 {
+                                0.0
+                            } else {
+                                a / b
+                            }
+                        }
+                    };
+                    self.push_num(v)?;
+                    pc += 1;
+                }
+                Op::Neg => {
+                    let v = -self.pop_num();
+                    self.push_num(v)?;
+                    pc += 1;
+                }
+                Op::IsType(kind) => {
+                    self.charge(1)?;
+                    self.bools.push(self.arena.kind(self.ctx) == kind);
+                    pc += 1;
+                }
+                Op::HasAttr(name) => {
+                    self.charge(1)?;
+                    self.bools.push(self.arena.attr(self.ctx, name).is_some());
+                    pc += 1;
+                }
+                Op::AttrEqEnum(name, target, view) => {
+                    self.charge(1)?;
+                    let b = attr_eq(self.arena, self.ctx, name, target, view);
+                    self.bools.push(b);
+                    pc += 1;
+                }
+                Op::AttrCmpNum(name, op, k) => {
+                    self.charge(1)?;
+                    let b = match self.arena.attr(self.ctx, name).and_then(|a| a.as_num()) {
+                        Some(v) => op.apply(v, k),
+                        None => false,
+                    };
+                    self.bools.push(b);
+                    pc += 1;
+                }
+                Op::CmpNum(op) => {
+                    let b = self.pop_num();
+                    let a = self.pop_num();
+                    self.bools.push(op.apply(a, b));
+                    pc += 1;
+                }
+                Op::NotBool => {
+                    let b = !self.pop_bool();
+                    self.bools.push(b);
+                    pc += 1;
+                }
+                Op::AndJump(target) => {
+                    let b = self.pop_bool();
+                    if b {
+                        pc += 1;
+                    } else {
+                        self.bools.push(false);
+                        pc = target as usize;
+                    }
+                }
+                Op::OrJump(target) => {
+                    let b = self.pop_bool();
+                    if b {
+                        self.bools.push(true);
+                        pc = target as usize;
+                    } else {
+                        pc += 1;
+                    }
+                }
+                Op::ChildCtx { idx, skip } => {
+                    self.charge(1)?;
+                    match self.arena.nth_child(self.ctx, idx as usize) {
+                        Some(child) => {
+                            self.ctx_saves.push(self.ctx);
+                            self.ctx = child;
+                            pc += 1;
+                        }
+                        None => {
+                            self.bools.push(false);
+                            pc = skip as usize;
+                        }
+                    }
+                }
+                Op::PopCtx => {
+                    self.ctx = self.ctx_saves.pop().expect("context stack underflow");
+                    pc += 1;
+                }
+                Op::AggStart(meta_idx) => {
+                    self.charge(1)?;
+                    let meta = &prog.aggs[meta_idx as usize];
+                    self.frames.push(AggFrame {
+                        kind: meta.kind,
+                        body_pc: meta.body_pc,
+                        end_pc: meta.end_pc,
+                        next: self.ctx + 1,
+                        end: self.arena.subtree_end(self.ctx),
+                        children: meta.children_base,
+                        acc: 0.0,
+                        n: 0,
+                        started: false,
+                        saved_ctx: self.ctx,
+                    });
+                    self.advance(&mut pc)?;
+                }
+                Op::PredGate => {
+                    if self.pop_bool() {
+                        pc += 1;
+                    } else {
+                        self.advance(&mut pc)?;
+                    }
+                }
+                Op::AggAccum => {
+                    let kind = self.frames.last().expect("aggregate frame underflow").kind;
+                    match kind {
+                        AggKind::Count => {
+                            self.frames.last_mut().expect("frame").n += 1;
+                        }
+                        AggKind::Sum => {
+                            let v = self.pop_num();
+                            self.frames.last_mut().expect("frame").acc += v;
+                        }
+                        AggKind::Max => {
+                            let v = self.pop_num();
+                            let f = self.frames.last_mut().expect("frame");
+                            f.acc = if f.started { f.acc.max(v) } else { v };
+                            f.started = true;
+                        }
+                        AggKind::Min => {
+                            let v = self.pop_num();
+                            let f = self.frames.last_mut().expect("frame");
+                            f.acc = if f.started { f.acc.min(v) } else { v };
+                            f.started = true;
+                        }
+                        AggKind::Avg => {
+                            let v = self.pop_num();
+                            let f = self.frames.last_mut().expect("frame");
+                            f.acc += v;
+                            f.n += 1;
+                        }
+                    }
+                    self.advance(&mut pc)?;
+                }
+                Op::CountIndexed(meta_idx) => {
+                    self.count_indexed(prog, meta_idx)?;
+                    pc += 1;
+                }
+                Op::AggFused(meta_idx) => {
+                    self.agg_fused(prog, meta_idx)?;
+                    pc += 1;
+                }
+                Op::CacheBegin { key_idx, end } => match cache {
+                    Some(c) => {
+                        let key = prog.keys[key_idx as usize];
+                        match c.get(key, loop_idx) {
+                            Some(entry) => {
+                                self.charge(entry.steps)?;
+                                match entry.outcome {
+                                    Ok(v) => {
+                                        self.nums.push(v);
+                                        pc = end as usize;
+                                    }
+                                    Err(()) => return Err(EvalError::NonFinite),
+                                }
+                            }
+                            None => {
+                                self.cache_frames.push(CacheFrame {
+                                    key,
+                                    entry_remaining: self.remaining,
+                                });
+                                pc += 1;
+                            }
+                        }
+                    }
+                    None => pc += 1,
+                },
+                Op::CacheEnd => {
+                    if let Some(c) = cache {
+                        let fr = self
+                            .cache_frames
+                            .pop()
+                            .expect("CacheEnd without open region");
+                        let steps = fr.entry_remaining - self.remaining;
+                        let v = *self.nums.last().expect("cached region left no value");
+                        c.insert(
+                            fr.key,
+                            loop_idx,
+                            CacheEntry {
+                                steps,
+                                outcome: Ok(v),
+                            },
+                        );
+                    }
+                    pc += 1;
+                }
+                Op::Return => return Ok(self.pop_num()),
+            }
+        }
+    }
+
+    /// Yields the next element of the top aggregate frame (charging one
+    /// step per element, as the interpreter's `for_each` does) or, when the
+    /// iteration is exhausted, finalizes the aggregate value.
+    fn advance(&mut self, pc: &mut usize) -> Result<(), EvalError> {
+        let arena = self.arena;
+        let f = self.frames.last_mut().expect("aggregate frame underflow");
+        if f.next < f.end {
+            let cur = f.next;
+            f.next = if f.children {
+                arena.subtree_end(cur)
+            } else {
+                cur + 1
+            };
+            let body_pc = f.body_pc;
+            self.charge(1)?;
+            self.ctx = cur;
+            *pc = body_pc as usize;
+            Ok(())
+        } else {
+            let f = self.frames.pop().expect("aggregate frame underflow");
+            let v = match f.kind {
+                AggKind::Count => f.n as f64,
+                AggKind::Sum => f.acc,
+                AggKind::Max | AggKind::Min => {
+                    if f.started {
+                        f.acc
+                    } else {
+                        0.0
+                    }
+                }
+                AggKind::Avg => {
+                    if f.n == 0 {
+                        0.0
+                    } else {
+                        f.acc / f.n as f64
+                    }
+                }
+            };
+            self.ctx = f.saved_ctx;
+            self.push_num(v)?;
+            *pc = f.end_pc as usize;
+            Ok(())
+        }
+    }
+
+    /// Indexed `count`: computes the exact step total the interpreter would
+    /// charge (every interpreter charge is one unit, so the `BudgetExceeded`
+    /// decision depends only on the total) plus the count — from the arena's
+    /// postings lists for single atoms, or a scan with short-circuit step
+    /// accounting for predicate trees — then charges in bulk. Pure
+    /// predicates cannot raise `NonFinite`, so no error-ordering concern
+    /// arises.
+    fn count_indexed(&mut self, prog: &Program, meta_idx: u32) -> Result<(), EvalError> {
+        let meta = &prog.counts[meta_idx as usize];
+        let (total_cost, value) = indexed_count_at(self.arena, self.ctx, meta);
+        self.charge(total_cost)?;
+        // Counts are always finite; push directly.
+        self.nums.push(value as f64);
+        Ok(())
+    }
+
+    /// Fused aggregate: iterates the elements in one tight loop, evaluating
+    /// pure predicates and the leaf body directly while accumulating the
+    /// exact step total, then charges in bulk. The only mid-iteration error
+    /// the interpreter could raise is `NonFinite` from a body value; at
+    /// that point the steps charged so far decide between `BudgetExceeded`
+    /// (if they already exhaust the budget) and `NonFinite` — identical to
+    /// the interpreter's charge-then-check order.
+    fn agg_fused(&mut self, prog: &Program, meta_idx: u32) -> Result<(), EvalError> {
+        let meta = &prog.fused[meta_idx as usize];
+        let arena = self.arena;
+        let ctx = self.ctx;
+        // The aggregate node's own entry charge.
+        let mut steps = 1u64;
+        let mut acc = 0.0f64;
+        let mut n = 0u64;
+        let mut started = false;
+        // Block-scoped so the closure's borrows of the accumulators end
+        // before the finalisation below reads them.
+        let result = {
+            let mut element = |j: u32, steps: &mut u64| -> Result<(), EvalError> {
+                *steps += 1; // the per-element `for_each` charge
+                for p in &meta.preds {
+                    let holds = match p {
+                        PurePred::Atom {
+                            atom,
+                            negated,
+                            cost,
+                        } => {
+                            *steps += cost;
+                            pure_atom_matches(arena, j, atom) != *negated
+                        }
+                        PurePred::Tree { expr, kinds } => match kinds {
+                            Some(table) => {
+                                let k = arena.kind(j);
+                                let (matched, cost) = table
+                                    .entries
+                                    .iter()
+                                    .find(|&&(s, ..)| s == k)
+                                    .map_or(table.default, |&(_, m, c)| (m, c));
+                                *steps += cost;
+                                matched
+                            }
+                            None => eval_pure(arena, j, expr, steps),
+                        },
+                    };
+                    if !holds {
+                        return Ok(());
+                    }
+                }
+                let v = match &meta.body {
+                    FusedBody::None => {
+                        n += 1;
+                        return Ok(());
+                    }
+                    FusedBody::Const(c) => {
+                        *steps += 1;
+                        *c
+                    }
+                    FusedBody::Attr(a) => {
+                        *steps += 1;
+                        arena.attr(j, *a).and_then(|x| x.as_num()).unwrap_or(0.0)
+                    }
+                    FusedBody::Count(cm) => {
+                        let (cost, m) = indexed_count_at(arena, j, cm);
+                        *steps += cost;
+                        m as f64
+                    }
+                };
+                if !v.is_finite() {
+                    return Err(EvalError::NonFinite);
+                }
+                match meta.kind {
+                    AggKind::Count => n += 1,
+                    AggKind::Sum => acc += v,
+                    AggKind::Max => {
+                        acc = if started { acc.max(v) } else { v };
+                        started = true;
+                    }
+                    AggKind::Min => {
+                        acc = if started { acc.min(v) } else { v };
+                        started = true;
+                    }
+                    AggKind::Avg => {
+                        acc += v;
+                        n += 1;
+                    }
+                }
+                Ok(())
+            };
+            if meta.children_base {
+                arena.children(ctx).try_for_each(|j| element(j, &mut steps))
+            } else {
+                (ctx + 1..arena.subtree_end(ctx)).try_for_each(|j| element(j, &mut steps))
+            }
+        };
+        if let Err(e) = result {
+            // Charge what the interpreter would have charged before the
+            // error; running out first wins, exactly as `charge` encodes.
+            self.charge(steps)?;
+            return Err(e);
+        }
+        self.charge(steps)?;
+        let v = match meta.kind {
+            AggKind::Count => n as f64,
+            AggKind::Sum => acc,
+            AggKind::Max | AggKind::Min => {
+                if started {
+                    acc
+                } else {
+                    0.0
+                }
+            }
+            AggKind::Avg => {
+                if n == 0 {
+                    0.0
+                } else {
+                    acc / n as f64
+                }
+            }
+        };
+        self.push_num(v)?;
+        Ok(())
+    }
+}
+
+/// Computes one indexed-count site at context node `ctx`: the exact step
+/// total the interpreter would charge and the matching-element count.
+fn indexed_count_at(arena: &IrArena, ctx: u32, meta: &CountMeta) -> (u64, u64) {
+    if meta.children_base {
+        let c = u64::from(arena.child_count(ctx));
+        match &meta.pred {
+            None => (1 + c, c),
+            Some(PurePred::Atom {
+                atom,
+                negated,
+                cost,
+            }) => {
+                let mut m = 0u64;
+                for j in arena.children(ctx) {
+                    if pure_atom_matches(arena, j, atom) {
+                        m += 1;
+                    }
+                }
+                let m = if *negated { c - m } else { m };
+                (1 + c * (1 + cost), m)
+            }
+            Some(PurePred::Tree { expr, .. }) => {
+                let mut steps = 0u64;
+                let mut m = 0u64;
+                for j in arena.children(ctx) {
+                    steps += 1; // the per-element `for_each` charge
+                    if eval_pure(arena, j, expr, &mut steps) {
+                        m += 1;
+                    }
+                }
+                (1 + steps, m)
+            }
+        }
+    } else {
+        let d = u64::from(arena.descendant_count(ctx));
+        let (lo, hi) = (ctx + 1, arena.subtree_end(ctx));
+        match &meta.pred {
+            None => (1 + d, d),
+            Some(PurePred::Atom {
+                atom,
+                negated,
+                cost,
+            }) => {
+                let m = match *atom {
+                    PureAtom::IsType(k) => u64::from(arena.count_kind_in(k, lo, hi)),
+                    PureAtom::HasAttr(a) => u64::from(arena.count_attr_in(a, lo, hi)),
+                    PureAtom::AttrEq(a, v, view) => arena
+                        .attr_nodes_in(a, lo, hi)
+                        .iter()
+                        .filter(|&&j| attr_eq(arena, j, a, v, view))
+                        .count() as u64,
+                    PureAtom::AttrCmp(a, op, k) => arena
+                        .attr_nodes_in(a, lo, hi)
+                        .iter()
+                        .filter(|&&j| {
+                            matches!(
+                                arena.attr(j, a).and_then(|x| x.as_num()),
+                                Some(v) if op.apply(v, k)
+                            )
+                        })
+                        .count() as u64,
+                };
+                let m = if *negated { d - m } else { m };
+                (1 + d * (1 + cost), m)
+            }
+            Some(PurePred::Tree { expr, kinds }) => {
+                let mut steps = 0u64;
+                let mut m = 0u64;
+                if let Some(table) = kinds {
+                    // Kinds-only tree: verdict and cost were tabled at
+                    // compile time, so the scan is one kind load and a
+                    // probe of a few mentioned kinds per element.
+                    for j in lo..hi {
+                        let k = arena.kind(j);
+                        let (matched, cost) = table
+                            .entries
+                            .iter()
+                            .find(|&&(s, ..)| s == k)
+                            .map_or(table.default, |&(_, matched, cost)| (matched, cost));
+                        steps += 1 + cost;
+                        if matched {
+                            m += 1;
+                        }
+                    }
+                } else {
+                    for j in lo..hi {
+                        steps += 1; // the per-element `for_each` charge
+                        if eval_pure(arena, j, expr, &mut steps) {
+                            m += 1;
+                        }
+                    }
+                }
+                (1 + steps, m)
+            }
+        }
+    }
+}
+
+/// The `@a == V` test over arena node `j` (enum by symbol; bool via the
+/// compile-time [`BoolView`]; numeric or missing attributes never match).
+fn attr_eq(arena: &IrArena, j: u32, name: Symbol, target: Symbol, view: BoolView) -> bool {
+    match arena.attr(j, name) {
+        Some(AttrValue::Enum(v)) => v == target,
+        Some(AttrValue::Bool(b)) => match view {
+            BoolView::True => b,
+            BoolView::False => !b,
+            BoolView::NotBool => false,
+        },
+        _ => false,
+    }
+}
+
+/// Evaluates a pure predicate tree at arena node `j`, accumulating into
+/// `steps` exactly the unit charges the interpreter would make: one per
+/// predicate node entered, with `&&`/`||` short-circuiting and a missing
+/// child probe skipping its inner predicate.
+fn eval_pure(arena: &IrArena, j: u32, e: &PureExpr, steps: &mut u64) -> bool {
+    *steps += 1;
+    match e {
+        PureExpr::Atom(a) => pure_atom_matches(arena, j, a),
+        PureExpr::Not(inner) => !eval_pure(arena, j, inner, steps),
+        PureExpr::And(a, b) => eval_pure(arena, j, a, steps) && eval_pure(arena, j, b, steps),
+        PureExpr::Or(a, b) => eval_pure(arena, j, a, steps) || eval_pure(arena, j, b, steps),
+        PureExpr::Child(idx, inner) => match arena.nth_child(j, *idx as usize) {
+            Some(child) => eval_pure(arena, child, inner, steps),
+            None => false,
+        },
+    }
+}
+
+fn pure_atom_matches(arena: &IrArena, j: u32, atom: &PureAtom) -> bool {
+    match *atom {
+        PureAtom::IsType(k) => arena.kind(j) == k,
+        PureAtom::HasAttr(a) => arena.attr(j, a).is_some(),
+        PureAtom::AttrEq(a, v, view) => attr_eq(arena, j, a, v, view),
+        PureAtom::AttrCmp(a, op, k) => {
+            matches!(arena.attr(j, a).and_then(|x| x.as_num()), Some(v) if op.apply(v, k))
+        }
+    }
+}
+
+impl Program {
+    /// Executes the compiled feature over one arena with the given step
+    /// budget, without a CSE cache.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`super::Evaluator::eval`].
+    pub fn eval(&self, arena: &IrArena, budget: u64) -> Result<f64, EvalError> {
+        Vm::run(self, arena, 0, budget, None)
+    }
+}
+
+/// Which engine an [`EvalPool`] (and the search built on it) uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalEngine {
+    /// The compiled bytecode VM over arena-flattened loops (default).
+    #[default]
+    Compiled,
+    /// The recursive reference interpreter in [`super::eval`].
+    Interpreter,
+}
+
+/// Epoch-flush bound for the compiled-program cache.
+const PROGRAM_CACHE_CAP: usize = 1 << 16;
+
+/// A batch evaluation engine over a fixed set of loops.
+///
+/// Construction flattens every loop into an [`IrArena`] once; evaluation
+/// compiles each distinct feature once (memoised by structural fingerprint)
+/// and shares CSE results across features, loops and threads. With
+/// [`EvalEngine::Interpreter`] the pool delegates to the reference
+/// interpreter instead — byte-identical results, just slower; the GP search
+/// exposes this as a runtime choice precisely so the equivalence is
+/// testable end-to-end.
+pub struct EvalPool<'a> {
+    trees: Vec<&'a IrNode>,
+    arenas: Vec<IrArena>,
+    engine: EvalEngine,
+    cache: EvalCache,
+    programs: RwLock<HashMap<Fingerprint, Arc<Program>>>,
+}
+
+impl<'a> EvalPool<'a> {
+    /// Builds a pool over `trees` using the given engine.
+    pub fn new(trees: impl IntoIterator<Item = &'a IrNode>, engine: EvalEngine) -> EvalPool<'a> {
+        let trees: Vec<&IrNode> = trees.into_iter().collect();
+        let arenas = match engine {
+            EvalEngine::Compiled => trees.iter().map(|t| IrArena::from_tree(t)).collect(),
+            EvalEngine::Interpreter => Vec::new(),
+        };
+        EvalPool {
+            trees,
+            arenas,
+            engine,
+            cache: EvalCache::default(),
+            programs: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The engine this pool evaluates with.
+    pub fn engine(&self) -> EvalEngine {
+        self.engine
+    }
+
+    /// Number of loops in the pool.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// True when the pool holds no loops.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Returns the compiled program for `expr`, compiling at most once per
+    /// distinct structure.
+    fn program(&self, expr: &FeatureExpr) -> Arc<Program> {
+        let key = expr.fingerprint();
+        if let Some(p) = self.programs.read().get(&key) {
+            return Arc::clone(p);
+        }
+        let compiled = Arc::new(Program::compile(expr));
+        let mut programs = self.programs.write();
+        if programs.len() >= PROGRAM_CACHE_CAP {
+            programs.clear();
+        }
+        Arc::clone(programs.entry(key).or_insert(compiled))
+    }
+
+    /// Evaluates `expr` on loop `idx` with the given budget.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`super::Evaluator::eval`]; identical outcomes
+    /// for both engines.
+    pub fn eval(&self, expr: &FeatureExpr, idx: usize, budget: u64) -> Result<f64, EvalError> {
+        match self.engine {
+            EvalEngine::Interpreter => expr.eval_with_budget(self.trees[idx], budget),
+            EvalEngine::Compiled => {
+                let prog = self.program(expr);
+                Vm::run(
+                    &prog,
+                    &self.arenas[idx],
+                    idx as u32,
+                    budget,
+                    Some(&self.cache),
+                )
+            }
+        }
+    }
+
+    /// Evaluates `expr` over every loop, applying the paper's discard rule:
+    /// `None` as soon as any loop fails (budget exhaustion or non-finite
+    /// value), otherwise the per-loop feature column.
+    pub fn column(&self, expr: &FeatureExpr, budget: u64) -> Option<Vec<f64>> {
+        match self.engine {
+            EvalEngine::Interpreter => self
+                .trees
+                .iter()
+                .map(|t| expr.eval_with_budget(t, budget).ok())
+                .collect(),
+            EvalEngine::Compiled => {
+                let prog = self.program(expr);
+                let mut out = Vec::with_capacity(self.arenas.len());
+                for (i, arena) in self.arenas.iter().enumerate() {
+                    match Vm::run(&prog, arena, i as u32, budget, Some(&self.cache)) {
+                        Ok(v) => out.push(v),
+                        Err(_) => return None,
+                    }
+                }
+                Some(out)
+            }
+        }
+    }
+
+    /// Number of live CSE cache entries (diagnostics).
+    pub fn cache_entries(&self) -> usize {
+        self.cache.map.read().len()
+    }
+}
+
+impl std::fmt::Debug for EvalPool<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalPool")
+            .field("loops", &self.trees.len())
+            .field("engine", &self.engine)
+            .field("cache_entries", &self.cache_entries())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::IrNode;
+    use crate::lang::eval::DEFAULT_BUDGET;
+    use crate::lang::parse::parse_feature;
+
+    fn sample_ir() -> IrNode {
+        IrNode::build("loop", |l| {
+            l.attr_num("num-iter", 49.0);
+            l.child("basic-block", |b| {
+                b.attr_num("loop-depth", 1.0);
+                b.attr_bool("may-be-hot", true);
+                b.child("insn", |i| {
+                    i.attr_enum("mode", "SI");
+                    i.child("set", |s| {
+                        s.child("reg", |r| {
+                            r.attr_enum("mode", "SI");
+                        });
+                        s.child("plus", |p| {
+                            p.child("reg", |r| {
+                                r.attr_enum("mode", "SI");
+                            });
+                            p.child("const_int", |c| {
+                                c.attr_num("value", 4.0);
+                            });
+                        });
+                    });
+                });
+                b.child("jump_insn", |_| {});
+            });
+        })
+    }
+
+    /// Every expression the interpreter's test battery exercises must agree
+    /// between VM and interpreter — value, error and remaining-budget
+    /// decisions alike.
+    const BATTERY: &[&str] = &[
+        "get-attr(@num-iter)",
+        "get-attr(@no-such-attr)",
+        "count(/*)",
+        "count(//*)",
+        "count(filter(//*, is-type(reg)))",
+        "count(filter(//*, is-type(insn)))",
+        "count(filter(//*, @mode==SI))",
+        "count(filter(//*, @may-be-hot==true))",
+        "count(filter(//*, @loop-depth==1))",
+        "count(filter(//*, has-attr(@mode)))",
+        "count(filter(//*, !has-attr(@mode)))",
+        "count(filter(//*, is-type(reg) || is-type(const_int)))",
+        "count(filter(//*, is-type(reg) && @mode==SI))",
+        "count(filter(//*, is-type(insn) && /[0][is-type(set) && /[0][is-type(reg)]]))",
+        "count(filter(//*, /[7][is-type(reg)]))",
+        "sum(filter(//*, is-type(const_int)), get-attr(@value))",
+        "max(//*, count(/*))",
+        "min(//*, count(/*))",
+        "avg(filter(//*, is-type(basic-block)), count(/*))",
+        "sum(filter(//*, is-type(nonexistent-kind)), 1)",
+        "max(filter(//*, is-type(nonexistent-kind)), 1)",
+        "2 + 3 * 4",
+        "count(//*) / 2",
+        "5 / 0",
+        "-count(/*)",
+        "count(filter(//*, count(/*) > 1))",
+        "count(filter(//*, 0.0 > count(/*)))",
+        "sum(//*, sum(//*, count(//*)))",
+        "avg(//*, get-attr(@value) * 2 - 1)",
+        "min(filter(/*, has-attr(@loop-depth)), get-attr(@loop-depth))",
+    ];
+
+    #[test]
+    fn vm_matches_interpreter_on_battery() {
+        let ir = sample_ir();
+        let arena = IrArena::from_tree(&ir);
+        for src in BATTERY {
+            let f = parse_feature(src).unwrap();
+            let prog = Program::compile(&f);
+            let want = f.eval_with_budget(&ir, DEFAULT_BUDGET);
+            let got = prog.eval(&arena, DEFAULT_BUDGET);
+            assert_eq!(got, want, "mismatch on {src}");
+        }
+    }
+
+    #[test]
+    fn vm_matches_interpreter_at_every_budget_boundary() {
+        let ir = sample_ir();
+        let arena = IrArena::from_tree(&ir);
+        for src in BATTERY {
+            let f = parse_feature(src).unwrap();
+            let prog = Program::compile(&f);
+            // Find the exact step cost with a generous budget, then probe
+            // every interesting boundary.
+            let spent = {
+                let mut ev = crate::lang::Evaluator::new(DEFAULT_BUDGET);
+                let _ = ev.eval(&f, &ir);
+                DEFAULT_BUDGET - ev.remaining()
+            };
+            for budget in [0, 1, spent.saturating_sub(1), spent, spent + 1] {
+                let want = f.eval_with_budget(&ir, budget);
+                let got = prog.eval(&arena, budget);
+                assert_eq!(got, want, "mismatch on {src} at budget {budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_column_matches_interpreter_and_caches() {
+        let irs: Vec<IrNode> = (0..4)
+            .map(|i| {
+                let mut ir = sample_ir();
+                ir.attr_num("num-iter", 10.0 + i as f64);
+                ir
+            })
+            .collect();
+        let pool = EvalPool::new(irs.iter(), EvalEngine::Compiled);
+        let oracle = EvalPool::new(irs.iter(), EvalEngine::Interpreter);
+        for src in BATTERY {
+            let f = parse_feature(src).unwrap();
+            assert_eq!(
+                pool.column(&f, DEFAULT_BUDGET),
+                oracle.column(&f, DEFAULT_BUDGET),
+                "column mismatch on {src}"
+            );
+        }
+        // Root aggregates of the battery populated the CSE cache; replaying
+        // the battery must hit it and still agree.
+        assert!(pool.cache_entries() > 0);
+        for src in BATTERY {
+            let f = parse_feature(src).unwrap();
+            assert_eq!(
+                pool.column(&f, DEFAULT_BUDGET),
+                oracle.column(&f, DEFAULT_BUDGET),
+                "cached column mismatch on {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_results_are_detected_and_cached() {
+        let ir = sample_ir();
+        let huge = format!("sum(//*, {0} * {0})", f64::MAX);
+        let f = parse_feature(&huge).unwrap();
+        let pool = EvalPool::new([&ir], EvalEngine::Compiled);
+        assert_eq!(pool.eval(&f, 0, DEFAULT_BUDGET), Err(EvalError::NonFinite));
+        // The failing aggregate is cached as NonFinite with its step cost;
+        // a replay must agree with the interpreter at tight budgets too.
+        for budget in [0, 1, 5, 10, DEFAULT_BUDGET] {
+            assert_eq!(
+                pool.eval(&f, 0, budget),
+                f.eval_with_budget(&ir, budget),
+                "budget {budget}"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_reuse_preserves_budget_decisions() {
+        let ir = sample_ir();
+        let f = parse_feature("sum(//*, count(//*))").unwrap();
+        let pool = EvalPool::new([&ir], EvalEngine::Compiled);
+        // Warm the cache with a generous budget.
+        let spent = {
+            let mut ev = crate::lang::Evaluator::new(DEFAULT_BUDGET);
+            let _ = ev.eval(&f, &ir);
+            DEFAULT_BUDGET - ev.remaining()
+        };
+        assert!(pool.eval(&f, 0, DEFAULT_BUDGET).is_ok());
+        // Replays at boundary budgets must match the interpreter exactly:
+        // below the recorded cost the cache hit must fail with
+        // BudgetExceeded, at or above it must succeed.
+        for budget in [0, spent - 1, spent, spent + 1] {
+            assert_eq!(
+                pool.eval(&f, 0, budget),
+                f.eval_with_budget(&ir, budget),
+                "budget {budget}"
+            );
+        }
+    }
+}

@@ -73,8 +73,8 @@ pub use checkpoint::{SearchCheckpoint, CHECKPOINT_FILE, CHECKPOINT_VERSION};
 pub use error::{CheckpointError, SearchError};
 pub use faults::{CancelToken, FaultInjector, FaultKind, FaultPlan, FaultTrigger};
 pub use grammar::Grammar;
-pub use ir::{AttrValue, IrNode, Symbol};
-pub use lang::{parse_feature, FeatureExpr};
+pub use ir::{AttrValue, IrArena, IrNode, Symbol};
+pub use lang::{parse_feature, EvalEngine, EvalPool, FeatureExpr, Program};
 pub use search::{
     FeatureSearch, SearchConfig, SearchDriver, SearchOutcome, TrainingExample,
 };

@@ -20,10 +20,10 @@ use crate::gp::engine::{GpSnapshot, GpState, GpStatus};
 use crate::gp::{FitnessFn, GpConfig, GpEngine, GpRun};
 use crate::grammar::Grammar;
 use crate::ir::IrNode;
-use crate::lang::FeatureExpr;
+use crate::lang::{EvalEngine, EvalPool, FeatureExpr};
 use fegen_ml::data::Dataset;
 use fegen_ml::metrics;
-use fegen_ml::tree::{DecisionTree, TreeConfig};
+use fegen_ml::tree::{DecisionTree, Presorted, TreeConfig};
 use fegen_ml::KFold;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -165,12 +165,39 @@ pub struct SearchOutcome {
 pub struct FeatureSearch {
     grammar: Grammar,
     config: SearchConfig,
+    engine: EvalEngine,
 }
 
 impl FeatureSearch {
-    /// Creates a search over `grammar`.
+    /// Creates a search over `grammar`, evaluating features with the default
+    /// engine (the compiled VM).
     pub fn new(grammar: Grammar, config: SearchConfig) -> Self {
-        FeatureSearch { grammar, config }
+        FeatureSearch {
+            grammar,
+            config,
+            engine: EvalEngine::default(),
+        }
+    }
+
+    /// Selects the feature-evaluation engine. The engine is an execution
+    /// strategy, not a search parameter: both engines produce identical
+    /// values, errors and budget decisions, so the search trajectory — and
+    /// the checkpoint identity — is the same either way (which is why this
+    /// lives outside [`SearchConfig`] and its fingerprint).
+    pub fn with_engine(mut self, engine: EvalEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The feature-evaluation engine in use.
+    pub fn engine(&self) -> EvalEngine {
+        self.engine
+    }
+
+    /// Builds an evaluation pool over the examples' IR using this search's
+    /// engine (flattens each loop once; compiles each feature once).
+    pub fn pool<'e>(&self, examples: &'e [TrainingExample]) -> EvalPool<'e> {
+        EvalPool::new(examples.iter().map(|e| &e.ir), self.engine)
     }
 
     /// Derives the grammar from the examples and creates the search.
@@ -227,6 +254,10 @@ impl FeatureSearch {
     /// Evaluates `expr` on every example, producing one column of the
     /// feature matrix. `None` when the feature times out or produces a
     /// non-finite value on any example (the paper's discard rule).
+    ///
+    /// This always uses the tree-walking interpreter — it is the reference
+    /// oracle the compiled engine is validated against. The search itself
+    /// evaluates through [`FeatureSearch::pool`].
     pub fn feature_column(
         &self,
         expr: &FeatureExpr,
@@ -252,13 +283,13 @@ impl FeatureSearch {
         features: &[FeatureExpr],
         examples: &[TrainingExample],
     ) -> Vec<Vec<f64>> {
-        examples
-            .iter()
-            .map(|e| {
+        let pool = self.pool(examples);
+        (0..examples.len())
+            .map(|i| {
                 features
                     .iter()
                     .map(|f| {
-                        f.eval_with_budget(&e.ir, self.config.eval_budget_per_example)
+                        pool.eval(f, i, self.config.eval_budget_per_example)
                             .unwrap_or(0.0)
                     })
                     .collect()
@@ -291,22 +322,25 @@ impl FeatureSearch {
         let tables: Vec<Vec<f64>> = examples.iter().map(|e| e.cycles.clone()).collect();
         let splits = internal_splits(cfg, examples.len());
         let score = |columns: &[Vec<f64>]| -> f64 {
+            let Some((data, presorted)) = fitness_model(columns, None, &labels, n_classes)
+            else {
+                return 0.0;
+            };
             splits
                 .iter()
                 .map(|(train_idx, valid_idx)| {
-                    self.model_speedup(
-                        columns, None, &labels, &tables, n_classes, train_idx, valid_idx,
-                    )
+                    self.model_speedup(&data, &presorted, &tables, train_idx, valid_idx)
                 })
                 .sum::<f64>()
                 / splits.len() as f64
         };
 
         let mut kept: Vec<usize> = (0..features.len()).collect();
+        let pool = self.pool(examples);
         let columns: Vec<Vec<f64>> = features
             .iter()
             .map(|f| {
-                self.feature_column(f, examples)
+                pool.column(f, cfg.eval_budget_per_example)
                     .unwrap_or_else(|| vec![0.0; examples.len()])
             })
             .collect();
@@ -339,36 +373,47 @@ impl FeatureSearch {
         kept.into_iter().map(|i| features[i].clone()).collect()
     }
 
-    /// Trains the fitness model on `train_idx` and reports the mean speedup
-    /// of its predictions on `valid_idx`.
-    #[allow(clippy::too_many_arguments)]
+    /// Trains the fitness model on `train_idx` — reusing the candidate's
+    /// presorted feature orderings instead of copying and re-sorting the
+    /// split — and reports the mean speedup of its predictions on
+    /// `valid_idx`.
     fn model_speedup(
         &self,
-        base_columns: &[Vec<f64>],
-        extra: Option<&Vec<f64>>,
-        labels: &[usize],
+        data: &Dataset,
+        presorted: &Presorted,
         tables: &[Vec<f64>],
-        n_classes: usize,
         train_idx: &[usize],
         valid_idx: &[usize],
     ) -> f64 {
-        let n = labels.len();
-        let width = base_columns.len() + usize::from(extra.is_some());
-        let mut rows: Vec<Vec<f64>> = vec![Vec::with_capacity(width); n];
-        for col in base_columns.iter().chain(extra) {
-            for (row, &v) in rows.iter_mut().zip(col.iter()) {
-                row.push(v);
-            }
-        }
-        // Columns are rectangular by construction; if the dataset were ever
-        // malformed the candidate scores zero instead of crashing the search.
-        let Ok(data) = Dataset::new(rows, labels.to_vec(), n_classes) else {
-            return 0.0;
-        };
-        let train = data.subset(train_idx);
-        let tree = DecisionTree::train(&train, &self.config.tree);
+        let tree = DecisionTree::train_on(data, presorted, train_idx, &self.config.tree);
         mean_speedup_at(tables, valid_idx, |i| tree.predict(data.row(i)))
     }
+}
+
+/// Assembles one candidate's fitness dataset (the base feature columns plus
+/// the optional candidate column) and presorts its feature columns, once,
+/// for reuse across every internal split that judges the candidate.
+///
+/// `None` when the dataset is malformed (the candidate then scores 0.0
+/// instead of crashing the search); columns are rectangular by construction
+/// so this does not happen in practice.
+fn fitness_model(
+    base_columns: &[Vec<f64>],
+    extra: Option<&Vec<f64>>,
+    labels: &[usize],
+    n_classes: usize,
+) -> Option<(Dataset, Presorted)> {
+    let n = labels.len();
+    let width = base_columns.len() + usize::from(extra.is_some());
+    let mut rows: Vec<Vec<f64>> = vec![Vec::with_capacity(width); n];
+    for col in base_columns.iter().chain(extra) {
+        for (row, &v) in rows.iter_mut().zip(col.iter()) {
+            row.push(v);
+        }
+    }
+    let data = Dataset::new(rows, labels.to_vec(), n_classes).ok()?;
+    let presorted = Presorted::new(&data);
+    Some((data, presorted))
 }
 
 /// Fixed internal splits for the whole search, so every candidate is judged
@@ -503,6 +548,10 @@ impl<'a> SearchDriver<'a> {
         let labels: Vec<usize> = examples.iter().map(|e| e.best_value()).collect();
         let tables: Vec<Vec<f64>> = examples.iter().map(|e| e.cycles.clone()).collect();
         let splits = internal_splits(cfg, examples.len());
+        // One pool for the whole run: every loop is arena-flattened once and
+        // every candidate feature is compiled once, then executed over all
+        // loops; repeated (feature, loop) evaluations replay from the cache.
+        let pool = search.pool(examples);
 
         // Oracle ceiling on the validation loops.
         let oracle_speedup = splits
@@ -553,7 +602,7 @@ impl<'a> SearchDriver<'a> {
                             detail: format!("unparseable feature `{text}`: {e}"),
                         }
                     })?;
-                    let Some(column) = search.feature_column(&expr, examples) else {
+                    let Some(column) = pool.column(&expr, cfg.eval_budget_per_example) else {
                         return Err(CheckpointError::StateMismatch {
                             path: path.clone(),
                             detail: format!(
@@ -603,19 +652,16 @@ impl<'a> SearchDriver<'a> {
             && total_generations < cfg.max_total_generations
         {
             let fitness = |expr: &FeatureExpr| -> Option<f64> {
-                let column = search.feature_column(expr, examples)?;
+                let column = pool.column(expr, cfg.eval_budget_per_example)?;
+                let Some((data, presorted)) =
+                    fitness_model(&base_columns, Some(&column), &labels, n_classes)
+                else {
+                    return Some(0.0);
+                };
                 let total: f64 = splits
                     .iter()
                     .map(|(train_idx, valid_idx)| {
-                        search.model_speedup(
-                            &base_columns,
-                            Some(&column),
-                            &labels,
-                            &tables,
-                            n_classes,
-                            train_idx,
-                            valid_idx,
-                        )
+                        search.model_speedup(&data, &presorted, &tables, train_idx, valid_idx)
                     })
                     .sum();
                 Some(total / splits.len() as f64)
@@ -669,7 +715,7 @@ impl<'a> SearchDriver<'a> {
                     // Re-derive the winning column; a feature that stops
                     // evaluating (flaky evaluator) costs this addition,
                     // not the search.
-                    match search.feature_column(&best.expr, examples) {
+                    match pool.column(&best.expr, cfg.eval_budget_per_example) {
                         Some(column) => {
                             best_speedup = best.quality;
                             base_columns.push(column);
@@ -960,6 +1006,26 @@ mod tests {
             search.prune_features(std::slice::from_ref(&f), &examples),
             vec![f]
         );
+    }
+
+    #[test]
+    fn engines_produce_identical_outcomes() {
+        // The compiled VM is an execution strategy, not a semantic change:
+        // the whole search — accepted features, speedups, generation counts
+        // — must be equal between engines.
+        let examples = synthetic_examples(40);
+        let mut config = SearchConfig::quick();
+        config.max_features = 2;
+        config.seed = 7;
+        let run = |engine: EvalEngine| {
+            FeatureSearch::from_examples(&examples, config.clone())
+                .with_engine(engine)
+                .run(&examples)
+        };
+        let compiled = run(EvalEngine::Compiled);
+        let interpreted = run(EvalEngine::Interpreter);
+        assert_eq!(compiled, interpreted);
+        assert!(!compiled.features.is_empty());
     }
 
     #[test]

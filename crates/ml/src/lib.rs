@@ -40,4 +40,4 @@ pub mod tree;
 pub use cv::KFold;
 pub use data::Dataset;
 pub use svm::{Svm, SvmConfig};
-pub use tree::{DecisionTree, TreeConfig};
+pub use tree::{DecisionTree, Presorted, TreeConfig};

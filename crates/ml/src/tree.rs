@@ -71,6 +71,65 @@ enum Node {
     },
 }
 
+/// Per-feature example orderings computed once per dataset.
+///
+/// C4.5 spends most of its time sorting candidate-split columns: the naive
+/// implementation re-sorts every feature at every node of the recursion.
+/// `Presorted` sorts each feature's example indices by value **once**; the
+/// recursion then keeps each node's index lists sorted by order-preserving
+/// partition (O(n) per node instead of O(n log n) per node *per feature*),
+/// and cross-validation folds restrict the same orderings by membership
+/// instead of re-sorting the fold.
+///
+/// Thresholds are only placed between *distinct* adjacent values and split
+/// statistics are cumulative label counts, so the relative order of equal
+/// values never affects a split decision: training through `Presorted`
+/// produces trees identical to the re-sorting implementation.
+#[derive(Debug, Clone)]
+pub struct Presorted {
+    /// `by_feature[f]` lists all example indices sorted ascending by the
+    /// value of feature `f` (stable in example order for ties).
+    by_feature: Vec<Vec<u32>>,
+}
+
+impl Presorted {
+    /// Sorts every feature column of `data` once.
+    pub fn new(data: &Dataset) -> Presorted {
+        let n = data.len();
+        let by_feature = (0..data.n_features())
+            .map(|f| {
+                let mut order: Vec<u32> = (0..n as u32).collect();
+                order.sort_by(|&a, &b| {
+                    data.row(a as usize)[f]
+                        .partial_cmp(&data.row(b as usize)[f])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                order
+            })
+            .collect();
+        Presorted { by_feature }
+    }
+
+    /// The orderings restricted to the examples in `indices` (order within
+    /// each feature is preserved, so the result stays sorted by value).
+    fn restrict(&self, n: usize, indices: &[usize]) -> Vec<Vec<u32>> {
+        let mut member = vec![false; n];
+        for &i in indices {
+            member[i] = true;
+        }
+        self.by_feature
+            .iter()
+            .map(|order| {
+                order
+                    .iter()
+                    .copied()
+                    .filter(|&i| member[i as usize])
+                    .collect()
+            })
+            .collect()
+    }
+}
+
 /// A trained decision tree.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DecisionTree {
@@ -83,8 +142,26 @@ impl DecisionTree {
     ///
     /// An empty dataset yields a tree that always predicts class 0.
     pub fn train(data: &Dataset, config: &TreeConfig) -> DecisionTree {
+        let presorted = Presorted::new(data);
         let indices: Vec<usize> = (0..data.len()).collect();
-        let mut root = grow(data, &indices, config, 0);
+        DecisionTree::train_on(data, &presorted, &indices, config)
+    }
+
+    /// Trains a tree on the examples of `data` selected by `indices`,
+    /// reusing the dataset-wide `presorted` orderings.
+    ///
+    /// Equivalent to `train(&data.subset(indices), config)` but without
+    /// copying rows or re-sorting feature columns — the intended entry point
+    /// for cross-validation, where every fold shares one [`Presorted`].
+    /// `indices` must not contain duplicates.
+    pub fn train_on(
+        data: &Dataset,
+        presorted: &Presorted,
+        indices: &[usize],
+        config: &TreeConfig,
+    ) -> DecisionTree {
+        let sorted = presorted.restrict(data.len(), indices);
+        let mut root = grow(data, indices, &sorted, config, 0);
         if config.prune {
             prune(&mut root, config.prune_z);
         }
@@ -233,7 +310,13 @@ struct SplitChoice {
     gain_ratio: f64,
 }
 
-fn grow(data: &Dataset, indices: &[usize], config: &TreeConfig, depth: usize) -> Node {
+fn grow(
+    data: &Dataset,
+    indices: &[usize],
+    sorted: &[Vec<u32>],
+    config: &TreeConfig,
+    depth: usize,
+) -> Node {
     let make_leaf = |indices: &[usize]| -> Node {
         let mut counts = vec![0usize; data.n_classes()];
         for &i in indices {
@@ -260,27 +343,37 @@ fn grow(data: &Dataset, indices: &[usize], config: &TreeConfig, depth: usize) ->
         return make_leaf(indices);
     }
 
-    let Some(best) = best_split(data, indices) else {
+    let Some(best) = best_split(data, indices, sorted) else {
         return make_leaf(indices);
     };
 
-    let (left, right): (Vec<usize>, Vec<usize>) = indices
-        .iter()
-        .partition(|&&i| data.row(i)[best.feature] <= best.threshold);
+    let goes_left = |i: usize| data.row(i)[best.feature] <= best.threshold;
+    let (left, right): (Vec<usize>, Vec<usize>) = indices.iter().partition(|&&i| goes_left(i));
     if left.is_empty() || right.is_empty() {
         return make_leaf(indices);
+    }
+    // Order-preserving partition keeps each child's orderings sorted by
+    // value without re-sorting.
+    let mut left_sorted = Vec::with_capacity(sorted.len());
+    let mut right_sorted = Vec::with_capacity(sorted.len());
+    for order in sorted {
+        let (l, r): (Vec<u32>, Vec<u32>) =
+            order.iter().partition(|&&i| goes_left(i as usize));
+        left_sorted.push(l);
+        right_sorted.push(r);
     }
     Node::Split {
         feature: best.feature,
         threshold: best.threshold,
-        left: Box::new(grow(data, &left, config, depth + 1)),
-        right: Box::new(grow(data, &right, config, depth + 1)),
+        left: Box::new(grow(data, &left, &left_sorted, config, depth + 1)),
+        right: Box::new(grow(data, &right, &right_sorted, config, depth + 1)),
     }
 }
 
 /// Finds the best (feature, threshold) by gain ratio among splits with at
-/// least average positive gain.
-fn best_split(data: &Dataset, indices: &[usize]) -> Option<SplitChoice> {
+/// least average positive gain. `sorted[f]` must list the node's examples
+/// sorted ascending by feature `f`.
+fn best_split(data: &Dataset, indices: &[usize], sorted: &[Vec<u32>]) -> Option<SplitChoice> {
     let n = indices.len();
     let n_classes = data.n_classes();
     let mut total_counts = vec![0usize; n_classes];
@@ -290,18 +383,14 @@ fn best_split(data: &Dataset, indices: &[usize]) -> Option<SplitChoice> {
     let base_entropy = entropy(&total_counts, n);
 
     let mut candidates: Vec<SplitChoice> = Vec::new();
-    let mut sorted: Vec<(f64, usize)> = Vec::with_capacity(n);
-    for feature in 0..data.n_features() {
-        sorted.clear();
-        sorted.extend(indices.iter().map(|&i| (data.row(i)[feature], data.label(i))));
-        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-
+    for (feature, order) in sorted.iter().enumerate() {
+        let value = |k: usize| data.row(order[k] as usize)[feature];
         let mut left_counts = vec![0usize; n_classes];
         let mut best_for_feature: Option<SplitChoice> = None;
         for k in 0..n - 1 {
-            left_counts[sorted[k].1] += 1;
+            left_counts[data.label(order[k] as usize)] += 1;
             // Candidate threshold only between distinct values.
-            if sorted[k].0 == sorted[k + 1].0 {
+            if value(k) == value(k + 1) {
                 continue;
             }
             let n_left = k + 1;
@@ -322,7 +411,7 @@ fn best_split(data: &Dataset, indices: &[usize]) -> Option<SplitChoice> {
             let p_left = n_left as f64 / n as f64;
             let split_info = -(p_left * p_left.log2() + (1.0 - p_left) * (1.0 - p_left).log2());
             let gain_ratio = gain / split_info.max(1e-12);
-            let threshold = (sorted[k].0 + sorted[k + 1].0) / 2.0;
+            let threshold = (value(k) + value(k + 1)) / 2.0;
             let cand = SplitChoice {
                 feature,
                 threshold,
@@ -537,6 +626,31 @@ mod tests {
         let t = DecisionTree::train(&d, &TreeConfig::default());
         let rendered = t.render(&["ninsns".to_owned()]);
         assert!(rendered.contains("if( ninsns <="), "{rendered}");
+    }
+
+    #[test]
+    fn train_on_subset_matches_training_on_copied_subset() {
+        // The presorted fold path must produce exactly the tree that a
+        // fresh `train` over a row-copied subset would (same structure,
+        // thresholds and leaf statistics), including under ties.
+        let xs: Vec<Vec<f64>> = (0..48)
+            .map(|i| {
+                vec![
+                    (i * 37 % 16) as f64, // many repeated values
+                    (i % 7) as f64,
+                    (i * 13 % 48) as f64 / 4.0,
+                ]
+            })
+            .collect();
+        let ys: Vec<usize> = (0..48).map(|i| (i * 11 + 3) % 3).collect();
+        let d = Dataset::new(xs, ys, 3).unwrap();
+        let pre = Presorted::new(&d);
+        for (lo, hi) in [(0, 48), (0, 31), (9, 40), (17, 23)] {
+            let indices: Vec<usize> = (lo..hi).collect();
+            let fast = DecisionTree::train_on(&d, &pre, &indices, &TreeConfig::default());
+            let slow = DecisionTree::train(&d.subset(&indices), &TreeConfig::default());
+            assert_eq!(fast, slow, "subset {lo}..{hi}");
+        }
     }
 
     #[test]

@@ -325,9 +325,12 @@ mod tests {
     fn grammar_derivation_over_export_is_rich() {
         let ir = export_first_loop(SAMPLE);
         let g = fegen_core::Grammar::derive([&ir]);
-        let kinds: Vec<String> = g.kinds().iter().map(|k| k.as_str()).collect();
+        let kinds: Vec<&str> = g.kinds().iter().map(|k| k.as_str()).collect();
         for expected in ["loop", "basic-block", "insn", "set", "reg", "mem", "plus"] {
-            assert!(kinds.iter().any(|k| k == expected), "missing kind {expected}: {kinds:?}");
+            assert!(
+                kinds.contains(&expected),
+                "missing kind {expected}: {kinds:?}"
+            );
         }
         assert!(!g.num_attrs().is_empty());
         assert!(!g.enum_attrs().is_empty());

@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         grammar.bool_attrs().len(),
         grammar.enum_attrs().len()
     );
-    let kinds: Vec<String> = grammar.kinds().iter().map(|k| k.as_str()).collect();
+    let kinds: Vec<&str> = grammar.kinds().iter().map(|k| k.as_str()).collect();
     println!("kinds: {}", kinds.join(" "));
     for a in grammar.num_attrs() {
         println!("  @{} in [{}, {}]", a.name, a.min, a.max);

@@ -12,6 +12,7 @@
 //! fegen eval    <file> <func> <loop> <expr>    evaluate a feature expression
 //! fegen suite   <index>                        print a generated benchmark's source
 //! fegen search  <file> [flags]                 run the GP feature search on a program
+//! fegen bench-perf [flags]                     measure eval-engine throughput
 //! ```
 //!
 //! `fegen search` flags:
@@ -22,12 +23,21 @@
 //! --resume <path>          continue from a checkpoint file or directory
 //! --seed <n>               master seed (default from the quick preset)
 //! --paper                  paper-scale budgets instead of the quick preset
+//! --engine <name>          feature evaluation engine: compiled (default) | interp
+//! ```
+//!
+//! `fegen bench-perf` flags:
+//!
+//! ```text
+//! --out <path>             where to write the JSON report (default BENCH_eval.json)
+//! --quick                  shorter measurement windows (CI smoke mode)
 //! ```
 
+use fegen::core::ir::IrArena;
 use fegen::core::search::SearchDriver;
 use fegen::core::{
-    parse_feature, FeatureSearch, Grammar, SearchConfig, SearchError, SearchOutcome,
-    TrainingExample,
+    parse_feature, EvalEngine, EvalPool, FeatureExpr, FeatureSearch, Grammar, Program,
+    SearchConfig, SearchError, SearchOutcome, TrainingExample,
 };
 use fegen::rtl::export::export_loop;
 use fegen::rtl::heuristic::{gcc_default_factor, gcc_features, GccParams, GCC_FEATURE_NAMES};
@@ -82,6 +92,7 @@ fn run(args: &[String]) -> Result<(), Anyhow> {
         ),
         "suite" => cmd_suite(parse_num(arg(args, 1)?)?),
         "search" => cmd_search(arg(args, 1)?, &args[2..]),
+        "bench-perf" => cmd_bench_perf(&args[1..]),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -104,6 +115,7 @@ fn print_usage() {
     println!("  fegen eval    <file> <func> <loop> <expr>    evaluate a feature");
     println!("  fegen suite   <index>                        print benchmark #index source");
     println!("  fegen search  <file> [flags]                 run the GP feature search");
+    println!("  fegen bench-perf [flags]                     measure eval-engine throughput");
     println!();
     println!("search flags:");
     println!("  --checkpoint-dir <dir>   write resumable snapshots into <dir>");
@@ -111,6 +123,11 @@ fn print_usage() {
     println!("  --resume <path>          continue from a checkpoint file or directory");
     println!("  --seed <n>               master seed");
     println!("  --paper                  paper-scale budgets (default: quick preset)");
+    println!("  --engine <name>          evaluation engine: compiled (default) | interp");
+    println!();
+    println!("bench-perf flags:");
+    println!("  --out <path>             JSON report path (default BENCH_eval.json)");
+    println!("  --quick                  shorter measurement windows (CI smoke mode)");
 }
 
 fn arg(args: &[String], i: usize) -> Result<&str, Anyhow> {
@@ -207,7 +224,11 @@ fn cmd_run(path: &str, func: &str, rest: &[String]) -> Result<(), Anyhow> {
         .collect::<Result<_, _>>()?;
     let result = machine.call(func, &call_args)?;
     println!("result:      {result:?}");
-    println!("cycles:      {} (function), {} (total)", machine.cycles_of(func), machine.total_cycles());
+    println!(
+        "cycles:      {} (function), {} (total)",
+        machine.cycles_of(func),
+        machine.total_cycles()
+    );
     println!("insns:       {}", machine.insns_executed());
     println!("dcache miss: {}", machine.dcache_misses());
     println!("icache miss: {}", machine.icache_misses());
@@ -236,7 +257,10 @@ fn cmd_table(path: &str, func: &str, loop_id: usize, n: Option<usize>) -> Result
         machine.call(func, &call_args)?;
         let cycles = machine.cycles_of(func);
         let base = *baseline.get_or_insert(cycles);
-        println!("{factor:>6} {cycles:>12} {:>9.4}", base as f64 / cycles as f64);
+        println!(
+            "{factor:>6} {cycles:>12} {:>9.4}",
+            base as f64 / cycles as f64
+        );
     }
     Ok(())
 }
@@ -271,7 +295,7 @@ fn cmd_grammar(path: &str) -> Result<(), Anyhow> {
     }
     let g = Grammar::derive(corpus.iter());
     println!("derived from {} exported loops", corpus.len());
-    let kinds: Vec<String> = g.kinds().iter().map(|k| k.as_str()).collect();
+    let kinds: Vec<&str> = g.kinds().iter().map(|k| k.as_str()).collect();
     println!("node kinds ({}): {}", kinds.len(), kinds.join(" "));
     for a in g.num_attrs() {
         println!("num  @{:<16} in [{}, {}]", a.name.as_str(), a.min, a.max);
@@ -280,7 +304,7 @@ fn cmd_grammar(path: &str) -> Result<(), Anyhow> {
         println!("bool @{}", a.as_str());
     }
     for a in g.enum_attrs() {
-        let vals: Vec<String> = a.values.iter().map(|v| v.as_str()).collect();
+        let vals: Vec<&str> = a.values.iter().map(|v| v.as_str()).collect();
         println!("enum @{:<16} in {{{}}}", a.name.as_str(), vals.join(", "));
     }
     Ok(())
@@ -372,6 +396,7 @@ fn cmd_search(path: &str, flags: &[String]) -> Result<(), Anyhow> {
     let mut resume: Option<String> = None;
     let mut seed: Option<u64> = None;
     let mut paper = false;
+    let mut engine = EvalEngine::default();
     let mut it = flags.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<String, Anyhow> {
@@ -393,6 +418,18 @@ fn cmd_search(path: &str, flags: &[String]) -> Result<(), Anyhow> {
                 );
             }
             "--paper" => paper = true,
+            "--engine" => {
+                engine = match value("--engine")?.as_str() {
+                    "compiled" | "vm" => EvalEngine::Compiled,
+                    "interp" | "interpreter" => EvalEngine::Interpreter,
+                    other => {
+                        return Err(format!(
+                            "unknown engine `{other}` (expected `compiled` or `interp`)"
+                        )
+                        .into())
+                    }
+                };
+            }
             other => return Err(format!("unknown search flag `{other}`").into()),
         }
     }
@@ -412,7 +449,7 @@ fn cmd_search(path: &str, flags: &[String]) -> Result<(), Anyhow> {
     if let Some(s) = seed {
         config.seed = s;
     }
-    let search = FeatureSearch::from_examples(&examples, config);
+    let search = FeatureSearch::from_examples(&examples, config).with_engine(engine);
     let mut driver: SearchDriver = search.driver();
     if let Some(dir) = &checkpoint_dir {
         driver = driver.checkpoint(dir, checkpoint_every);
@@ -429,23 +466,220 @@ fn cmd_search(path: &str, flags: &[String]) -> Result<(), Anyhow> {
         Err(SearchError::Interrupted {
             checkpoint,
             total_generations,
-        }) => {
-            match checkpoint {
-                Some(p) => Err(format!(
-                    "interrupted after {total_generations} generations; \
+        }) => match checkpoint {
+            Some(p) => Err(format!(
+                "interrupted after {total_generations} generations; \
                      resume with `--resume {}`",
-                    p.display()
-                )
-                .into()),
-                None => Err(format!(
-                    "interrupted after {total_generations} generations \
+                p.display()
+            )
+            .into()),
+            None => Err(format!(
+                "interrupted after {total_generations} generations \
                      (run with --checkpoint-dir to make interruptions resumable)"
-                )
-                .into()),
-            }
-        }
+            )
+            .into()),
+        },
         Err(e) => Err(e.into()),
     }
+}
+
+/// The evaluation step budget used for throughput measurement (the quick
+/// preset's per-example budget).
+const BENCH_BUDGET: u64 = 60_000;
+
+/// Times repeated executions of `pass` for roughly `window`, returning
+/// (passes, elapsed seconds). Each pass is one sweep of every feature over
+/// every loop.
+fn measure(window: std::time::Duration, mut pass: impl FnMut() -> f64) -> (u64, f64) {
+    // One warm-up pass keeps lazy setup (interning, page faults) out of the
+    // timed region.
+    std::hint::black_box(pass());
+    let start = std::time::Instant::now();
+    let mut passes = 0u64;
+    while start.elapsed() < window {
+        std::hint::black_box(pass());
+        passes += 1;
+    }
+    (passes.max(1), start.elapsed().as_secs_f64())
+}
+
+fn cmd_bench_perf(flags: &[String]) -> Result<(), Anyhow> {
+    let mut out = "BENCH_eval.json".to_owned();
+    let mut quick = false;
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => {
+                out = it.next().cloned().ok_or("--out needs a value")?;
+            }
+            "--quick" => quick = true,
+            other => return Err(format!("unknown bench-perf flag `{other}`").into()),
+        }
+    }
+    let window = std::time::Duration::from_millis(if quick { 120 } else { 600 });
+
+    // The workload: every loop of the generated benchmark suite, swept by a
+    // mix of hand-picked search-typical features and grammar-generated ones
+    // (the actual shape of a GP population).
+    let suite = fegen::suite::generate_suite(&fegen::suite::SuiteConfig::tiny());
+    let mut loops = Vec::new();
+    for b in &suite {
+        let rtl = lower_program(&b.program)?;
+        for f in &rtl.functions {
+            for region in &f.loops {
+                loops.push(export_loop(f, region, &rtl.layout));
+            }
+        }
+    }
+    if loops.is_empty() {
+        return Err("the benchmark suite produced no loops".into());
+    }
+    let grammar = Grammar::derive(loops.iter());
+    /// Number of hand-picked paper-shaped features at the front of the set.
+    const PAPER_FEATURES: usize = 5;
+    let mut features: Vec<FeatureExpr> = [
+        "count(//*)",
+        "count(filter(//*, is-type(reg)))",
+        "count(filter(//*, !(is-type(wide-int) || is-type(const_double))))",
+        "max(filter(/*, is-type(basic-block)), count(filter(//*, is-type(insn))))",
+        "count(filter(//*, is-type(insn))) / (1 + count(filter(//*, is-type(basic-block))))",
+    ]
+    .iter()
+    .map(|s| parse_feature(s))
+    .collect::<Result<_, _>>()?;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xbe7c);
+    for depth in [3, 4, 5] {
+        for _ in 0..8 {
+            features.push(grammar.gen_feature(&mut rng, depth));
+        }
+    }
+    // Programs compiled and loops flattened once, exactly as the search
+    // amortises them; cold-VM sweeps run without the result cache.
+    let arenas: Vec<IrArena> = loops.iter().map(IrArena::from_tree).collect();
+    let programs: Vec<Program> = features.iter().map(Program::compile).collect();
+
+    // Sanity before timing: the engines must agree on every outcome.
+    for (f, p) in features.iter().zip(&programs) {
+        for (ir, arena) in loops.iter().zip(&arenas) {
+            let a = f.eval_with_budget(ir, BENCH_BUDGET);
+            let b = p.eval(arena, BENCH_BUDGET);
+            if a != b {
+                return Err(format!("engines disagree on `{f}`: {a:?} vs {b:?}").into());
+            }
+        }
+    }
+
+    // Two cold-VM groups: the paper-shaped features (counts over filtered
+    // traversals, the shapes the GP converges to — Figure 16) and the
+    // grammar-generated mix (a random population slice, including deep
+    // frame-path aggregates the indexed paths cannot fuse).
+    let mut group_stats = Vec::new();
+    for (name, range) in [
+        ("paper_features", 0..PAPER_FEATURES),
+        ("generated_features", PAPER_FEATURES..features.len()),
+    ] {
+        let fs = &features[range.clone()];
+        let ps = &programs[range];
+        let per_pass = (fs.len() * loops.len()) as f64;
+        let (ip, is) = measure(window, || {
+            let mut acc = 0.0;
+            for f in fs {
+                for ir in &loops {
+                    acc += f.eval_with_budget(ir, BENCH_BUDGET).unwrap_or(0.0);
+                }
+            }
+            acc
+        });
+        let interp_eps = ip as f64 * per_pass / is;
+        let (vp, vs) = measure(window, || {
+            let mut acc = 0.0;
+            for p in ps {
+                for arena in &arenas {
+                    acc += p.eval(arena, BENCH_BUDGET).unwrap_or(0.0);
+                }
+            }
+            acc
+        });
+        let vm_eps = vp as f64 * per_pass / vs;
+        group_stats.push((name, fs.len(), interp_eps, vm_eps, vm_eps / interp_eps));
+    }
+
+    // Coarse regression guard (CI smoke): the compiled engine must at least
+    // hold parity with the interpreter on the paper-shaped group. The
+    // measured margin is ~7x, so tripping this means a fast path broke, not
+    // that the runner was noisy.
+    let (name, _, interp_eps, vm_eps, _) = group_stats[0];
+    if vm_eps < interp_eps {
+        return Err(format!(
+            "perf regression: {name} vm {vm_eps:.0} ev/s < interp {interp_eps:.0} ev/s"
+        )
+        .into());
+    }
+
+    // The pool as the search drives it: warm program + result caches, all
+    // features; its baseline is the interpreter over the same full sweep.
+    let per_pass = (features.len() * loops.len()) as f64;
+    let (ip, is) = measure(window, || {
+        let mut acc = 0.0;
+        for f in &features {
+            for ir in &loops {
+                acc += f.eval_with_budget(ir, BENCH_BUDGET).unwrap_or(0.0);
+            }
+        }
+        acc
+    });
+    let interp_all_eps = ip as f64 * per_pass / is;
+    let pool = EvalPool::new(loops.iter(), EvalEngine::Compiled);
+    let (pp, ps) = measure(window, || {
+        let mut acc = 0.0;
+        for f in &features {
+            for (i, v) in pool
+                .column(f, BENCH_BUDGET)
+                .unwrap_or_default()
+                .into_iter()
+                .enumerate()
+            {
+                acc += v + i as f64;
+            }
+        }
+        acc
+    });
+    let pool_eps = pp as f64 * per_pass / ps;
+    let pool_speedup = pool_eps / interp_all_eps;
+
+    let mut json = format!(
+        "{{\n  \"loops\": {},\n  \"budget\": {BENCH_BUDGET},\n  \"window_ms\": {},\n",
+        loops.len(),
+        window.as_millis(),
+    );
+    for (name, n, interp_eps, vm_eps, speedup) in &group_stats {
+        json.push_str(&format!(
+            "  \"{name}\": {{\n    \"features\": {n},\n    \
+             \"interp_evals_per_sec\": {interp_eps:.1},\n    \
+             \"vm_evals_per_sec\": {vm_eps:.1},\n    \"vm_speedup\": {speedup:.2}\n  }},\n",
+        ));
+    }
+    json.push_str(&format!(
+        "  \"pool_warm\": {{\n    \"features\": {},\n    \
+         \"interp_evals_per_sec\": {interp_all_eps:.1},\n    \
+         \"evals_per_sec\": {pool_eps:.1},\n    \"speedup\": {pool_speedup:.2}\n  }}\n}}\n",
+        features.len(),
+    ));
+    std::fs::write(&out, &json).map_err(|e| format!("writing `{out}`: {e}"))?;
+    println!("{} loops, budget {BENCH_BUDGET}", loops.len());
+    for (name, n, interp_eps, vm_eps, speedup) in &group_stats {
+        println!(
+            "{name:>20} ({n:>2}): interp {interp_eps:>10.0} ev/s, vm {vm_eps:>10.0} ev/s ({speedup:.1}x)"
+        );
+    }
+    println!(
+        "{:>20} ({:>2}): interp {interp_all_eps:>10.0} ev/s, pool {pool_eps:>10.0} ev/s ({pool_speedup:.1}x)",
+        "pool_warm",
+        features.len(),
+    );
+    println!("report written to {out}");
+    Ok(())
 }
 
 fn print_outcome(outcome: &SearchOutcome) {
