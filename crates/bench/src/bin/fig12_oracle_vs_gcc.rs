@@ -4,22 +4,47 @@
 //! Paper result shape: oracle average ≈ 1.05 with large variance across
 //! benchmarks (up to 1.28 on security_sha); GCC gains on a few benchmarks
 //! but **slows down 12 of 57**, the worst to 0.55.
+//!
+//! With `--dataset-dir DIR` the cycle tables come from (and missing ones
+//! are measured into) the persistent dataset store instead of being
+//! re-measured in memory.
 
-use fegen_bench::{build_suite_data, config_from_args, report};
 use fegen_bench::pipeline::mean;
+use fegen_bench::{config_from_args, dataset_dir_from_args, load_or_build_suite_data, report};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let config = config_from_args();
     eprintln!(
         "# generating suite + training data ({} benchmarks)...",
         config.suite.n_benchmarks
     );
-    let data = build_suite_data(&config);
+    let dataset_dir = dataset_dir_from_args();
+    let (data, quarantined) =
+        match load_or_build_suite_data(&config, dataset_dir.as_deref()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("fig12: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
     eprintln!("# {} loops measured", data.loops.len());
+    for q in &quarantined {
+        eprintln!("# quarantined: {q}");
+    }
     let sim = &config.oracle.sim;
 
-    let oracle = data.all_benchmark_speedups(&data.oracle_factors(), sim);
-    let gcc = data.all_benchmark_speedups(&data.gcc_factors(), sim);
+    let speedups = |factors: &[usize]| data.try_all_benchmark_speedups(factors, sim);
+    let (oracle, gcc) = match (
+        speedups(&data.oracle_factors()),
+        speedups(&data.gcc_factors()),
+    ) {
+        (Ok(o), Ok(g)) => (o, g),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("fig12: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let names: Vec<String> = data.benchmarks.iter().map(|b| b.name.clone()).collect();
 
     println!("== Figure 12: oracle vs GCC default heuristic, per benchmark ==");
@@ -54,4 +79,5 @@ fn main() {
     }
     let flat = oracle.iter().filter(|&&s| s < 1.005).count();
     println!("benchmarks where unrolling barely matters (<0.5%): {flat}");
+    ExitCode::SUCCESS
 }

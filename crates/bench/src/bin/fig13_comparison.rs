@@ -4,20 +4,39 @@
 //! plus the headline percent-of-maximum summary.
 //!
 //! Paper result shape: GCC ≈ 3% of max, stateML ≈ 59%, Ours ≈ 76%.
+//!
+//! With `--dataset-dir DIR` the cycle tables come from (and missing ones
+//! are measured into) the persistent dataset store instead of being
+//! re-measured in memory.
 
 use fegen_bench::methods::{predict_cv_ours, predict_cv_svm};
-use fegen_bench::{build_suite_data, config_from_args, report};
+use fegen_bench::{config_from_args, dataset_dir_from_args, load_or_build_suite_data, report};
 use fegen_ml::svm::SvmConfig;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig13: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let config = config_from_args();
     eprintln!("# generating suite + training data ({} benchmarks)...", config.suite.n_benchmarks);
-    let data = build_suite_data(&config);
+    let (data, quarantined) =
+        load_or_build_suite_data(&config, dataset_dir_from_args().as_deref())?;
     eprintln!("# {} loops measured", data.loops.len());
+    for q in &quarantined {
+        eprintln!("# quarantined: {q}");
+    }
     let sim = &config.oracle.sim;
 
-    let oracle = data.all_benchmark_speedups(&data.oracle_factors(), sim);
-    let gcc = data.all_benchmark_speedups(&data.gcc_factors(), sim);
+    let oracle = data.try_all_benchmark_speedups(&data.oracle_factors(), sim)?;
+    let gcc = data.try_all_benchmark_speedups(&data.gcc_factors(), sim)?;
 
     eprintln!("# training stateML SVM ({} folds)...", config.folds);
     let svm_factors = predict_cv_svm(
@@ -27,11 +46,11 @@ fn main() {
         config.seed,
         &SvmConfig::default(),
     );
-    let stateml = data.all_benchmark_speedups(&svm_factors, sim);
+    let stateml = data.try_all_benchmark_speedups(&svm_factors, sim)?;
 
     eprintln!("# running feature search ({} folds)...", config.folds);
     let ours_result = predict_cv_ours(&data, config.folds, config.seed, &config.search);
-    let ours = data.all_benchmark_speedups(&ours_result.factors, sim);
+    let ours = data.try_all_benchmark_speedups(&ours_result.factors, sim)?;
 
     let names: Vec<String> = data.benchmarks.iter().map(|b| b.name.clone()).collect();
     println!("== Figure 13: per-benchmark speedups ==");
@@ -57,4 +76,5 @@ fn main() {
             &[("GCC", &gcc), ("stateML", &stateml), ("Our", &ours)],
         )
     );
+    Ok(())
 }

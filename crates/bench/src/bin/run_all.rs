@@ -1,7 +1,7 @@
 //! Runs every figure binary in paper order, forwarding the CLI flags
-//! (`--paper`, `--seed N`, `--folds N`).
+//! (`--paper`, `--seed N`, `--folds N`, `--dataset-dir DIR`).
 
-use std::process::Command;
+use std::process::{Command, ExitCode};
 
 const BINARIES: [&str; 7] = [
     "fig02_motivating",
@@ -13,25 +13,37 @@ const BINARIES: [&str; 7] = [
     "fig16_best_features",
 ];
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let dir = std::env::current_exe()
-        .expect("current executable path")
-        .parent()
-        .expect("executable has a parent directory")
-        .to_path_buf();
+    let dir = match std::env::current_exe() {
+        Ok(exe) => match exe.parent() {
+            Some(d) => d.to_path_buf(),
+            None => {
+                eprintln!("run_all: executable path has no parent directory");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            eprintln!("run_all: cannot locate the current executable: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     for bin in BINARIES {
         println!();
         println!("########################################################");
         println!("## {bin}");
         println!("########################################################");
-        let status = Command::new(dir.join(bin))
-            .args(&args)
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        let status = match Command::new(dir.join(bin)).args(&args).status() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("run_all: failed to launch {bin}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         if !status.success() {
             eprintln!("{bin} exited with {status}");
-            std::process::exit(status.code().unwrap_or(1));
+            return ExitCode::from(status.code().unwrap_or(1).clamp(0, 255) as u8);
         }
     }
+    ExitCode::SUCCESS
 }

@@ -1,0 +1,575 @@
+//! The persistent, integrity-checked dataset store behind the measurement
+//! campaign.
+//!
+//! A dataset directory holds one *shard* per benchmark plus a tiny meta
+//! file:
+//!
+//! ```text
+//! <dataset-dir>/
+//!   dataset.json                 { version, fingerprint }
+//!   shards/
+//!     <benchmark>.shard.json     { checksum, shard: { ... } }
+//! ```
+//!
+//! Three disciplines make the store safe to kill, corrupt and resume:
+//!
+//! - **Identity.** Every shard (and the meta file) carries a fingerprint of
+//!   everything that determines the measured values — suite configuration,
+//!   oracle configuration, noise model, sampling policy and master seed —
+//!   computed with the same stable hash as `fegen-core`'s checkpoint
+//!   identities. A dataset produced under one configuration can never be
+//!   silently consumed by an experiment running another.
+//! - **Atomicity.** Shards are written to a temp file and renamed into
+//!   place, so a kill mid-write leaves either the previous shard or no
+//!   shard — never a half-written one.
+//! - **Integrity.** Each shard file wraps its payload with an FNV-1a
+//!   checksum over the payload's canonical JSON. A corrupted shard (torn
+//!   write, bitrot, injected [`FaultKind::CorruptWrite`]) is detected at
+//!   load and reported as [`DatasetError::Corrupt`]; the campaign re-
+//!   measures it instead of loading garbage.
+//!
+//! Only *measured* data lives in shards: per-site cycle tables, run
+//! counts, the baseline, and quarantine records. Everything derivable from
+//! the configuration (the programs, exported IR, hand features) is
+//! recomputed on load, exactly as `fegen-core::checkpoint` refuses to
+//! store derived state — small files, and nothing to de-synchronise.
+
+use fegen_core::{stable_hash, FaultInjector, FaultKind};
+use fegen_sim::OracleConfig;
+use fegen_suite::SuiteConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Format version written to and expected from dataset files.
+pub const DATASET_VERSION: u32 = 1;
+
+/// Meta file name inside a dataset directory.
+pub const META_FILE: &str = "dataset.json";
+
+/// Subdirectory holding the per-benchmark shards.
+pub const SHARD_DIR: &str = "shards";
+
+/// Suffix of every shard file.
+pub const SHARD_SUFFIX: &str = ".shard.json";
+
+/// A typed failure of the dataset store.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatasetError {
+    /// A file or directory could not be read or written.
+    Io {
+        /// Offending path.
+        path: PathBuf,
+        /// Operating-system error text.
+        detail: String,
+    },
+    /// A file exists but fails decoding or checksum verification.
+    Corrupt {
+        /// Offending path.
+        path: PathBuf,
+        /// What failed.
+        detail: String,
+    },
+    /// A file was written by an incompatible format version.
+    VersionMismatch {
+        /// Offending path.
+        path: PathBuf,
+        /// Version recorded in the file.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
+    /// The dataset belongs to a different campaign configuration; loading
+    /// it would silently mix incompatible measurements.
+    FingerprintMismatch {
+        /// Offending path.
+        path: PathBuf,
+        /// Fingerprint recorded in the file.
+        found: u64,
+        /// Fingerprint of the requesting configuration.
+        expected: u64,
+    },
+    /// A benchmark required by the experiment has no shard yet (the
+    /// campaign was interrupted before measuring it).
+    Incomplete {
+        /// Benchmarks without a valid shard.
+        missing: Vec<String>,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Io { path, detail } => {
+                write!(f, "dataset i/o error at {}: {detail}", path.display())
+            }
+            DatasetError::Corrupt { path, detail } => {
+                write!(f, "corrupt dataset file {}: {detail}", path.display())
+            }
+            DatasetError::VersionMismatch {
+                path,
+                found,
+                expected,
+            } => write!(
+                f,
+                "dataset file {} has format version {found}, this build expects {expected}",
+                path.display()
+            ),
+            DatasetError::FingerprintMismatch {
+                path,
+                found,
+                expected,
+            } => write!(
+                f,
+                "dataset file {} belongs to a different campaign \
+                 (fingerprint {found:#x}, expected {expected:#x})",
+                path.display()
+            ),
+            DatasetError::Incomplete { missing } => write!(
+                f,
+                "dataset is incomplete: {} benchmark(s) unmeasured ({}); \
+                 run `fegen measure --resume` to finish the campaign",
+                missing.len(),
+                missing.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+/// One measured loop site inside a shard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteData {
+    /// Containing function.
+    pub func: String,
+    /// Loop id within the function.
+    pub loop_id: usize,
+    /// Robust-mean cycle table over factors `0..=15`.
+    pub cycles: Vec<f64>,
+    /// Noisy runs averaged per factor (adaptive sampling's final counts).
+    pub runs: Vec<usize>,
+}
+
+/// One quarantined site or benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuarantineEntry {
+    /// Benchmark name.
+    pub bench: String,
+    /// Quarantined site (`func#loop`), or `None` when the whole benchmark
+    /// is quarantined.
+    pub site: Option<String>,
+    /// Measurement attempts performed before giving up.
+    pub attempts: usize,
+    /// Why the site/benchmark was quarantined (last error text, or the
+    /// deadline that expired).
+    pub reason: String,
+}
+
+impl fmt::Display for QuarantineEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.site {
+            Some(site) => write!(
+                f,
+                "{}:{site} after {} attempt(s): {}",
+                self.bench, self.attempts, self.reason
+            ),
+            None => write!(
+                f,
+                "{} (whole benchmark) after {} attempt(s): {}",
+                self.bench, self.attempts, self.reason
+            ),
+        }
+    }
+}
+
+/// Everything the campaign measured for one benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchShard {
+    /// Format version ([`DATASET_VERSION`]).
+    pub version: u32,
+    /// Campaign-configuration fingerprint.
+    pub fingerprint: u64,
+    /// Benchmark name.
+    pub bench: String,
+    /// Canonical suite index.
+    pub index: usize,
+    /// Baseline (no unrolling anywhere) total cycles; `None` when the
+    /// benchmark is quarantined.
+    pub baseline_cycles: Option<f64>,
+    /// Measured sites, in discovery order.
+    pub sites: Vec<SiteData>,
+    /// Sites (or the benchmark itself) excluded by graceful degradation.
+    pub quarantined: Vec<QuarantineEntry>,
+}
+
+/// On-disk wrapper: payload plus checksum over its canonical JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ShardFile {
+    /// FNV-1a over the compact JSON serialization of `shard`.
+    checksum: u64,
+    /// The payload.
+    shard: BenchShard,
+}
+
+/// Dataset meta file: identifies format and campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct DatasetMeta {
+    version: u32,
+    fingerprint: u64,
+}
+
+/// Stable fingerprint of everything that determines the measured values.
+/// Execution policy (jobs, retries, quarantine thresholds) is deliberately
+/// excluded: it changes how the campaign runs, never what a successful
+/// measurement contains.
+pub fn dataset_fingerprint(
+    suite: &SuiteConfig,
+    oracle: &OracleConfig,
+    sampling_identity: &str,
+    seed: u64,
+) -> u64 {
+    stable_hash(format!("{suite:?}|{oracle:?}|{sampling_identity}|{seed}").as_bytes())
+}
+
+/// A dataset directory opened for a specific campaign identity.
+#[derive(Debug, Clone)]
+pub struct DatasetStore {
+    dir: PathBuf,
+    fingerprint: u64,
+}
+
+impl DatasetStore {
+    /// Opens (creating if needed) `dir` for a campaign with the given
+    /// fingerprint. A meta file is written on first open; a later open
+    /// verifies it, so two differently-configured campaigns can never
+    /// interleave shards in one directory.
+    pub fn open(dir: &Path, fingerprint: u64) -> Result<DatasetStore, DatasetError> {
+        let io = |path: &Path, e: std::io::Error| DatasetError::Io {
+            path: path.to_path_buf(),
+            detail: e.to_string(),
+        };
+        let shard_dir = dir.join(SHARD_DIR);
+        std::fs::create_dir_all(&shard_dir).map_err(|e| io(&shard_dir, e))?;
+        let meta_path = dir.join(META_FILE);
+        if meta_path.exists() {
+            let text =
+                std::fs::read_to_string(&meta_path).map_err(|e| io(&meta_path, e))?;
+            let meta: DatasetMeta =
+                serde_json::from_str(&text).map_err(|e| DatasetError::Corrupt {
+                    path: meta_path.clone(),
+                    detail: e.to_string(),
+                })?;
+            if meta.version != DATASET_VERSION {
+                return Err(DatasetError::VersionMismatch {
+                    path: meta_path,
+                    found: meta.version,
+                    expected: DATASET_VERSION,
+                });
+            }
+            if meta.fingerprint != fingerprint {
+                return Err(DatasetError::FingerprintMismatch {
+                    path: meta_path,
+                    found: meta.fingerprint,
+                    expected: fingerprint,
+                });
+            }
+        } else {
+            let meta = DatasetMeta {
+                version: DATASET_VERSION,
+                fingerprint,
+            };
+            let text = serde_json::to_string_pretty(&meta).map_err(|e| DatasetError::Io {
+                path: meta_path.clone(),
+                detail: format!("serialization failed: {e}"),
+            })?;
+            atomic_write(&meta_path, text.as_bytes())?;
+        }
+        Ok(DatasetStore {
+            dir: dir.to_path_buf(),
+            fingerprint,
+        })
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The campaign fingerprint this store was opened with.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The shard path for a benchmark.
+    pub fn shard_path(&self, bench: &str) -> PathBuf {
+        self.dir.join(SHARD_DIR).join(format!("{bench}{SHARD_SUFFIX}"))
+    }
+
+    /// Whether any shard files exist (used to require `--resume` before
+    /// continuing into a half-built dataset).
+    pub fn has_shards(&self) -> bool {
+        std::fs::read_dir(self.dir.join(SHARD_DIR))
+            .map(|entries| {
+                entries.flatten().any(|e| {
+                    e.file_name()
+                        .to_string_lossy()
+                        .ends_with(SHARD_SUFFIX)
+                })
+            })
+            .unwrap_or(false)
+    }
+
+    /// Loads and verifies one benchmark's shard.
+    ///
+    /// `Ok(None)` means "not measured yet" (no file). Every other defect —
+    /// unreadable file, failed checksum, wrong version or fingerprint, a
+    /// payload disagreeing with its declared benchmark — is a typed error,
+    /// never a silently wrong result.
+    pub fn load_shard(&self, bench: &str) -> Result<Option<BenchShard>, DatasetError> {
+        let path = self.shard_path(bench);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(DatasetError::Io {
+                    path,
+                    detail: e.to_string(),
+                })
+            }
+        };
+        let file: ShardFile = serde_json::from_str(&text).map_err(|e| DatasetError::Corrupt {
+            path: path.clone(),
+            detail: e.to_string(),
+        })?;
+        let canonical = serde_json::to_string(&file.shard).map_err(|e| DatasetError::Corrupt {
+            path: path.clone(),
+            detail: format!("re-serialization failed: {e}"),
+        })?;
+        let computed = stable_hash(canonical.as_bytes());
+        if computed != file.checksum {
+            return Err(DatasetError::Corrupt {
+                path,
+                detail: format!(
+                    "checksum mismatch: file declares {:#x}, payload hashes to {computed:#x}",
+                    file.checksum
+                ),
+            });
+        }
+        if file.shard.version != DATASET_VERSION {
+            return Err(DatasetError::VersionMismatch {
+                path,
+                found: file.shard.version,
+                expected: DATASET_VERSION,
+            });
+        }
+        if file.shard.fingerprint != self.fingerprint {
+            return Err(DatasetError::FingerprintMismatch {
+                path,
+                found: file.shard.fingerprint,
+                expected: self.fingerprint,
+            });
+        }
+        if file.shard.bench != bench {
+            return Err(DatasetError::Corrupt {
+                path,
+                detail: format!(
+                    "shard declares benchmark `{}`, expected `{bench}`",
+                    file.shard.bench
+                ),
+            });
+        }
+        Ok(Some(file.shard))
+    }
+
+    /// Writes one benchmark's shard atomically (temp file + rename).
+    ///
+    /// When a fault injector is supplied, a [`FaultKind::CorruptWrite`]
+    /// plan firing on `shard-write:<bench>` scribbles over the committed
+    /// bytes — the deterministic stand-in for bitrot that the corruption-
+    /// detection tests rely on — and a [`FaultKind::Delay`] stalls the
+    /// write.
+    pub fn write_shard(
+        &self,
+        shard: &BenchShard,
+        faults: Option<&FaultInjector>,
+    ) -> Result<PathBuf, DatasetError> {
+        let path = self.shard_path(&shard.bench);
+        let canonical = serde_json::to_string(shard).map_err(|e| DatasetError::Io {
+            path: path.clone(),
+            detail: format!("serialization failed: {e}"),
+        })?;
+        let file = ShardFile {
+            checksum: stable_hash(canonical.as_bytes()),
+            shard: shard.clone(),
+        };
+        let text = serde_json::to_string_pretty(&file).map_err(|e| DatasetError::Io {
+            path: path.clone(),
+            detail: format!("serialization failed: {e}"),
+        })?;
+        let fault = faults.and_then(|f| f.fire(&format!("shard-write:{}", shard.bench)));
+        if let Some(FaultKind::Delay(ms)) = fault {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+        atomic_write(&path, text.as_bytes())?;
+        if let Some(FaultKind::CorruptWrite) = fault {
+            // Scribble over the middle of the committed file: the length
+            // stays plausible, the checksum no longer verifies.
+            let mut bytes = text.into_bytes();
+            let mid = bytes.len() / 2;
+            for b in bytes.iter_mut().skip(mid).take(16) {
+                *b = b'#';
+            }
+            std::fs::write(&path, &bytes).map_err(|e| DatasetError::Io {
+                path: path.clone(),
+                detail: e.to_string(),
+            })?;
+        }
+        Ok(path)
+    }
+}
+
+/// Temp-file-plus-rename write in the target's directory.
+fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), DatasetError> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes).map_err(|e| DatasetError::Io {
+        path: tmp.clone(),
+        detail: e.to_string(),
+    })?;
+    std::fs::rename(&tmp, path).map_err(|e| DatasetError::Io {
+        path: path.to_path_buf(),
+        detail: e.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_shard(fingerprint: u64) -> BenchShard {
+        BenchShard {
+            version: DATASET_VERSION,
+            fingerprint,
+            bench: "adpcm_encode".into(),
+            index: 0,
+            baseline_cycles: Some(123456.0),
+            sites: vec![SiteData {
+                func: "kernel0".into(),
+                loop_id: 1,
+                cycles: (0..16).map(|k| 1000.0 - k as f64).collect(),
+                runs: vec![40; 16],
+            }],
+            quarantined: vec![],
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "fegen-dataset-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn shard_roundtrip_verifies() {
+        let dir = temp_dir("roundtrip");
+        let store = DatasetStore::open(&dir, 42).unwrap();
+        let shard = sample_shard(42);
+        store.write_shard(&shard, None).unwrap();
+        assert_eq!(store.load_shard("adpcm_encode").unwrap(), Some(shard));
+        assert_eq!(store.load_shard("missing_bench").unwrap(), None);
+        assert!(store.has_shards());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let dir = temp_dir("corrupt");
+        let store = DatasetStore::open(&dir, 42).unwrap();
+        let shard = sample_shard(42);
+        let path = store.write_shard(&shard, None).unwrap();
+        // Flip a digit inside the payload: still valid JSON, wrong data.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let tampered = text.replacen("1000", "1001", 1);
+        assert_ne!(text, tampered, "tamper target not found");
+        std::fs::write(&path, tampered).unwrap();
+        let err = store.load_shard("adpcm_encode").unwrap_err();
+        assert!(
+            matches!(err, DatasetError::Corrupt { ref detail, .. } if detail.contains("checksum")),
+            "{err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_shard_is_corrupt_not_fatal() {
+        let dir = temp_dir("truncated");
+        let store = DatasetStore::open(&dir, 42).unwrap();
+        let path = store.write_shard(&sample_shard(42), None).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert!(matches!(
+            store.load_shard("adpcm_encode"),
+            Err(DatasetError::Corrupt { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_fingerprint_is_rejected_at_open() {
+        let dir = temp_dir("fingerprint");
+        let _store = DatasetStore::open(&dir, 42).unwrap();
+        let err = DatasetStore::open(&dir, 43).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DatasetError::FingerprintMismatch {
+                    found: 42,
+                    expected: 43,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_corrupt_write_defeats_the_checksum() {
+        use fegen_core::{FaultPlan, FaultTrigger};
+        let dir = temp_dir("injected");
+        let store = DatasetStore::open(&dir, 42).unwrap();
+        let injector = FaultInjector::new(vec![FaultPlan {
+            trigger: FaultTrigger::OnKeyPrefix("shard-write:adpcm_encode".into()),
+            kind: FaultKind::CorruptWrite,
+        }]);
+        store.write_shard(&sample_shard(42), Some(&injector)).unwrap();
+        assert_eq!(injector.injected(), 1);
+        assert!(matches!(
+            store.load_shard("adpcm_encode"),
+            Err(DatasetError::Corrupt { .. })
+        ));
+        // Re-writing without the fault repairs the shard.
+        store.write_shard(&sample_shard(42), None).unwrap();
+        assert!(store.load_shard("adpcm_encode").unwrap().is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_identity_input() {
+        let suite = SuiteConfig::tiny();
+        let oracle = OracleConfig::default();
+        let base = dataset_fingerprint(&suite, &oracle, "sampling-v1", 7);
+        assert_eq!(base, dataset_fingerprint(&suite, &oracle, "sampling-v1", 7));
+        let mut other_suite = suite.clone();
+        other_suite.n_benchmarks += 1;
+        assert_ne!(base, dataset_fingerprint(&other_suite, &oracle, "sampling-v1", 7));
+        let mut other_oracle = oracle.clone();
+        other_oracle.max_factor = 7;
+        assert_ne!(base, dataset_fingerprint(&suite, &other_oracle, "sampling-v1", 7));
+        assert_ne!(base, dataset_fingerprint(&suite, &oracle, "sampling-v2", 7));
+        assert_ne!(base, dataset_fingerprint(&suite, &oracle, "sampling-v1", 8));
+    }
+}

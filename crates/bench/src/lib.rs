@@ -17,12 +17,21 @@
 //!
 //! All binaries accept `--paper` for paper-scale budgets (hours) and
 //! default to a `--quick` preset (minutes) that preserves the experimental
-//! protocol at reduced scale. Pass `--seed N` to change the master seed.
+//! protocol at reduced scale. Pass `--seed N` to change the master seed,
+//! and `--dataset-dir DIR` to measure through the persistent dataset store
+//! (see [`campaign`]) instead of re-measuring in memory.
 
+pub mod campaign;
+pub mod dataset;
 pub mod methods;
 pub mod pipeline;
 pub mod report;
 
+pub use campaign::{
+    campaign_fingerprint, load_suite_data, run_campaign, CampaignConfig, CampaignError,
+    CampaignReport, SamplingPolicy,
+};
+pub use dataset::{DatasetError, DatasetStore, QuarantineEntry};
 pub use pipeline::{
     build_suite_data, try_build_suite_data, ExperimentConfig, LoopRecord, PipelineError,
     SuiteData,
@@ -54,4 +63,48 @@ pub fn config_from_args() -> ExperimentConfig {
         }
     }
     config
+}
+
+/// Parses the optional `--dataset-dir DIR` flag shared by the figure
+/// binaries.
+pub fn dataset_dir_from_args() -> Option<std::path::PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--dataset-dir" {
+            return it.next().map(std::path::PathBuf::from);
+        }
+    }
+    None
+}
+
+/// Builds [`SuiteData`] either in memory (no dataset directory: the
+/// original `try_build_suite_data` path, exact simulation, no noise) or
+/// through the persistent dataset store: open (or create) the dataset,
+/// run the campaign for any benchmark not yet measured, then load the
+/// stored cycle tables. Returns the data plus the quarantine entries
+/// excluded from it (always empty on the in-memory path).
+pub fn load_or_build_suite_data(
+    config: &ExperimentConfig,
+    dataset_dir: Option<&std::path::Path>,
+) -> Result<(SuiteData, Vec<QuarantineEntry>), CampaignError> {
+    let Some(dir) = dataset_dir else {
+        let data = try_build_suite_data(config)?;
+        return Ok((data, Vec::new()));
+    };
+    let sampling = SamplingPolicy::default();
+    let store = DatasetStore::open(dir, campaign_fingerprint(config, &sampling))?;
+    let campaign = CampaignConfig {
+        sampling,
+        ..CampaignConfig::default()
+    };
+    let cancel = fegen_core::CancelToken::new();
+    let report = run_campaign(config, &campaign, &store, None, &cancel)?;
+    if report.measured > 0 {
+        eprintln!(
+            "# dataset: measured {} benchmark(s), reused {}",
+            report.measured, report.resumed
+        );
+    }
+    load_suite_data(config, &store)
 }

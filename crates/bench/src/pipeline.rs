@@ -380,6 +380,17 @@ impl SuiteData {
             .collect()
     }
 
+    /// Fallible form of [`SuiteData::all_benchmark_speedups`].
+    pub fn try_all_benchmark_speedups(
+        &self,
+        factors: &[usize],
+        sim: &SimConfig,
+    ) -> Result<Vec<f64>, PipelineError> {
+        (0..self.benchmarks.len())
+            .map(|b| self.try_benchmark_speedup(b, factors, sim))
+            .collect()
+    }
+
     /// The factor assignment of the oracle (per-loop argmin).
     pub fn oracle_factors(&self) -> Vec<usize> {
         self.loops.iter().map(LoopRecord::best_factor).collect()

@@ -1,5 +1,7 @@
-//! Terminal reporting: the figures as ASCII bar charts and tables.
+//! Terminal reporting: the figures as ASCII bar charts and tables, plus
+//! the measurement-campaign summary.
 
+use crate::campaign::CampaignReport;
 use crate::pipeline::mean;
 use fegen_ml::metrics::percent_of_max;
 use std::fmt::Write;
@@ -68,6 +70,40 @@ pub fn percent_of_max_summary(oracle: &[f64], methods: &[(&str, &[f64])]) -> Str
     out
 }
 
+/// Renders the outcome of a measurement campaign: what was measured,
+/// reused, repaired and quarantined. The quarantine section names every
+/// excluded site/benchmark with its attempt count and last error, so a
+/// degraded campaign is loud about what the dataset is missing.
+pub fn campaign_summary(report: &CampaignReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "campaign: {} benchmark(s) — {} measured, {} reused from the dataset",
+        report.total, report.measured, report.resumed
+    );
+    let _ = writeln!(
+        out,
+        "sites measured: {} ({} retried attempt(s), {} cell(s) escalated sampling)",
+        report.sites_measured, report.retries, report.escalated_cells
+    );
+    if !report.remeasured_corrupt.is_empty() {
+        let _ = writeln!(
+            out,
+            "corrupt shard(s) detected and re-measured: {}",
+            report.remeasured_corrupt.join(", ")
+        );
+    }
+    if report.quarantined.is_empty() {
+        let _ = writeln!(out, "quarantine: empty");
+    } else {
+        let _ = writeln!(out, "quarantine ({} entries):", report.quarantined.len());
+        for q in &report.quarantined {
+            let _ = writeln!(out, "  {q}");
+        }
+    }
+    out
+}
+
 /// Formats the Figure 2(b)-style row.
 pub fn fig2_row(method: &str, factor: usize, cycles: f64, baseline: f64, oracle: f64) -> String {
     let speedup = baseline / cycles;
@@ -103,6 +139,33 @@ mod tests {
         let s = percent_of_max_summary(&oracle, &[("ours", &ours)]);
         assert!(s.contains("% of max"));
         assert!(s.contains("1.06")); // oracle mean
+    }
+
+    #[test]
+    fn campaign_summary_names_the_quarantined() {
+        use crate::dataset::QuarantineEntry;
+        let report = CampaignReport {
+            total: 3,
+            measured: 2,
+            resumed: 1,
+            remeasured_corrupt: vec!["epic_bench".into()],
+            quarantined: vec![QuarantineEntry {
+                bench: "adpcm_encode".into(),
+                site: Some("kernel0#1".into()),
+                attempts: 3,
+                reason: "panicked: injected".into(),
+            }],
+            sites_measured: 7,
+            retries: 2,
+            escalated_cells: 1,
+        };
+        let s = campaign_summary(&report);
+        assert!(s.contains("2 measured"));
+        assert!(s.contains("epic_bench"));
+        assert!(s.contains("adpcm_encode:kernel0#1"));
+        assert!(s.contains("3 attempt(s)"));
+        let clean = campaign_summary(&CampaignReport::default());
+        assert!(clean.contains("quarantine: empty"));
     }
 
     #[test]

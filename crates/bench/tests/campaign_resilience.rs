@@ -1,0 +1,423 @@
+//! Fault-injection proof of the measurement campaign's resilience
+//! guarantees:
+//!
+//! - a killed campaign resumes into a dataset byte-identical to an
+//!   uninterrupted run's, at any `--jobs` count;
+//! - a corrupted shard is detected, reported and re-measured — never
+//!   silently loaded;
+//! - a persistently failing site (or benchmark) is quarantined and the
+//!   campaign still completes, naming it in the report;
+//! - transient faults are retried away without changing the measured
+//!   values.
+
+use fegen_bench::campaign::{
+    campaign_fingerprint, load_suite_data, run_campaign, CampaignConfig, CampaignError,
+    CampaignReport, SamplingPolicy,
+};
+use fegen_bench::dataset::DatasetStore;
+use fegen_bench::pipeline::{try_compile, ExperimentConfig};
+use fegen_core::{CancelToken, FaultInjector, FaultKind, FaultPlan, FaultTrigger};
+use fegen_sim::measure::NoiseModel;
+use fegen_sim::oracle::loop_sites;
+use fegen_suite::SuiteConfig;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn tiny_experiment() -> ExperimentConfig {
+    let mut config = ExperimentConfig::quick();
+    config.suite = SuiteConfig::tiny();
+    config
+}
+
+fn tiny_campaign(jobs: usize) -> CampaignConfig {
+    CampaignConfig {
+        jobs,
+        retry: 2,
+        quarantine_after: 2,
+        backoff: Duration::from_millis(1),
+        site_deadline: Duration::from_secs(30),
+        sampling: SamplingPolicy {
+            noise: NoiseModel::default(),
+            base_runs: 8,
+            max_runs: 16,
+            target_log_iqr: 0.1,
+        },
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "fegen-campaign-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open_store(dir: &std::path::Path, experiment: &ExperimentConfig, jobs: usize) -> DatasetStore {
+    let fp = campaign_fingerprint(experiment, &tiny_campaign(jobs).sampling);
+    DatasetStore::open(dir, fp).expect("open store")
+}
+
+fn bench_names(experiment: &ExperimentConfig) -> Vec<String> {
+    fegen_suite::generate_suite(&experiment.suite)
+        .iter()
+        .map(|b| b.name.clone())
+        .collect()
+}
+
+/// First loop site of benchmark `idx`, as its `func#loop` display string.
+fn first_site_of(experiment: &ExperimentConfig, idx: usize) -> String {
+    let suite = fegen_suite::generate_suite(&experiment.suite);
+    let cb = try_compile(&suite[idx]).expect("tiny suite compiles");
+    loop_sites(&cb.rtl, &cb.workload)
+        .first()
+        .expect("tiny benchmarks have loops")
+        .to_string()
+}
+
+fn shard_bytes(store: &DatasetStore, names: &[String]) -> Vec<Vec<u8>> {
+    names
+        .iter()
+        .map(|n| std::fs::read(store.shard_path(n)).expect("shard exists"))
+        .collect()
+}
+
+fn run_clean(
+    experiment: &ExperimentConfig,
+    dir: &std::path::Path,
+    jobs: usize,
+) -> (DatasetStore, CampaignReport) {
+    let store = open_store(dir, experiment, jobs);
+    let report = run_campaign(
+        experiment,
+        &tiny_campaign(jobs),
+        &store,
+        None,
+        &CancelToken::new(),
+    )
+    .expect("campaign completes");
+    (store, report)
+}
+
+#[test]
+fn uninterrupted_campaign_completes_and_loads() {
+    let experiment = tiny_experiment();
+    let dir = temp_dir("clean");
+    let (store, report) = run_clean(&experiment, &dir, 1);
+    assert_eq!(report.total, 3);
+    assert_eq!(report.measured, 3);
+    assert_eq!(report.resumed, 0);
+    assert!(report.quarantined.is_empty(), "{:?}", report.quarantined);
+    assert!(report.sites_measured > 0);
+
+    let (data, quarantined) = load_suite_data(&experiment, &store).expect("loads");
+    assert!(quarantined.is_empty());
+    assert_eq!(data.benchmarks.len(), 3);
+    assert_eq!(data.loops.len(), report.sites_measured);
+    for l in &data.loops {
+        assert_eq!(l.cycles.len(), 16);
+        assert!(l.cycles.iter().all(|c| c.is_finite() && *c > 0.0));
+        assert_eq!(l.gcc_feats.len(), 6);
+        assert_eq!(l.stateml_feats.len(), 22);
+    }
+    // Re-running is a pure resume: nothing re-measured, bytes untouched.
+    let names = bench_names(&experiment);
+    let before = shard_bytes(&store, &names);
+    let report2 = run_campaign(
+        &experiment,
+        &tiny_campaign(1),
+        &store,
+        None,
+        &CancelToken::new(),
+    )
+    .expect("resume of a complete dataset");
+    assert_eq!(report2.measured, 0);
+    assert_eq!(report2.resumed, 3);
+    assert_eq!(shard_bytes(&store, &names), before);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kill_and_resume_is_byte_identical_at_any_job_count() {
+    let experiment = tiny_experiment();
+    let names = bench_names(&experiment);
+
+    // Reference: uninterrupted, single worker.
+    let ref_dir = temp_dir("ref");
+    let (ref_store, _) = run_clean(&experiment, &ref_dir, 1);
+    let reference = shard_bytes(&ref_store, &names);
+
+    // Victim: cancelled while setting up the second benchmark ("the
+    // process was killed here"), then resumed with three workers.
+    let dir = temp_dir("killed");
+    let store = open_store(&dir, &experiment, 1);
+    let injector = FaultInjector::new(vec![FaultPlan {
+        trigger: FaultTrigger::OnKeyPrefix(format!("setup:{}", names[1])),
+        kind: FaultKind::Cancel,
+    }]);
+    let cancel = injector.cancel_token();
+    let err = run_campaign(
+        &experiment,
+        &tiny_campaign(1),
+        &store,
+        Some(&injector),
+        &cancel,
+    )
+    .expect_err("cancellation interrupts the campaign");
+    match err {
+        CampaignError::Interrupted { completed, total } => {
+            assert_eq!(total, 3);
+            assert_eq!(completed, 1, "only the first benchmark finished");
+        }
+        other => panic!("expected Interrupted, got {other}"),
+    }
+
+    let report = run_campaign(
+        &experiment,
+        &tiny_campaign(3),
+        &store,
+        None,
+        &CancelToken::new(),
+    )
+    .expect("resume completes");
+    assert_eq!(report.resumed, 1);
+    assert_eq!(report.measured, 2);
+    assert_eq!(
+        shard_bytes(&store, &names),
+        reference,
+        "resumed dataset must be byte-identical to the uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_shard_is_detected_and_remeasured() {
+    let experiment = tiny_experiment();
+    let names = bench_names(&experiment);
+    let dir = temp_dir("bitrot");
+    let (store, _) = run_clean(&experiment, &dir, 1);
+    let pristine = shard_bytes(&store, &names);
+
+    // Bitrot: flip one digit inside the first shard's payload.
+    let path = store.shard_path(&names[0]);
+    let text = std::fs::read_to_string(&path).unwrap();
+    let first_digit = text
+        .char_indices()
+        .find(|(i, c)| c.is_ascii_digit() && text[*i + 1..].starts_with(|d: char| d.is_ascii_digit()))
+        .map(|(i, _)| i)
+        .expect("shard contains numbers");
+    let mut bytes = text.into_bytes();
+    bytes[first_digit] = if bytes[first_digit] == b'9' { b'8' } else { b'9' };
+    std::fs::write(&path, &bytes).unwrap();
+
+    // Loading refuses the corrupt shard...
+    let err = load_suite_data(&experiment, &store).expect_err("corruption must not load");
+    assert!(
+        matches!(
+            err,
+            CampaignError::Dataset(fegen_bench::DatasetError::Corrupt { .. })
+        ),
+        "{err}"
+    );
+
+    // ...and the campaign re-measures exactly that benchmark, restoring
+    // byte-identical data.
+    let report = run_campaign(
+        &experiment,
+        &tiny_campaign(1),
+        &store,
+        None,
+        &CancelToken::new(),
+    )
+    .expect("repair run completes");
+    assert_eq!(report.remeasured_corrupt, vec![names[0].clone()]);
+    assert_eq!(report.measured, 1);
+    assert_eq!(report.resumed, 2);
+    assert_eq!(shard_bytes(&store, &names), pristine);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn injected_corrupt_write_is_caught_on_the_next_pass() {
+    let experiment = tiny_experiment();
+    let names = bench_names(&experiment);
+    let dir = temp_dir("corrupt-write");
+    let store = open_store(&dir, &experiment, 1);
+    let injector = FaultInjector::new(vec![FaultPlan {
+        trigger: FaultTrigger::OnKeyPrefix(format!("shard-write:{}", names[2])),
+        kind: FaultKind::CorruptWrite,
+    }]);
+    // The final verification pass re-reads every shard, catches the
+    // corrupted one, and refuses to report success.
+    let err = run_campaign(
+        &experiment,
+        &tiny_campaign(1),
+        &store,
+        Some(&injector),
+        &CancelToken::new(),
+    )
+    .expect_err("a corrupted write must not count as completion");
+    assert!(
+        matches!(err, CampaignError::Interrupted { completed: 2, total: 3 }),
+        "{err}"
+    );
+    assert_eq!(injector.injected(), 1);
+
+    let report = run_campaign(
+        &experiment,
+        &tiny_campaign(1),
+        &store,
+        None,
+        &CancelToken::new(),
+    )
+    .expect("repair run completes");
+    assert_eq!(report.remeasured_corrupt, vec![names[2].clone()]);
+    assert!(load_suite_data(&experiment, &store).is_ok());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn persistently_failing_site_is_quarantined_and_campaign_completes() {
+    let experiment = tiny_experiment();
+    let names = bench_names(&experiment);
+    let site = first_site_of(&experiment, 0);
+    let dir = temp_dir("quarantine-site");
+    let store = open_store(&dir, &experiment, 1);
+    let injector = FaultInjector::new(vec![FaultPlan {
+        trigger: FaultTrigger::OnKeyPrefix(format!("measure:{}:{site}", names[0])),
+        kind: FaultKind::Panic,
+    }]);
+    let report = run_campaign(
+        &experiment,
+        &tiny_campaign(1),
+        &store,
+        Some(&injector),
+        &CancelToken::new(),
+    )
+    .expect("the campaign must complete on the surviving data");
+    assert_eq!(report.measured, 3, "every benchmark still gets a shard");
+    let entry = report
+        .quarantined
+        .iter()
+        .find(|q| q.site.as_deref() == Some(site.as_str()))
+        .expect("the failing site is named in the report");
+    assert_eq!(entry.bench, names[0]);
+    assert_eq!(entry.attempts, 2, "retry budget was spent");
+    assert!(entry.reason.contains("panicked"), "{}", entry.reason);
+
+    // The dataset loads; the quarantined site is excluded, its benchmark
+    // survives.
+    let (data, quarantined) = load_suite_data(&experiment, &store).expect("loads");
+    assert_eq!(data.benchmarks.len(), 3);
+    assert!(quarantined.iter().any(|q| q.site.as_deref() == Some(site.as_str())));
+    assert!(
+        !data
+            .loops
+            .iter()
+            .any(|l| data.benchmarks[l.bench].name == names[0] && l.site.to_string() == site),
+        "quarantined site leaked into the dataset"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn failing_benchmark_is_quarantined_whole_and_report_names_it() {
+    let experiment = tiny_experiment();
+    let names = bench_names(&experiment);
+    let dir = temp_dir("quarantine-bench");
+    let store = open_store(&dir, &experiment, 1);
+    let injector = FaultInjector::new(vec![FaultPlan {
+        trigger: FaultTrigger::OnKeyPrefix(format!("setup:{}", names[2])),
+        kind: FaultKind::Panic,
+    }]);
+    let report = run_campaign(
+        &experiment,
+        &tiny_campaign(1),
+        &store,
+        Some(&injector),
+        &CancelToken::new(),
+    )
+    .expect("campaign completes");
+    let entry = report
+        .quarantined
+        .iter()
+        .find(|q| q.bench == names[2] && q.site.is_none())
+        .expect("whole-benchmark quarantine reported");
+    assert!(entry.reason.contains("setup"), "{}", entry.reason);
+
+    let (data, quarantined) = load_suite_data(&experiment, &store).expect("loads");
+    assert_eq!(data.benchmarks.len(), 2, "quarantined benchmark excluded");
+    assert!(data.benchmarks.iter().all(|b| b.name != names[2]));
+    assert!(quarantined.iter().any(|q| q.bench == names[2]));
+    // Surviving records reference the surviving benchmarks only.
+    for l in &data.loops {
+        assert!(l.bench < data.benchmarks.len());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn delay_fault_exhausts_the_deadline_and_quarantines() {
+    let experiment = tiny_experiment();
+    let names = bench_names(&experiment);
+    let site = first_site_of(&experiment, 1);
+    let dir = temp_dir("deadline");
+    let store = open_store(&dir, &experiment, 1);
+    let injector = FaultInjector::new(vec![FaultPlan {
+        trigger: FaultTrigger::OnKeyPrefix(format!("measure:{}:{site}", names[1])),
+        kind: FaultKind::Delay(40),
+    }]);
+    let mut campaign = tiny_campaign(1);
+    campaign.site_deadline = Duration::from_millis(20);
+    let report = run_campaign(&experiment, &campaign, &store, Some(&injector), &CancelToken::new())
+        .expect("campaign completes");
+    let entry = report
+        .quarantined
+        .iter()
+        .find(|q| q.site.as_deref() == Some(site.as_str()))
+        .expect("stalled site quarantined");
+    assert!(entry.reason.contains("deadline"), "{}", entry.reason);
+    assert!(entry.reason.contains("stalled"), "{}", entry.reason);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn transient_nan_fault_is_retried_without_changing_the_data() {
+    let experiment = tiny_experiment();
+    let names = bench_names(&experiment);
+    let site = first_site_of(&experiment, 0);
+
+    let ref_dir = temp_dir("nan-ref");
+    let (ref_store, _) = run_clean(&experiment, &ref_dir, 1);
+    let reference = shard_bytes(&ref_store, &names);
+
+    // The NaN fault hits only attempt #1 of one site: every reading of
+    // that attempt is garbage, the robust statistics refuse it, and the
+    // retry measures clean — the stored bytes must not change at all.
+    let dir = temp_dir("nan");
+    let store = open_store(&dir, &experiment, 1);
+    let injector = FaultInjector::new(vec![FaultPlan {
+        trigger: FaultTrigger::OnKeyPrefix(format!("measure:{}:{site}#a1", names[0])),
+        kind: FaultKind::NanFitness,
+    }]);
+    let report = run_campaign(
+        &experiment,
+        &tiny_campaign(1),
+        &store,
+        Some(&injector),
+        &CancelToken::new(),
+    )
+    .expect("campaign completes");
+    assert_eq!(injector.injected(), 1);
+    assert!(report.retries >= 1, "the poisoned attempt was retried");
+    assert!(report.quarantined.is_empty(), "{:?}", report.quarantined);
+    assert_eq!(
+        shard_bytes(&store, &names),
+        reference,
+        "retries must not perturb the measured values"
+    );
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,4 +1,4 @@
-//! Deterministic fault injection for the search runtime.
+//! Deterministic fault injection for the search and measurement runtimes.
 //!
 //! The integration tests (and any soak harness) need to *prove* that the
 //! engine survives misbehaving evaluators: a fitness function that panics,
@@ -13,6 +13,18 @@
 //!   hashes into a residue class — a property of the *candidate*, so the
 //!   same individuals fail regardless of thread count or evaluation order.
 //!   This is what the determinism tests use.
+//! - [`FaultTrigger::OnKeyPrefix`] fires on every event whose key starts
+//!   with a given prefix — the natural trigger for non-fitness layers
+//!   (measurement workers key events as `measure:<bench>:<site>`, the
+//!   dataset store as `shard-write:<bench>`), where a test wants *one
+//!   specific* benchmark or site to fail persistently.
+//!
+//! Beyond the evaluator faults, two kinds model the I/O layer: a
+//! [`FaultKind::CorruptWrite`] tells a store to scribble over the bytes it
+//! just committed (torn write, bitrot), and a [`FaultKind::Delay`] stalls
+//! the stage for a bounded time so deadline/watchdog logic can be driven
+//! deterministically. Layers other than the fitness path consult the
+//! injector directly through [`FaultInjector::fire`].
 //!
 //! [`CancelToken`] is the cooperative cancellation primitive the
 //! [`crate::search::SearchDriver`] polls between GP generations; a
@@ -61,10 +73,18 @@ pub enum FaultKind {
     /// interrupted run's state matches an uninterrupted run's state at the
     /// same point — the property the resume tests rely on.
     Cancel,
+    /// Stall the stage for the given number of milliseconds before it
+    /// proceeds (or, in layers with a watchdog, before the attempt is
+    /// abandoned as hung). Deterministic stand-in for a wedged I/O path or
+    /// an overloaded machine.
+    Delay(u64),
+    /// Corrupt the bytes a store just committed (torn write, bitrot). Only
+    /// meaningful to I/O layers; the fitness path treats it as a no-op.
+    CorruptWrite,
 }
 
 /// When a plan fires.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FaultTrigger {
     /// Fire on the `n`th fitness call (1-based), once.
     OnCall(u64),
@@ -76,10 +96,15 @@ pub enum FaultTrigger {
         /// Residue class that triggers the fault.
         residue: u64,
     },
+    /// Fire on every event whose key starts with the prefix. Keys are the
+    /// candidate's expression text on the fitness path, and structured
+    /// `stage:detail` strings elsewhere (`measure:<bench>:<site>`,
+    /// `shard-write:<bench>`), so a test can target one site or shard.
+    OnKeyPrefix(String),
 }
 
 /// One injection rule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultPlan {
     /// When to fire.
     pub trigger: FaultTrigger,
@@ -104,6 +129,14 @@ pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
         h = (h ^ b as u64).wrapping_mul(0x100000001b3);
     }
     h
+}
+
+/// The runtime's stable content hash (FNV-1a), shared by every identity
+/// fingerprint and checksum in the workspace: checkpoint identities,
+/// dataset-shard checksums, per-site noise seeds. Stable across platforms
+/// and releases — files hashed with it remain verifiable forever.
+pub fn stable_hash(bytes: &[u8]) -> u64 {
+    fnv1a(bytes)
 }
 
 impl FaultInjector {
@@ -141,15 +174,20 @@ impl FaultInjector {
         }
     }
 
-    fn decide(&self, key: &str) -> Option<FaultKind> {
+    /// Reports one event keyed `key` and returns the fault to inject, if
+    /// any plan fires (checked in order; first match wins). The fitness
+    /// path calls this with the candidate's expression text; measurement
+    /// and store layers call it directly with structured keys.
+    pub fn fire(&self, key: &str) -> Option<FaultKind> {
         let call = self.calls.fetch_add(1, Ordering::SeqCst) + 1;
         let hash = fnv1a(key.as_bytes());
         for plan in &self.plans {
-            let fires = match plan.trigger {
-                FaultTrigger::OnCall(n) => call == n,
+            let fires = match &plan.trigger {
+                FaultTrigger::OnCall(n) => call == *n,
                 FaultTrigger::OnMatch { modulus, residue } => {
-                    modulus > 0 && hash % modulus == residue % modulus
+                    *modulus > 0 && hash % *modulus == *residue % *modulus
                 }
+                FaultTrigger::OnKeyPrefix(prefix) => key.starts_with(prefix.as_str()),
             };
             if fires {
                 self.injected.fetch_add(1, Ordering::SeqCst);
@@ -168,7 +206,7 @@ pub struct InjectedFitness<'a, F> {
 
 impl<F: FitnessFn> FitnessFn for InjectedFitness<'_, F> {
     fn fitness(&self, expr: &FeatureExpr) -> Option<f64> {
-        match self.injector.decide(&expr.to_string()) {
+        match self.injector.fire(&expr.to_string()) {
             Some(FaultKind::Panic) => panic!("injected fault: evaluator panic"),
             Some(FaultKind::ExhaustBudget) => None,
             Some(FaultKind::NanFitness) => Some(f64::NAN),
@@ -176,7 +214,12 @@ impl<F: FitnessFn> FitnessFn for InjectedFitness<'_, F> {
                 self.injector.cancel.cancel();
                 self.inner.fitness(expr)
             }
-            None => self.inner.fitness(expr),
+            Some(FaultKind::Delay(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                self.inner.fitness(expr)
+            }
+            // An I/O fault has nothing to corrupt on the fitness path.
+            Some(FaultKind::CorruptWrite) | None => self.inner.fitness(expr),
         }
     }
 }
@@ -238,6 +281,41 @@ mod tests {
         // must not perturb search state relative to an uninterrupted run.
         assert_eq!(wrapped.fitness(&feature("1")), Some(4.0));
         assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn key_prefix_targets_specific_events() {
+        let inj = FaultInjector::new(vec![FaultPlan {
+            trigger: FaultTrigger::OnKeyPrefix("measure:jpeg_encode:".into()),
+            kind: FaultKind::CorruptWrite,
+        }]);
+        assert_eq!(
+            inj.fire("measure:jpeg_encode:kernel0#1"),
+            Some(FaultKind::CorruptWrite)
+        );
+        assert_eq!(inj.fire("measure:jpeg_decode:kernel0#1"), None);
+        assert_eq!(inj.fire("shard-write:jpeg_encode"), None);
+        assert_eq!(inj.injected(), 1);
+    }
+
+    #[test]
+    fn delay_and_corrupt_are_benign_on_the_fitness_path() {
+        let inj = FaultInjector::new(vec![
+            FaultPlan {
+                trigger: FaultTrigger::OnCall(1),
+                kind: FaultKind::Delay(1),
+            },
+            FaultPlan {
+                trigger: FaultTrigger::OnCall(2),
+                kind: FaultKind::CorruptWrite,
+            },
+        ]);
+        let inner = |_: &FeatureExpr| Some(2.0);
+        let wrapped = inj.wrap(&inner);
+        let f = feature("1");
+        assert_eq!(wrapped.fitness(&f), Some(2.0));
+        assert_eq!(wrapped.fitness(&f), Some(2.0));
+        assert_eq!(inj.injected(), 2);
     }
 
     #[test]

@@ -60,16 +60,41 @@ impl NoiseModel {
     }
 }
 
-/// The paper's robust average: log transform, reject samples outside
+/// Robust log-domain statistics of one sample set: the outlier-rejected
+/// mean plus the dispersion the rejection was based on, which is what an
+/// adaptive sampler needs to decide whether more runs are warranted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustStats {
+    /// Outlier-rejected mean, back in cycle units.
+    pub mean: f64,
+    /// Interquartile range of the log-transformed samples (dimensionless;
+    /// ≈ relative spread for small values).
+    pub log_iqr: f64,
+    /// Samples surviving the 1.5 × IQR rejection.
+    pub kept: usize,
+    /// Finite samples the statistics were computed over.
+    pub finite: usize,
+}
+
+/// The paper's robust statistics: log transform, reject samples outside
 /// 1.5 × IQR, mean of the survivors, transformed back.
 ///
-/// Returns `None` for an empty input; a single sample is its own mean.
-pub fn robust_mean(samples: &[f64]) -> Option<f64> {
-    if samples.is_empty() {
+/// Non-finite samples (NaN, ±∞ — a crashed run, an overflowed counter) are
+/// discarded *before* the log transform so they can never poison the
+/// quantiles; `None` is returned when no finite sample remains. A single
+/// finite sample is its own mean with zero spread.
+pub fn robust_stats(samples: &[f64]) -> Option<RobustStats> {
+    let mut logs: Vec<f64> = samples
+        .iter()
+        .copied()
+        .filter(|s| s.is_finite())
+        .map(|s| s.max(1e-12).ln())
+        .collect();
+    if logs.is_empty() {
         return None;
     }
-    let mut logs: Vec<f64> = samples.iter().map(|s| s.max(1e-12).ln()).collect();
-    logs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let finite = logs.len();
+    logs.sort_by(|a, b| a.total_cmp(b));
     let q = |p: f64| -> f64 {
         // Linear-interpolated quantile.
         let idx = p * (logs.len() - 1) as f64;
@@ -84,7 +109,19 @@ pub fn robust_mean(samples: &[f64]) -> Option<f64> {
     let kept: Vec<f64> = logs.iter().copied().filter(|&l| l >= lo && l <= hi).collect();
     let kept = if kept.is_empty() { logs } else { kept };
     let mean = kept.iter().sum::<f64>() / kept.len() as f64;
-    Some(mean.exp())
+    Some(RobustStats {
+        mean: mean.exp(),
+        log_iqr: iqr,
+        kept: kept.len(),
+        finite,
+    })
+}
+
+/// The robust average alone (see [`robust_stats`]).
+///
+/// Returns `None` when no finite sample remains after discarding NaN/±∞.
+pub fn robust_mean(samples: &[f64]) -> Option<f64> {
+    robust_stats(samples).map(|s| s.mean)
 }
 
 #[cfg(test)]
@@ -128,6 +165,30 @@ mod tests {
     #[test]
     fn empty_input_is_none() {
         assert_eq!(robust_mean(&[]), None);
+    }
+
+    #[test]
+    fn non_finite_samples_are_discarded_not_poisonous() {
+        let m = robust_mean(&[100.0, f64::NAN, 100.0, f64::INFINITY, 100.0, f64::NEG_INFINITY])
+            .unwrap();
+        assert!((m - 100.0).abs() < 1e-9, "non-finite samples leaked: {m}");
+    }
+
+    #[test]
+    fn all_non_finite_is_none() {
+        assert_eq!(robust_mean(&[f64::NAN, f64::INFINITY, f64::NEG_INFINITY]), None);
+        assert_eq!(robust_mean(&[f64::NAN]), None);
+    }
+
+    #[test]
+    fn stats_report_spread_and_counts() {
+        let s = robust_stats(&[100.0, 101.0, 99.0, 100.5, f64::NAN]).unwrap();
+        assert_eq!(s.finite, 4);
+        assert!(s.kept >= 3);
+        assert!(s.log_iqr > 0.0 && s.log_iqr < 0.05, "spread: {}", s.log_iqr);
+        let tight = robust_stats(&[100.0; 8]).unwrap();
+        assert_eq!(tight.log_iqr, 0.0);
+        assert_eq!(tight.kept, 8);
     }
 
     #[test]

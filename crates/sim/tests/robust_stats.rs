@@ -1,0 +1,140 @@
+//! Property tests of the paper's robust measurement statistics
+//! ([`fegen_sim::measure`]): the log-transform + 1.5 × IQR protocol must be
+//! order-independent, reject heavy outliers, stay inside the sample range,
+//! scale like a mean — and be *total* over adversarial inputs (NaN, ±∞,
+//! zeros, negatives, empty, singleton), which is exactly what a crashed or
+//! overflowed measurement run feeds it.
+
+use fegen_sim::measure::{robust_mean, robust_stats};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A plausible cycle reading: strictly positive and finite.
+fn cycles() -> impl Strategy<Value = f64> {
+    1.0..1.0e9
+}
+
+/// An adversarial reading: anything a broken run could report.
+fn any_reading() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        cycles(),
+        -1.0e6..1.0e6,
+        prop::sample::select(vec![f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -0.0]),
+    ]
+}
+
+/// Fisher–Yates with a seeded RNG, so every permutation is reachable and
+/// the failing case is reproducible.
+fn shuffled(samples: &[f64], seed: u64) -> Vec<f64> {
+    let mut out = samples.to_vec();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..out.len()).rev() {
+        out.swap(i, rng.gen_range(0..=i));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn permutation_invariant(
+        samples in prop::collection::vec(any_reading(), 1..40),
+        seed in 0u64..1000,
+    ) {
+        // Exact equality, not approximate: the statistics sort internally,
+        // so sample order must be completely immaterial.
+        prop_assert_eq!(robust_stats(&shuffled(&samples, seed)), robust_stats(&samples));
+    }
+
+    #[test]
+    fn total_and_none_exactly_when_no_finite_sample(
+        samples in prop::collection::vec(any_reading(), 0..40),
+    ) {
+        let has_finite = samples.iter().any(|s| s.is_finite());
+        match robust_stats(&samples) {
+            Some(s) => {
+                prop_assert!(has_finite);
+                prop_assert!(s.mean.is_finite() && s.mean > 0.0, "mean {}", s.mean);
+                prop_assert!(s.log_iqr.is_finite() && s.log_iqr >= 0.0);
+                prop_assert!(s.kept >= 1 && s.kept <= s.finite);
+                prop_assert_eq!(s.finite, samples.iter().filter(|v| v.is_finite()).count());
+            }
+            None => prop_assert!(!has_finite),
+        }
+    }
+
+    #[test]
+    fn mean_stays_inside_the_finite_sample_range(
+        samples in prop::collection::vec(cycles(), 1..40),
+    ) {
+        let m = robust_mean(&samples).expect("finite input");
+        let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().copied().fold(0.0, f64::max);
+        prop_assert!(
+            m >= lo * (1.0 - 1e-12) && m <= hi * (1.0 + 1e-12),
+            "mean {m} outside [{lo}, {hi}]"
+        );
+    }
+
+    #[test]
+    fn heavy_outliers_are_rejected(
+        base in 100.0..1.0e6,
+        n_clean in 20usize..60,
+        n_outliers in 1usize..4,
+    ) {
+        // A tight cluster with a few 10x context-switch spikes: the robust
+        // mean must stay on the cluster while the plain mean is dragged off.
+        let mut samples = vec![base; n_clean];
+        samples.extend(vec![base * 10.0; n_outliers]);
+        let robust = robust_mean(&samples).expect("finite input");
+        let plain = samples.iter().sum::<f64>() / samples.len() as f64;
+        prop_assert!(
+            (robust - base).abs() < base * 1e-9,
+            "outliers leaked into the robust mean: {robust} vs {base}"
+        );
+        prop_assert!(plain > base * 1.1, "test needs real outlier pressure");
+    }
+
+    #[test]
+    fn single_sample_is_its_own_mean(s in cycles()) {
+        let stats = robust_stats(&[s]).expect("one finite sample");
+        prop_assert!((stats.mean - s).abs() < s * 1e-12);
+        prop_assert_eq!(stats.log_iqr, 0.0);
+        prop_assert_eq!((stats.kept, stats.finite), (1, 1));
+    }
+
+    #[test]
+    fn scales_like_a_mean(
+        samples in prop::collection::vec(cycles(), 1..40),
+        scale in 0.001..1000.0,
+    ) {
+        // Log-domain statistics commute with positive scaling: the same
+        // samples survive the IQR cut, so the mean scales exactly.
+        let base = robust_mean(&samples).expect("finite input");
+        let scaled: Vec<f64> = samples.iter().map(|s| s * scale).collect();
+        let m = robust_mean(&scaled).expect("finite input");
+        prop_assert!(
+            (m - base * scale).abs() <= base * scale * 1e-9,
+            "{m} vs {}", base * scale
+        );
+    }
+
+    #[test]
+    fn non_finite_noise_never_changes_the_answer(
+        samples in prop::collection::vec(cycles(), 1..30),
+        junk in prop::collection::vec(
+            prop::sample::select(vec![f64::NAN, f64::INFINITY, f64::NEG_INFINITY]),
+            0..10,
+        ),
+        seed in 0u64..1000,
+    ) {
+        // Interleave garbage among real readings: the statistics must be
+        // exactly those of the real readings alone.
+        let mut mixed = samples.clone();
+        mixed.extend(junk);
+        let mixed = shuffled(&mixed, seed);
+        prop_assert_eq!(robust_stats(&mixed), robust_stats(&samples));
+    }
+}

@@ -12,7 +12,20 @@
 //! fegen eval    <file> <func> <loop> <expr>    evaluate a feature expression
 //! fegen suite   <index>                        print a generated benchmark's source
 //! fegen search  <file> [flags]                 run the GP feature search on a program
+//! fegen measure [flags]                        run the measurement campaign into a dataset
 //! fegen bench-perf [flags]                     measure eval-engine throughput
+//! ```
+//!
+//! `fegen measure` flags:
+//!
+//! ```text
+//! --dataset-dir <dir>      dataset directory (required)
+//! --resume                 continue a partially measured (or corrupted) dataset
+//! --jobs <n>               parallel measurement workers (default 1)
+//! --retry <n>              attempts per site before quarantine (default 3)
+//! --quarantine-after <n>   quarantine a benchmark after n quarantined sites (default 4)
+//! --seed <n>               master seed (default from the quick preset)
+//! --paper                  paper-scale suite instead of the quick preset
 //! ```
 //!
 //! `fegen search` flags:
@@ -92,6 +105,7 @@ fn run(args: &[String]) -> Result<(), Anyhow> {
         ),
         "suite" => cmd_suite(parse_num(arg(args, 1)?)?),
         "search" => cmd_search(arg(args, 1)?, &args[2..]),
+        "measure" => cmd_measure(&args[1..]),
         "bench-perf" => cmd_bench_perf(&args[1..]),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -115,7 +129,17 @@ fn print_usage() {
     println!("  fegen eval    <file> <func> <loop> <expr>    evaluate a feature");
     println!("  fegen suite   <index>                        print benchmark #index source");
     println!("  fegen search  <file> [flags]                 run the GP feature search");
+    println!("  fegen measure [flags]                        measurement campaign -> dataset");
     println!("  fegen bench-perf [flags]                     measure eval-engine throughput");
+    println!();
+    println!("measure flags:");
+    println!("  --dataset-dir <dir>      dataset directory (required)");
+    println!("  --resume                 continue a partial or corrupted dataset");
+    println!("  --jobs <n>               parallel measurement workers (default 1)");
+    println!("  --retry <n>              attempts per site before quarantine (default 3)");
+    println!("  --quarantine-after <n>   benchmark quarantine threshold (default 4)");
+    println!("  --seed <n>               master seed");
+    println!("  --paper                  paper-scale suite (default: quick preset)");
     println!();
     println!("search flags:");
     println!("  --checkpoint-dir <dir>   write resumable snapshots into <dir>");
@@ -481,6 +505,68 @@ fn cmd_search(path: &str, flags: &[String]) -> Result<(), Anyhow> {
         },
         Err(e) => Err(e.into()),
     }
+}
+
+fn cmd_measure(flags: &[String]) -> Result<(), Anyhow> {
+    use fegen::bench::{
+        campaign_fingerprint, run_campaign, CampaignConfig, CampaignError, DatasetStore,
+        ExperimentConfig,
+    };
+    let mut dataset_dir: Option<String> = None;
+    let mut resume = false;
+    let mut paper = false;
+    let mut seed: Option<u64> = None;
+    let mut campaign = CampaignConfig::default();
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, Anyhow> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value").into())
+        };
+        match flag.as_str() {
+            "--dataset-dir" => dataset_dir = Some(value("--dataset-dir")?),
+            "--resume" => resume = true,
+            "--jobs" => campaign.jobs = parse_num(&value("--jobs")?)?.max(1),
+            "--retry" => campaign.retry = parse_num(&value("--retry")?)?.max(1),
+            "--quarantine-after" => {
+                campaign.quarantine_after = parse_num(&value("--quarantine-after")?)?.max(1)
+            }
+            "--seed" => {
+                let v = value("--seed")?;
+                seed = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| format!("`{v}` is not a number"))?,
+                );
+            }
+            "--paper" => paper = true,
+            other => return Err(format!("unknown measure flag `{other}`").into()),
+        }
+    }
+    let dir = dataset_dir.ok_or("fegen measure needs --dataset-dir <dir>")?;
+    let mut config = if paper {
+        ExperimentConfig::paper()
+    } else {
+        ExperimentConfig::quick()
+    };
+    if let Some(s) = seed {
+        config.seed = s;
+    }
+    let fingerprint = campaign_fingerprint(&config, &campaign.sampling);
+    let store = DatasetStore::open(std::path::Path::new(&dir), fingerprint)?;
+    if store.has_shards() && !resume {
+        return Err(Box::new(CampaignError::DatasetExists {
+            dir: store.dir().to_path_buf(),
+        }));
+    }
+    println!(
+        "measuring {} benchmark(s) into {dir} (fingerprint {fingerprint:#x}, {} job(s))",
+        config.suite.n_benchmarks, campaign.jobs
+    );
+    let cancel = fegen::core::CancelToken::new();
+    let report = run_campaign(&config, &campaign, &store, None, &cancel)?;
+    print!("{}", fegen::bench::report::campaign_summary(&report));
+    Ok(())
 }
 
 /// The evaluation step budget used for throughput measurement (the quick

@@ -11,9 +11,12 @@
 //! - [`ml`] — the machine-learning substrate (C4.5 tree, RBF SVM, CV),
 //! - [`core`] — the paper's contribution: feature grammars, the feature
 //!   expression language and the GP feature search.
+//! - [`bench`] — the experiment harness: pipeline, measurement campaign and
+//!   the persistent dataset store.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
 
+pub use fegen_bench as bench;
 pub use fegen_core as core;
 pub use fegen_lang as lang;
 pub use fegen_ml as ml;
