@@ -10,18 +10,22 @@
 //! re-measured in memory.
 
 use fegen_bench::pipeline::mean;
-use fegen_bench::{config_from_args, dataset_dir_from_args, load_or_build_suite_data, report};
+use fegen_bench::{
+    config_from_args, dataset_dir_from_args, load_or_build_suite_data_with_telemetry, report,
+    telemetry_from_args,
+};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let config = config_from_args();
+    let telemetry = telemetry_from_args();
     eprintln!(
         "# generating suite + training data ({} benchmarks)...",
         config.suite.n_benchmarks
     );
     let dataset_dir = dataset_dir_from_args();
     let (data, quarantined) =
-        match load_or_build_suite_data(&config, dataset_dir.as_deref()) {
+        match load_or_build_suite_data_with_telemetry(&config, dataset_dir.as_deref(), &telemetry) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("fig12: {e}");
@@ -64,16 +68,13 @@ fn main() -> ExitCode {
         .map(|(n, &s)| (n, s))
         .collect();
     println!("GCC slows down {} of {} benchmarks", slowdowns.len(), names.len());
-    if let Some((n, s)) = slowdowns
-        .iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
-    {
+    if let Some((n, s)) = slowdowns.iter().min_by(|a, b| a.1.total_cmp(&b.1)) {
         println!("worst GCC slowdown: {n} at {s:.4}");
     }
     if let Some((i, s)) = oracle
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .max_by(|a, b| a.1.total_cmp(b.1))
     {
         println!("largest potential: {} at {s:.4}", names[i]);
     }

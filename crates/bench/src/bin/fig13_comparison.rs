@@ -10,7 +10,10 @@
 //! re-measured in memory.
 
 use fegen_bench::methods::{predict_cv_ours, predict_cv_svm};
-use fegen_bench::{config_from_args, dataset_dir_from_args, load_or_build_suite_data, report};
+use fegen_bench::{
+    config_from_args, dataset_dir_from_args, load_or_build_suite_data_with_telemetry, report,
+    telemetry_from_args,
+};
 use fegen_ml::svm::SvmConfig;
 use std::process::ExitCode;
 
@@ -26,9 +29,13 @@ fn main() -> ExitCode {
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let config = config_from_args();
+    let telemetry = telemetry_from_args();
     eprintln!("# generating suite + training data ({} benchmarks)...", config.suite.n_benchmarks);
-    let (data, quarantined) =
-        load_or_build_suite_data(&config, dataset_dir_from_args().as_deref())?;
+    let (data, quarantined) = load_or_build_suite_data_with_telemetry(
+        &config,
+        dataset_dir_from_args().as_deref(),
+        &telemetry,
+    )?;
     eprintln!("# {} loops measured", data.loops.len());
     for q in &quarantined {
         eprintln!("# quarantined: {q}");

@@ -29,10 +29,12 @@ fn main() -> ExitCode {
         }
     };
     for bin in BINARIES {
-        println!();
-        println!("########################################################");
-        println!("## {bin}");
-        println!("########################################################");
+        // Stage banners are diagnostics: stderr, so stdout stays a clean
+        // concatenation of the figures' own (self-describing) output.
+        eprintln!();
+        eprintln!("########################################################");
+        eprintln!("## {bin}");
+        eprintln!("########################################################");
         let status = match Command::new(dir.join(bin)).args(&args).status() {
             Ok(s) => s,
             Err(e) => {

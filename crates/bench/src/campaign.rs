@@ -39,7 +39,7 @@ use crate::dataset::{
 use crate::pipeline::{
     try_compile, CompiledBenchmark, ExperimentConfig, LoopRecord, PipelineError, SuiteData,
 };
-use fegen_core::{stable_hash, CancelToken, FaultInjector, FaultKind};
+use fegen_core::{stable_hash, CancelToken, FaultInjector, FaultKind, Telemetry};
 use fegen_rtl::export::export_loop;
 use fegen_rtl::heuristic::{gcc_default_factor, gcc_features};
 use fegen_rtl::stateml::stateml_features;
@@ -246,6 +246,7 @@ struct Shared<'a> {
     store: &'a DatasetStore,
     faults: Option<&'a FaultInjector>,
     cancel: &'a CancelToken,
+    telemetry: &'a Telemetry,
     next: AtomicUsize,
     /// Set when a worker hits a fatal store error: stop claiming work.
     fatal_stop: AtomicBool,
@@ -267,7 +268,40 @@ pub fn run_campaign(
     faults: Option<&FaultInjector>,
     cancel: &CancelToken,
 ) -> Result<CampaignReport, CampaignError> {
+    run_campaign_with_telemetry(
+        experiment,
+        campaign,
+        store,
+        faults,
+        cancel,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`run_campaign`] with a telemetry handle. Telemetry is purely
+/// observational: it never changes what is measured, which benchmarks run,
+/// or a single byte of any shard — only what is logged about the run.
+pub fn run_campaign_with_telemetry(
+    experiment: &ExperimentConfig,
+    campaign: &CampaignConfig,
+    store: &DatasetStore,
+    faults: Option<&FaultInjector>,
+    cancel: &CancelToken,
+    telemetry: &Telemetry,
+) -> Result<CampaignReport, CampaignError> {
     let suite = fegen_suite::generate_suite(&experiment.suite);
+    let workers = campaign.jobs.max(1).min(suite.len().max(1));
+    let _campaign_span = telemetry.span("campaign");
+    telemetry
+        .event("campaign_start")
+        .u64("total", suite.len() as u64)
+        .u64("workers", workers as u64)
+        .emit();
+    telemetry.gauge_set("campaign.workers", workers as f64);
+    telemetry.progress(&format!(
+        "campaign: {} benchmark(s), {workers} worker(s)",
+        suite.len()
+    ));
     let shared = Shared {
         suite: &suite,
         experiment,
@@ -275,6 +309,7 @@ pub fn run_campaign(
         store,
         faults,
         cancel,
+        telemetry,
         next: AtomicUsize::new(0),
         fatal_stop: AtomicBool::new(false),
         fatal: Mutex::new(None),
@@ -283,7 +318,6 @@ pub fn run_campaign(
             ..CampaignReport::default()
         }),
     };
-    let workers = campaign.jobs.max(1).min(suite.len().max(1));
     if workers <= 1 {
         worker(&shared);
     } else {
@@ -297,6 +331,7 @@ pub fn run_campaign(
         return Err(CampaignError::Dataset(e));
     }
     let report = shared.report.into_inner().expect("report lock");
+    telemetry.emit_metrics("campaign");
     // Completion is judged by what is actually on disk, not by what this
     // run believes it did: a cancelled campaign may still have finished
     // everything.
@@ -327,6 +362,14 @@ fn worker(shared: &Shared<'_>) {
         match shared.store.load_shard(&bench.name) {
             Ok(Some(_)) => {
                 shared.report.lock().expect("report lock").resumed += 1;
+                shared.telemetry.counter_add("campaign.benchmarks_resumed", 1);
+                shared
+                    .telemetry
+                    .event("bench_done")
+                    .str("bench", &bench.name)
+                    .u64("dur_us", 0)
+                    .bool("resumed", true)
+                    .emit();
                 continue;
             }
             Ok(None) => {}
@@ -337,6 +380,7 @@ fn worker(shared: &Shared<'_>) {
                     .expect("report lock")
                     .remeasured_corrupt
                     .push(bench.name.clone());
+                shared.telemetry.counter_add("campaign.shards_remeasured_corrupt", 1);
             }
             Err(e) => {
                 *shared.fatal.lock().expect("fatal lock") = Some(e);
@@ -344,6 +388,7 @@ fn worker(shared: &Shared<'_>) {
                 return;
             }
         }
+        let started = Instant::now();
         let Some(shard) = measure_benchmark(shared, bench, idx) else {
             // Cancelled mid-benchmark: no shard is written, resume will
             // re-measure it from scratch.
@@ -354,7 +399,26 @@ fn worker(shared: &Shared<'_>) {
             shared.fatal_stop.store(true, Ordering::SeqCst);
             return;
         }
-        shared.report.lock().expect("report lock").measured += 1;
+        let measured = {
+            let mut report = shared.report.lock().expect("report lock");
+            report.measured += 1;
+            report.measured
+        };
+        let dur_us = started.elapsed().as_micros() as u64;
+        shared.telemetry.counter_add("campaign.benchmarks_measured", 1);
+        shared.telemetry.observe("campaign.bench_dur_us", dur_us as f64);
+        shared
+            .telemetry
+            .event("bench_done")
+            .str("bench", &bench.name)
+            .u64("dur_us", dur_us)
+            .bool("resumed", false)
+            .emit();
+        shared.telemetry.progress(&format!(
+            "measured {} ({measured}/{} this run)",
+            bench.name,
+            shared.suite.len()
+        ));
     }
 }
 
@@ -434,6 +498,14 @@ fn attempt_with_retry<T>(
         }
         if attempt < attempts {
             shared.report.lock().expect("report lock").retries += 1;
+            shared.telemetry.counter_add("campaign.retries", 1);
+            shared
+                .telemetry
+                .event("retry")
+                .str("key", key)
+                .u64("attempt", attempt as u64)
+                .str("error", &last)
+                .emit();
             let backoff = config
                 .backoff
                 .saturating_mul(1u32 << (attempt - 1).min(5) as u32)
@@ -442,6 +514,23 @@ fn attempt_with_retry<T>(
         }
     }
     Attempted::Failed(attempts, last)
+}
+
+/// Emits one quarantine entry to telemetry (the report copy is handled by
+/// the callers, which need different locking shapes).
+fn emit_quarantine(shared: &Shared<'_>, entry: &QuarantineEntry) {
+    shared.telemetry.counter_add("campaign.quarantines", 1);
+    let mut ev = shared
+        .telemetry
+        .event("quarantine")
+        .str("bench", &entry.bench)
+        .u64("attempts", entry.attempts as u64)
+        .str("reason", &entry.reason);
+    if let Some(site) = &entry.site {
+        ev = ev.str("site", site);
+    }
+    ev.emit();
+    shared.telemetry.progress(&format!("quarantined {entry}"));
 }
 
 /// Measures one benchmark into a shard, quarantining what persistently
@@ -494,6 +583,9 @@ fn measure_benchmark(
                 attempts,
                 reason: format!("benchmark setup failed: {reason}"),
             });
+            for entry in &shard.quarantined {
+                emit_quarantine(shared, entry);
+            }
             let mut report = shared.report.lock().expect("report lock");
             report.quarantined.extend(shard.quarantined.iter().cloned());
             return Some(shard);
@@ -509,6 +601,9 @@ fn measure_benchmark(
             return None;
         }
         let key = format!("measure:{}:{}", bench.name, site);
+        let site_span = shared
+            .telemetry
+            .span(&format!("site:{}:{site}", bench.name));
         let measured = attempt_with_retry(shared, &key, |poison| {
             measure_site_sampled(
                 &setup.cb,
@@ -519,6 +614,7 @@ fn measure_benchmark(
                 poison,
             )
         });
+        drop(site_span);
         match measured {
             Attempted::Ok((data, escalated)) => {
                 let mut report = shared.report.lock().expect("report lock");
@@ -534,6 +630,7 @@ fn measure_benchmark(
                     attempts,
                     reason,
                 };
+                emit_quarantine(shared, &entry);
                 shared
                     .report
                     .lock()
@@ -555,6 +652,7 @@ fn measure_benchmark(
                     shared.campaign.quarantine_after
                 ),
             };
+            emit_quarantine(shared, &entry);
             shared
                 .report
                 .lock()

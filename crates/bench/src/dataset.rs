@@ -34,7 +34,7 @@
 //! recomputed on load, exactly as `fegen-core::checkpoint` refuses to
 //! store derived state — small files, and nothing to de-synchronise.
 
-use fegen_core::{stable_hash, FaultInjector, FaultKind};
+use fegen_core::{stable_hash, FaultInjector, FaultKind, Telemetry};
 use fegen_sim::OracleConfig;
 use fegen_suite::SuiteConfig;
 use serde::{Deserialize, Serialize};
@@ -237,6 +237,7 @@ pub fn dataset_fingerprint(
 pub struct DatasetStore {
     dir: PathBuf,
     fingerprint: u64,
+    telemetry: Telemetry,
 }
 
 impl DatasetStore {
@@ -288,7 +289,15 @@ impl DatasetStore {
         Ok(DatasetStore {
             dir: dir.to_path_buf(),
             fingerprint,
+            telemetry: Telemetry::disabled(),
         })
+    }
+
+    /// Attaches a telemetry handle: shard writes emit a `shard_write` event
+    /// with latency and size. Telemetry never changes a byte of any shard.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> DatasetStore {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The directory this store lives in.
@@ -411,7 +420,16 @@ impl DatasetStore {
         if let Some(FaultKind::Delay(ms)) = fault {
             std::thread::sleep(std::time::Duration::from_millis(ms));
         }
+        let started = std::time::Instant::now();
         atomic_write(&path, text.as_bytes())?;
+        let dur_us = started.elapsed().as_micros() as u64;
+        self.telemetry.observe("dataset.shard_write_us", dur_us as f64);
+        self.telemetry
+            .event("shard_write")
+            .str("bench", &shard.bench)
+            .u64("dur_us", dur_us)
+            .u64("bytes", text.len() as u64)
+            .emit();
         if let Some(FaultKind::CorruptWrite) = fault {
             // Scribble over the middle of the committed file: the length
             // stays plausible, the checksum no longer verifies.

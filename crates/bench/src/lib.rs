@@ -21,6 +21,11 @@
 //! and `--dataset-dir DIR` to measure through the persistent dataset store
 //! (see [`campaign`]) instead of re-measuring in memory.
 
+
+// Library code must report through telemetry events or typed errors,
+// never by printing; binaries are exempt (their crate roots are in bin/).
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+
 pub mod campaign;
 pub mod dataset;
 pub mod methods;
@@ -28,8 +33,8 @@ pub mod pipeline;
 pub mod report;
 
 pub use campaign::{
-    campaign_fingerprint, load_suite_data, run_campaign, CampaignConfig, CampaignError,
-    CampaignReport, SamplingPolicy,
+    campaign_fingerprint, load_suite_data, run_campaign, run_campaign_with_telemetry,
+    CampaignConfig, CampaignError, CampaignReport, SamplingPolicy,
 };
 pub use dataset::{DatasetError, DatasetStore, QuarantineEntry};
 pub use pipeline::{
@@ -38,7 +43,8 @@ pub use pipeline::{
 };
 
 /// Parses the common CLI flags (`--paper`, `--quick`, `--seed N`,
-/// `--folds N`).
+/// `--folds N`, plus the undocumented `--tiny` smoke preset: the 3-program
+/// suite at 2 folds, for tests that only need well-formed output fast).
 pub fn config_from_args() -> ExperimentConfig {
     let args: Vec<String> = std::env::args().collect();
     let mut config = if args.iter().any(|a| a == "--paper") {
@@ -46,6 +52,10 @@ pub fn config_from_args() -> ExperimentConfig {
     } else {
         ExperimentConfig::quick()
     };
+    if args.iter().any(|a| a == "--tiny") {
+        config.suite = fegen_suite::SuiteConfig::tiny();
+        config.folds = 2;
+    }
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -78,6 +88,31 @@ pub fn dataset_dir_from_args() -> Option<std::path::PathBuf> {
     None
 }
 
+/// Builds a telemetry handle from the shared CLI flags `--telemetry-dir
+/// DIR`, `--log-json` and `--progress`. Returns the disabled handle when
+/// none are given; exits with a diagnostic when the sink cannot be opened.
+pub fn telemetry_from_args() -> fegen_core::Telemetry {
+    let args: Vec<String> = std::env::args().collect();
+    let mut config = fegen_core::TelemetryConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--telemetry-dir" => config.dir = it.next().map(std::path::PathBuf::from),
+            "--log-json" => config.log_json = true,
+            "--progress" => config.progress = true,
+            _ => {}
+        }
+    }
+    match config.build() {
+        Ok(t) => t,
+        Err(e) => {
+            use std::io::Write;
+            let _ = writeln!(std::io::stderr(), "error: cannot open telemetry sink: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Builds [`SuiteData`] either in memory (no dataset directory: the
 /// original `try_build_suite_data` path, exact simulation, no noise) or
 /// through the persistent dataset store: open (or create) the dataset,
@@ -88,22 +123,37 @@ pub fn load_or_build_suite_data(
     config: &ExperimentConfig,
     dataset_dir: Option<&std::path::Path>,
 ) -> Result<(SuiteData, Vec<QuarantineEntry>), CampaignError> {
+    load_or_build_suite_data_with_telemetry(config, dataset_dir, &fegen_core::Telemetry::disabled())
+}
+
+/// [`load_or_build_suite_data`] with a telemetry handle threaded into the
+/// campaign and the dataset store. Telemetry never changes a shard byte.
+pub fn load_or_build_suite_data_with_telemetry(
+    config: &ExperimentConfig,
+    dataset_dir: Option<&std::path::Path>,
+    telemetry: &fegen_core::Telemetry,
+) -> Result<(SuiteData, Vec<QuarantineEntry>), CampaignError> {
     let Some(dir) = dataset_dir else {
         let data = try_build_suite_data(config)?;
         return Ok((data, Vec::new()));
     };
     let sampling = SamplingPolicy::default();
-    let store = DatasetStore::open(dir, campaign_fingerprint(config, &sampling))?;
+    let store = DatasetStore::open(dir, campaign_fingerprint(config, &sampling))?
+        .with_telemetry(telemetry.clone());
     let campaign = CampaignConfig {
         sampling,
         ..CampaignConfig::default()
     };
     let cancel = fegen_core::CancelToken::new();
-    let report = run_campaign(config, &campaign, &store, None, &cancel)?;
+    let report =
+        run_campaign_with_telemetry(config, &campaign, &store, None, &cancel, telemetry)?;
     if report.measured > 0 {
-        eprintln!(
+        use std::io::Write;
+        let _ = writeln!(
+            std::io::stderr(),
             "# dataset: measured {} benchmark(s), reused {}",
-            report.measured, report.resumed
+            report.measured,
+            report.resumed
         );
     }
     load_suite_data(config, &store)

@@ -250,6 +250,34 @@ pub struct GpState {
     memo: Memo,
     /// The run's private RNG stream.
     rng: StdRng,
+    /// Summary of the most recent generation, for observability. Not part
+    /// of [`GpSnapshot`]: telemetry must stay checkpoint-byte-neutral, and
+    /// the value is recomputed by the first step after a resume anyway.
+    pub last_gen: Option<GenStats>,
+}
+
+/// Per-generation observability summary; see [`GpState::last_gen`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenStats {
+    /// Generation number this summarises (1-based, equals
+    /// `GpState::generations` right after the step).
+    pub generation: usize,
+    /// Best-so-far quality after this generation (`NAN` when none valid).
+    pub best: f64,
+    /// Best valid quality scored within this generation (`NAN` when none).
+    pub gen_best: f64,
+    /// Mean valid quality within this generation (`NAN` when none).
+    pub mean: f64,
+    /// Individuals with a valid (finite) fitness this generation.
+    pub valid: usize,
+    /// Individuals scored invalid (discarded, non-finite or panicked).
+    pub invalid: usize,
+    /// Stagnation counter after this generation.
+    pub stagnant: usize,
+    /// Cumulative non-memoised fitness evaluations.
+    pub evaluations: usize,
+    /// Cumulative isolated panics.
+    pub panics: usize,
 }
 
 /// Serializable form of [`GpState`]; expressions travel as their canonical
@@ -349,6 +377,7 @@ impl GpState {
             degraded: snapshot.degraded,
             memo,
             rng: StdRng::from_state(snapshot.rng),
+            last_gen: None,
         })
     }
 
@@ -408,6 +437,7 @@ impl<'a> GpEngine<'a> {
             degraded: false,
             memo: HashMap::new(),
             rng,
+            last_gen: None,
         }
     }
 
@@ -458,9 +488,30 @@ impl<'a> GpEngine<'a> {
             state.stagnant = 0;
         } else {
             state.stagnant += 1;
-            if state.stagnant >= cfg.stagnation_limit {
-                return GpStatus::Converged;
-            }
+        }
+
+        // Observability snapshot of this generation; never serialized, and
+        // computed before the convergence returns so the final generation is
+        // also recorded.
+        let valid: Vec<f64> = scored.iter().flatten().map(|e| e.quality).collect();
+        state.last_gen = Some(GenStats {
+            generation: state.generations,
+            best: state.best.as_ref().map_or(f64::NAN, |b| b.quality),
+            gen_best: valid.iter().copied().fold(f64::NAN, f64::max),
+            mean: if valid.is_empty() {
+                f64::NAN
+            } else {
+                valid.iter().sum::<f64>() / valid.len() as f64
+            },
+            valid: valid.len(),
+            invalid: scored.len() - valid.len(),
+            stagnant: state.stagnant,
+            evaluations: state.evaluations,
+            panics: state.panics,
+        });
+
+        if !improved && state.stagnant >= cfg.stagnation_limit {
+            return GpStatus::Converged;
         }
         if state.generations >= cfg.max_generations {
             return GpStatus::Converged;

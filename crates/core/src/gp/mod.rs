@@ -16,5 +16,5 @@
 pub mod engine;
 pub mod ops;
 
-pub use engine::{Evaluated, FitnessFn, GpConfig, GpEngine, GpRun};
+pub use engine::{Evaluated, FitnessFn, GenStats, GpConfig, GpEngine, GpRun};
 pub use ops::{crossover, mutate};

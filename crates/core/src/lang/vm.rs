@@ -23,8 +23,10 @@ use super::compile::{
 };
 use super::eval::EvalError;
 use crate::ir::{AttrValue, IrArena, IrNode, Symbol};
+use crate::telemetry::Telemetry;
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One cached CSE result: the exact step cost of evaluating the subtree at
@@ -48,6 +50,8 @@ struct CacheEntry {
 #[derive(Debug, Default)]
 struct EvalCache {
     map: RwLock<HashMap<(Fingerprint, u32), CacheEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 /// Epoch-flush capacity bound: inserting past this clears the map. Entries
@@ -56,7 +60,13 @@ const RESULT_CACHE_CAP: usize = 1 << 20;
 
 impl EvalCache {
     fn get(&self, key: Fingerprint, loop_idx: u32) -> Option<CacheEntry> {
-        self.map.read().get(&(key, loop_idx)).copied()
+        let entry = self.map.read().get(&(key, loop_idx)).copied();
+        // Relaxed counters: observability only, never a decision input.
+        match entry {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        entry
     }
 
     fn insert(&self, key: Fingerprint, loop_idx: u32, entry: CacheEntry) {
@@ -787,6 +797,30 @@ pub struct EvalPool<'a> {
     engine: EvalEngine,
     cache: EvalCache,
     programs: RwLock<HashMap<Fingerprint, Arc<Program>>>,
+    vm_evals: AtomicU64,
+    interp_evals: AtomicU64,
+    program_hits: AtomicU64,
+    program_misses: AtomicU64,
+}
+
+/// A point-in-time snapshot of an [`EvalPool`]'s cumulative activity
+/// counters (observability only; counting never affects evaluation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Per-loop evaluations dispatched to the bytecode VM.
+    pub vm_evals: u64,
+    /// Per-loop evaluations dispatched to the reference interpreter.
+    pub interp_evals: u64,
+    /// Compiled-program cache hits.
+    pub program_hits: u64,
+    /// Compiled-program cache misses (compilations).
+    pub program_misses: u64,
+    /// CSE result-cache hits.
+    pub result_hits: u64,
+    /// CSE result-cache misses.
+    pub result_misses: u64,
+    /// Live CSE cache entries at snapshot time.
+    pub cache_entries: u64,
 }
 
 impl<'a> EvalPool<'a> {
@@ -803,6 +837,10 @@ impl<'a> EvalPool<'a> {
             engine,
             cache: EvalCache::default(),
             programs: RwLock::new(HashMap::new()),
+            vm_evals: AtomicU64::new(0),
+            interp_evals: AtomicU64::new(0),
+            program_hits: AtomicU64::new(0),
+            program_misses: AtomicU64::new(0),
         }
     }
 
@@ -826,8 +864,10 @@ impl<'a> EvalPool<'a> {
     fn program(&self, expr: &FeatureExpr) -> Arc<Program> {
         let key = expr.fingerprint();
         if let Some(p) = self.programs.read().get(&key) {
+            self.program_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(p);
         }
+        self.program_misses.fetch_add(1, Ordering::Relaxed);
         let compiled = Arc::new(Program::compile(expr));
         let mut programs = self.programs.write();
         if programs.len() >= PROGRAM_CACHE_CAP {
@@ -844,8 +884,12 @@ impl<'a> EvalPool<'a> {
     /// for both engines.
     pub fn eval(&self, expr: &FeatureExpr, idx: usize, budget: u64) -> Result<f64, EvalError> {
         match self.engine {
-            EvalEngine::Interpreter => expr.eval_with_budget(self.trees[idx], budget),
+            EvalEngine::Interpreter => {
+                self.interp_evals.fetch_add(1, Ordering::Relaxed);
+                expr.eval_with_budget(self.trees[idx], budget)
+            }
             EvalEngine::Compiled => {
+                self.vm_evals.fetch_add(1, Ordering::Relaxed);
                 let prog = self.program(expr);
                 Vm::run(
                     &prog,
@@ -863,15 +907,19 @@ impl<'a> EvalPool<'a> {
     /// value), otherwise the per-loop feature column.
     pub fn column(&self, expr: &FeatureExpr, budget: u64) -> Option<Vec<f64>> {
         match self.engine {
-            EvalEngine::Interpreter => self
-                .trees
-                .iter()
-                .map(|t| expr.eval_with_budget(t, budget).ok())
-                .collect(),
+            EvalEngine::Interpreter => {
+                self.interp_evals
+                    .fetch_add(self.trees.len() as u64, Ordering::Relaxed);
+                self.trees
+                    .iter()
+                    .map(|t| expr.eval_with_budget(t, budget).ok())
+                    .collect()
+            }
             EvalEngine::Compiled => {
                 let prog = self.program(expr);
                 let mut out = Vec::with_capacity(self.arenas.len());
                 for (i, arena) in self.arenas.iter().enumerate() {
+                    self.vm_evals.fetch_add(1, Ordering::Relaxed);
                     match Vm::run(&prog, arena, i as u32, budget, Some(&self.cache)) {
                         Ok(v) => out.push(v),
                         Err(_) => return None,
@@ -885,6 +933,35 @@ impl<'a> EvalPool<'a> {
     /// Number of live CSE cache entries (diagnostics).
     pub fn cache_entries(&self) -> usize {
         self.cache.map.read().len()
+    }
+
+    /// Snapshot of the pool's cumulative activity counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            vm_evals: self.vm_evals.load(Ordering::Relaxed),
+            interp_evals: self.interp_evals.load(Ordering::Relaxed),
+            program_hits: self.program_hits.load(Ordering::Relaxed),
+            program_misses: self.program_misses.load(Ordering::Relaxed),
+            result_hits: self.cache.hits.load(Ordering::Relaxed),
+            result_misses: self.cache.misses.load(Ordering::Relaxed),
+            cache_entries: self.cache_entries() as u64,
+        }
+    }
+
+    /// Publishes the pool's counters as `eval.*` telemetry gauges (the
+    /// caller decides when to [`Telemetry::emit_metrics`]).
+    pub fn record_telemetry(&self, telemetry: &Telemetry) {
+        if !telemetry.is_enabled() {
+            return;
+        }
+        let s = self.stats();
+        telemetry.gauge_set("eval.vm_evals", s.vm_evals as f64);
+        telemetry.gauge_set("eval.interp_evals", s.interp_evals as f64);
+        telemetry.gauge_set("eval.program_hits", s.program_hits as f64);
+        telemetry.gauge_set("eval.program_misses", s.program_misses as f64);
+        telemetry.gauge_set("eval.result_hits", s.result_hits as f64);
+        telemetry.gauge_set("eval.result_misses", s.result_misses as f64);
+        telemetry.gauge_set("eval.cache_entries", s.cache_entries as f64);
     }
 }
 

@@ -35,6 +35,9 @@
 //! - [`faults`] — a seeded fault-injection harness (panicking, budget-
 //!   exhausting or NaN-returning evaluators, cooperative cancellation) used
 //!   to *prove* the runtime's fault tolerance in tests.
+//! - [`telemetry`] — structured observability: hierarchical spans, metrics
+//!   and a resume-safe JSONL event sink, guaranteed neutral with respect to
+//!   checkpoint and dataset bytes.
 //!
 //! # Quickstart
 //!
@@ -60,6 +63,11 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+
+// Library code must report through telemetry events or typed errors,
+// never by printing; binaries are exempt (their crate roots are in bin/).
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+
 pub mod checkpoint;
 pub mod error;
 pub mod faults;
@@ -68,6 +76,7 @@ pub mod gp;
 pub mod ir;
 pub mod lang;
 pub mod search;
+pub mod telemetry;
 
 pub use checkpoint::{SearchCheckpoint, CHECKPOINT_FILE, CHECKPOINT_VERSION};
 pub use error::{CheckpointError, SearchError};
@@ -78,3 +87,4 @@ pub use lang::{parse_feature, EvalEngine, EvalPool, FeatureExpr, Program};
 pub use search::{
     FeatureSearch, SearchConfig, SearchDriver, SearchOutcome, TrainingExample,
 };
+pub use telemetry::{Telemetry, TelemetryConfig};

@@ -21,6 +21,7 @@ use crate::gp::{FitnessFn, GpConfig, GpEngine, GpRun};
 use crate::grammar::Grammar;
 use crate::ir::IrNode;
 use crate::lang::{EvalEngine, EvalPool, FeatureExpr};
+use crate::telemetry::Telemetry;
 use fegen_ml::data::Dataset;
 use fegen_ml::metrics;
 use fegen_ml::tree::{DecisionTree, Presorted, TreeConfig};
@@ -248,6 +249,7 @@ impl FeatureSearch {
             checkpoint_every: 5,
             cancel: None,
             injector: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -467,6 +469,7 @@ pub struct SearchDriver<'a> {
     checkpoint_every: usize,
     cancel: Option<CancelToken>,
     injector: Option<&'a FaultInjector>,
+    telemetry: Telemetry,
 }
 
 impl<'a> SearchDriver<'a> {
@@ -496,6 +499,14 @@ impl<'a> SearchDriver<'a> {
             self.cancel = Some(injector.cancel_token());
         }
         self.injector = Some(injector);
+        self
+    }
+
+    /// Attaches a telemetry handle. Telemetry is purely observational: it
+    /// never draws randomness and never enters checkpoint serialization, so
+    /// a run with telemetry is byte-identical to one without.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -574,6 +585,44 @@ impl<'a> SearchDriver<'a> {
 
         let fingerprint = checkpoint::config_fingerprint(cfg);
         let digest = checkpoint::examples_digest(examples);
+
+        let _search_span = self.telemetry.span("search");
+        self.telemetry
+            .event("search_start")
+            .u64("examples", examples.len() as u64)
+            .u64("max_features", cfg.max_features as u64)
+            .u64("max_total_generations", cfg.max_total_generations as u64)
+            .f64("baseline_speedup", baseline_speedup)
+            .f64("oracle_speedup", oracle_speedup)
+            .bool("resumed", resume.is_some())
+            .emit();
+        self.telemetry.progress(&format!(
+            "search: {} example(s), baseline {:.4}, oracle {:.4}",
+            examples.len(),
+            baseline_speedup,
+            oracle_speedup
+        ));
+        if cfg.internal_folds > 1 {
+            // `KFold::splits` clamps rather than yielding empty test folds;
+            // surface the clamp (a quarantine-shrunk suite usually causes it).
+            let kf = KFold::new(cfg.internal_folds.max(2), cfg.seed);
+            let effective = kf.effective_k(examples.len());
+            if effective != kf.k() {
+                self.telemetry
+                    .event("kfold_clamped")
+                    .u64("requested", kf.k() as u64)
+                    .u64("effective", effective as u64)
+                    .u64("examples", examples.len() as u64)
+                    .emit();
+                self.telemetry.progress(&format!(
+                    "warning: internal cross-validation clamped from {} to {} fold(s) \
+                     ({} example(s))",
+                    kf.k(),
+                    effective,
+                    examples.len()
+                ));
+            }
+        }
 
         // Outer state: fresh, or restored from the checkpoint. Feature
         // columns, splits and the baseline are deterministic functions of
@@ -704,11 +753,27 @@ impl<'a> SearchDriver<'a> {
             let run = match self.injector {
                 Some(injector) => {
                     let wrapped = injector.wrap(&fitness);
-                    self.drive_gp(&engine, state, &wrapped, &progress)?
+                    self.drive_gp(&engine, state, &wrapped, &progress)
                 }
-                None => self.drive_gp(&engine, state, &fitness, &progress)?,
+                None => self.drive_gp(&engine, state, &fitness, &progress),
+            };
+            let run = match run {
+                Ok(run) => run,
+                Err(e) => {
+                    // Publish what the pool did before surfacing the
+                    // interruption, so a killed run's log still carries its
+                    // cache statistics.
+                    pool.record_telemetry(&self.telemetry);
+                    self.telemetry.emit_metrics("eval_pool");
+                    return Err(e);
+                }
             };
             total_generations += run.generations;
+            let step_generations = run.generations;
+            let step_quality = run
+                .best
+                .as_ref()
+                .map_or(f64::NAN, |b| b.quality);
 
             match run.best {
                 Some(best) if best.quality > best_speedup + 1e-12 => {
@@ -734,6 +799,23 @@ impl<'a> SearchDriver<'a> {
                     failed += 1;
                 }
             }
+
+            self.telemetry
+                .event("feature_step")
+                .u64("features", features.len() as u64)
+                .u64("generations", step_generations as u64)
+                .u64("total_generations", total_generations as u64)
+                .f64("candidate_speedup", step_quality)
+                .f64("best_speedup", best_speedup)
+                .u64("failed", failed as u64)
+                .emit();
+            self.telemetry.progress(&format!(
+                "search: {} feature(s), best speedup {:.4}, {} generation(s), {} failed addition(s)",
+                features.len(),
+                best_speedup,
+                total_generations,
+                failed
+            ));
 
             // Outer-boundary checkpoint: the completed step is durable even
             // if the next GP run never writes one.
@@ -770,6 +852,22 @@ impl<'a> SearchDriver<'a> {
             let _ = std::fs::remove_file(path);
         }
 
+        pool.record_telemetry(&self.telemetry);
+        self.telemetry.emit_metrics("eval_pool");
+        self.telemetry
+            .event("search_done")
+            .u64("features", features.len() as u64)
+            .u64("total_generations", total_generations as u64)
+            .f64("best_speedup", best_speedup)
+            .f64("oracle_speedup", oracle_speedup)
+            .emit();
+        self.telemetry.progress(&format!(
+            "search done: {} feature(s), speedup {:.4} of oracle {:.4}",
+            features.len(),
+            best_speedup,
+            oracle_speedup
+        ));
+
         Ok(SearchOutcome {
             features,
             steps,
@@ -789,6 +887,7 @@ impl<'a> SearchDriver<'a> {
         progress: &OuterProgress,
     ) -> Result<GpRun, SearchError> {
         let mut since_checkpoint = 0usize;
+        let mut emitted_generation: Option<usize> = None;
         loop {
             if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
                 // Cancellation only chooses *which* generation boundary the
@@ -801,7 +900,27 @@ impl<'a> SearchDriver<'a> {
                     total_generations: progress.total_generations + state.generations,
                 });
             }
-            match engine.step(&mut state, fitness) {
+            let status = engine.step(&mut state, fitness);
+            // A step that only notices convergence re-reports the previous
+            // generation's stats; dedupe by generation number.
+            if let Some(g) = state.last_gen {
+                if self.telemetry.is_enabled() && emitted_generation != Some(g.generation) {
+                    emitted_generation = Some(g.generation);
+                    self.telemetry
+                        .event("gp_generation")
+                        .u64("generation", g.generation as u64)
+                        .f64("best", g.best)
+                        .f64("gen_best", g.gen_best)
+                        .f64("mean", g.mean)
+                        .u64("valid", g.valid as u64)
+                        .u64("invalid", g.invalid as u64)
+                        .u64("stagnant", g.stagnant as u64)
+                        .u64("evaluations", g.evaluations as u64)
+                        .u64("panics", g.panics as u64)
+                        .emit();
+                }
+            }
+            match status {
                 GpStatus::Converged => return Ok(state.into_run()),
                 GpStatus::Running => {
                     since_checkpoint += 1;
@@ -823,6 +942,7 @@ impl<'a> SearchDriver<'a> {
         let Some(dir) = &self.checkpoint_dir else {
             return Ok(None);
         };
+        let gp_generations = gp.as_ref().map(|g| g.generations);
         let ckpt = SearchCheckpoint {
             version: CHECKPOINT_VERSION,
             config_fingerprint: progress.fingerprint,
@@ -835,7 +955,20 @@ impl<'a> SearchDriver<'a> {
             total_generations: progress.total_generations,
             gp,
         };
-        Ok(Some(ckpt.save(dir)?))
+        let started = std::time::Instant::now();
+        let path = ckpt.save(dir)?;
+        self.telemetry
+            .event("checkpoint")
+            .u64("dur_us", started.elapsed().as_micros() as u64)
+            .u64("features", ckpt.features.len() as u64)
+            .u64("total_generations", ckpt.total_generations as u64)
+            .u64(
+                "gp_generations",
+                gp_generations.unwrap_or(0) as u64,
+            )
+            .bool("mid_gp", gp_generations.is_some())
+            .emit();
+        Ok(Some(path))
     }
 }
 

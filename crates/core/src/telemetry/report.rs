@@ -1,0 +1,411 @@
+//! Offline reader for the JSONL event log: `fegen report`.
+//!
+//! Reads `events.jsonl` line by line (skipping at most one truncated tail
+//! line left by a hard kill), aggregates the events and renders a run
+//! summary: progress and ETA of an in-flight campaign, the slowest spans
+//! (sites), eval-engine cache statistics, the GP fitness trajectory and the
+//! campaign's retry/quarantine tallies.
+
+use serde::Value;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{self, BufRead, BufReader};
+use std::path::Path;
+
+use super::EVENTS_FILE;
+
+/// One parsed event line.
+#[derive(Debug, Clone)]
+pub struct ParsedEvent {
+    pub seq: u64,
+    pub ts_ms: u64,
+    pub kind: String,
+    pub fields: Value,
+}
+
+/// Looks up a key in a JSON map value.
+pub fn field<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+    match v {
+        Value::Map(entries) => entries
+            .iter()
+            .find(|(k, _)| matches!(k, Value::Str(s) if s == key))
+            .map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+/// A field as an unsigned integer (accepting any non-negative number).
+pub fn field_u64(v: &Value, key: &str) -> Option<u64> {
+    match field(v, key)? {
+        Value::U64(u) => Some(*u),
+        Value::I64(i) if *i >= 0 => Some(*i as u64),
+        Value::F64(f) if *f >= 0.0 && f.fract() == 0.0 => Some(*f as u64),
+        _ => None,
+    }
+}
+
+/// A field as a float (accepting any number).
+pub fn field_f64(v: &Value, key: &str) -> Option<f64> {
+    match field(v, key)? {
+        Value::F64(f) => Some(*f),
+        Value::I64(i) => Some(*i as f64),
+        Value::U64(u) => Some(*u as f64),
+        _ => None,
+    }
+}
+
+/// A field as a string slice.
+pub fn field_str<'a>(v: &'a Value, key: &str) -> Option<&'a str> {
+    match field(v, key)? {
+        Value::Str(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// A field as a boolean.
+pub fn field_bool(v: &Value, key: &str) -> Option<bool> {
+    match field(v, key)? {
+        Value::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+/// Reads and parses every well-formed line of `dir/events.jsonl`.
+/// Unparsable lines are counted, not fatal (a killed run may leave one).
+pub fn read_events(dir: &Path) -> io::Result<(Vec<ParsedEvent>, usize)> {
+    let path = dir.join(EVENTS_FILE);
+    let file = std::fs::File::open(&path)?;
+    let mut events = Vec::new();
+    let mut skipped = 0usize;
+    for line in BufReader::new(file).lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<Value>(&line) {
+            Ok(v) => {
+                let parsed = (
+                    field_u64(&v, "seq"),
+                    field_u64(&v, "ts_ms"),
+                    field_str(&v, "kind").map(str::to_owned),
+                );
+                match parsed {
+                    (Some(seq), Some(ts_ms), Some(kind)) => events.push(ParsedEvent {
+                        seq,
+                        ts_ms,
+                        kind,
+                        fields: v,
+                    }),
+                    _ => skipped += 1,
+                }
+            }
+            Err(_) => skipped += 1,
+        }
+    }
+    Ok((events, skipped))
+}
+
+fn fmt_dur_ms(ms: u64) -> String {
+    let s = ms / 1000;
+    if s >= 3600 {
+        format!("{}h{:02}m", s / 3600, (s % 3600) / 60)
+    } else if s >= 60 {
+        format!("{}m{:02}s", s / 60, s % 60)
+    } else {
+        format!("{}.{:01}s", s, (ms % 1000) / 100)
+    }
+}
+
+fn fmt_dur_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.1}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}µs")
+    }
+}
+
+fn rate(hits: u64, misses: u64) -> String {
+    let total = hits + misses;
+    if total == 0 {
+        "n/a".to_owned()
+    } else {
+        format!("{:.1}%", 100.0 * hits as f64 / total as f64)
+    }
+}
+
+/// Renders the run summary from parsed events.
+pub fn render(events: &[ParsedEvent], skipped: usize) -> String {
+    let mut out = String::new();
+    if events.is_empty() {
+        let _ = writeln!(out, "telemetry: no events");
+        return out;
+    }
+
+    // Header: event counts, wall-clock window, sequence integrity.
+    let first_ts = events.iter().map(|e| e.ts_ms).min().unwrap_or(0);
+    let last_ts = events.iter().map(|e| e.ts_ms).max().unwrap_or(0);
+    let mut kinds: BTreeMap<&str, usize> = BTreeMap::new();
+    for e in events {
+        *kinds.entry(&e.kind).or_insert(0) += 1;
+    }
+    let _ = writeln!(
+        out,
+        "telemetry: {} event(s) over {} ({} kind(s){})",
+        events.len(),
+        fmt_dur_ms(last_ts.saturating_sub(first_ts)),
+        kinds.len(),
+        if skipped > 0 {
+            format!(", {skipped} unparsable line(s) skipped")
+        } else {
+            String::new()
+        }
+    );
+    let kind_list: Vec<String> = kinds.iter().map(|(k, n)| format!("{k}×{n}")).collect();
+    let _ = writeln!(out, "  kinds: {}", kind_list.join(" "));
+
+    // Campaign progress + ETA.
+    let total: Option<u64> = events
+        .iter()
+        .rev()
+        .find(|e| e.kind == "campaign_start")
+        .and_then(|e| field_u64(&e.fields, "total"));
+    let done: Vec<&ParsedEvent> = events.iter().filter(|e| e.kind == "bench_done").collect();
+    if let Some(total) = total {
+        let reused = done
+            .iter()
+            .filter(|e| field_bool(&e.fields, "resumed").unwrap_or(false))
+            .count() as u64;
+        let measured = done.len() as u64 - reused;
+        let _ = writeln!(
+            out,
+            "campaign: {}/{} benchmark(s) done ({} measured, {} reused)",
+            done.len(),
+            total,
+            measured,
+            reused
+        );
+        let remaining = total.saturating_sub(done.len() as u64);
+        if remaining > 0 && !done.is_empty() {
+            let avg_us: f64 = done
+                .iter()
+                .filter_map(|e| field_u64(&e.fields, "dur_us"))
+                .sum::<u64>() as f64
+                / done.len() as f64;
+            let eta_ms = (avg_us * remaining as f64 / 1000.0) as u64;
+            let _ = writeln!(
+                out,
+                "  ETA: ~{} for the remaining {remaining} benchmark(s)",
+                fmt_dur_ms(eta_ms)
+            );
+        }
+        let retries = events.iter().filter(|e| e.kind == "retry").count();
+        let quarantined = events.iter().filter(|e| e.kind == "quarantine").count();
+        let _ = writeln!(
+            out,
+            "  resilience: {retries} retried attempt(s), {quarantined} quarantine event(s)"
+        );
+    }
+
+    // Slowest spans (the campaign labels per-site work `site:<bench>:<site>`).
+    let mut spans: Vec<(&str, u64)> = events
+        .iter()
+        .filter(|e| e.kind == "span")
+        .filter_map(|e| {
+            Some((
+                field_str(&e.fields, "path")?,
+                field_u64(&e.fields, "dur_us")?,
+            ))
+        })
+        .collect();
+    if !spans.is_empty() {
+        spans.sort_by_key(|&(_, dur)| std::cmp::Reverse(dur));
+        let _ = writeln!(out, "slowest spans:");
+        for (path, dur) in spans.iter().take(8) {
+            let _ = writeln!(out, "  {:>10}  {path}", fmt_dur_us(*dur));
+        }
+    }
+
+    // Eval-engine statistics: last cumulative emission per metric name.
+    let mut metrics: BTreeMap<String, f64> = BTreeMap::new();
+    for e in events.iter().filter(|e| e.kind == "metric") {
+        if let (Some(name), Some(v)) = (
+            field_str(&e.fields, "metric"),
+            field_f64(&e.fields, "value"),
+        ) {
+            metrics.insert(name.to_owned(), v);
+        }
+    }
+    let get = |name: &str| metrics.get(name).copied().unwrap_or(0.0) as u64;
+    let vm = get("eval.vm_evals");
+    let interp = get("eval.interp_evals");
+    if vm + interp > 0 {
+        let _ = writeln!(
+            out,
+            "eval engine: {} evaluation(s) ({} vm, {} interpreter)",
+            vm + interp,
+            vm,
+            interp
+        );
+        let _ = writeln!(
+            out,
+            "  program cache: {} hit rate ({} hits / {} misses)",
+            rate(get("eval.program_hits"), get("eval.program_misses")),
+            get("eval.program_hits"),
+            get("eval.program_misses"),
+        );
+        let _ = writeln!(
+            out,
+            "  result cache:  {} hit rate ({} hits / {} misses)",
+            rate(get("eval.result_hits"), get("eval.result_misses")),
+            get("eval.result_hits"),
+            get("eval.result_misses"),
+        );
+    }
+
+    // GP trajectory: generations seen, last best/mean, stagnation.
+    let gens: Vec<&ParsedEvent> = events
+        .iter()
+        .filter(|e| e.kind == "gp_generation")
+        .collect();
+    if let Some(last) = gens.last() {
+        let best = field_f64(&last.fields, "best").unwrap_or(f64::NAN);
+        let mean = field_f64(&last.fields, "mean").unwrap_or(f64::NAN);
+        let stagnant = field_u64(&last.fields, "stagnant").unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "gp: {} generation event(s); last best {best:.4}, mean {mean:.4}, stagnant {stagnant}",
+            gens.len()
+        );
+    }
+
+    // Checkpoint write latency.
+    let ckpt: Vec<u64> = events
+        .iter()
+        .filter(|e| e.kind == "checkpoint")
+        .filter_map(|e| field_u64(&e.fields, "dur_us"))
+        .collect();
+    if !ckpt.is_empty() {
+        let max = ckpt.iter().copied().max().unwrap_or(0);
+        let sum: u64 = ckpt.iter().sum();
+        let _ = writeln!(
+            out,
+            "checkpoints: {} write(s), mean {}, max {}",
+            ckpt.len(),
+            fmt_dur_us(sum / ckpt.len() as u64),
+            fmt_dur_us(max)
+        );
+    }
+
+    out
+}
+
+/// Convenience wrapper: read `dir/events.jsonl` and render the summary.
+pub fn summarize_dir(dir: &Path) -> io::Result<String> {
+    let (events, skipped) = read_events(dir)?;
+    Ok(render(&events, skipped))
+}
+
+/// Verifies the structural invariants the sink promises: every line parses
+/// (at most one truncated tail tolerated by `read_events`) and sequence
+/// numbers are strictly increasing in file order. Returns the event count.
+pub fn check_integrity(dir: &Path) -> io::Result<Result<usize, String>> {
+    let (events, skipped) = read_events(dir)?;
+    if skipped > 0 {
+        return Ok(Err(format!("{skipped} unparsable line(s)")));
+    }
+    for pair in events.windows(2) {
+        if pair[1].seq <= pair[0].seq {
+            return Ok(Err(format!(
+                "sequence not strictly increasing: {} then {}",
+                pair[0].seq, pair[1].seq
+            )));
+        }
+    }
+    Ok(Ok(events.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::Telemetry;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "fegen-report-test-{tag}-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn summarizes_a_small_run() {
+        let dir = tmp_dir("small");
+        let t = Telemetry::to_dir(&dir).expect("open");
+        t.event("campaign_start").u64("total", 3).emit();
+        t.event("bench_done")
+            .str("bench", "a")
+            .u64("dur_us", 1000)
+            .bool("resumed", false)
+            .emit();
+        t.event("bench_done")
+            .str("bench", "b")
+            .u64("dur_us", 3000)
+            .bool("resumed", true)
+            .emit();
+        t.event("retry").str("site", "a:k0#1").emit();
+        {
+            let _s = t.span("site:a:k0#1");
+        }
+        t.counter_add("eval.vm_evals", 10);
+        t.counter_add("eval.interp_evals", 2);
+        t.counter_add("eval.program_hits", 8);
+        t.counter_add("eval.program_misses", 2);
+        t.emit_metrics("eval_pool");
+        t.event("gp_generation")
+            .u64("generation", 5)
+            .f64("best", 0.9)
+            .f64("mean", 0.5)
+            .u64("stagnant", 1)
+            .emit();
+        t.event("checkpoint").u64("dur_us", 500).emit();
+        drop(t);
+
+        let summary = summarize_dir(&dir).expect("summarize");
+        assert!(summary.contains("2/3 benchmark(s) done"), "{summary}");
+        assert!(summary.contains("1 measured, 1 reused"), "{summary}");
+        assert!(summary.contains("ETA"), "{summary}");
+        assert!(summary.contains("site:a:k0#1"), "{summary}");
+        assert!(summary.contains("80.0%"), "{summary}");
+        assert!(summary.contains("12 evaluation(s)"), "{summary}");
+        assert!(summary.contains("best 0.9000"), "{summary}");
+        assert!(summary.contains("checkpoints: 1 write(s)"), "{summary}");
+        assert!(
+            matches!(check_integrity(&dir).expect("read"), Ok(n) if n > 0),
+            "integrity"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn integrity_flags_bad_sequences() {
+        let dir = tmp_dir("badseq");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(
+            dir.join(EVENTS_FILE),
+            "{\"seq\":1,\"ts_ms\":0,\"kind\":\"a\"}\n{\"seq\":1,\"ts_ms\":0,\"kind\":\"b\"}\n",
+        )
+        .expect("write");
+        let got = check_integrity(&dir).expect("read");
+        assert!(got.is_err(), "{got:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_log_renders() {
+        let s = render(&[], 0);
+        assert!(s.contains("no events"));
+    }
+}

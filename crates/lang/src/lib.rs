@@ -35,6 +35,11 @@
 //! # Ok::<(), fegen_lang::Error>(())
 //! ```
 
+
+// Library code must report through telemetry events or typed errors,
+// never by printing; binaries are exempt (their crate roots are in bin/).
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+
 pub mod ast;
 pub mod lexer;
 pub mod parser;

@@ -9,6 +9,31 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+/// Error from [`KFold::try_splits`]: the dataset is too small for the
+/// requested fold count (every fold's test set must be non-empty).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TooFewExamples {
+    /// Number of examples offered.
+    pub n: usize,
+    /// Folds requested.
+    pub k: usize,
+}
+
+impl std::fmt::Display for TooFewExamples {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot split {} example(s) into {} non-empty folds",
+            self.n, self.k
+        )
+    }
+}
+
+impl std::error::Error for TooFewExamples {}
+
+/// One fold's `(train, test)` index sets.
+pub type Split = (Vec<usize>, Vec<usize>);
+
 /// A k-fold splitter over `n` examples.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KFold {
@@ -32,18 +57,50 @@ impl KFold {
         self.k
     }
 
+    /// The fold count actually used by [`KFold::splits`] for `n` examples:
+    /// `k`, clamped so that no fold's test set can be empty (but never
+    /// below 2). Callers can compare this against [`KFold::k`] to warn
+    /// about a clamped configuration.
+    pub fn effective_k(&self, n: usize) -> usize {
+        self.k.min(n).max(2)
+    }
+
     /// Produces the `(train, test)` index sets for each fold over `n`
     /// examples. Every index appears in exactly one test set; shuffling is
     /// deterministic in the seed.
-    pub fn splits(&self, n: usize) -> Vec<(Vec<usize>, Vec<usize>)> {
+    ///
+    /// When `n < k` (possible after quarantine shrinks a suite), the fold
+    /// count is clamped to [`KFold::effective_k`] so no silent empty test
+    /// folds are produced; use [`KFold::try_splits`] to treat that as an
+    /// error instead. With fewer than two examples the splits are
+    /// inevitably degenerate (an empty side); callers needing a guarantee
+    /// should use [`KFold::try_splits`].
+    pub fn splits(&self, n: usize) -> Vec<Split> {
+        self.splits_with_k(n, self.effective_k(n))
+    }
+
+    /// Like [`KFold::splits`], but rejects a fold count the dataset cannot
+    /// fill: every fold is guaranteed a non-empty test *and* train set.
+    ///
+    /// # Errors
+    ///
+    /// [`TooFewExamples`] when `n < k`.
+    pub fn try_splits(&self, n: usize) -> Result<Vec<Split>, TooFewExamples> {
+        if n < self.k {
+            return Err(TooFewExamples { n, k: self.k });
+        }
+        Ok(self.splits_with_k(n, self.k))
+    }
+
+    fn splits_with_k(&self, n: usize, k: usize) -> Vec<Split> {
         let mut indices: Vec<usize> = (0..n).collect();
         let mut rng = StdRng::seed_from_u64(self.seed);
         indices.shuffle(&mut rng);
-        let mut folds: Vec<Vec<usize>> = vec![Vec::new(); self.k];
+        let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
         for (i, idx) in indices.into_iter().enumerate() {
-            folds[i % self.k].push(idx);
+            folds[i % k].push(idx);
         }
-        (0..self.k)
+        (0..k)
             .map(|f| {
                 let test = folds[f].clone();
                 let train = folds
@@ -132,5 +189,71 @@ mod tests {
     #[should_panic(expected = "k >= 2")]
     fn rejects_k_of_one() {
         let _ = KFold::new(1, 0);
+    }
+
+    /// `n < k`: the silent-empty-test-fold regression. `splits` must clamp
+    /// (no empty test folds, every index tested once) and `try_splits` must
+    /// reject with a typed error.
+    #[test]
+    fn fewer_examples_than_folds_clamps_and_errors() {
+        let kf = KFold::new(10, 3);
+        assert_eq!(kf.effective_k(4), 4);
+        let splits = kf.splits(4);
+        assert_eq!(splits.len(), 4);
+        let mut seen = BTreeSet::new();
+        for (train, test) in &splits {
+            assert!(!test.is_empty(), "clamped split yielded an empty test fold");
+            assert!(!train.is_empty(), "clamped split yielded an empty train fold");
+            for &i in test {
+                assert!(seen.insert(i), "index {i} tested twice");
+            }
+        }
+        assert_eq!(seen.len(), 4);
+        assert_eq!(kf.try_splits(4), Err(TooFewExamples { n: 4, k: 10 }));
+        let msg = TooFewExamples { n: 4, k: 10 }.to_string();
+        assert!(msg.contains('4') && msg.contains("10"), "{msg}");
+    }
+
+    /// `n == k`: exactly one test example per fold, nothing clamped.
+    #[test]
+    fn examples_equal_folds_gives_singleton_test_folds() {
+        let kf = KFold::new(5, 11);
+        assert_eq!(kf.effective_k(5), 5);
+        let splits = kf.try_splits(5).expect("n == k is splittable");
+        assert_eq!(splits, kf.splits(5));
+        assert_eq!(splits.len(), 5);
+        let mut seen = BTreeSet::new();
+        for (train, test) in &splits {
+            assert_eq!(test.len(), 1);
+            assert_eq!(train.len(), 4);
+            seen.insert(test[0]);
+        }
+        assert_eq!(seen.len(), 5);
+    }
+
+    /// `n == k + 1`: one fold gets two test examples, the rest one.
+    #[test]
+    fn one_more_example_than_folds_balances() {
+        let kf = KFold::new(5, 11);
+        let splits = kf.try_splits(6).expect("n > k is splittable");
+        assert_eq!(splits, kf.splits(6));
+        assert_eq!(splits.len(), 5);
+        let sizes: Vec<usize> = splits.iter().map(|(_, test)| test.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 6);
+        assert_eq!(sizes.iter().filter(|&&s| s == 2).count(), 1);
+        assert_eq!(sizes.iter().filter(|&&s| s == 1).count(), 4);
+        for (train, test) in &splits {
+            assert_eq!(train.len() + test.len(), 6);
+        }
+    }
+
+    /// Clamping never changes the answer when the dataset is big enough:
+    /// `splits` and `try_splits` agree for every `n >= k`.
+    #[test]
+    fn clamping_is_identity_when_not_needed() {
+        let kf = KFold::new(4, 2);
+        for n in 4..20 {
+            assert_eq!(kf.splits(n), kf.try_splits(n).expect("n >= k"));
+        }
     }
 }

@@ -31,13 +31,18 @@
 //! # Ok::<(), fegen_ml::data::DataError>(())
 //! ```
 
+
+// Library code must report through telemetry events or typed errors,
+// never by printing; binaries are exempt (their crate roots are in bin/).
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+
 pub mod cv;
 pub mod data;
 pub mod metrics;
 pub mod svm;
 pub mod tree;
 
-pub use cv::KFold;
+pub use cv::{KFold, TooFewExamples};
 pub use data::Dataset;
 pub use svm::{Svm, SvmConfig};
 pub use tree::{DecisionTree, Presorted, TreeConfig};

@@ -99,10 +99,13 @@ impl Presorted {
         let by_feature = (0..data.n_features())
             .map(|f| {
                 let mut order: Vec<u32> = (0..n as u32).collect();
+                // `total_cmp`, not `partial_cmp(..).unwrap_or(Equal)`: the
+                // latter is not a total order when a NaN feature value slips
+                // in, making the sort order — and thus the learned tree —
+                // nondeterministic. Under the total order NaNs sort after
+                // +inf, deterministically.
                 order.sort_by(|&a, &b| {
-                    data.row(a as usize)[f]
-                        .partial_cmp(&data.row(b as usize)[f])
-                        .unwrap_or(std::cmp::Ordering::Equal)
+                    data.row(a as usize)[f].total_cmp(&data.row(b as usize)[f])
                 });
                 order
             })
@@ -412,6 +415,13 @@ fn best_split(data: &Dataset, indices: &[usize], sorted: &[Vec<u32>]) -> Option<
             let split_info = -(p_left * p_left.log2() + (1.0 - p_left) * (1.0 - p_left).log2());
             let gain_ratio = gain / split_info.max(1e-12);
             let threshold = (value(k) + value(k + 1)) / 2.0;
+            // NaN rejection: a NaN or infinite feature value produces a
+            // non-finite threshold (NaN ≠ NaN, so the distinct-values guard
+            // above does not catch it); such a split can never be applied
+            // meaningfully at prediction time, so it is not a candidate.
+            if !threshold.is_finite() || !gain_ratio.is_finite() {
+                continue;
+            }
             let cand = SplitChoice {
                 feature,
                 threshold,
@@ -437,11 +447,10 @@ fn best_split(data: &Dataset, indices: &[usize], sorted: &[Vec<u32>]) -> Option<
         .into_iter()
         // C4.5: restrict gain-ratio selection to at-least-average gain.
         .filter(|c| c.gain >= avg_gain - 1e-12)
-        .max_by(|a, b| {
-            a.gain_ratio
-                .partial_cmp(&b.gain_ratio)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
+        // Total order: candidates all carry finite gain ratios (enforced at
+        // construction), and `total_cmp` keeps the selection deterministic
+        // even if that invariant is ever violated.
+        .max_by(|a, b| a.gain_ratio.total_cmp(&b.gain_ratio))
 }
 
 /// C4.5 pessimistic error: upper confidence bound on the leaf error rate.
@@ -662,5 +671,62 @@ mod tests {
         assert_eq!(t.predict(&[5.0]), 0);
         assert_eq!(t.predict(&[15.0]), 1);
         assert_eq!(t.predict(&[25.0]), 2);
+    }
+
+    /// Regression test for the `partial_cmp(..).unwrap_or(Equal)`
+    /// comparators: a NaN attribute value used to make presorting (and so
+    /// the learned tree) order-dependent, and could smuggle a NaN threshold
+    /// into the tree. Training must be deterministic, ignore the poisoned
+    /// feature, and still learn from the clean one.
+    #[test]
+    fn nan_features_are_rejected_deterministically() {
+        // Feature 0 is poisoned with NaNs placed to sit between distinct
+        // values; feature 1 cleanly separates the classes.
+        let xs: Vec<Vec<f64>> = (0..24)
+            .map(|i| {
+                let poisoned = if i % 3 == 0 { f64::NAN } else { (i % 5) as f64 };
+                vec![poisoned, i as f64]
+            })
+            .collect();
+        let ys: Vec<usize> = (0..24).map(|i| usize::from(i >= 12)).collect();
+        let d = Dataset::new(xs, ys, 2).unwrap();
+        let t = DecisionTree::train(&d, &TreeConfig::default());
+        // The clean feature still drives prediction.
+        assert_eq!(t.predict(&[f64::NAN, 2.0]), 0);
+        assert_eq!(t.predict(&[f64::NAN, 20.0]), 1);
+        // Determinism: retraining and training through the presorted path
+        // give the identical tree.
+        assert_eq!(t, DecisionTree::train(&d, &TreeConfig::default()));
+        let pre = Presorted::new(&d);
+        let indices: Vec<usize> = (0..24).collect();
+        assert_eq!(
+            t,
+            DecisionTree::train_on(&d, &pre, &indices, &TreeConfig::default())
+        );
+        // No split may carry a non-finite threshold.
+        fn thresholds_finite(node: &Node) -> bool {
+            match node {
+                Node::Leaf { .. } => true,
+                Node::Split {
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => threshold.is_finite() && thresholds_finite(left) && thresholds_finite(right),
+            }
+        }
+        assert!(thresholds_finite(&t.root));
+    }
+
+    /// An all-NaN feature matrix offers no usable split: training must not
+    /// panic and must fall back to the majority leaf.
+    #[test]
+    fn all_nan_features_fall_back_to_majority() {
+        let xs: Vec<Vec<f64>> = (0..9).map(|_| vec![f64::NAN, f64::NAN]).collect();
+        let ys: Vec<usize> = (0..9).map(|i| usize::from(i < 3)).collect();
+        let d = Dataset::new(xs, ys, 2).unwrap();
+        let t = DecisionTree::train(&d, &TreeConfig::default());
+        assert_eq!(t.predict(&[f64::NAN, f64::NAN]), 0);
+        assert_eq!(t.predict(&[1.0, 1.0]), 0);
     }
 }

@@ -40,6 +40,11 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+
+// Library code must report through telemetry events or typed errors,
+// never by printing; binaries are exempt (their crate roots are in bin/).
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+
 pub mod cfg;
 pub mod export;
 pub mod func;

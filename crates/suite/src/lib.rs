@@ -29,6 +29,11 @@
 //! }
 //! ```
 
+
+// Library code must report through telemetry events or typed errors,
+// never by printing; binaries are exempt (their crate roots are in bin/).
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+
 mod gen;
 mod mesa;
 mod names;

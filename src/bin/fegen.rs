@@ -13,6 +13,7 @@
 //! fegen suite   <index>                        print a generated benchmark's source
 //! fegen search  <file> [flags]                 run the GP feature search on a program
 //! fegen measure [flags]                        run the measurement campaign into a dataset
+//! fegen report  <dir>                          summarize a telemetry event log
 //! fegen bench-perf [flags]                     measure eval-engine throughput
 //! ```
 //!
@@ -38,6 +39,18 @@
 //! --paper                  paper-scale budgets instead of the quick preset
 //! --engine <name>          feature evaluation engine: compiled (default) | interp
 //! ```
+//!
+//! `fegen search` and `fegen measure` also accept the telemetry flags:
+//!
+//! ```text
+//! --telemetry-dir <dir>    append structured JSONL events to <dir>/events.jsonl
+//! --log-json               mirror every event to stderr as one JSON line
+//! --progress               human-readable progress lines on stderr
+//! ```
+//!
+//! Telemetry is observational only: checkpoints, shards and search results
+//! are byte-identical with and without it. `fegen report <dir>` renders the
+//! accumulated event log (progress, ETA, slowest sites, cache hit rates).
 //!
 //! `fegen bench-perf` flags:
 //!
@@ -106,6 +119,7 @@ fn run(args: &[String]) -> Result<(), Anyhow> {
         "suite" => cmd_suite(parse_num(arg(args, 1)?)?),
         "search" => cmd_search(arg(args, 1)?, &args[2..]),
         "measure" => cmd_measure(&args[1..]),
+        "report" => cmd_report(arg(args, 1)?),
         "bench-perf" => cmd_bench_perf(&args[1..]),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -130,6 +144,7 @@ fn print_usage() {
     println!("  fegen suite   <index>                        print benchmark #index source");
     println!("  fegen search  <file> [flags]                 run the GP feature search");
     println!("  fegen measure [flags]                        measurement campaign -> dataset");
+    println!("  fegen report  <dir>                          summarize a telemetry event log");
     println!("  fegen bench-perf [flags]                     measure eval-engine throughput");
     println!();
     println!("measure flags:");
@@ -152,6 +167,11 @@ fn print_usage() {
     println!("bench-perf flags:");
     println!("  --out <path>             JSON report path (default BENCH_eval.json)");
     println!("  --quick                  shorter measurement windows (CI smoke mode)");
+    println!();
+    println!("telemetry flags (search + measure):");
+    println!("  --telemetry-dir <dir>    append JSONL events to <dir>/events.jsonl");
+    println!("  --log-json               mirror every event to stderr as JSON");
+    println!("  --progress               human-readable progress lines on stderr");
 }
 
 fn arg(args: &[String], i: usize) -> Result<&str, Anyhow> {
@@ -414,6 +434,29 @@ fn training_examples_from(rtl: &RtlProgram) -> Vec<TrainingExample> {
     examples
 }
 
+/// Builds a telemetry handle from the shared `--telemetry-dir`,
+/// `--log-json` and `--progress` flags (disabled when none are given).
+fn build_telemetry(
+    dir: Option<&str>,
+    log_json: bool,
+    progress: bool,
+) -> Result<fegen::core::Telemetry, Anyhow> {
+    fegen::core::TelemetryConfig {
+        dir: dir.map(std::path::PathBuf::from),
+        log_json,
+        progress,
+    }
+    .build()
+    .map_err(|e| format!("opening telemetry sink: {e}").into())
+}
+
+fn cmd_report(dir: &str) -> Result<(), Anyhow> {
+    let summary = fegen::core::telemetry::report::summarize_dir(std::path::Path::new(dir))
+        .map_err(|e| format!("reading telemetry from `{dir}`: {e}"))?;
+    print!("{summary}");
+    Ok(())
+}
+
 fn cmd_search(path: &str, flags: &[String]) -> Result<(), Anyhow> {
     let mut checkpoint_dir: Option<String> = None;
     let mut checkpoint_every = 5usize;
@@ -421,6 +464,9 @@ fn cmd_search(path: &str, flags: &[String]) -> Result<(), Anyhow> {
     let mut seed: Option<u64> = None;
     let mut paper = false;
     let mut engine = EvalEngine::default();
+    let mut telemetry_dir: Option<String> = None;
+    let mut log_json = false;
+    let mut progress = false;
     let mut it = flags.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<String, Anyhow> {
@@ -442,6 +488,9 @@ fn cmd_search(path: &str, flags: &[String]) -> Result<(), Anyhow> {
                 );
             }
             "--paper" => paper = true,
+            "--telemetry-dir" => telemetry_dir = Some(value("--telemetry-dir")?),
+            "--log-json" => log_json = true,
+            "--progress" => progress = true,
             "--engine" => {
                 engine = match value("--engine")?.as_str() {
                     "compiled" | "vm" => EvalEngine::Compiled,
@@ -463,7 +512,7 @@ fn cmd_search(path: &str, flags: &[String]) -> Result<(), Anyhow> {
     if examples.is_empty() {
         return Err("the program has no measurable loops to search over".into());
     }
-    println!("searching over {} loops", examples.len());
+    eprintln!("searching over {} loops", examples.len());
 
     let mut config = if paper {
         SearchConfig::paper()
@@ -478,6 +527,7 @@ fn cmd_search(path: &str, flags: &[String]) -> Result<(), Anyhow> {
     if let Some(dir) = &checkpoint_dir {
         driver = driver.checkpoint(dir, checkpoint_every);
     }
+    driver = driver.telemetry(build_telemetry(telemetry_dir.as_deref(), log_json, progress)?);
     let result = match &resume {
         Some(p) => driver.resume(p, &examples),
         None => driver.run(&examples),
@@ -509,14 +559,17 @@ fn cmd_search(path: &str, flags: &[String]) -> Result<(), Anyhow> {
 
 fn cmd_measure(flags: &[String]) -> Result<(), Anyhow> {
     use fegen::bench::{
-        campaign_fingerprint, run_campaign, CampaignConfig, CampaignError, DatasetStore,
-        ExperimentConfig,
+        campaign_fingerprint, run_campaign_with_telemetry, CampaignConfig, CampaignError,
+        DatasetStore, ExperimentConfig,
     };
     let mut dataset_dir: Option<String> = None;
     let mut resume = false;
     let mut paper = false;
     let mut seed: Option<u64> = None;
     let mut campaign = CampaignConfig::default();
+    let mut telemetry_dir: Option<String> = None;
+    let mut log_json = false;
+    let mut progress = false;
     let mut it = flags.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<String, Anyhow> {
@@ -540,10 +593,14 @@ fn cmd_measure(flags: &[String]) -> Result<(), Anyhow> {
                 );
             }
             "--paper" => paper = true,
+            "--telemetry-dir" => telemetry_dir = Some(value("--telemetry-dir")?),
+            "--log-json" => log_json = true,
+            "--progress" => progress = true,
             other => return Err(format!("unknown measure flag `{other}`").into()),
         }
     }
     let dir = dataset_dir.ok_or("fegen measure needs --dataset-dir <dir>")?;
+    let telemetry = build_telemetry(telemetry_dir.as_deref(), log_json, progress)?;
     let mut config = if paper {
         ExperimentConfig::paper()
     } else {
@@ -553,18 +610,19 @@ fn cmd_measure(flags: &[String]) -> Result<(), Anyhow> {
         config.seed = s;
     }
     let fingerprint = campaign_fingerprint(&config, &campaign.sampling);
-    let store = DatasetStore::open(std::path::Path::new(&dir), fingerprint)?;
+    let store = DatasetStore::open(std::path::Path::new(&dir), fingerprint)?
+        .with_telemetry(telemetry.clone());
     if store.has_shards() && !resume {
         return Err(Box::new(CampaignError::DatasetExists {
             dir: store.dir().to_path_buf(),
         }));
     }
-    println!(
+    eprintln!(
         "measuring {} benchmark(s) into {dir} (fingerprint {fingerprint:#x}, {} job(s))",
         config.suite.n_benchmarks, campaign.jobs
     );
     let cancel = fegen::core::CancelToken::new();
-    let report = run_campaign(&config, &campaign, &store, None, &cancel)?;
+    let report = run_campaign_with_telemetry(&config, &campaign, &store, None, &cancel, &telemetry)?;
     print!("{}", fegen::bench::report::campaign_summary(&report));
     Ok(())
 }

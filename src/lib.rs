@@ -16,6 +16,11 @@
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
 
+
+// Library code must report through telemetry events or typed errors,
+// never by printing; binaries are exempt (their crate roots are in bin/).
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+
 pub use fegen_bench as bench;
 pub use fegen_core as core;
 pub use fegen_lang as lang;
