@@ -466,7 +466,15 @@ fn attempt_with_retry<T>(
                 shared.cancel.cancel();
                 None
             }
-            Some(FaultKind::CorruptWrite) | None => None,
+            // Island-supervision kinds only mean something to the GP
+            // island coordinator; campaign stages ignore them.
+            Some(
+                FaultKind::CorruptWrite
+                | FaultKind::IslandKill
+                | FaultKind::IslandStall(_)
+                | FaultKind::SlowHeartbeat(_),
+            )
+            | None => None,
         };
         let result: Result<T, String> = match injected {
             Some(e) => Err(e),

@@ -447,17 +447,30 @@ impl DatasetStore {
     }
 }
 
-/// Temp-file-plus-rename write in the target's directory.
+/// Temp-file-plus-rename write in the target's directory, made durable:
+/// the temp file is fsynced before the rename, and the parent directory
+/// is fsynced after it — a crash right after the rename cannot lose the
+/// shard to an unflushed directory entry.
 fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), DatasetError> {
+    let io_err = |p: &Path| {
+        let path = p.to_path_buf();
+        move |e: std::io::Error| DatasetError::Io {
+            path,
+            detail: e.to_string(),
+        }
+    };
     let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, bytes).map_err(|e| DatasetError::Io {
-        path: tmp.clone(),
-        detail: e.to_string(),
-    })?;
-    std::fs::rename(&tmp, path).map_err(|e| DatasetError::Io {
-        path: path.to_path_buf(),
-        detail: e.to_string(),
-    })
+    std::fs::write(&tmp, bytes).map_err(io_err(&tmp))?;
+    std::fs::File::open(&tmp)
+        .and_then(|f| f.sync_all())
+        .map_err(io_err(&tmp))?;
+    std::fs::rename(&tmp, path).map_err(io_err(path))?;
+    if let Some(dir) = path.parent() {
+        std::fs::File::open(dir)
+            .and_then(|d| d.sync_all())
+            .map_err(io_err(dir))?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -17,18 +17,26 @@
 //! the training examples. A mismatch is a typed
 //! [`CheckpointError::StateMismatch`], never a silently wrong result.
 //!
-//! Writes are atomic (temp file + rename in the target directory), so a
-//! crash mid-write leaves the previous checkpoint intact.
+//! Writes are atomic and durable: temp file + fsync + rename in the target
+//! directory, then an fsync of the directory itself — a crash mid-write
+//! leaves the previous checkpoint intact, and a crash immediately after
+//! the rename cannot lose the new one to an unflushed directory entry.
+//!
+//! Version 2 adds the optional [`IslandsSnapshot`]: the merged multi-island
+//! state (per-island populations, statuses, restart counters) plus the
+//! digest-guarded migration ledger. The checkpoint file is the wire format
+//! for island coordination — there is no second serialization path.
 
 use crate::error::CheckpointError;
 use crate::faults::fnv1a;
 use crate::gp::engine::GpSnapshot;
+use crate::gp::island::IslandsSnapshot;
 use crate::search::{SearchConfig, TrainingExample};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 
 /// Format version written to and expected from checkpoint files.
-pub const CHECKPOINT_VERSION: u32 = 1;
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// File name used inside a checkpoint directory.
 pub const CHECKPOINT_FILE: &str = "search.ckpt.json";
@@ -70,6 +78,11 @@ pub struct SearchCheckpoint {
     /// The in-flight GP run, when the checkpoint was written mid-search;
     /// `None` at an outer-loop boundary.
     pub gp: Option<GpSnapshot>,
+    /// The in-flight island states (topologies with more than one
+    /// island), captured at a round boundary; `None` for single-island
+    /// searches and at outer-loop boundaries. Mutually exclusive with
+    /// `gp`.
+    pub islands: Option<IslandsSnapshot>,
 }
 
 /// Stable fingerprint of a search configuration, for checkpoint identity.
@@ -113,14 +126,27 @@ impl SearchCheckpoint {
         })?;
         let tmp = dir.join(format!("{CHECKPOINT_FILE}.tmp"));
         let path = dir.join(CHECKPOINT_FILE);
-        std::fs::write(&tmp, text).map_err(|e| CheckpointError::Io {
-            path: tmp.clone(),
-            detail: e.to_string(),
-        })?;
-        std::fs::rename(&tmp, &path).map_err(|e| CheckpointError::Io {
-            path: path.clone(),
-            detail: e.to_string(),
-        })?;
+        let io_err = |p: &Path| {
+            let path = p.to_path_buf();
+            move |e: std::io::Error| CheckpointError::Io {
+                path,
+                detail: e.to_string(),
+            }
+        };
+        std::fs::write(&tmp, text).map_err(io_err(&tmp))?;
+        // Flush the temp file's *contents* before the rename makes it
+        // visible, so the rename can never publish a partially-flushed
+        // checkpoint.
+        std::fs::File::open(&tmp)
+            .and_then(|f| f.sync_all())
+            .map_err(io_err(&tmp))?;
+        std::fs::rename(&tmp, &path).map_err(io_err(&path))?;
+        // And flush the *directory entry*: without this, a crash right
+        // after the rename can lose the checkpoint entirely on some
+        // filesystems (the rename itself lives in the parent directory).
+        std::fs::File::open(dir)
+            .and_then(|d| d.sync_all())
+            .map_err(io_err(dir))?;
         Ok(path)
     }
 
@@ -224,6 +250,7 @@ mod tests {
             failed: 1,
             total_generations: 40,
             gp: None,
+            islands: None,
         }
     }
 

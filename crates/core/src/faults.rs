@@ -81,6 +81,26 @@ pub enum FaultKind {
     /// Corrupt the bytes a store just committed (torn write, bitrot). Only
     /// meaningful to I/O layers; the fitness path treats it as a no-op.
     CorruptWrite,
+    /// Kill the island worker attempting the keyed generation step: the
+    /// attempt is abandoned before its results commit, exactly as if the
+    /// worker crashed mid-step. The island coordinator retries from the
+    /// island's last committed state with bounded backoff, and freezes the
+    /// island once its restart limit is exhausted. Keys look like
+    /// `island:<id>:g<generation>#a<attempt>`, so a plan can fail one
+    /// attempt (transient crash) or every attempt (dead island). Benign on
+    /// the fitness path.
+    IslandKill,
+    /// Stall an island worker for the given number of milliseconds *after*
+    /// it published its heartbeat — a hung step. Wall-clock only: the
+    /// step's results are unchanged, so injected stalls can never alter
+    /// the search trajectory (the determinism rule the island tests pin).
+    /// Benign on the fitness path.
+    IslandStall(u64),
+    /// Delay an island worker's heartbeat publication by the given number
+    /// of milliseconds — a late check-in. The deadline monitor reports a
+    /// missed heartbeat; the step itself proceeds normally. Benign on the
+    /// fitness path.
+    SlowHeartbeat(u64),
 }
 
 /// When a plan fires.
@@ -218,8 +238,15 @@ impl<F: FitnessFn> FitnessFn for InjectedFitness<'_, F> {
                 std::thread::sleep(std::time::Duration::from_millis(ms));
                 self.inner.fitness(expr)
             }
-            // An I/O fault has nothing to corrupt on the fitness path.
-            Some(FaultKind::CorruptWrite) | None => self.inner.fitness(expr),
+            // I/O and island-supervision faults have no meaning on the
+            // fitness path; evaluate normally.
+            Some(
+                FaultKind::CorruptWrite
+                | FaultKind::IslandKill
+                | FaultKind::IslandStall(_)
+                | FaultKind::SlowHeartbeat(_),
+            )
+            | None => self.inner.fitness(expr),
         }
     }
 }

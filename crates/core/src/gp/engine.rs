@@ -30,6 +30,7 @@
 //! continues the same deterministic trajectory — see the `checkpoint_resume`
 //! integration tests.
 
+use crate::faults::CancelToken;
 use crate::gp::ops;
 use crate::grammar::Grammar;
 use crate::lang::FeatureExpr;
@@ -458,13 +459,29 @@ impl<'a> GpEngine<'a> {
     /// update the best-so-far record, and (unless converged) breed the next
     /// generation.
     pub fn step<F: FitnessFn>(&self, state: &mut GpState, fitness: &F) -> GpStatus {
+        self.step_cancellable(state, fitness, None)
+            .expect("a step without a cancel token always completes")
+    }
+
+    /// [`GpEngine::step`] with cooperative cancellation: returns `None` —
+    /// with `state` completely untouched — when `cancel` flips before the
+    /// generation's results are committed. Discarding the aborted
+    /// generation is exact: a resumed run recomputes it identically, so
+    /// cancellation only chooses *which* generation boundary a run stops
+    /// at, never what the trajectory looks like.
+    pub fn step_cancellable<F: FitnessFn>(
+        &self,
+        state: &mut GpState,
+        fitness: &F,
+        cancel: Option<&CancelToken>,
+    ) -> Option<GpStatus> {
         let cfg = &self.config;
         if state.generations >= cfg.max_generations
             || (state.stagnant >= cfg.stagnation_limit && state.generations > 0)
         {
-            return GpStatus::Converged;
+            return Some(GpStatus::Converged);
         }
-        let scored = self.evaluate_all(state, fitness);
+        let scored = self.evaluate_all(state, fitness, cancel)?;
         state.generations += 1;
 
         // Track the best valid individual, with parsimony.
@@ -511,15 +528,15 @@ impl<'a> GpEngine<'a> {
         });
 
         if !improved && state.stagnant >= cfg.stagnation_limit {
-            return GpStatus::Converged;
+            return Some(GpStatus::Converged);
         }
         if state.generations >= cfg.max_generations {
-            return GpStatus::Converged;
+            return Some(GpStatus::Converged);
         }
 
         let parents = std::mem::take(&mut state.population);
         state.population = self.breed(&parents, &scored, &mut state.rng);
-        GpStatus::Running
+        Some(GpStatus::Running)
     }
 
     /// Evaluates the population, reading and feeding the memo.
@@ -528,11 +545,19 @@ impl<'a> GpEngine<'a> {
     /// every distinct new expression — deterministically, whatever the
     /// thread count. Panicking fitness calls are caught and recorded as
     /// invalid.
+    ///
+    /// Returns `None` — without touching `state` — when `cancel` flips.
+    /// The gate sits *after* result collection and *before* memo
+    /// insertion: a cancelled evaluator may hand back `None` for
+    /// candidates it never finished, and memoising such a value would
+    /// fork the trajectory on resume. All-or-nothing commits keep the
+    /// memo a pure function of the candidate set.
     fn evaluate_all<F: FitnessFn>(
         &self,
         state: &mut GpState,
         fitness: &F,
-    ) -> Vec<Option<Evaluated>> {
+        cancel: Option<&CancelToken>,
+    ) -> Option<Vec<Option<Evaluated>>> {
         // Structural hashes instead of printed text: no per-candidate
         // print+alloc. Collisions (same hash, different tree) are resolved
         // by tree equality everywhere the hash is consulted.
@@ -567,25 +592,34 @@ impl<'a> GpEngine<'a> {
             }
         };
 
+        let cancelled = || cancel.is_some_and(CancelToken::is_cancelled);
         let threads = self.config.threads;
         let results: Vec<(Option<f64>, bool)> = if threads <= 1
             || state.degraded
             || pending.len() <= 1
         {
-            pending
-                .iter()
-                .map(|&i| eval_one(&state.population[i]))
-                .collect()
+            let mut out = Vec::with_capacity(pending.len());
+            for &i in &pending {
+                if cancelled() {
+                    return None;
+                }
+                out.push(eval_one(&state.population[i]));
+            }
+            out
         } else {
             let exprs: Vec<&FeatureExpr> =
                 pending.iter().map(|&i| &state.population[i]).collect();
             let mut out: Vec<(Option<f64>, bool)> = vec![(None, false); exprs.len()];
             let chunk = exprs.len().div_ceil(threads);
             let eval_one = &eval_one;
+            let cancelled = &cancelled;
             std::thread::scope(|s| {
                 for (expr_chunk, out_chunk) in exprs.chunks(chunk).zip(out.chunks_mut(chunk)) {
                     s.spawn(move || {
                         for (expr, slot) in expr_chunk.iter().zip(out_chunk.iter_mut()) {
+                            if cancelled() {
+                                break;
+                            }
                             *slot = eval_one(expr);
                         }
                     });
@@ -593,6 +627,13 @@ impl<'a> GpEngine<'a> {
             });
             out
         };
+
+        // Commit gate: once the token flips, *nothing* from this
+        // generation may reach the memo — some results above may be
+        // cancellation artefacts, not true evaluations.
+        if cancelled() {
+            return None;
+        }
 
         let mut generation_panics = 0usize;
         for (&i, (quality, panicked)) in pending.iter().zip(results) {
@@ -618,19 +659,21 @@ impl<'a> GpEngine<'a> {
             }
         }
 
-        hashes
-            .iter()
-            .zip(state.population.iter())
-            .map(|(&hash, expr)| {
-                memo_get(&state.memo, hash, expr)
-                    .flatten()
-                    .map(|quality| Evaluated {
-                        expr: expr.clone(),
-                        quality,
-                        size: expr.size(),
-                    })
-            })
-            .collect()
+        Some(
+            hashes
+                .iter()
+                .zip(state.population.iter())
+                .map(|(&hash, expr)| {
+                    memo_get(&state.memo, hash, expr)
+                        .flatten()
+                        .map(|quality| Evaluated {
+                            expr: expr.clone(),
+                            quality,
+                            size: expr.size(),
+                        })
+                })
+                .collect(),
+        )
     }
 
     /// Tournament selection over the scored population; invalid individuals

@@ -1,0 +1,949 @@
+//! Supervised island-model GP runtime.
+//!
+//! The paper's feature searches ran for weeks, which makes worker failure
+//! the normal case, not the exception. This module makes the *island* the
+//! restartable unit of work: N populations advance independently on
+//! isolated RNG streams (each derived from the root seed), exchange elites
+//! through periodic deterministic migration rounds, and are driven by a
+//! coordinator that supervises every step.
+//!
+//! # Determinism rule
+//!
+//! The signature invariant of this repository — byte-identical results for
+//! a given `(seed, topology)` — survives supervision because only
+//! *content-deterministic* events may alter the trajectory:
+//!
+//! - A **round is a barrier**: every active island advances exactly one
+//!   generation per round, dispatched across however many worker threads
+//!   are available. Each step executes on a *clone* of the island's last
+//!   committed state; results are committed sequentially in island-id
+//!   order after all workers join, so the worker count can only change
+//!   wall-clock time, never state.
+//! - **Crashes are keyed, not timed**: each step attempt consults the
+//!   fault injector under the key `island:<id>:g<generation>#a<attempt>`.
+//!   Whether an attempt crashes is a function of that key alone, so
+//!   injected kills reproduce identically at any worker count. A crashed
+//!   attempt is retried from the island's last committed state with
+//!   bounded exponential backoff; after [`IslandTopology::restart_limit`]
+//!   consecutive failures the island is **frozen** — reported, never
+//!   silently dropped, and its last committed state still sends migrants
+//!   and joins the final merge.
+//! - **Wall-clock events are report-only**: heartbeat deadlines, stalls
+//!   and slow check-ins produce telemetry, never state changes.
+//! - **Cancellation discards, never commits, partial rounds**: if any
+//!   step is interrupted mid-round, every step result of that round is
+//!   thrown away and the run checkpoints at the previous round boundary —
+//!   cancellation only chooses *which* boundary the run stops at.
+//!
+//! # Migration
+//!
+//! Every [`IslandTopology::migration_every`] rounds, island `i` clones its
+//! best-so-far individual into the last population slot of island
+//! `(i + 1) % n` (a deterministic ring). Frozen and converged islands
+//! still *send* — their discoveries are not lost — but no longer receive.
+//! Every migration is recorded in a digest-guarded ledger that travels
+//! with the checkpoint.
+
+use crate::faults::{CancelToken, FaultInjector, FaultKind};
+use crate::gp::engine::{Evaluated, GpEngine, GpRun, GpSnapshot, GpState, GpStatus};
+use crate::gp::FitnessFn;
+use crate::telemetry::Telemetry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Island topology of a feature search. Part of
+/// [`crate::search::SearchConfig`] — and therefore of the checkpoint
+/// identity fingerprint — because it defines the search *trajectory*. The
+/// worker thread count deliberately lives elsewhere
+/// ([`crate::search::SearchDriver::workers`]): it is an execution knob
+/// that must not change results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IslandTopology {
+    /// Number of island populations (1 = the classic single-population
+    /// search; the island coordinator is bypassed entirely).
+    pub islands: usize,
+    /// Rounds between migration exchanges (each round advances every
+    /// active island by one generation).
+    pub migration_every: usize,
+    /// Consecutive failed step attempts after which an island is frozen
+    /// (0 = freeze on the first crash; the default allows 3 restarts).
+    pub restart_limit: usize,
+}
+
+impl IslandTopology {
+    /// The classic single-population search.
+    pub fn single() -> Self {
+        IslandTopology {
+            islands: 1,
+            migration_every: 5,
+            restart_limit: 3,
+        }
+    }
+
+    /// A ring of `islands` islands with default migration cadence and
+    /// restart budget.
+    pub fn ring(islands: usize) -> Self {
+        IslandTopology {
+            islands: islands.max(1),
+            ..IslandTopology::single()
+        }
+    }
+}
+
+impl Default for IslandTopology {
+    fn default() -> Self {
+        IslandTopology::single()
+    }
+}
+
+/// Supervision status of one island.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IslandStatus {
+    /// Advancing one generation per round.
+    Active,
+    /// Reached its generation cap or stagnation limit.
+    Converged,
+    /// Exhausted its restart budget; its last committed state still sends
+    /// migrants and joins the final merge.
+    Frozen,
+}
+
+impl IslandStatus {
+    /// Stable lower-case name, for telemetry.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IslandStatus::Active => "active",
+            IslandStatus::Converged => "converged",
+            IslandStatus::Frozen => "frozen",
+        }
+    }
+}
+
+/// One island: an independent GP population under supervision.
+#[derive(Debug, Clone)]
+pub struct Island {
+    /// Position in the ring (0-based, contiguous).
+    pub id: usize,
+    /// The island's GP state — its "last atomic checkpoint": steps execute
+    /// on a clone and only successful results are committed back here.
+    pub gp: GpState,
+    /// Supervision status.
+    pub status: IslandStatus,
+    /// Crashed step attempts absorbed over the island's lifetime.
+    pub restarts: usize,
+}
+
+/// One recorded elite exchange.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MigrationRecord {
+    /// Round (1-based) after which the exchange happened.
+    pub round: usize,
+    /// Sending island.
+    pub from: usize,
+    /// Receiving island.
+    pub to: usize,
+    /// The migrated individual, printed.
+    pub feature: String,
+    /// Its quality at migration time.
+    pub quality: f64,
+}
+
+/// Full state of an island run between rounds: the unit the outer search
+/// checkpoints and the coordinator merges.
+#[derive(Debug, Clone)]
+pub struct IslandsState {
+    /// The islands, indexed by id.
+    pub islands: Vec<Island>,
+    /// Completed rounds.
+    pub round: usize,
+    /// Every migration performed so far.
+    pub ledger: Vec<MigrationRecord>,
+}
+
+/// Serializable form of one [`Island`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IslandSnapshot {
+    /// Position in the ring.
+    pub id: usize,
+    /// Supervision status.
+    pub status: IslandStatus,
+    /// Lifetime crashed attempts.
+    pub restarts: usize,
+    /// The island's GP state.
+    pub gp: GpSnapshot,
+}
+
+/// Serializable form of an [`IslandsState`] — the merged multi-island
+/// snapshot embedded in [`crate::checkpoint::SearchCheckpoint`]. The
+/// migration ledger is guarded by a content digest so a truncated or
+/// hand-edited ledger is rejected at load, never partially adopted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IslandsSnapshot {
+    /// Completed rounds.
+    pub round: usize,
+    /// Per-island snapshots, in id order.
+    pub islands: Vec<IslandSnapshot>,
+    /// Every migration performed so far.
+    pub ledger: Vec<MigrationRecord>,
+    /// [`ledger_digest`] over `ledger`, for integrity.
+    pub ledger_digest: u64,
+}
+
+/// Order-sensitive content digest of a migration ledger (FNV-1a chained
+/// per record, like the examples digest).
+pub fn ledger_digest(ledger: &[MigrationRecord]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for r in ledger {
+        let text = format!(
+            "{}|{}|{}|{}|{:016x}",
+            r.round,
+            r.from,
+            r.to,
+            r.feature,
+            r.quality.to_bits()
+        );
+        h ^= crate::faults::stable_hash(text.as_bytes());
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl IslandsSnapshot {
+    /// Structural integrity checks: contiguous island ids, in-range and
+    /// digest-verified migration ledger. A snapshot that fails here is
+    /// rejected wholesale — never partially loaded.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.islands.is_empty() {
+            return Err("island snapshot holds no islands".into());
+        }
+        let n = self.islands.len();
+        for (slot, island) in self.islands.iter().enumerate() {
+            if island.id != slot {
+                return Err(format!(
+                    "island ids must be contiguous: slot {slot} holds id {}",
+                    island.id
+                ));
+            }
+        }
+        if ledger_digest(&self.ledger) != self.ledger_digest {
+            return Err(
+                "migration ledger digest mismatch (truncated or tampered ledger)".into(),
+            );
+        }
+        for (i, r) in self.ledger.iter().enumerate() {
+            if r.round == 0 || r.round > self.round {
+                return Err(format!(
+                    "migration record {i} claims round {} outside 1..={}",
+                    r.round, self.round
+                ));
+            }
+            if r.from >= n || r.to >= n {
+                return Err(format!(
+                    "migration record {i} references island {} -> {} outside 0..{n}",
+                    r.from, r.to
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl IslandsState {
+    /// Captures the full state in serializable form.
+    pub fn snapshot(&self) -> IslandsSnapshot {
+        IslandsSnapshot {
+            round: self.round,
+            islands: self
+                .islands
+                .iter()
+                .map(|i| IslandSnapshot {
+                    id: i.id,
+                    status: i.status,
+                    restarts: i.restarts,
+                    gp: i.gp.snapshot(),
+                })
+                .collect(),
+            ledger: self.ledger.clone(),
+            ledger_digest: ledger_digest(&self.ledger),
+        }
+    }
+
+    /// Rebuilds the state from a snapshot, validating it first. All-or-
+    /// nothing: any failure leaves nothing adopted.
+    pub fn from_snapshot(snapshot: &IslandsSnapshot) -> Result<IslandsState, String> {
+        snapshot.validate()?;
+        let mut islands = Vec::with_capacity(snapshot.islands.len());
+        for s in &snapshot.islands {
+            islands.push(Island {
+                id: s.id,
+                gp: GpState::from_snapshot(&s.gp)
+                    .map_err(|e| format!("island {}: {e}", s.id))?,
+                status: s.status,
+                restarts: s.restarts,
+            });
+        }
+        Ok(IslandsState {
+            islands,
+            round: snapshot.round,
+            ledger: snapshot.ledger.clone(),
+        })
+    }
+
+    /// GP generations executed across all islands.
+    pub fn generations(&self) -> usize {
+        self.islands.iter().map(|i| i.gp.generations).sum()
+    }
+}
+
+/// What a coordinator round left behind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundStatus {
+    /// At least one island remains active.
+    Running,
+    /// Every island is converged or frozen.
+    Done,
+    /// Cancellation landed mid-round; *nothing* was committed — the state
+    /// still sits at the previous round boundary.
+    Interrupted,
+}
+
+/// Result of one supervised island step attempt sequence.
+struct StepOutcome {
+    /// The stepped state, or `None` when the island froze.
+    stepped: Option<(GpState, GpStatus)>,
+    /// Crashed attempts absorbed while producing this outcome.
+    restarts: usize,
+    /// The step was interrupted by cancellation; discard the round.
+    interrupted: bool,
+    /// Wall-clock time spent on this island this round (including retries
+    /// and backoff), for the slowest-island report.
+    step_us: u64,
+}
+
+/// Heartbeat sentinel: the island has not been picked up this round.
+const HB_QUEUED: u64 = u64::MAX;
+/// Heartbeat sentinel: the island finished its step this round.
+const HB_DONE: u64 = u64::MAX - 1;
+
+/// The supervising coordinator: drives one round at a time, owning the
+/// heartbeat monitor, per-island panic quarantine, restart-with-backoff
+/// and freeze-on-repeated-failure policy.
+pub struct IslandCoordinator<'a, 'g> {
+    engine: &'a GpEngine<'g>,
+    topology: IslandTopology,
+    workers: usize,
+    heartbeat_deadline_ms: u64,
+    restart_backoff_ms: u64,
+    cancel: Option<&'a CancelToken>,
+    injector: Option<&'a FaultInjector>,
+    telemetry: Telemetry,
+    /// Cumulative per-island step wall-clock, for the final report.
+    step_us: Vec<u64>,
+}
+
+impl<'a, 'g> IslandCoordinator<'a, 'g> {
+    /// A coordinator over `engine` with the given topology. Defaults: one
+    /// worker, 2 s heartbeat deadline, 1 ms restart backoff base.
+    pub fn new(engine: &'a GpEngine<'g>, topology: IslandTopology) -> Self {
+        let islands = topology.islands.max(1);
+        IslandCoordinator {
+            engine,
+            topology,
+            workers: 1,
+            heartbeat_deadline_ms: 2_000,
+            restart_backoff_ms: 1,
+            cancel: None,
+            injector: None,
+            telemetry: Telemetry::disabled(),
+            step_us: vec![0; islands],
+        }
+    }
+
+    /// Worker threads stepping islands each round (execution knob: any
+    /// value produces byte-identical results).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Heartbeat deadline in milliseconds; 0 disables the monitor. The
+    /// monitor is observational: a missed deadline is reported, never
+    /// acted on (wall-clock events must not alter the trajectory).
+    pub fn heartbeat_deadline_ms(mut self, ms: u64) -> Self {
+        self.heartbeat_deadline_ms = ms;
+        self
+    }
+
+    /// Base backoff (milliseconds) between restart attempts; grows
+    /// exponentially per consecutive failure, capped at 2 s.
+    pub fn restart_backoff_ms(mut self, ms: u64) -> Self {
+        self.restart_backoff_ms = ms;
+        self
+    }
+
+    /// Cooperative cancellation token, polled before and during steps.
+    pub fn cancel(mut self, cancel: Option<&'a CancelToken>) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Fault injector consulted per step attempt (keys
+    /// `island:<id>:g<generation>#a<attempt>`).
+    pub fn injector(mut self, injector: Option<&'a FaultInjector>) -> Self {
+        self.injector = injector;
+        self
+    }
+
+    /// Telemetry handle for supervision events.
+    pub fn telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.telemetry = telemetry.clone();
+        self
+    }
+
+    /// Derives the initial island states: per-island RNG streams are
+    /// seeded by consecutive draws from the outer RNG, in id order, so
+    /// the topology fully determines every stream.
+    pub fn init_state(
+        engine: &GpEngine<'_>,
+        topology: &IslandTopology,
+        rng: &mut StdRng,
+    ) -> IslandsState {
+        let islands = (0..topology.islands.max(1))
+            .map(|id| Island {
+                id,
+                gp: engine.init_state(StdRng::seed_from_u64(rng.gen())),
+                status: IslandStatus::Active,
+                restarts: 0,
+            })
+            .collect();
+        IslandsState {
+            islands,
+            round: 0,
+            ledger: Vec::new(),
+        }
+    }
+
+    fn is_cancelled(&self) -> bool {
+        self.cancel.is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// Advances every active island by one generation, then (on migration
+    /// rounds) exchanges elites. All-or-nothing: an interrupted round
+    /// commits nothing.
+    pub fn round<F: FitnessFn>(&mut self, state: &mut IslandsState, fitness: &F) -> RoundStatus {
+        let active: Vec<usize> = state
+            .islands
+            .iter()
+            .filter(|i| i.status == IslandStatus::Active)
+            .map(|i| i.id)
+            .collect();
+        if active.is_empty() {
+            return RoundStatus::Done;
+        }
+        if self.is_cancelled() {
+            return RoundStatus::Interrupted;
+        }
+
+        let epoch = Instant::now();
+        let heartbeats: Vec<AtomicU64> =
+            active.iter().map(|_| AtomicU64::new(HB_QUEUED)).collect();
+        let mut outcomes: Vec<Option<StepOutcome>> = active.iter().map(|_| None).collect();
+        let workers = self.workers.min(active.len()).max(1);
+        let chunk = active.len().div_ceil(workers);
+        {
+            let this = &*self;
+            let refs: Vec<&Island> = active.iter().map(|&id| &state.islands[id]).collect();
+            let pending = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for ((island_chunk, out_chunk), hb_chunk) in refs
+                    .chunks(chunk)
+                    .zip(outcomes.chunks_mut(chunk))
+                    .zip(heartbeats.chunks(chunk))
+                {
+                    pending.fetch_add(1, Ordering::SeqCst);
+                    let pending = &pending;
+                    s.spawn(move || {
+                        for ((island, slot), hb) in island_chunk
+                            .iter()
+                            .zip(out_chunk.iter_mut())
+                            .zip(hb_chunk.iter())
+                        {
+                            hb.store(epoch.elapsed().as_millis() as u64, Ordering::SeqCst);
+                            let started = Instant::now();
+                            let mut outcome = this.step_island(island, fitness, hb, &epoch);
+                            outcome.step_us = started.elapsed().as_micros() as u64;
+                            let stop = outcome.interrupted;
+                            *slot = Some(outcome);
+                            hb.store(HB_DONE, Ordering::SeqCst);
+                            if stop {
+                                break;
+                            }
+                        }
+                        pending.fetch_sub(1, Ordering::SeqCst);
+                    });
+                }
+                this.monitor(&active, &heartbeats, &pending, &epoch);
+            });
+        }
+
+        // An interrupted step poisons the whole round: committing a
+        // partial round would make the boundary worker-count-dependent.
+        if outcomes
+            .iter()
+            .any(|o| o.as_ref().is_none_or(|o| o.interrupted))
+            || self.is_cancelled()
+        {
+            return RoundStatus::Interrupted;
+        }
+
+        // Deterministic commit, in island-id order (`active` ascends).
+        for (pos, &id) in active.iter().enumerate() {
+            let outcome = outcomes[pos].take().expect("uninterrupted outcome present");
+            self.step_us[id] += outcome.step_us;
+            let island = &mut state.islands[id];
+            if outcome.restarts > 0 {
+                island.restarts += outcome.restarts;
+                self.telemetry
+                    .event("island_restart")
+                    .u64("island", id as u64)
+                    .u64("generation", (island.gp.generations + 1) as u64)
+                    .u64("restarts", outcome.restarts as u64)
+                    .emit();
+                self.telemetry
+                    .counter_add("island.restarts", outcome.restarts as u64);
+            }
+            match outcome.stepped {
+                Some((gp, status)) => {
+                    island.gp = gp;
+                    if status == GpStatus::Converged {
+                        island.status = IslandStatus::Converged;
+                        self.telemetry
+                            .event("island_converged")
+                            .u64("island", id as u64)
+                            .u64("generations", island.gp.generations as u64)
+                            .emit();
+                    }
+                }
+                None => {
+                    // Graceful degradation: frozen and reported, never
+                    // silently dropped — the last committed state still
+                    // migrates and merges.
+                    island.status = IslandStatus::Frozen;
+                    self.telemetry
+                        .event("island_frozen")
+                        .u64("island", id as u64)
+                        .u64("generations", island.gp.generations as u64)
+                        .u64("restarts", island.restarts as u64)
+                        .emit();
+                    self.telemetry.counter_add("island.frozen", 1);
+                    self.telemetry.progress(&format!(
+                        "island {id} frozen after {} crashed attempt(s); \
+                         its last state still joins the merge",
+                        island.restarts
+                    ));
+                }
+            }
+        }
+        state.round += 1;
+        if state.round.is_multiple_of(self.topology.migration_every.max(1)) {
+            self.migrate(state);
+        }
+        if state
+            .islands
+            .iter()
+            .any(|i| i.status == IslandStatus::Active)
+        {
+            RoundStatus::Running
+        } else {
+            RoundStatus::Done
+        }
+    }
+
+    /// Supervised single-island step: clone the committed state, attempt
+    /// the generation, retry crashed attempts with bounded backoff.
+    fn step_island<F: FitnessFn>(
+        &self,
+        island: &Island,
+        fitness: &F,
+        hb: &AtomicU64,
+        epoch: &Instant,
+    ) -> StepOutcome {
+        let generation = island.gp.generations + 1;
+        let mut failures = 0usize;
+        loop {
+            if self.is_cancelled() {
+                return StepOutcome {
+                    stepped: None,
+                    restarts: failures,
+                    interrupted: true,
+                    step_us: 0,
+                };
+            }
+            let attempt = failures + 1;
+            let fault = self.injector.and_then(|inj| {
+                inj.fire(&format!("island:{}:g{generation}#a{attempt}", island.id))
+            });
+            // A slow heartbeat delays the check-in itself; a stall hangs
+            // the worker *after* it checked in. Both are wall-clock only.
+            if let Some(FaultKind::SlowHeartbeat(ms)) = fault {
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+            hb.store(epoch.elapsed().as_millis() as u64, Ordering::SeqCst);
+            match fault {
+                Some(FaultKind::IslandStall(ms) | FaultKind::Delay(ms)) => {
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+                Some(FaultKind::Cancel) => {
+                    if let Some(cancel) = self.cancel {
+                        cancel.cancel();
+                    }
+                }
+                _ => {}
+            }
+            let crashed = matches!(fault, Some(FaultKind::IslandKill | FaultKind::Panic));
+            if !crashed {
+                // Step on a clone; the committed state is untouched until
+                // the coordinator adopts the result — the island's "last
+                // atomic checkpoint" is always intact to restart from.
+                let mut trial = island.gp.clone();
+                let engine = self.engine;
+                let cancel = self.cancel;
+                let result = catch_unwind(AssertUnwindSafe(move || {
+                    let status = engine.step_cancellable(&mut trial, fitness, cancel);
+                    (trial, status)
+                }));
+                match result {
+                    Ok((trial, Some(status))) => {
+                        return StepOutcome {
+                            stepped: Some((trial, status)),
+                            restarts: failures,
+                            interrupted: false,
+                            step_us: 0,
+                        };
+                    }
+                    Ok((_, None)) => {
+                        return StepOutcome {
+                            stepped: None,
+                            restarts: failures,
+                            interrupted: true,
+                            step_us: 0,
+                        };
+                    }
+                    // A panic that escaped the engine's own quarantine:
+                    // treat it as a worker crash and retry.
+                    Err(_) => {}
+                }
+            }
+            failures += 1;
+            if failures > self.topology.restart_limit {
+                return StepOutcome {
+                    stepped: None,
+                    restarts: failures,
+                    interrupted: false,
+                    step_us: 0,
+                };
+            }
+            let backoff = self
+                .restart_backoff_ms
+                .saturating_mul(1 << (failures - 1).min(5))
+                .min(2_000);
+            if backoff > 0 {
+                std::thread::sleep(Duration::from_millis(backoff));
+            }
+        }
+    }
+
+    /// Observational heartbeat/deadline monitor, run on the coordinator
+    /// thread while workers step. Reports at most one miss per island per
+    /// round; never touches search state.
+    fn monitor(
+        &self,
+        active: &[usize],
+        heartbeats: &[AtomicU64],
+        pending: &AtomicUsize,
+        epoch: &Instant,
+    ) {
+        if self.heartbeat_deadline_ms == 0 {
+            return;
+        }
+        let poll = Duration::from_millis((self.heartbeat_deadline_ms / 4).clamp(2, 250));
+        let mut reported = vec![false; active.len()];
+        while pending.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(poll);
+            let now = epoch.elapsed().as_millis() as u64;
+            for (pos, hb) in heartbeats.iter().enumerate() {
+                let beat = hb.load(Ordering::SeqCst);
+                if beat == HB_QUEUED || beat == HB_DONE || reported[pos] {
+                    continue;
+                }
+                let overdue = now.saturating_sub(beat);
+                if overdue > self.heartbeat_deadline_ms {
+                    reported[pos] = true;
+                    self.telemetry
+                        .event("island_heartbeat_missed")
+                        .u64("island", active[pos] as u64)
+                        .u64("overdue_ms", overdue)
+                        .u64("deadline_ms", self.heartbeat_deadline_ms)
+                        .emit();
+                    self.telemetry.counter_add("island.heartbeat_missed", 1);
+                }
+            }
+        }
+    }
+
+    /// Deterministic ring migration: island `i` clones its best into the
+    /// last population slot of island `(i + 1) % n`. Frozen and converged
+    /// islands send but do not receive.
+    fn migrate(&self, state: &mut IslandsState) {
+        let n = state.islands.len();
+        if n < 2 {
+            return;
+        }
+        let donors: Vec<Option<Evaluated>> =
+            state.islands.iter().map(|i| i.gp.best.clone()).collect();
+        for (from, donor) in donors.iter().enumerate() {
+            let Some(best) = donor else { continue };
+            let to = (from + 1) % n;
+            if state.islands[to].status != IslandStatus::Active {
+                continue;
+            }
+            let population = &mut state.islands[to].gp.population;
+            let Some(slot) = population.len().checked_sub(1) else {
+                continue;
+            };
+            population[slot] = best.expr.clone();
+            state.ledger.push(MigrationRecord {
+                round: state.round,
+                from,
+                to,
+                feature: best.expr.to_string(),
+                quality: best.quality,
+            });
+            self.telemetry
+                .event("island_migration")
+                .u64("round", state.round as u64)
+                .u64("from", from as u64)
+                .u64("to", to as u64)
+                .f64("quality", best.quality)
+                .emit();
+            self.telemetry.counter_add("island.migrations", 1);
+        }
+    }
+
+    /// Merges the islands into one [`GpRun`]: best individual across all
+    /// islands (parsimony-aware, ties to the lowest island id — frozen
+    /// islands included), summed counters. Emits one `island_done` event
+    /// per island so the report can name the slowest.
+    pub fn merge(&self, state: &IslandsState) -> GpRun {
+        let parsimony = self.engine.config().parsimony;
+        let mut best: Option<Evaluated> = None;
+        for island in &state.islands {
+            self.telemetry
+                .event("island_done")
+                .u64("island", island.id as u64)
+                .str("status", island.status.as_str())
+                .u64("generations", island.gp.generations as u64)
+                .u64("restarts", island.restarts as u64)
+                .u64("step_us", self.step_us[island.id])
+                .emit();
+            if let Some(candidate) = &island.gp.best {
+                if best
+                    .as_ref()
+                    .is_none_or(|b| candidate.better_than_with(b, parsimony))
+                {
+                    best = Some(candidate.clone());
+                }
+            }
+        }
+        GpRun {
+            best,
+            generations: state.generations(),
+            evaluations: state.islands.iter().map(|i| i.gp.evaluations).sum(),
+            panics: state.islands.iter().map(|i| i.gp.panics).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{FaultPlan, FaultTrigger};
+    use crate::grammar::Grammar;
+    use crate::gp::GpConfig;
+    use crate::ir::IrNode;
+    use crate::lang::FeatureExpr;
+
+    fn grammar_and_ir() -> (Grammar, IrNode) {
+        let ir = IrNode::build("loop", |l| {
+            l.attr_num("num-iter", 12.0);
+            for _ in 0..3 {
+                l.child("insn", |i| {
+                    i.attr_enum("mode", "SI");
+                });
+            }
+            l.child("jump_insn", |_| {});
+        });
+        (Grammar::derive([&ir]), ir)
+    }
+
+    fn quick_cfg() -> GpConfig {
+        GpConfig {
+            population: 10,
+            max_generations: 6,
+            stagnation_limit: 6,
+            ..GpConfig::quick()
+        }
+    }
+
+    fn run_to_done(
+        engine: &GpEngine<'_>,
+        topology: IslandTopology,
+        workers: usize,
+        seed: u64,
+        fitness: &impl FitnessFn,
+        injector: Option<&FaultInjector>,
+    ) -> (IslandsState, GpRun) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut state = IslandCoordinator::init_state(engine, &topology, &mut rng);
+        let mut coordinator = IslandCoordinator::new(engine, topology)
+            .workers(workers)
+            .restart_backoff_ms(0)
+            .injector(injector);
+        loop {
+            match coordinator.round(&mut state, fitness) {
+                RoundStatus::Running => {}
+                RoundStatus::Done => break,
+                RoundStatus::Interrupted => panic!("no cancellation in this test"),
+            }
+        }
+        let run = coordinator.merge(&state);
+        (state, run)
+    }
+
+    #[test]
+    fn worker_count_is_invisible_to_results() {
+        let (g, ir) = grammar_and_ir();
+        let fitness = |e: &FeatureExpr| e.eval_with_budget(&ir, 10_000).ok();
+        let engine = GpEngine::new(&g, quick_cfg());
+        let (s1, r1) = run_to_done(&engine, IslandTopology::ring(4), 1, 7, &fitness, None);
+        let (s4, r4) = run_to_done(&engine, IslandTopology::ring(4), 4, 7, &fitness, None);
+        assert_eq!(r1.best, r4.best);
+        assert_eq!(r1.generations, r4.generations);
+        assert_eq!(s1.snapshot(), s4.snapshot(), "state must be byte-identical");
+    }
+
+    #[test]
+    fn migration_is_recorded_and_digested() {
+        let (g, ir) = grammar_and_ir();
+        let fitness = |e: &FeatureExpr| e.eval_with_budget(&ir, 10_000).ok();
+        let engine = GpEngine::new(&g, quick_cfg());
+        let topology = IslandTopology {
+            islands: 3,
+            migration_every: 2,
+            restart_limit: 3,
+        };
+        let (state, _) = run_to_done(&engine, topology, 2, 9, &fitness, None);
+        assert!(
+            !state.ledger.is_empty(),
+            "three islands over six generations must migrate at least once"
+        );
+        let snapshot = state.snapshot();
+        assert_eq!(snapshot.ledger_digest, ledger_digest(&state.ledger));
+        assert!(snapshot.validate().is_ok());
+        let restored = IslandsState::from_snapshot(&snapshot).expect("roundtrip");
+        assert_eq!(restored.snapshot(), snapshot);
+    }
+
+    #[test]
+    fn transient_kill_is_retried_and_neutral() {
+        let (g, ir) = grammar_and_ir();
+        let fitness = |e: &FeatureExpr| e.eval_with_budget(&ir, 10_000).ok();
+        let engine = GpEngine::new(&g, quick_cfg());
+        let clean = run_to_done(&engine, IslandTopology::ring(3), 2, 5, &fitness, None);
+        let injector = FaultInjector::new(vec![FaultPlan {
+            trigger: FaultTrigger::OnKeyPrefix("island:1:g2#a1".into()),
+            kind: FaultKind::IslandKill,
+        }]);
+        let faulted = run_to_done(
+            &engine,
+            IslandTopology::ring(3),
+            2,
+            5,
+            &fitness,
+            Some(&injector),
+        );
+        assert!(injector.injected() >= 1, "the kill must have fired");
+        assert_eq!(clean.1, faulted.1, "a retried crash must not change results");
+        // Snapshots differ only in the restart counter.
+        let mut snap = faulted.0.snapshot();
+        assert_eq!(snap.islands[1].restarts, 1);
+        snap.islands[1].restarts = 0;
+        assert_eq!(snap, clean.0.snapshot());
+    }
+
+    #[test]
+    fn persistent_kill_freezes_island_which_still_merges() {
+        let (g, ir) = grammar_and_ir();
+        let fitness = |e: &FeatureExpr| e.eval_with_budget(&ir, 10_000).ok();
+        let engine = GpEngine::new(&g, quick_cfg());
+        let injector = FaultInjector::new(vec![FaultPlan {
+            // Kill only generation >= 2 attempts, so the island has a
+            // committed generation-1 state to contribute to the merge.
+            trigger: FaultTrigger::OnKeyPrefix("island:0:g2".into()),
+            kind: FaultKind::IslandKill,
+        }]);
+        let topology = IslandTopology {
+            islands: 2,
+            migration_every: 2,
+            restart_limit: 2,
+        };
+        let (state, run) = run_to_done(&engine, topology, 1, 13, &fitness, Some(&injector));
+        assert_eq!(state.islands[0].status, IslandStatus::Frozen);
+        assert_eq!(state.islands[0].gp.generations, 1);
+        assert_eq!(state.islands[0].restarts, 3, "limit + 1 attempts crashed");
+        assert_eq!(state.islands[1].status, IslandStatus::Converged);
+        // The frozen island's generations still count in the merge.
+        assert_eq!(run.generations, state.generations());
+        assert!(run.best.is_some(), "the healthy island still delivers");
+    }
+
+    #[test]
+    fn snapshot_validation_rejects_corruption() {
+        let (g, ir) = grammar_and_ir();
+        let fitness = |e: &FeatureExpr| e.eval_with_budget(&ir, 10_000).ok();
+        let engine = GpEngine::new(&g, quick_cfg());
+        let topology = IslandTopology {
+            islands: 3,
+            migration_every: 2,
+            restart_limit: 3,
+        };
+        let (state, _) = run_to_done(&engine, topology, 1, 9, &fitness, None);
+        let good = state.snapshot();
+        assert!(good.validate().is_ok());
+
+        let mut truncated = good.clone();
+        truncated.ledger.pop();
+        assert!(truncated.validate().is_err(), "truncated ledger must fail");
+
+        let mut shuffled = good.clone();
+        shuffled.islands.swap(0, 2);
+        assert!(shuffled.validate().is_err(), "non-contiguous ids must fail");
+
+        let mut empty = good.clone();
+        empty.islands.clear();
+        assert!(empty.validate().is_err(), "empty snapshot must fail");
+
+        let mut bad_round = good;
+        if let Some(r) = bad_round.ledger.first().cloned() {
+            let mut r2 = r;
+            r2.round = bad_round.round + 10;
+            bad_round.ledger[0] = r2;
+            bad_round.ledger_digest = ledger_digest(&bad_round.ledger);
+            assert!(bad_round.validate().is_err(), "out-of-range round must fail");
+        }
+    }
+}

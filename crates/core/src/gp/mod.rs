@@ -12,9 +12,18 @@
 //!   elitism, parsimony-aware comparison (shorter wins ties), memoised
 //!   fitness evaluation, and the paper's stopping rule (stop after 15
 //!   stagnant generations or 200 generations, whichever comes first).
+//! - [`island`] scales the loop out: N supervised island populations on
+//!   isolated RNG streams, deterministic ring migration, restart-with-
+//!   backoff and freeze-on-repeated-failure — byte-identical results for
+//!   a given (seed, topology) at any worker count.
 
 pub mod engine;
+pub mod island;
 pub mod ops;
 
 pub use engine::{Evaluated, FitnessFn, GenStats, GpConfig, GpEngine, GpRun};
+pub use island::{
+    IslandCoordinator, IslandStatus, IslandTopology, IslandsSnapshot, IslandsState,
+    MigrationRecord, RoundStatus,
+};
 pub use ops::{crossover, mutate};

@@ -22,6 +22,7 @@ use super::compile::{
     AggKind, BoolView, CountMeta, FusedBody, Op, Program, PureAtom, PureExpr, PurePred,
 };
 use super::eval::EvalError;
+use crate::faults::CancelToken;
 use crate::ir::{AttrValue, IrArena, IrNode, Symbol};
 use crate::telemetry::Telemetry;
 use parking_lot::RwLock;
@@ -797,6 +798,7 @@ pub struct EvalPool<'a> {
     engine: EvalEngine,
     cache: EvalCache,
     programs: RwLock<HashMap<Fingerprint, Arc<Program>>>,
+    cancel: Option<CancelToken>,
     vm_evals: AtomicU64,
     interp_evals: AtomicU64,
     program_hits: AtomicU64,
@@ -837,6 +839,7 @@ impl<'a> EvalPool<'a> {
             engine,
             cache: EvalCache::default(),
             programs: RwLock::new(HashMap::new()),
+            cancel: None,
             vm_evals: AtomicU64::new(0),
             interp_evals: AtomicU64::new(0),
             program_hits: AtomicU64::new(0),
@@ -902,23 +905,56 @@ impl<'a> EvalPool<'a> {
         }
     }
 
+    /// Installs a cancellation token consulted by
+    /// [`EvalPool::column_cancellable`]: a coordinator-initiated shutdown
+    /// then interrupts an in-flight column between loops instead of
+    /// waiting it out. Plain [`EvalPool::column`] is deliberately *not*
+    /// affected — resume-time column recomputation and accept-path
+    /// re-derivation must never be perturbed by cancellation timing.
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = Some(cancel);
+    }
+
     /// Evaluates `expr` over every loop, applying the paper's discard rule:
     /// `None` as soon as any loop fails (budget exhaustion or non-finite
     /// value), otherwise the per-loop feature column.
     pub fn column(&self, expr: &FeatureExpr, budget: u64) -> Option<Vec<f64>> {
+        self.column_inner(expr, budget, false)
+    }
+
+    /// [`EvalPool::column`], but bails out (returning `None`) between
+    /// loops once the installed cancellation token flips. Only safe where
+    /// a spurious `None` is discarded wholesale — the GP fitness path
+    /// gates commits on the token, so a cancelled column can never be
+    /// memoised as a genuine failure.
+    pub fn column_cancellable(&self, expr: &FeatureExpr, budget: u64) -> Option<Vec<f64>> {
+        self.column_inner(expr, budget, true)
+    }
+
+    fn column_inner(&self, expr: &FeatureExpr, budget: u64, cancellable: bool) -> Option<Vec<f64>> {
+        let cancelled = || {
+            cancellable && self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+        };
         match self.engine {
             EvalEngine::Interpreter => {
                 self.interp_evals
                     .fetch_add(self.trees.len() as u64, Ordering::Relaxed);
-                self.trees
-                    .iter()
-                    .map(|t| expr.eval_with_budget(t, budget).ok())
-                    .collect()
+                let mut out = Vec::with_capacity(self.trees.len());
+                for t in &self.trees {
+                    if cancelled() {
+                        return None;
+                    }
+                    out.push(expr.eval_with_budget(t, budget).ok()?);
+                }
+                Some(out)
             }
             EvalEngine::Compiled => {
                 let prog = self.program(expr);
                 let mut out = Vec::with_capacity(self.arenas.len());
                 for (i, arena) in self.arenas.iter().enumerate() {
+                    if cancelled() {
+                        return None;
+                    }
                     self.vm_evals.fetch_add(1, Ordering::Relaxed);
                     match Vm::run(&prog, arena, i as u32, budget, Some(&self.cache)) {
                         Ok(v) => out.push(v),

@@ -81,6 +81,7 @@ pub mod telemetry;
 pub use checkpoint::{SearchCheckpoint, CHECKPOINT_FILE, CHECKPOINT_VERSION};
 pub use error::{CheckpointError, SearchError};
 pub use faults::{stable_hash, CancelToken, FaultInjector, FaultKind, FaultPlan, FaultTrigger};
+pub use gp::island::{IslandStatus, IslandTopology, IslandsSnapshot, MigrationRecord};
 pub use grammar::Grammar;
 pub use ir::{AttrValue, IrArena, IrNode, Symbol};
 pub use lang::{parse_feature, EvalEngine, EvalPool, FeatureExpr, Program};

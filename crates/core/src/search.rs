@@ -17,6 +17,9 @@ use crate::checkpoint::{self, SearchCheckpoint, StepRecord, CHECKPOINT_VERSION};
 use crate::error::{CheckpointError, SearchError};
 use crate::faults::{CancelToken, FaultInjector};
 use crate::gp::engine::{GpSnapshot, GpState, GpStatus};
+use crate::gp::island::{
+    IslandCoordinator, IslandTopology, IslandsSnapshot, IslandsState, RoundStatus,
+};
 use crate::gp::{FitnessFn, GpConfig, GpEngine, GpRun};
 use crate::grammar::Grammar;
 use crate::ir::IrNode;
@@ -90,6 +93,11 @@ pub struct SearchConfig {
     pub tree: TreeConfig,
     /// Master RNG seed.
     pub seed: u64,
+    /// Island topology of each per-feature GP run. Lives in the config —
+    /// and therefore in the checkpoint identity fingerprint — because it
+    /// defines the search *trajectory*; the worker thread count is a
+    /// [`SearchDriver`] knob precisely because it must not.
+    pub topology: IslandTopology,
 }
 
 impl SearchConfig {
@@ -105,6 +113,7 @@ impl SearchConfig {
             internal_folds: 3,
             tree: TreeConfig::default(),
             seed: 0xfe9e,
+            topology: IslandTopology::single(),
         }
     }
 
@@ -121,6 +130,7 @@ impl SearchConfig {
             internal_folds: 3,
             tree: TreeConfig::default(),
             seed: 0xfe9e,
+            topology: IslandTopology::single(),
         }
     }
 }
@@ -250,6 +260,8 @@ impl FeatureSearch {
             cancel: None,
             injector: None,
             telemetry: Telemetry::disabled(),
+            island_workers: 1,
+            heartbeat_deadline_ms: 2_000,
         }
     }
 
@@ -470,6 +482,8 @@ pub struct SearchDriver<'a> {
     cancel: Option<CancelToken>,
     injector: Option<&'a FaultInjector>,
     telemetry: Telemetry,
+    island_workers: usize,
+    heartbeat_deadline_ms: u64,
 }
 
 impl<'a> SearchDriver<'a> {
@@ -507,6 +521,25 @@ impl<'a> SearchDriver<'a> {
     /// a run with telemetry is byte-identical to one without.
     pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Worker threads the island coordinator steps islands with. An
+    /// execution knob, not a search parameter: any value produces
+    /// byte-identical results and checkpoints for a given
+    /// [`SearchConfig::topology`] (which is why it lives on the driver,
+    /// outside the config fingerprint). Ignored for single-island
+    /// topologies.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.island_workers = workers.max(1);
+        self
+    }
+
+    /// Heartbeat deadline for island workers, in milliseconds (0 disables
+    /// the monitor). Observational only: a missed deadline is reported
+    /// through telemetry, never acted on.
+    pub fn heartbeat_deadline_ms(mut self, ms: u64) -> Self {
+        self.heartbeat_deadline_ms = ms;
         self
     }
 
@@ -556,13 +589,31 @@ impl<'a> SearchDriver<'a> {
                 detail: "GP population must be positive".into(),
             });
         }
+        if cfg.topology.islands == 0 {
+            return Err(SearchError::InvalidConfig {
+                detail: "island topology must hold at least one island".into(),
+            });
+        }
+        if cfg.topology.migration_every == 0 {
+            return Err(SearchError::InvalidConfig {
+                detail: "island migration cadence must be at least one round".into(),
+            });
+        }
         let labels: Vec<usize> = examples.iter().map(|e| e.best_value()).collect();
         let tables: Vec<Vec<f64>> = examples.iter().map(|e| e.cycles.clone()).collect();
         let splits = internal_splits(cfg, examples.len());
         // One pool for the whole run: every loop is arena-flattened once and
         // every candidate feature is compiled once, then executed over all
         // loops; repeated (feature, loop) evaluations replay from the cache.
-        let pool = search.pool(examples);
+        // The driver's cancel token reaches into the pool so a shutdown
+        // interrupts in-flight fitness columns instead of waiting them out
+        // (only `column_cancellable` consults it; every other column stays
+        // timing-independent).
+        let mut pool = search.pool(examples);
+        if let Some(token) = &self.cancel {
+            pool.set_cancel(token.clone());
+        }
+        let pool = pool;
 
         // Oracle ceiling on the validation loops.
         let oracle_speedup = splits
@@ -635,6 +686,7 @@ impl<'a> SearchDriver<'a> {
         let mut failed = 0usize;
         let mut total_generations = 0usize;
         let mut pending_gp: Option<GpState> = None;
+        let mut pending_islands: Option<IslandsState> = None;
         let resumed_from: Option<PathBuf> = resume.as_ref().map(|(path, _)| path.clone());
 
         match resume {
@@ -684,6 +736,14 @@ impl<'a> SearchDriver<'a> {
                 best_speedup = ckpt.best_speedup;
                 failed = ckpt.failed;
                 total_generations = ckpt.total_generations;
+                if ckpt.gp.is_some() && ckpt.islands.is_some() {
+                    return Err(CheckpointError::Corrupt {
+                        path: path.clone(),
+                        detail: "checkpoint holds both single-population and island GP state"
+                            .into(),
+                    }
+                    .into());
+                }
                 pending_gp = match &ckpt.gp {
                     None => None,
                     Some(snapshot) => Some(GpState::from_snapshot(snapshot).map_err(|e| {
@@ -693,7 +753,44 @@ impl<'a> SearchDriver<'a> {
                         }
                     })?),
                 };
+                pending_islands = match &ckpt.islands {
+                    None => None,
+                    Some(snapshot) => {
+                        // The fingerprint already binds the topology, but a
+                        // hand-edited snapshot can still disagree with its
+                        // own fingerprint field — reject it explicitly
+                        // rather than indexing out of step with the config.
+                        if snapshot.islands.len() != cfg.topology.islands {
+                            return Err(CheckpointError::StateMismatch {
+                                path: path.clone(),
+                                detail: format!(
+                                    "checkpoint holds {} island(s), configuration expects {}",
+                                    snapshot.islands.len(),
+                                    cfg.topology.islands
+                                ),
+                            }
+                            .into());
+                        }
+                        Some(IslandsState::from_snapshot(snapshot).map_err(|e| {
+                            CheckpointError::Corrupt {
+                                path: path.clone(),
+                                detail: e,
+                            }
+                        })?)
+                    }
+                };
             }
+        }
+
+        if cfg.topology.islands > 1 {
+            self.telemetry
+                .event("islands_start")
+                .u64("islands", cfg.topology.islands as u64)
+                .u64("migration_every", cfg.topology.migration_every as u64)
+                .u64("restart_limit", cfg.topology.restart_limit as u64)
+                .u64("workers", self.island_workers as u64)
+                .bool("resumed_mid_round", pending_islands.is_some())
+                .emit();
         }
 
         while features.len() < cfg.max_features
@@ -701,7 +798,12 @@ impl<'a> SearchDriver<'a> {
             && total_generations < cfg.max_total_generations
         {
             let fitness = |expr: &FeatureExpr| -> Option<f64> {
-                let column = pool.column(expr, cfg.eval_budget_per_example)?;
+                // The cancellable column may return a spurious `None` once
+                // the token flips; the GP engine's commit gate then discards
+                // the whole in-flight generation, so the value can never be
+                // memoised. Every other column call in this file stays
+                // uncancellable on purpose.
+                let column = pool.column_cancellable(expr, cfg.eval_budget_per_example)?;
                 let Some((data, presorted)) =
                     fitness_model(&base_columns, Some(&column), &labels, n_classes)
                 else {
@@ -722,12 +824,25 @@ impl<'a> SearchDriver<'a> {
                 .max_generations
                 .min(cfg.max_total_generations - total_generations);
             let engine = GpEngine::new(&search.grammar, gp);
-            // A restored mid-GP state already consumed its seed draw before
-            // the checkpoint was written; drawing again would fork the
-            // deterministic trajectory.
-            let state = match pending_gp.take() {
-                Some(state) => state,
-                None => engine.init_state(StdRng::seed_from_u64(rng.gen())),
+            // A restored mid-GP state already consumed its seed draw(s)
+            // before the checkpoint was written; drawing again would fork
+            // the deterministic trajectory.
+            let multi_island = cfg.topology.islands > 1;
+            let island_state = if multi_island {
+                Some(match pending_islands.take() {
+                    Some(state) => state,
+                    None => IslandCoordinator::init_state(&engine, &cfg.topology, &mut rng),
+                })
+            } else {
+                None
+            };
+            let state = if multi_island {
+                None
+            } else {
+                Some(match pending_gp.take() {
+                    Some(state) => state,
+                    None => engine.init_state(StdRng::seed_from_u64(rng.gen())),
+                })
             };
             let progress = OuterProgress {
                 fingerprint,
@@ -748,14 +863,22 @@ impl<'a> SearchDriver<'a> {
             };
 
             // `InjectedFitness` and the plain closure are distinct types, so
-            // the two arms instantiate `drive_gp` separately instead of
+            // the two arms instantiate the drivers separately instead of
             // erasing to `dyn` (the blanket closure impl forbids it anyway).
-            let run = match self.injector {
-                Some(injector) => {
+            let run = match (island_state, state, self.injector) {
+                (Some(islands), _, Some(injector)) => {
+                    let wrapped = injector.wrap(&fitness);
+                    self.drive_islands(&engine, islands, &wrapped, &progress)
+                }
+                (Some(islands), _, None) => {
+                    self.drive_islands(&engine, islands, &fitness, &progress)
+                }
+                (None, Some(state), Some(injector)) => {
                     let wrapped = injector.wrap(&fitness);
                     self.drive_gp(&engine, state, &wrapped, &progress)
                 }
-                None => self.drive_gp(&engine, state, &fitness, &progress),
+                (None, Some(state), None) => self.drive_gp(&engine, state, &fitness, &progress),
+                (None, None, _) => unreachable!("exactly one GP state shape is prepared"),
             };
             let run = match run {
                 Ok(run) => run,
@@ -837,7 +960,7 @@ impl<'a> SearchDriver<'a> {
                     failed,
                     total_generations,
                 };
-                self.write_checkpoint(&progress, None)?;
+                self.write_checkpoint(&progress, None, None)?;
             }
         }
 
@@ -889,18 +1012,24 @@ impl<'a> SearchDriver<'a> {
         let mut since_checkpoint = 0usize;
         let mut emitted_generation: Option<usize> = None;
         loop {
-            if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
-                // Cancellation only chooses *which* generation boundary the
-                // run stops at; the state content is exactly what an
-                // uninterrupted run holds here, which is what makes resume
-                // bit-identical.
-                let checkpoint = self.write_checkpoint(progress, Some(state.snapshot()))?;
-                return Err(SearchError::Interrupted {
-                    checkpoint,
-                    total_generations: progress.total_generations + state.generations,
-                });
-            }
-            let status = engine.step(&mut state, fitness);
+            // The step itself is cancellable: once the token flips, the
+            // in-flight generation is discarded whole (never partially
+            // committed) and the state still sits at the last generation
+            // boundary. Cancellation only chooses *which* boundary the run
+            // stops at; the state content is exactly what an uninterrupted
+            // run holds here, which is what makes resume bit-identical.
+            let status = match engine.step_cancellable(&mut state, fitness, self.cancel.as_ref())
+            {
+                Some(status) => status,
+                None => {
+                    let checkpoint =
+                        self.write_checkpoint(progress, Some(state.snapshot()), None)?;
+                    return Err(SearchError::Interrupted {
+                        checkpoint,
+                        total_generations: progress.total_generations + state.generations,
+                    });
+                }
+            };
             // A step that only notices convergence re-reports the previous
             // generation's stats; dedupe by generation number.
             if let Some(g) = state.last_gen {
@@ -926,7 +1055,59 @@ impl<'a> SearchDriver<'a> {
                     since_checkpoint += 1;
                     if self.checkpoint_dir.is_some() && since_checkpoint >= self.checkpoint_every
                     {
-                        self.write_checkpoint(progress, Some(state.snapshot()))?;
+                        self.write_checkpoint(progress, Some(state.snapshot()), None)?;
+                        since_checkpoint = 0;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drives one multi-island GP run round by round: each round advances
+    /// every active island one generation under the coordinator's
+    /// supervision (restarts, freezes, migration), then the driver polls
+    /// for cancellation and writes periodic checkpoints — always at round
+    /// boundaries, so the checkpoint bytes are independent of the worker
+    /// count and of where a kill landed inside the round.
+    fn drive_islands<F: FitnessFn>(
+        &self,
+        engine: &GpEngine<'_>,
+        mut state: IslandsState,
+        fitness: &F,
+        progress: &OuterProgress,
+    ) -> Result<GpRun, SearchError> {
+        let cfg = &self.search.config;
+        let mut coordinator = IslandCoordinator::new(engine, cfg.topology.clone())
+            .workers(self.island_workers)
+            .heartbeat_deadline_ms(self.heartbeat_deadline_ms)
+            .cancel(self.cancel.as_ref())
+            .injector(self.injector)
+            .telemetry(&self.telemetry);
+        let mut since_checkpoint = 0usize;
+        loop {
+            if progress.total_generations + state.generations() >= cfg.max_total_generations {
+                // Out of outer budget: merge what the islands found so far.
+                return Ok(coordinator.merge(&state));
+            }
+            match coordinator.round(&mut state, fitness) {
+                RoundStatus::Done => return Ok(coordinator.merge(&state)),
+                RoundStatus::Interrupted => {
+                    // Nothing from the broken round was committed: the
+                    // state — and therefore the checkpoint — sits at the
+                    // previous round boundary, whatever the worker count
+                    // and wherever the interruption landed.
+                    let checkpoint =
+                        self.write_checkpoint(progress, None, Some(state.snapshot()))?;
+                    return Err(SearchError::Interrupted {
+                        checkpoint,
+                        total_generations: progress.total_generations + state.generations(),
+                    });
+                }
+                RoundStatus::Running => {
+                    since_checkpoint += 1;
+                    if self.checkpoint_dir.is_some() && since_checkpoint >= self.checkpoint_every
+                    {
+                        self.write_checkpoint(progress, None, Some(state.snapshot()))?;
                         since_checkpoint = 0;
                     }
                 }
@@ -938,11 +1119,13 @@ impl<'a> SearchDriver<'a> {
         &self,
         progress: &OuterProgress,
         gp: Option<GpSnapshot>,
+        islands: Option<IslandsSnapshot>,
     ) -> Result<Option<PathBuf>, SearchError> {
         let Some(dir) = &self.checkpoint_dir else {
             return Ok(None);
         };
         let gp_generations = gp.as_ref().map(|g| g.generations);
+        let island_rounds = islands.as_ref().map(|i| i.round);
         let ckpt = SearchCheckpoint {
             version: CHECKPOINT_VERSION,
             config_fingerprint: progress.fingerprint,
@@ -954,6 +1137,7 @@ impl<'a> SearchDriver<'a> {
             failed: progress.failed,
             total_generations: progress.total_generations,
             gp,
+            islands,
         };
         let started = std::time::Instant::now();
         let path = ckpt.save(dir)?;
@@ -967,6 +1151,8 @@ impl<'a> SearchDriver<'a> {
                 gp_generations.unwrap_or(0) as u64,
             )
             .bool("mid_gp", gp_generations.is_some())
+            .u64("island_rounds", island_rounds.unwrap_or(0) as u64)
+            .bool("mid_islands", island_rounds.is_some())
             .emit();
         Ok(Some(path))
     }

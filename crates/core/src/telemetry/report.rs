@@ -280,6 +280,65 @@ pub fn render(events: &[ParsedEvent], skipped: usize) -> String {
         );
     }
 
+    // Island resilience: restarts, freezes, migrations, slowest island —
+    // the search-phase mirror of the campaign resilience tally.
+    if let Some(start) = events.iter().rev().find(|e| e.kind == "islands_start") {
+        let islands = field_u64(&start.fields, "islands").unwrap_or(0);
+        let workers = field_u64(&start.fields, "workers").unwrap_or(1);
+        let restarts: u64 = events
+            .iter()
+            .filter(|e| e.kind == "island_restart")
+            .filter_map(|e| field_u64(&e.fields, "restarts"))
+            .sum();
+        let frozen = events.iter().filter(|e| e.kind == "island_frozen").count();
+        let missed = events
+            .iter()
+            .filter(|e| e.kind == "island_heartbeat_missed")
+            .count();
+        let migrations: Vec<&ParsedEvent> = events
+            .iter()
+            .filter(|e| e.kind == "island_migration")
+            .collect();
+        let rounds = migrations
+            .iter()
+            .filter_map(|e| field_u64(&e.fields, "round"))
+            .max()
+            .unwrap_or(0);
+        let _ = writeln!(out, "islands: {islands} island(s), {workers} worker(s)");
+        let _ = writeln!(
+            out,
+            "  resilience: {restarts} restarted step(s), {frozen} frozen island(s), \
+             {missed} missed heartbeat(s)"
+        );
+        let _ = writeln!(
+            out,
+            "  migration: {} exchange(s), last at round {rounds}",
+            migrations.len()
+        );
+        // Last word per island wins: a resumed run re-reports them.
+        let mut done: BTreeMap<u64, (String, u64)> = BTreeMap::new();
+        for e in events.iter().filter(|e| e.kind == "island_done") {
+            if let Some(id) = field_u64(&e.fields, "island") {
+                done.insert(
+                    id,
+                    (
+                        field_str(&e.fields, "status").unwrap_or("?").to_owned(),
+                        field_u64(&e.fields, "step_us").unwrap_or(0),
+                    ),
+                );
+            }
+        }
+        if let Some((id, (status, dur))) =
+            done.iter().max_by_key(|(id, (_, dur))| (*dur, u64::MAX - *id))
+        {
+            let _ = writeln!(
+                out,
+                "  slowest island: {id} ({}, {status})",
+                fmt_dur_us(*dur)
+            );
+        }
+    }
+
     // Checkpoint write latency.
     let ckpt: Vec<u64> = events
         .iter()
@@ -386,6 +445,65 @@ mod tests {
             matches!(check_integrity(&dir).expect("read"), Ok(n) if n > 0),
             "integrity"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn summarizes_island_resilience() {
+        let dir = tmp_dir("islands");
+        let t = Telemetry::to_dir(&dir).expect("open");
+        t.event("islands_start")
+            .u64("islands", 4)
+            .u64("migration_every", 3)
+            .u64("restart_limit", 2)
+            .u64("workers", 2)
+            .emit();
+        t.event("island_restart")
+            .u64("island", 1)
+            .u64("generation", 3)
+            .u64("restarts", 2)
+            .emit();
+        t.event("island_frozen")
+            .u64("island", 1)
+            .u64("generations", 2)
+            .u64("restarts", 3)
+            .emit();
+        t.event("island_heartbeat_missed")
+            .u64("island", 3)
+            .u64("overdue_ms", 900)
+            .u64("deadline_ms", 250)
+            .emit();
+        t.event("island_migration")
+            .u64("round", 3)
+            .u64("from", 0)
+            .u64("to", 1)
+            .f64("quality", 1.5)
+            .emit();
+        t.event("island_migration")
+            .u64("round", 6)
+            .u64("from", 2)
+            .u64("to", 3)
+            .f64("quality", 1.7)
+            .emit();
+        for id in 0..4u64 {
+            t.event("island_done")
+                .u64("island", id)
+                .str("status", if id == 1 { "frozen" } else { "converged" })
+                .u64("generations", 6)
+                .u64("restarts", u64::from(id == 1) * 3)
+                .u64("step_us", 1_000 * (id + 1))
+                .emit();
+        }
+        drop(t);
+
+        let summary = summarize_dir(&dir).expect("summarize");
+        assert!(summary.contains("islands: 4 island(s), 2 worker(s)"), "{summary}");
+        assert!(
+            summary.contains("2 restarted step(s), 1 frozen island(s), 1 missed heartbeat(s)"),
+            "{summary}"
+        );
+        assert!(summary.contains("2 exchange(s), last at round 6"), "{summary}");
+        assert!(summary.contains("slowest island: 3"), "{summary}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

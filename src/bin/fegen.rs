@@ -38,6 +38,10 @@
 //! --seed <n>               master seed (default from the quick preset)
 //! --paper                  paper-scale budgets instead of the quick preset
 //! --engine <name>          feature evaluation engine: compiled (default) | interp
+//! --islands <n>            island populations per GP run (default 1)
+//! --migration-every <n>    rounds between elite migrations (default 5)
+//! --island-restart-limit <n>  crashed step retries before an island is frozen (default 3)
+//! --workers <n>            island worker threads (execution knob; results identical)
 //! ```
 //!
 //! `fegen search` and `fegen measure` also accept the telemetry flags:
@@ -163,6 +167,10 @@ fn print_usage() {
     println!("  --seed <n>               master seed");
     println!("  --paper                  paper-scale budgets (default: quick preset)");
     println!("  --engine <name>          evaluation engine: compiled (default) | interp");
+    println!("  --islands <n>            island populations per GP run (default 1)");
+    println!("  --migration-every <n>    rounds between elite migrations (default 5)");
+    println!("  --island-restart-limit <n>  crashed retries before freezing an island (default 3)");
+    println!("  --workers <n>            island worker threads (results identical for any n)");
     println!();
     println!("bench-perf flags:");
     println!("  --out <path>             JSON report path (default BENCH_eval.json)");
@@ -467,6 +475,10 @@ fn cmd_search(path: &str, flags: &[String]) -> Result<(), Anyhow> {
     let mut telemetry_dir: Option<String> = None;
     let mut log_json = false;
     let mut progress = false;
+    let mut islands: Option<usize> = None;
+    let mut migration_every: Option<usize> = None;
+    let mut island_restart_limit: Option<usize> = None;
+    let mut workers = 1usize;
     let mut it = flags.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<String, Anyhow> {
@@ -488,6 +500,14 @@ fn cmd_search(path: &str, flags: &[String]) -> Result<(), Anyhow> {
                 );
             }
             "--paper" => paper = true,
+            "--islands" => islands = Some(parse_num(&value("--islands")?)?.max(1)),
+            "--migration-every" => {
+                migration_every = Some(parse_num(&value("--migration-every")?)?.max(1))
+            }
+            "--island-restart-limit" => {
+                island_restart_limit = Some(parse_num(&value("--island-restart-limit")?)?)
+            }
+            "--workers" => workers = parse_num(&value("--workers")?)?.max(1),
             "--telemetry-dir" => telemetry_dir = Some(value("--telemetry-dir")?),
             "--log-json" => log_json = true,
             "--progress" => progress = true,
@@ -522,8 +542,20 @@ fn cmd_search(path: &str, flags: &[String]) -> Result<(), Anyhow> {
     if let Some(s) = seed {
         config.seed = s;
     }
+    // Topology flags enter the config (they define the trajectory and the
+    // checkpoint identity); `--workers` stays a driver knob (any value
+    // yields byte-identical results).
+    if let Some(n) = islands {
+        config.topology.islands = n;
+    }
+    if let Some(n) = migration_every {
+        config.topology.migration_every = n;
+    }
+    if let Some(n) = island_restart_limit {
+        config.topology.restart_limit = n;
+    }
     let search = FeatureSearch::from_examples(&examples, config).with_engine(engine);
-    let mut driver: SearchDriver = search.driver();
+    let mut driver: SearchDriver = search.driver().workers(workers);
     if let Some(dir) = &checkpoint_dir {
         driver = driver.checkpoint(dir, checkpoint_every);
     }
