@@ -99,6 +99,62 @@ fn bench_engines(c: &mut Criterion) {
     group.finish();
 }
 
+/// Shapes the loop-nest planner and columnar sweep specialize: leaf
+/// aggregates over postings, nested children-base aggregates gathered as
+/// columns, leaf-comparison counts, child-probe counts and predicate
+/// covers. One bench per shape, both engines, so a regression in any
+/// single lowering tier is visible in isolation.
+fn shape_set() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("leaf_sum_attr", "sum(//*, get-attr(@n-insns))"),
+        ("leaf_sum_childcount", "sum(//*, count(/*))"),
+        ("count_leaf_cmp", "count(filter(//*, 2 < count(/*)))"),
+        (
+            "count_child_probe",
+            "count(filter(//*, /[1][is-type(insn)]))",
+        ),
+        (
+            "nested_columnar",
+            "min(//*, sum(/*, avg(/*, count(/*)) + sum(/*, get-attr(@n-insns))))",
+        ),
+        (
+            "cover_filtered_min",
+            "min(filter(filter(//*, is-type(mem)), is-type(reg) || has-attr(@n-insns)), count(/*))",
+        ),
+    ]
+}
+
+/// Per-shape engine comparison over the deep/nested aggregate forms the
+/// generated-feature mix is dominated by.
+fn bench_shapes(c: &mut Criterion) {
+    let loops = exported_loops();
+    let arenas: Vec<IrArena> = loops.iter().map(IrArena::from_tree).collect();
+    let mut group = c.benchmark_group("eval_shapes");
+    for (name, src) in shape_set() {
+        let f = parse_feature(src).expect("valid feature");
+        let program = Program::compile(&f);
+        group.bench_function(format!("interp/{name}"), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for ir in &loops {
+                    acc += f.eval_with_budget(black_box(ir), BUDGET).unwrap_or(0.0);
+                }
+                acc
+            })
+        });
+        group.bench_function(format!("vm/{name}"), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for arena in &arenas {
+                    acc += program.eval(black_box(arena), BUDGET).unwrap_or(0.0);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Decision-tree training: one-shot training (presort amortised inside)
 /// and fold-style training where one `Presorted` serves many subsets — the
 /// shape of the search's internal cross-validation.
@@ -139,5 +195,5 @@ fn bench_tree_training(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_engines, bench_tree_training);
+criterion_group!(benches, bench_engines, bench_shapes, bench_tree_training);
 criterion_main!(benches);

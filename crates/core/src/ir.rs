@@ -223,11 +223,7 @@ impl IrNode {
     }
 
     /// Sets an enumerated attribute.
-    pub fn attr_enum(
-        &mut self,
-        name: impl Into<Symbol>,
-        value: impl Into<Symbol>,
-    ) -> &mut IrNode {
+    pub fn attr_enum(&mut self, name: impl Into<Symbol>, value: impl Into<Symbol>) -> &mut IrNode {
         self.set_attr(name, AttrValue::Enum(value.into()))
     }
 
@@ -256,12 +252,7 @@ impl IrNode {
 
     /// Maximum depth of this subtree (a leaf has depth 1).
     pub fn depth(&self) -> usize {
-        1 + self
-            .children
-            .iter()
-            .map(IrNode::depth)
-            .max()
-            .unwrap_or(0)
+        1 + self.children.iter().map(IrNode::depth).max().unwrap_or(0)
     }
 
     /// Iterates over this node and all descendants, pre-order.
@@ -338,6 +329,8 @@ pub struct IrArena {
     attr_off: Vec<u32>,
     attrs: Vec<(Symbol, AttrValue)>,
     child_count: Vec<u32>,
+    /// Preorder index of each node's parent (the root maps to itself).
+    parents: Vec<u32>,
     kind_postings: HashMap<Symbol, Vec<u32>>,
     attr_postings: HashMap<Symbol, Vec<u32>>,
 }
@@ -353,27 +346,29 @@ impl IrArena {
             attr_off: Vec::with_capacity(n + 1),
             attrs: Vec::new(),
             child_count: Vec::with_capacity(n),
+            parents: Vec::with_capacity(n),
             kind_postings: HashMap::new(),
             attr_postings: HashMap::new(),
         };
-        arena.push_subtree(root);
+        arena.push_subtree(root, 0);
         arena.attr_off.push(arena.attrs.len() as u32);
         arena
     }
 
-    fn push_subtree(&mut self, node: &IrNode) {
+    fn push_subtree(&mut self, node: &IrNode, parent: u32) {
         let idx = self.kinds.len() as u32;
         self.kinds.push(node.kind);
         self.subtree_end.push(0); // patched below
         self.attr_off.push(self.attrs.len() as u32);
         self.attrs.extend_from_slice(&node.attrs);
         self.child_count.push(node.children.len() as u32);
+        self.parents.push(parent);
         self.kind_postings.entry(node.kind).or_default().push(idx);
         for (name, _) in &node.attrs {
             self.attr_postings.entry(*name).or_default().push(idx);
         }
         for child in &node.children {
-            self.push_subtree(child);
+            self.push_subtree(child, idx);
         }
         self.subtree_end[idx as usize] = self.kinds.len() as u32;
     }
@@ -411,6 +406,13 @@ impl IrArena {
     #[inline]
     pub fn descendant_count(&self, i: u32) -> u32 {
         self.subtree_end[i as usize] - i - 1
+    }
+
+    /// Preorder index of node `i`'s parent; the root maps to itself. The
+    /// columnar aggregate sweep scatters child values bottom-up with it.
+    #[inline]
+    pub fn parent(&self, i: u32) -> u32 {
+        self.parents[i as usize]
     }
 
     /// Attributes of node `i`, sorted by name symbol.
@@ -463,6 +465,17 @@ impl IrArena {
     /// (a contiguous slice of the attribute's postings list).
     pub fn attr_nodes_in(&self, name: Symbol, lo: u32, hi: u32) -> &[u32] {
         let Some(p) = self.attr_postings.get(&name) else {
+            return &[];
+        };
+        let a = p.partition_point(|&i| i < lo);
+        let b = p.partition_point(|&i| i < hi);
+        &p[a..b]
+    }
+
+    /// Preorder indices in `lo..hi` of the nodes of `kind` (a contiguous
+    /// slice of the kind's postings list).
+    pub fn kind_nodes_in(&self, kind: Symbol, lo: u32, hi: u32) -> &[u32] {
+        let Some(p) = self.kind_postings.get(&kind) else {
             return &[];
         };
         let a = p.partition_point(|&i| i < lo);
@@ -593,6 +606,16 @@ mod tests {
         assert_eq!(arena.count_kind_in(Symbol::intern("ll"), 1, 4), 1);
         assert_eq!(arena.count_kind_in(Symbol::intern("ll"), 3, 5), 0);
         assert_eq!(arena.count_attr_in(Symbol::intern("flag"), 0, 5), 1);
+        assert_eq!(arena.kind_nodes_in(Symbol::intern("ll"), 1, 5), &[2]);
+        assert_eq!(
+            arena.kind_nodes_in(Symbol::intern("ll"), 3, 5),
+            &[] as &[u32]
+        );
+        assert_eq!(
+            arena.kind_nodes_in(Symbol::intern("absent"), 0, 5),
+            &[] as &[u32]
+        );
+        assert_eq!(arena.attr_nodes_in(Symbol::intern("flag"), 0, 5), &[1]);
     }
 
     #[test]

@@ -121,6 +121,24 @@ pub(crate) enum Op {
     /// Fused aggregate: pure predicates + leaf body run as one tight arena
     /// loop with bulk charging (operand indexes [`Program::fused`]).
     AggFused(u32),
+    /// Loop-nest plan: a whole (possibly nested) aggregate runs as
+    /// recursive arena loops with bulk step charging — no per-element
+    /// bytecode dispatch (operand indexes [`Program::plans`]).
+    AggPlan(u32),
+    /// Superinstruction: `IsType` fused with its `PredGate` (a single-atom
+    /// predicate on the frame path contains no jumps, so the in-place
+    /// rewrite is safe).
+    IsTypeGate(Symbol),
+    /// Superinstruction: `HasAttr` + `PredGate`.
+    HasAttrGate(Symbol),
+    /// Superinstruction: `AttrEqEnum` + `PredGate`.
+    AttrEqEnumGate(Symbol, Symbol, BoolView),
+    /// Superinstruction: `AttrCmpNum` + `PredGate`.
+    AttrCmpNumGate(Symbol, CmpOp, f64),
+    /// Superinstruction: `PushConst` + `AggAccum` (literal aggregate body).
+    ConstAccum(f64),
+    /// Superinstruction: `LoadAttr` + `AggAccum` (attribute aggregate body).
+    AttrAccum(Symbol),
     /// CSE cache probe (operand indexes [`Program::keys`]); on hit, charge
     /// the recorded steps and short-circuit to `end`.
     CacheBegin {
@@ -260,6 +278,121 @@ pub(crate) enum FusedBody {
     Count(CountMeta),
 }
 
+/// Static description of one loop-nest plan: an aggregate of *any*
+/// predicate and body shape (up to [`MAX_PLAN_AGG_DEPTH`] nested aggregate
+/// levels) lowered to recursive arena loops the VM evaluates without
+/// bytecode dispatch. Pure predicates keep the fused tiers (closed-form
+/// postings counts, kind tables, short-circuit scans); dynamic predicates
+/// and bodies become small trees walked per element with the interpreter's
+/// exact step accounting.
+#[derive(Debug, Clone)]
+pub(crate) struct PlanAgg {
+    pub kind: AggKind,
+    /// `true` for `/*` (children), `false` for `//*` (descendants).
+    pub children_base: bool,
+    /// Filter predicates in interpreter evaluation order (innermost
+    /// first); an element is accumulated when all hold, and evaluation
+    /// (with its step charges) stops at the first that fails.
+    pub preds: Vec<PlanPred>,
+    /// Aggregate body; `None` for `count`.
+    pub body: Option<PlanExpr>,
+    /// When the base is `//*` and the first (pure) predicate admits one,
+    /// the outer loop iterates the merged cover postings slices instead of
+    /// scanning the whole subtree span; runs of skipped elements outside
+    /// the cover are bulk-charged their constant false-trace cost.
+    pub cover: Option<PredCover>,
+    /// When the aggregate has no predicates and a leaf body, the whole
+    /// level collapses to one bulk-charged arena loop (closed form where
+    /// the accumulation allows).
+    pub leaf: Option<LeafArg>,
+}
+
+/// One postings list of a predicate cover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CoverSrc {
+    /// The kind postings of this symbol.
+    Kind(Symbol),
+    /// The attribute postings of this symbol.
+    Attr(Symbol),
+}
+
+/// Cover-driven outer loop of a [`PlanAgg`] over `//*`: every element its
+/// first predicate can match carries one of the cover symbols (as kind or
+/// attribute), and every element outside the cover follows the identical
+/// all-atoms-false short-circuit trace with constant cost. The outer loop
+/// merges the cover postings slices and bulk-charges the skipped runs.
+#[derive(Debug, Clone)]
+pub(crate) struct PredCover {
+    /// Postings lists to merge (at most [`MAX_COVER_SRCS`], deduplicated).
+    pub srcs: Vec<CoverSrc>,
+    /// Exact interpreter step cost of one element outside the cover: the
+    /// `for_each` charge plus the predicate's constant false-trace cost.
+    pub skip_per: u64,
+}
+
+/// A leaf operand evaluated flat at an element: a literal, an attribute
+/// read, or an indexed count of the element's children/descendants. Used
+/// as the body of a [`PlanAgg`] leaf level and as a `LeafCmp` operand.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum LeafArg {
+    Const(f64),
+    Attr(Symbol),
+    /// `count(/*)` at the element (charges 1 + child count).
+    ChildCount,
+    /// `count(//*)` at the element (charges 1 + descendant count).
+    DescCount,
+}
+
+/// One filter predicate of a [`PlanAgg`].
+#[derive(Debug, Clone)]
+pub(crate) enum PlanPred {
+    /// Pure — fixed-cost and error-free; reuses the fused-tier evaluators.
+    Pure(PurePred),
+    /// Contains `Cmp`, whose operands may aggregate and raise.
+    Dyn(PlanBool),
+}
+
+/// A boolean predicate tree a plan evaluates per element. Every node
+/// charges one step at entry; `&&`/`||` short-circuit and a missing child
+/// probe skips its inner predicate, exactly like the interpreter.
+#[derive(Debug, Clone)]
+pub(crate) enum PlanBool {
+    Atom(PureAtom),
+    Cmp(CmpOp, Box<PlanExpr>, Box<PlanExpr>),
+    /// `Cmp` whose operands are both leaves — evaluated flat, without
+    /// tree recursion (the dominant dynamic-predicate shape).
+    LeafCmp(CmpOp, LeafArg, LeafArg),
+    Not(Box<PlanBool>),
+    And(Box<PlanBool>, Box<PlanBool>),
+    Or(Box<PlanBool>, Box<PlanBool>),
+    /// `/[idx][p]`: probe the `idx`-th child; `false` when missing.
+    Child(u32, Box<PlanBool>),
+}
+
+/// A numeric expression tree a plan evaluates per element. Each node
+/// charges one step at entry and raises `NonFinite` on a non-finite value,
+/// exactly like the interpreter.
+#[derive(Debug, Clone)]
+pub(crate) enum PlanExpr {
+    Const(f64),
+    Attr(Symbol),
+    /// An indexed count evaluated at the current element (closed-form
+    /// postings totals or a range-restricted scan, bulk-charged).
+    Count(CountMeta),
+    /// A nested aggregate — a further loop level of the same plan.
+    Agg(Box<PlanAgg>),
+    /// A predicate-free aggregate with a leaf body — one bulk-charged
+    /// arena loop, closed form where the accumulation allows.
+    LeafAgg {
+        kind: AggKind,
+        /// `true` for `/*`, `false` for `//*`.
+        children_base: bool,
+        body: LeafArg,
+    },
+    Arith(ArithOp, Box<PlanExpr>, Box<PlanExpr>),
+    Neg(Box<PlanExpr>),
+}
+
 /// A compiled feature: flat bytecode plus side tables. Compile once per
 /// candidate, execute once per loop.
 #[derive(Debug, Clone)]
@@ -268,8 +401,22 @@ pub struct Program {
     pub(crate) aggs: Vec<AggMeta>,
     pub(crate) counts: Vec<CountMeta>,
     pub(crate) fused: Vec<FusedAggMeta>,
+    pub(crate) plans: Vec<PlanAgg>,
     /// Structural CSE keys for `CacheBegin` sites.
     pub(crate) keys: Vec<Fingerprint>,
+}
+
+/// Which execution tier a compiled program lands on (worst tier present
+/// wins). Surfaced through `PoolStats` so the fallback rate is observable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgramPath {
+    /// Straight-line bytecode: leaves, indexed counts, fused aggregates.
+    Fast,
+    /// Contains at least one loop-nest plan (and no frame aggregates).
+    LoopNest,
+    /// Contains at least one frame-path aggregate (per-element dispatch);
+    /// only aggregates nested deeper than [`MAX_PLAN_AGG_DEPTH`] land here.
+    Frame,
 }
 
 impl Program {
@@ -281,6 +428,7 @@ impl Program {
                 aggs: Vec::new(),
                 counts: Vec::new(),
                 fused: Vec::new(),
+                plans: Vec::new(),
                 keys: Vec::new(),
             },
         };
@@ -302,6 +450,17 @@ impl Program {
     /// Number of CSE cache sites (root-context aggregates).
     pub fn cache_sites(&self) -> usize {
         self.keys.len()
+    }
+
+    /// Execution tier of this program (worst tier present wins).
+    pub fn path(&self) -> ProgramPath {
+        if !self.aggs.is_empty() {
+            ProgramPath::Frame
+        } else if !self.plans.is_empty() {
+            ProgramPath::LoopNest
+        } else {
+            ProgramPath::Fast
+        }
     }
 }
 
@@ -358,16 +517,7 @@ impl Compiler {
         whole: &FeatureExpr,
         root: bool,
     ) {
-        // Unwrap nested filters; the interpreter evaluates predicates
-        // innermost-first, so reverse the collection order.
-        let mut preds: Vec<&BoolExpr> = Vec::new();
-        let mut base = seq;
-        while let SeqExpr::Filter(inner, p) = base {
-            preds.push(p);
-            base = inner;
-        }
-        preds.reverse();
-        let children_base = matches!(base, SeqExpr::Children);
+        let (preds, children_base) = split_filters(seq);
 
         let cache_at = root.then(|| {
             let key_idx = self.prog.keys.len() as u32;
@@ -377,18 +527,36 @@ impl Compiler {
             at
         });
 
+        // Tier order: a plan with a leaf level or a cover-driven outer loop
+        // beats the fused per-element scan, the fused scan beats a general
+        // plan, and the frame path is the residual fallback.
+        let mut plan = plan_agg(kind, children_base, &preds, body, 0);
+        if plan
+            .as_ref()
+            .is_some_and(|p| p.leaf.is_some() || p.cover.is_some())
+        {
+            let idx = self.prog.plans.len() as u32;
+            self.prog
+                .plans
+                .push(plan.take().unwrap_or_else(|| unreachable!()));
+            self.prog.ops.push(Op::AggPlan(idx));
+            self.close_cache(cache_at);
+            return;
+        }
+
         if let Some(fused) = fuse(kind, children_base, &preds, body) {
             let idx = self.prog.fused.len() as u32;
             self.prog.fused.push(fused);
             self.prog.ops.push(Op::AggFused(idx));
-            if let Some(at) = cache_at {
-                self.prog.ops.push(Op::CacheEnd);
-                let after = self.pc();
-                let Op::CacheBegin { end, .. } = &mut self.prog.ops[at] else {
-                    unreachable!("cache_at points at CacheBegin")
-                };
-                *end = after;
-            }
+            self.close_cache(cache_at);
+            return;
+        }
+
+        if let Some(plan) = plan {
+            let idx = self.prog.plans.len() as u32;
+            self.prog.plans.push(plan);
+            self.prog.ops.push(Op::AggPlan(idx));
+            self.close_cache(cache_at);
             return;
         }
 
@@ -402,15 +570,35 @@ impl Compiler {
         self.prog.ops.push(Op::AggStart(agg_idx));
         let body_pc = self.pc();
         for p in preds {
+            let before = self.pc() as usize;
             self.boolean(p);
-            self.prog.ops.push(Op::PredGate);
+            // A one-op predicate contains no jumps in or out, so the atom
+            // can be rewritten in place into its PredGate-fused form.
+            if !(self.pc() as usize == before + 1 && self.fuse_gate(before)) {
+                self.prog.ops.push(Op::PredGate);
+            }
         }
-        if let Some(b) = body {
-            self.num(b, false);
+        match body {
+            Some(b) => {
+                let before = self.pc() as usize;
+                self.num(b, false);
+                if !(self.pc() as usize == before + 1 && self.fuse_accum(before)) {
+                    self.prog.ops.push(Op::AggAccum);
+                }
+            }
+            None => self.prog.ops.push(Op::AggAccum),
         }
-        self.prog.ops.push(Op::AggAccum);
         // When cached, the frame finalizes onto the CacheEnd op.
         let end_pc = self.pc();
+        self.close_cache(cache_at);
+        let meta = &mut self.prog.aggs[agg_idx as usize];
+        meta.body_pc = body_pc;
+        meta.end_pc = end_pc;
+    }
+
+    /// Closes the CSE region opened by [`Self::aggregate`], if any: emits
+    /// the `CacheEnd` and patches the matching `CacheBegin`'s hit target.
+    fn close_cache(&mut self, cache_at: Option<usize>) {
         if let Some(at) = cache_at {
             self.prog.ops.push(Op::CacheEnd);
             let after = self.pc();
@@ -419,9 +607,32 @@ impl Compiler {
             };
             *end = after;
         }
-        let meta = &mut self.prog.aggs[agg_idx as usize];
-        meta.body_pc = body_pc;
-        meta.end_pc = end_pc;
+    }
+
+    /// Superinstruction rewrite: a single-op predicate atom at `at` absorbs
+    /// its `PredGate`. Positions don't shift, so no jump target breaks.
+    fn fuse_gate(&mut self, at: usize) -> bool {
+        let rep = match self.prog.ops[at] {
+            Op::IsType(k) => Op::IsTypeGate(k),
+            Op::HasAttr(a) => Op::HasAttrGate(a),
+            Op::AttrEqEnum(a, v, w) => Op::AttrEqEnumGate(a, v, w),
+            Op::AttrCmpNum(a, op, k) => Op::AttrCmpNumGate(a, op, k),
+            _ => return false,
+        };
+        self.prog.ops[at] = rep;
+        true
+    }
+
+    /// Superinstruction rewrite: a single-op leaf body at `at` absorbs its
+    /// `AggAccum`.
+    fn fuse_accum(&mut self, at: usize) -> bool {
+        let rep = match self.prog.ops[at] {
+            Op::PushConst(c) => Op::ConstAccum(c),
+            Op::LoadAttr(a) => Op::AttrAccum(a),
+            _ => return false,
+        };
+        self.prog.ops[at] = rep;
+        true
     }
 
     fn boolean(&mut self, e: &BoolExpr) {
@@ -506,6 +717,239 @@ fn fuse(
         preds,
         body,
     })
+}
+
+/// Unwraps a filter chain into its predicates (interpreter evaluation
+/// order: innermost first) and whether the base sequence is `/*`.
+fn split_filters(seq: &SeqExpr) -> (Vec<&BoolExpr>, bool) {
+    let mut preds: Vec<&BoolExpr> = Vec::new();
+    let mut base = seq;
+    while let SeqExpr::Filter(inner, p) = base {
+        preds.push(p);
+        base = inner;
+    }
+    preds.reverse();
+    (preds, matches!(base, SeqExpr::Children))
+}
+
+/// Aggregate-nesting bound for loop-nest plans. The planner covers the
+/// whole feature language, so without a bound the frame path would be dead
+/// code; beyond this depth one evaluation costs at least `n^DEPTH` steps
+/// and is budget-bound anyway, so the outer levels stay on frames and the
+/// inner levels re-enter the planner.
+const MAX_PLAN_AGG_DEPTH: usize = 8;
+
+/// Attempts to lower an aggregate to a loop-nest plan. `depth` counts
+/// enclosing aggregate levels of the same plan; total by construction —
+/// the only failure is exceeding [`MAX_PLAN_AGG_DEPTH`].
+fn plan_agg(
+    kind: AggKind,
+    children_base: bool,
+    preds: &[&BoolExpr],
+    body: Option<&FeatureExpr>,
+    depth: usize,
+) -> Option<PlanAgg> {
+    if depth >= MAX_PLAN_AGG_DEPTH {
+        return None;
+    }
+    let preds: Vec<PlanPred> = preds
+        .iter()
+        .map(|p| plan_pred(p, depth))
+        .collect::<Option<_>>()?;
+    let orig_body = body;
+    let body = match body {
+        None => None,
+        Some(b) => Some(plan_expr(b, depth)?),
+    };
+    let cover = if children_base {
+        None
+    } else {
+        pred_cover(&preds)
+    };
+    let leaf = if preds.is_empty() && !matches!(kind, AggKind::Count) {
+        orig_body.and_then(leaf_arg)
+    } else {
+        None
+    };
+    Some(PlanAgg {
+        kind,
+        children_base,
+        preds,
+        body,
+        cover,
+        leaf,
+    })
+}
+
+/// Upper bound on postings lists merged by one cover scan.
+const MAX_COVER_SRCS: usize = 4;
+
+/// The postings list containing every element a (positive) atom can match.
+fn cover_of_atom(a: &PureAtom) -> CoverSrc {
+    match a {
+        PureAtom::IsType(k) => CoverSrc::Kind(*k),
+        PureAtom::HasAttr(s) | PureAtom::AttrEq(s, ..) | PureAtom::AttrCmp(s, ..) => {
+            CoverSrc::Attr(*s)
+        }
+    }
+}
+
+/// Collects a cover for a pure tree and returns the constant step cost of
+/// its all-atoms-false short-circuit trace, or `None` when no cover exists
+/// (negation or child probes — matches then escape any postings union).
+///
+/// For `a && b` only `a`'s cover is needed: a match requires `a` to hold,
+/// and outside `cover(a)` the trace stops after `a`'s false path. For
+/// `a || b` both covers and both false paths combine.
+fn cover_of_tree(e: &PureExpr, srcs: &mut Vec<CoverSrc>) -> Option<u64> {
+    match e {
+        PureExpr::Atom(a) => {
+            let s = cover_of_atom(a);
+            if !srcs.contains(&s) {
+                srcs.push(s);
+            }
+            Some(1)
+        }
+        PureExpr::And(a, _) => Some(1 + cover_of_tree(a, srcs)?),
+        PureExpr::Or(a, b) => {
+            let fa = cover_of_tree(a, srcs)?;
+            let fb = cover_of_tree(b, srcs)?;
+            Some(1 + fa + fb)
+        }
+        PureExpr::Not(_) | PureExpr::Child(..) => None,
+    }
+}
+
+/// Builds the cover for a plan's first predicate, when it is pure and
+/// admits one.
+fn pred_cover(preds: &[PlanPred]) -> Option<PredCover> {
+    let Some(PlanPred::Pure(pp)) = preds.first() else {
+        return None;
+    };
+    match pp {
+        PurePred::Atom {
+            atom,
+            negated: false,
+            cost,
+        } => Some(PredCover {
+            srcs: vec![cover_of_atom(atom)],
+            skip_per: 1 + cost,
+        }),
+        PurePred::Atom { .. } => None,
+        PurePred::Tree { expr, .. } => {
+            let mut srcs = Vec::new();
+            let false_cost = cover_of_tree(expr, &mut srcs)?;
+            if srcs.len() > MAX_COVER_SRCS {
+                return None;
+            }
+            Some(PredCover {
+                srcs,
+                skip_per: 1 + false_cost,
+            })
+        }
+    }
+}
+
+/// Recognizes leaf operands (see [`LeafArg`]).
+fn leaf_arg(e: &FeatureExpr) -> Option<LeafArg> {
+    match e {
+        FeatureExpr::Const(c) => Some(LeafArg::Const(*c)),
+        FeatureExpr::GetAttr(a) => Some(LeafArg::Attr(*a)),
+        FeatureExpr::Count(seq) => match indexed_count(seq)? {
+            CountMeta {
+                children_base: true,
+                pred: None,
+            } => Some(LeafArg::ChildCount),
+            CountMeta {
+                children_base: false,
+                pred: None,
+            } => Some(LeafArg::DescCount),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn plan_pred(p: &BoolExpr, depth: usize) -> Option<PlanPred> {
+    if let Some(pure) = pure_pred(p) {
+        return Some(PlanPred::Pure(pure));
+    }
+    Some(PlanPred::Dyn(plan_bool(p, depth)?))
+}
+
+fn plan_bool(p: &BoolExpr, depth: usize) -> Option<PlanBool> {
+    if let Some(atom) = pure_atom(p) {
+        return Some(PlanBool::Atom(atom));
+    }
+    match p {
+        BoolExpr::Cmp(op, a, b) => {
+            if let (Some(x), Some(y)) = (leaf_arg(a), leaf_arg(b)) {
+                return Some(PlanBool::LeafCmp(*op, x, y));
+            }
+            Some(PlanBool::Cmp(
+                *op,
+                Box::new(plan_expr(a, depth)?),
+                Box::new(plan_expr(b, depth)?),
+            ))
+        }
+        BoolExpr::ChildMatches(idx, inner) => Some(PlanBool::Child(
+            *idx as u32,
+            Box::new(plan_bool(inner, depth)?),
+        )),
+        BoolExpr::Not(inner) => Some(PlanBool::Not(Box::new(plan_bool(inner, depth)?))),
+        BoolExpr::And(a, b) => Some(PlanBool::And(
+            Box::new(plan_bool(a, depth)?),
+            Box::new(plan_bool(b, depth)?),
+        )),
+        BoolExpr::Or(a, b) => Some(PlanBool::Or(
+            Box::new(plan_bool(a, depth)?),
+            Box::new(plan_bool(b, depth)?),
+        )),
+        _ => unreachable!("atoms are handled by pure_atom above"),
+    }
+}
+
+fn plan_expr(e: &FeatureExpr, depth: usize) -> Option<PlanExpr> {
+    use FeatureExpr::*;
+    match e {
+        Const(c) => Some(PlanExpr::Const(*c)),
+        GetAttr(a) => Some(PlanExpr::Attr(*a)),
+        Arith(op, a, b) => Some(PlanExpr::Arith(
+            *op,
+            Box::new(plan_expr(a, depth)?),
+            Box::new(plan_expr(b, depth)?),
+        )),
+        Neg(a) => Some(PlanExpr::Neg(Box::new(plan_expr(a, depth)?))),
+        Count(seq) => {
+            if let Some(meta) = indexed_count(seq) {
+                return Some(PlanExpr::Count(meta));
+            }
+            plan_nested(AggKind::Count, seq, None, depth)
+        }
+        Sum(seq, b) => plan_nested(AggKind::Sum, seq, Some(b), depth),
+        Max(seq, b) => plan_nested(AggKind::Max, seq, Some(b), depth),
+        Min(seq, b) => plan_nested(AggKind::Min, seq, Some(b), depth),
+        Avg(seq, b) => plan_nested(AggKind::Avg, seq, Some(b), depth),
+    }
+}
+
+fn plan_nested(
+    kind: AggKind,
+    seq: &SeqExpr,
+    body: Option<&FeatureExpr>,
+    depth: usize,
+) -> Option<PlanExpr> {
+    let (preds, children_base) = split_filters(seq);
+    let agg = plan_agg(kind, children_base, &preds, body, depth + 1)?;
+    // A predicate-free leaf level needs no recursion at all.
+    if let Some(body) = agg.leaf {
+        return Some(PlanExpr::LeafAgg {
+            kind,
+            children_base,
+            body,
+        });
+    }
+    Some(PlanExpr::Agg(Box::new(agg)))
 }
 
 /// Recognizes `count` sequences answerable from the arena indices.
@@ -676,14 +1120,24 @@ mod tests {
 
     #[test]
     fn pure_leaf_aggregates_fuse() {
+        // Shapes the leaf/cover plan tiers capture first: predicate-free
+        // leaf bodies (closed forms) and covered atom predicates.
         for src in [
             "sum(//*, 1)",
             "sum(//*, get-attr(@weight))",
             "sum(//*, count(/*))",
-            "avg(filter(/*, is-type(basic-block)), count(filter(//*, is-type(insn))))",
-            "max(filter(//*, !is-type(insn)), get-attr(@depth))",
             "min(//*, count(//*))",
             "count(filter(filter(//*, is-type(a)), is-type(b)))",
+        ] {
+            let p = compile(src);
+            assert_eq!(p.plans.len(), 1, "{src} should take a leaf/cover plan");
+            assert!(p.fused.is_empty(), "{src} should skip the fused tier");
+            assert!(p.aggs.is_empty(), "{src} should not need a frame");
+        }
+        // No cover (children base / negated atom) but still pure: fused.
+        for src in [
+            "avg(filter(/*, is-type(basic-block)), count(filter(//*, is-type(insn))))",
+            "max(filter(//*, !is-type(insn)), get-attr(@depth))",
         ] {
             let p = compile(src);
             assert_eq!(p.fused.len(), 1, "{src} should compile to AggFused");
@@ -692,17 +1146,133 @@ mod tests {
     }
 
     #[test]
-    fn complex_counts_fall_back_to_frames() {
+    fn complex_aggregates_lower_to_loop_nest_plans() {
         for src in [
             "count(filter(//*, count(/*) > 1))",
             "count(filter(//*, is-type(a) && count(/*) > 0))",
             "sum(//*, 1 + get-attr(@x))",
             "sum(//*, sum(//*, 1))",
             "sum(filter(//*, count(/*) > 0), 1)",
+            "avg(filter(//*, is-type(a)), max(/*, get-attr(@x) * 2))",
         ] {
             let p = compile(src);
-            assert!(!p.aggs.is_empty(), "{src} needs a general aggregate");
+            assert_eq!(p.plans.len(), 1, "{src} should compile to one AggPlan");
+            assert!(p.aggs.is_empty(), "{src} should not need a frame");
+            assert_eq!(p.path(), ProgramPath::LoopNest);
         }
+    }
+
+    #[test]
+    fn plan_cover_requires_non_negated_atoms_on_descendants() {
+        let with = compile("sum(filter(//*, is-type(a)), count(/*) + 1)");
+        assert_eq!(
+            with.plans[0].cover.as_ref().map(|c| c.srcs.clone()),
+            Some(vec![CoverSrc::Kind(Symbol::from("a"))])
+        );
+        let with = compile("sum(filter(//*, has-attr(@x)), count(/*) + 1)");
+        assert_eq!(
+            with.plans[0].cover.as_ref().map(|c| c.srcs.clone()),
+            Some(vec![CoverSrc::Attr(Symbol::from("x"))])
+        );
+        // A disjunction covers with the union of both sides' postings.
+        let with = compile("sum(filter(//*, is-type(a) || has-attr(@x)), count(/*) + 1)");
+        assert_eq!(
+            with.plans[0].cover.as_ref().map(|c| c.srcs.clone()),
+            Some(vec![
+                CoverSrc::Kind(Symbol::from("a")),
+                CoverSrc::Attr(Symbol::from("x")),
+            ])
+        );
+        // Negated atom, non-atom first pred, or a children base: scan.
+        for src in [
+            "sum(filter(//*, !is-type(a)), count(/*) + 1)",
+            "sum(filter(//*, count(/*) > 0), count(/*) + 1)",
+            "sum(filter(/*, is-type(a)), count(/*) + 1)",
+        ] {
+            let p = compile(src);
+            assert!(p.plans[0].cover.is_none(), "{src} should scan");
+        }
+    }
+
+    /// `levels` nested sums over `//*` with a `1` innermost body, e.g.
+    /// `sum(//*, sum(//*, ... 1))`. With an `Arith` in every body the chain
+    /// never fuses, so each level is a genuine plan/frame aggregate.
+    fn deep_nest(levels: usize) -> FeatureExpr {
+        let mut e = FeatureExpr::Const(1.0);
+        for _ in 0..levels {
+            e = FeatureExpr::Sum(
+                SeqExpr::Descendants,
+                Box::new(FeatureExpr::Arith(
+                    ArithOp::Add,
+                    Box::new(e),
+                    Box::new(FeatureExpr::Const(0.0)),
+                )),
+            );
+        }
+        e
+    }
+
+    #[test]
+    fn nests_beyond_plan_depth_bound_keep_the_frame_path() {
+        let p = Program::compile(&deep_nest(MAX_PLAN_AGG_DEPTH));
+        assert!(p.aggs.is_empty(), "a nest at the bound should fully plan");
+        assert_eq!(p.path(), ProgramPath::LoopNest);
+
+        let p = Program::compile(&deep_nest(MAX_PLAN_AGG_DEPTH + 2));
+        assert!(
+            !p.aggs.is_empty(),
+            "a nest beyond the bound needs frame levels"
+        );
+        assert!(
+            !p.plans.is_empty(),
+            "the inner levels should re-enter the planner"
+        );
+        assert_eq!(p.path(), ProgramPath::Frame);
+    }
+
+    #[test]
+    fn frame_path_fuses_single_op_preds_and_leaf_bodies() {
+        // The deep body keeps the aggregate off the fuse/plan tiers; the
+        // single-atom predicate and, below, the literal body must then be
+        // rewritten into their superinstruction forms.
+        let deep = deep_nest(MAX_PLAN_AGG_DEPTH + 2);
+        let e = FeatureExpr::Sum(
+            SeqExpr::Filter(
+                Box::new(SeqExpr::Descendants),
+                Box::new(BoolExpr::IsType(Symbol::intern("a"))),
+            ),
+            Box::new(deep.clone()),
+        );
+        let p = Program::compile(&e);
+        assert!(
+            p.ops.iter().any(|op| matches!(op, Op::IsTypeGate(_))),
+            "single-atom predicate should fuse with its PredGate"
+        );
+        assert!(
+            !p.ops.iter().any(|op| matches!(op, Op::PredGate)),
+            "the fused predicate leaves no bare PredGate behind"
+        );
+
+        let e = FeatureExpr::Sum(
+            SeqExpr::Filter(
+                Box::new(SeqExpr::Descendants),
+                Box::new(BoolExpr::Cmp(
+                    CmpOp::Gt,
+                    Box::new(deep),
+                    Box::new(FeatureExpr::Const(0.0)),
+                )),
+            ),
+            Box::new(FeatureExpr::Const(1.0)),
+        );
+        let p = Program::compile(&e);
+        assert!(
+            p.ops.iter().any(|op| matches!(op, Op::ConstAccum(_))),
+            "literal body should fuse with its AggAccum"
+        );
+        assert!(
+            p.ops.iter().any(|op| matches!(op, Op::PredGate)),
+            "the multi-op predicate keeps its PredGate"
+        );
     }
 
     #[test]
@@ -717,12 +1287,24 @@ mod tests {
 
     #[test]
     fn jump_targets_are_patched() {
-        // The `count(/*) > 0` clause makes the predicate impure, keeping the
-        // aggregate on the frame path (a fully pure pred would fuse and emit
-        // no jumps at all) — so the jump ops below really are present.
-        let p = compile(
-            "sum(filter(//*, is-type(a) && (is-type(b) || /[0][is-type(c)]) && count(/*) > 0), 1)",
+        // Jumps are only emitted on the frame path, which an aggregate
+        // reaches solely by exceeding the plan depth bound — so the
+        // compound predicate is attached to a too-deep body.
+        let pred = BoolExpr::And(
+            Box::new(BoolExpr::IsType(Symbol::intern("a"))),
+            Box::new(BoolExpr::Or(
+                Box::new(BoolExpr::IsType(Symbol::intern("b"))),
+                Box::new(BoolExpr::ChildMatches(
+                    0,
+                    Box::new(BoolExpr::IsType(Symbol::intern("c"))),
+                )),
+            )),
         );
+        let e = FeatureExpr::Sum(
+            SeqExpr::Filter(Box::new(SeqExpr::Descendants), Box::new(pred)),
+            Box::new(deep_nest(MAX_PLAN_AGG_DEPTH + 2)),
+        );
+        let p = Program::compile(&e);
         assert!(p.fused.is_empty());
         assert!(
             p.ops

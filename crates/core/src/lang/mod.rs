@@ -20,9 +20,9 @@ pub mod visit;
 pub mod vm;
 
 pub use ast::{ArithOp, BoolExpr, CmpOp, FeatureExpr, Fingerprint, SeqExpr};
-pub use compile::Program;
+pub use compile::{Program, ProgramPath};
 pub use eval::{EvalError, Evaluator, DEFAULT_BUDGET};
-pub use vm::{EvalEngine, EvalPool, PoolStats};
 pub use parse::{
     feature_list_from_text, feature_list_to_text, parse_feature, parse_predicate, ParseError,
 };
+pub use vm::{EvalEngine, EvalPool, PoolStats};

@@ -17,9 +17,10 @@
 //! idempotent and results are invariant under thread count — the
 //! determinism argument is spelled out in DESIGN.md §11.
 
-use super::ast::{ArithOp, FeatureExpr, Fingerprint};
+use super::ast::{ArithOp, CmpOp, FeatureExpr, Fingerprint};
 use super::compile::{
-    AggKind, BoolView, CountMeta, FusedBody, Op, Program, PureAtom, PureExpr, PurePred,
+    AggKind, BoolView, CountMeta, CoverSrc, FusedAggMeta, FusedBody, LeafArg, Op, PlanAgg,
+    PlanBool, PlanExpr, PlanPred, Program, ProgramPath, PureAtom, PureExpr, PurePred,
 };
 use super::eval::EvalError;
 use crate::faults::CancelToken;
@@ -107,6 +108,28 @@ struct CacheFrame {
     entry_remaining: u64,
 }
 
+/// Reusable VM stack storage. One run leaves its vectors allocated; a
+/// columnar sweep hands the same scratch to every cell of the column, so
+/// the per-cell cost is five `clear()`s instead of five fresh allocations.
+#[derive(Debug, Default)]
+struct VmScratch {
+    nums: Vec<f64>,
+    bools: Vec<bool>,
+    frames: Vec<AggFrame>,
+    cache_frames: Vec<CacheFrame>,
+    ctx_saves: Vec<u32>,
+}
+
+impl VmScratch {
+    fn clear(&mut self) {
+        self.nums.clear();
+        self.bools.clear();
+        self.frames.clear();
+        self.cache_frames.clear();
+        self.ctx_saves.clear();
+    }
+}
+
 /// The bytecode interpreter. One instance per (program, loop) execution;
 /// stacks are tiny (bounded by expression depth).
 struct Vm<'a> {
@@ -130,18 +153,118 @@ impl<'a> Vm<'a> {
         budget: u64,
         cache: Option<&EvalCache>,
     ) -> Result<f64, EvalError> {
-        // Stacks start empty and allocate lazily on first push: most
-        // programs touch only the numeric stack, and evals run once per
-        // (feature, loop) pair, so avoided mallocs are a measurable share
-        // of small-loop evaluation cost.
+        // One-instruction programs (most of a GP population) skip the
+        // dispatch loop and the stack machinery entirely.
+        if cache.is_none() {
+            if let Some(r) = Self::run_simple(prog, arena, budget) {
+                return r;
+            }
+        }
+        // Standalone evals reuse one thread-local stack set: allocating
+        // fresh stacks per call costs more than evaluating a small feature.
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<VmScratch> =
+                std::cell::RefCell::new(VmScratch::default());
+        }
+        SCRATCH.with(|s| match s.try_borrow_mut() {
+            Ok(mut scratch) => {
+                Self::run_scratch(prog, arena, loop_idx, budget, cache, &mut scratch)
+            }
+            // Re-entrant use (an attr-value callback evaluating a feature
+            // mid-eval cannot happen today, but stay total regardless).
+            Err(_) => {
+                let mut scratch = VmScratch::default();
+                Self::run_scratch(prog, arena, loop_idx, budget, cache, &mut scratch)
+            }
+        })
+    }
+
+    /// Stackless dispatch for one-instruction programs — a literal, an
+    /// attribute read, one indexed count, one fused or planned aggregate,
+    /// optionally wrapped in (cache-less) CSE markers. Semantically
+    /// identical to `exec`: the single op computes a value and an exact
+    /// step total; budget is checked first (`charge` order), then the
+    /// final finiteness check that `push_num` would apply.
+    fn run_simple(prog: &Program, arena: &IrArena, budget: u64) -> Option<Result<f64, EvalError>> {
+        if prog.ops.len() > 4 {
+            return None;
+        }
+        let mut core = None;
+        for op in &prog.ops {
+            match op {
+                Op::CacheBegin { .. } | Op::CacheEnd | Op::Return => {}
+                o => {
+                    if core.replace(o).is_some() {
+                        return None;
+                    }
+                }
+            }
+        }
+        let finish = |steps: u64, v: f64| {
+            if budget < steps {
+                Err(EvalError::BudgetExceeded)
+            } else if !v.is_finite() {
+                Err(EvalError::NonFinite)
+            } else {
+                Ok(v)
+            }
+        };
+        Some(match core? {
+            Op::PushConst(c) => finish(1, *c),
+            Op::LoadAttr(name) => finish(
+                1,
+                arena.attr(0, *name).and_then(|a| a.as_num()).unwrap_or(0.0),
+            ),
+            Op::CountIndexed(i) => {
+                let (cost, m) = indexed_count_at(arena, 0, &prog.counts[*i as usize]);
+                finish(cost, m as f64)
+            }
+            Op::AggFused(i) => {
+                let (steps, r) = fused_eval(arena, &prog.fused[*i as usize], 0);
+                match r {
+                    Ok(v) => finish(steps, v),
+                    Err(e) if budget < steps => {
+                        debug_assert!(matches!(e, EvalError::NonFinite));
+                        Err(EvalError::BudgetExceeded)
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            Op::AggPlan(i) => {
+                let pe = PlanEval {
+                    arena,
+                    limit: budget,
+                };
+                let mut steps = 0u64;
+                match pe.agg(0, &prog.plans[*i as usize], &mut steps) {
+                    Ok(v) => finish(steps, v),
+                    Err(_) if budget < steps => Err(EvalError::BudgetExceeded),
+                    Err(e) => Err(e),
+                }
+            }
+            _ => return None,
+        })
+    }
+
+    /// [`Vm::run`] with caller-provided stack storage, so a columnar sweep
+    /// reuses one allocation set across every cell of the column.
+    fn run_scratch(
+        prog: &Program,
+        arena: &'a IrArena,
+        loop_idx: u32,
+        budget: u64,
+        cache: Option<&EvalCache>,
+        scratch: &mut VmScratch,
+    ) -> Result<f64, EvalError> {
+        scratch.clear();
         let mut vm = Vm {
             arena,
             remaining: budget,
-            nums: Vec::new(),
-            bools: Vec::new(),
-            frames: Vec::new(),
-            cache_frames: Vec::new(),
-            ctx_saves: Vec::new(),
+            nums: std::mem::take(&mut scratch.nums),
+            bools: std::mem::take(&mut scratch.bools),
+            frames: std::mem::take(&mut scratch.frames),
+            cache_frames: std::mem::take(&mut scratch.cache_frames),
+            ctx_saves: std::mem::take(&mut scratch.ctx_saves),
             ctx: 0,
         };
         let result = vm.exec(prog, loop_idx, cache);
@@ -162,6 +285,11 @@ impl<'a> Vm<'a> {
                 );
             }
         }
+        scratch.nums = vm.nums;
+        scratch.bools = vm.bools;
+        scratch.frames = vm.frames;
+        scratch.cache_frames = vm.cache_frames;
+        scratch.ctx_saves = vm.ctx_saves;
         result
     }
 
@@ -345,33 +473,68 @@ impl<'a> Vm<'a> {
                 }
                 Op::AggAccum => {
                     let kind = self.frames.last().expect("aggregate frame underflow").kind;
-                    match kind {
-                        AggKind::Count => {
-                            self.frames.last_mut().expect("frame").n += 1;
-                        }
-                        AggKind::Sum => {
-                            let v = self.pop_num();
-                            self.frames.last_mut().expect("frame").acc += v;
-                        }
-                        AggKind::Max => {
-                            let v = self.pop_num();
-                            let f = self.frames.last_mut().expect("frame");
-                            f.acc = if f.started { f.acc.max(v) } else { v };
-                            f.started = true;
-                        }
-                        AggKind::Min => {
-                            let v = self.pop_num();
-                            let f = self.frames.last_mut().expect("frame");
-                            f.acc = if f.started { f.acc.min(v) } else { v };
-                            f.started = true;
-                        }
-                        AggKind::Avg => {
-                            let v = self.pop_num();
-                            let f = self.frames.last_mut().expect("frame");
-                            f.acc += v;
-                            f.n += 1;
-                        }
+                    let v = match kind {
+                        AggKind::Count => 0.0, // count pops no body value
+                        _ => self.pop_num(),
+                    };
+                    self.accum_frame(v);
+                    self.advance(&mut pc)?;
+                }
+                Op::IsTypeGate(kind) => {
+                    self.charge(1)?;
+                    if self.arena.kind(self.ctx) == kind {
+                        pc += 1;
+                    } else {
+                        self.advance(&mut pc)?;
                     }
+                }
+                Op::HasAttrGate(name) => {
+                    self.charge(1)?;
+                    if self.arena.attr(self.ctx, name).is_some() {
+                        pc += 1;
+                    } else {
+                        self.advance(&mut pc)?;
+                    }
+                }
+                Op::AttrEqEnumGate(name, target, view) => {
+                    self.charge(1)?;
+                    if attr_eq(self.arena, self.ctx, name, target, view) {
+                        pc += 1;
+                    } else {
+                        self.advance(&mut pc)?;
+                    }
+                }
+                Op::AttrCmpNumGate(name, op, k) => {
+                    self.charge(1)?;
+                    let b = match self.arena.attr(self.ctx, name).and_then(|a| a.as_num()) {
+                        Some(v) => op.apply(v, k),
+                        None => false,
+                    };
+                    if b {
+                        pc += 1;
+                    } else {
+                        self.advance(&mut pc)?;
+                    }
+                }
+                Op::ConstAccum(c) => {
+                    self.charge(1)?;
+                    if !c.is_finite() {
+                        return Err(EvalError::NonFinite);
+                    }
+                    self.accum_frame(c);
+                    self.advance(&mut pc)?;
+                }
+                Op::AttrAccum(name) => {
+                    self.charge(1)?;
+                    let v = self
+                        .arena
+                        .attr(self.ctx, name)
+                        .and_then(|a| a.as_num())
+                        .unwrap_or(0.0);
+                    if !v.is_finite() {
+                        return Err(EvalError::NonFinite);
+                    }
+                    self.accum_frame(v);
                     self.advance(&mut pc)?;
                 }
                 Op::CountIndexed(meta_idx) => {
@@ -381,6 +544,31 @@ impl<'a> Vm<'a> {
                 Op::AggFused(meta_idx) => {
                     self.agg_fused(prog, meta_idx)?;
                     pc += 1;
+                }
+                Op::AggPlan(meta_idx) => {
+                    let meta = &prog.plans[meta_idx as usize];
+                    let pe = PlanEval {
+                        arena: self.arena,
+                        limit: self.remaining,
+                    };
+                    let mut steps = 0u64;
+                    match pe.agg(self.ctx, meta, &mut steps) {
+                        Ok(v) => {
+                            self.charge(steps)?;
+                            self.push_num(v)?;
+                            pc += 1;
+                        }
+                        Err(e) => {
+                            // Charge what the interpreter would have
+                            // charged before the error; running out first
+                            // wins, exactly as `charge` encodes (a
+                            // plan-level BudgetExceeded always carries
+                            // `steps > remaining`, so `charge` fails and
+                            // zeroes the budget).
+                            self.charge(steps)?;
+                            return Err(e);
+                        }
+                    }
                 }
                 Op::CacheBegin { key_idx, end } => match cache {
                     Some(c) => {
@@ -427,6 +615,29 @@ impl<'a> Vm<'a> {
                     pc += 1;
                 }
                 Op::Return => return Ok(self.pop_num()),
+            }
+        }
+    }
+
+    /// Folds one element value into the top aggregate frame (the shared
+    /// tail of `AggAccum` and the accumulate superinstructions).
+    #[inline]
+    fn accum_frame(&mut self, v: f64) {
+        let f = self.frames.last_mut().expect("aggregate frame underflow");
+        match f.kind {
+            AggKind::Count => f.n += 1,
+            AggKind::Sum => f.acc += v,
+            AggKind::Max => {
+                f.acc = if f.started { f.acc.max(v) } else { v };
+                f.started = true;
+            }
+            AggKind::Min => {
+                f.acc = if f.started { f.acc.min(v) } else { v };
+                f.started = true;
+            }
+            AggKind::Avg => {
+                f.acc += v;
+                f.n += 1;
             }
         }
     }
@@ -492,129 +703,109 @@ impl<'a> Vm<'a> {
         Ok(())
     }
 
-    /// Fused aggregate: iterates the elements in one tight loop, evaluating
-    /// pure predicates and the leaf body directly while accumulating the
-    /// exact step total, then charges in bulk. The only mid-iteration error
+    /// Fused aggregate: evaluated out-of-line by [`fused_eval`], then the
+    /// exact step total is charged in bulk. The only mid-iteration error
     /// the interpreter could raise is `NonFinite` from a body value; at
     /// that point the steps charged so far decide between `BudgetExceeded`
     /// (if they already exhaust the budget) and `NonFinite` — identical to
     /// the interpreter's charge-then-check order.
     fn agg_fused(&mut self, prog: &Program, meta_idx: u32) -> Result<(), EvalError> {
-        let meta = &prog.fused[meta_idx as usize];
-        let arena = self.arena;
-        let ctx = self.ctx;
-        // The aggregate node's own entry charge.
-        let mut steps = 1u64;
-        let mut acc = 0.0f64;
-        let mut n = 0u64;
-        let mut started = false;
-        // Block-scoped so the closure's borrows of the accumulators end
-        // before the finalisation below reads them.
-        let result = {
-            let mut element = |j: u32, steps: &mut u64| -> Result<(), EvalError> {
-                *steps += 1; // the per-element `for_each` charge
-                for p in &meta.preds {
-                    let holds = match p {
-                        PurePred::Atom {
-                            atom,
-                            negated,
-                            cost,
-                        } => {
-                            *steps += cost;
-                            pure_atom_matches(arena, j, atom) != *negated
-                        }
-                        PurePred::Tree { expr, kinds } => match kinds {
-                            Some(table) => {
-                                let k = arena.kind(j);
-                                let (matched, cost) = table
-                                    .entries
-                                    .iter()
-                                    .find(|&&(s, ..)| s == k)
-                                    .map_or(table.default, |&(_, m, c)| (m, c));
-                                *steps += cost;
-                                matched
-                            }
-                            None => eval_pure(arena, j, expr, steps),
-                        },
-                    };
-                    if !holds {
-                        return Ok(());
-                    }
-                }
-                let v = match &meta.body {
-                    FusedBody::None => {
-                        n += 1;
-                        return Ok(());
-                    }
-                    FusedBody::Const(c) => {
-                        *steps += 1;
-                        *c
-                    }
-                    FusedBody::Attr(a) => {
-                        *steps += 1;
-                        arena.attr(j, *a).and_then(|x| x.as_num()).unwrap_or(0.0)
-                    }
-                    FusedBody::Count(cm) => {
-                        let (cost, m) = indexed_count_at(arena, j, cm);
-                        *steps += cost;
-                        m as f64
-                    }
-                };
-                if !v.is_finite() {
-                    return Err(EvalError::NonFinite);
-                }
-                match meta.kind {
-                    AggKind::Count => n += 1,
-                    AggKind::Sum => acc += v,
-                    AggKind::Max => {
-                        acc = if started { acc.max(v) } else { v };
-                        started = true;
-                    }
-                    AggKind::Min => {
-                        acc = if started { acc.min(v) } else { v };
-                        started = true;
-                    }
-                    AggKind::Avg => {
-                        acc += v;
-                        n += 1;
-                    }
-                }
-                Ok(())
-            };
-            if meta.children_base {
-                arena.children(ctx).try_for_each(|j| element(j, &mut steps))
-            } else {
-                (ctx + 1..arena.subtree_end(ctx)).try_for_each(|j| element(j, &mut steps))
-            }
-        };
-        if let Err(e) = result {
-            // Charge what the interpreter would have charged before the
-            // error; running out first wins, exactly as `charge` encodes.
-            self.charge(steps)?;
-            return Err(e);
-        }
+        let (steps, r) = fused_eval(self.arena, &prog.fused[meta_idx as usize], self.ctx);
+        // Charge what the interpreter would have charged up to the result
+        // or the error; running out first wins, exactly as `charge` encodes.
         self.charge(steps)?;
-        let v = match meta.kind {
-            AggKind::Count => n as f64,
-            AggKind::Sum => acc,
-            AggKind::Max | AggKind::Min => {
-                if started {
-                    acc
-                } else {
-                    0.0
-                }
-            }
-            AggKind::Avg => {
-                if n == 0 {
-                    0.0
-                } else {
-                    acc / n as f64
-                }
-            }
-        };
-        self.push_num(v)?;
-        Ok(())
+        self.push_num(r?)
     }
+}
+
+/// Evaluates one fused aggregate at `ctx`: one tight loop over the
+/// elements, evaluating pure predicates and the leaf body directly while
+/// accumulating the exact step total the interpreter would charge. The
+/// `Ok` value has not yet had the final finiteness check applied.
+fn fused_eval(arena: &IrArena, meta: &FusedAggMeta, ctx: u32) -> (u64, Result<f64, EvalError>) {
+    // The aggregate node's own entry charge.
+    let mut steps = 1u64;
+    let mut acc = 0.0f64;
+    let mut n = 0u64;
+    let mut started = false;
+    // Block-scoped so the closure's borrows of the accumulators end
+    // before the finalisation below reads them.
+    let result = {
+        let mut element = |j: u32, steps: &mut u64| -> Result<(), EvalError> {
+            *steps += 1; // the per-element `for_each` charge
+            for p in &meta.preds {
+                if !pure_pred_matches(arena, j, p, steps) {
+                    return Ok(());
+                }
+            }
+            let v = match &meta.body {
+                FusedBody::None => {
+                    n += 1;
+                    return Ok(());
+                }
+                FusedBody::Const(c) => {
+                    *steps += 1;
+                    *c
+                }
+                FusedBody::Attr(a) => {
+                    *steps += 1;
+                    arena.attr(j, *a).and_then(|x| x.as_num()).unwrap_or(0.0)
+                }
+                FusedBody::Count(cm) => {
+                    let (cost, m) = indexed_count_at(arena, j, cm);
+                    *steps += cost;
+                    m as f64
+                }
+            };
+            if !v.is_finite() {
+                return Err(EvalError::NonFinite);
+            }
+            match meta.kind {
+                AggKind::Count => n += 1,
+                AggKind::Sum => acc += v,
+                AggKind::Max => {
+                    acc = if started { acc.max(v) } else { v };
+                    started = true;
+                }
+                AggKind::Min => {
+                    acc = if started { acc.min(v) } else { v };
+                    started = true;
+                }
+                AggKind::Avg => {
+                    acc += v;
+                    n += 1;
+                }
+            }
+            Ok(())
+        };
+        if meta.children_base {
+            arena.children(ctx).try_for_each(|j| element(j, &mut steps))
+        } else {
+            (ctx + 1..arena.subtree_end(ctx)).try_for_each(|j| element(j, &mut steps))
+        }
+    };
+    if let Err(e) = result {
+        return (steps, Err(e));
+    }
+    let v = match meta.kind {
+        AggKind::Count => n as f64,
+        AggKind::Sum => acc,
+        AggKind::Max | AggKind::Min => {
+            if started {
+                acc
+            } else {
+                0.0
+            }
+        }
+        AggKind::Avg => {
+            if n == 0 {
+                0.0
+            } else {
+                acc / n as f64
+            }
+        }
+    };
+    (steps, Ok(v))
 }
 
 /// Computes one indexed-count site at context node `ctx`: the exact step
@@ -683,6 +874,13 @@ fn indexed_count_at(arena: &IrArena, ctx: u32, meta: &CountMeta) -> (u64, u64) {
                 (1 + d * (1 + cost), m)
             }
             Some(PurePred::Tree { expr, kinds }) => {
+                if kinds.is_none() {
+                    if let PureExpr::Child(idx, inner) = expr {
+                        if let PureExpr::Atom(atom) = &**inner {
+                            return child_probe_count(arena, lo, hi, *idx, atom, d);
+                        }
+                    }
+                }
                 let mut steps = 0u64;
                 let mut m = 0u64;
                 if let Some(table) = kinds {
@@ -712,6 +910,998 @@ fn indexed_count_at(arena: &IrArena, ctx: u32, meta: &CountMeta) -> (u64, u64) {
                 (1 + steps, m)
             }
         }
+    }
+}
+
+/// Counts `filter(//*, /[idx][atom])` without probing every element.
+///
+/// Matches are found backwards: instead of walking to every element's
+/// `idx`-th child, iterate the atom's postings list and keep the nodes
+/// that sit in child position `idx` under an in-range parent. The step
+/// total is closed-form — the interpreter charges each element one
+/// `for_each` step, one `Child` probe step, and one atom step only when
+/// the probed child exists (`child_count > idx`).
+fn child_probe_count(
+    arena: &IrArena,
+    lo: u32,
+    hi: u32,
+    idx: u32,
+    atom: &PureAtom,
+    d: u64,
+) -> (u64, u64) {
+    let mut probed = 0u64;
+    for j in lo..hi {
+        if arena.child_count(j) > idx {
+            probed += 1;
+        }
+    }
+    let in_position = |&&k: &&u32| {
+        let p = arena.parent(k);
+        p >= lo && arena.nth_child(p, idx as usize) == Some(k)
+    };
+    let m = match *atom {
+        PureAtom::IsType(kind) => arena.kind_nodes_in(kind, lo, hi).iter().filter(in_position),
+        PureAtom::HasAttr(a) => arena.attr_nodes_in(a, lo, hi).iter().filter(in_position),
+        PureAtom::AttrEq(a, v, view) => {
+            let m = arena
+                .attr_nodes_in(a, lo, hi)
+                .iter()
+                .filter(|&&k| attr_eq(arena, k, a, v, view))
+                .filter(in_position)
+                .count() as u64;
+            return (1 + 2 * d + probed, m);
+        }
+        PureAtom::AttrCmp(a, op, cmp_k) => {
+            let m = arena
+                .attr_nodes_in(a, lo, hi)
+                .iter()
+                .filter(|&&k| {
+                    matches!(arena.attr(k, a).and_then(|x| x.as_num()), Some(v) if op.apply(v, cmp_k))
+                })
+                .filter(in_position)
+                .count() as u64;
+            return (1 + 2 * d + probed, m);
+        }
+    }
+    .count() as u64;
+    (1 + 2 * d + probed, m)
+}
+
+/// Evaluates one loop-nest plan ([`Op::AggPlan`]) with exact interpreter
+/// step accounting.
+///
+/// All charges accumulate into one running `steps` total and are
+/// bulk-charged by the op handler; since every interpreter charge is one
+/// unit, the `BudgetExceeded` decision depends only on the cumulative
+/// total (DESIGN.md §11). Two orderings need explicit care:
+///
+/// - The element loops abort with `BudgetExceeded` as soon as the running
+///   total exceeds `limit`, so a deep nest stops scanning near the
+///   interpreter's stopping point instead of walking the whole arena.
+/// - At every `NonFinite` detection point the running total decides the
+///   error: if it already exceeds `limit`, the interpreter would have run
+///   out *before* computing the offending value, so `BudgetExceeded` wins.
+struct PlanEval<'a> {
+    arena: &'a IrArena,
+    /// Budget remaining when the plan started (`Vm::remaining`).
+    limit: u64,
+}
+
+impl PlanEval<'_> {
+    /// Budget-vs-NonFinite decision for a non-finite value whose
+    /// computation ended at step total `steps`.
+    #[inline]
+    fn non_finite(&self, steps: u64) -> EvalError {
+        if steps > self.limit {
+            EvalError::BudgetExceeded
+        } else {
+            EvalError::NonFinite
+        }
+    }
+
+    #[inline]
+    fn finite(&self, v: f64, steps: u64) -> Result<f64, EvalError> {
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(self.non_finite(steps))
+        }
+    }
+
+    /// One aggregate level: iterates the base elements (postings slice,
+    /// sibling jumps, or a preorder range scan), filters, accumulates.
+    fn agg(&self, ctx: u32, plan: &PlanAgg, steps: &mut u64) -> Result<f64, EvalError> {
+        if let Some(body) = plan.leaf {
+            return self.leaf_agg(ctx, plan.kind, plan.children_base, body, steps);
+        }
+        *steps += 1; // the aggregate node's entry charge
+        if let (AggKind::Count, false, None, [PlanPred::Dyn(PlanBool::LeafCmp(op, a, b))]) = (
+            plan.kind,
+            plan.children_base,
+            &plan.body,
+            plan.preds.as_slice(),
+        ) {
+            return self.count_leaf_cmp(ctx, *op, *a, *b, steps);
+        }
+        let mut acc = 0.0f64;
+        let mut n = 0u64;
+        let mut started = false;
+        if let Some(cov) = &plan.cover {
+            let (lo, hi) = (ctx + 1, self.arena.subtree_end(ctx));
+            // Merge the cover postings slices (each sorted, deduplicated
+            // across slices): only cover elements can match, and every
+            // skipped element follows the constant all-atoms-false trace.
+            let mut slices = [&[] as &[u32]; 4];
+            let k = cov.srcs.len().min(slices.len());
+            for (slot, src) in slices.iter_mut().zip(&cov.srcs) {
+                *slot = match src {
+                    CoverSrc::Kind(sym) => self.arena.kind_nodes_in(*sym, lo, hi),
+                    CoverSrc::Attr(sym) => self.arena.attr_nodes_in(*sym, lo, hi),
+                };
+            }
+            let mut prev = lo;
+            loop {
+                let mut j = u32::MAX;
+                for s in &slices[..k] {
+                    if let Some(&h) = s.first() {
+                        j = j.min(h);
+                    }
+                }
+                if j == u32::MAX {
+                    break;
+                }
+                for s in &mut slices[..k] {
+                    if s.first() == Some(&j) {
+                        *s = &s[1..];
+                    }
+                }
+                // Bulk-charge the skipped run (`for_each` + false-trace
+                // cost each; pure predicates cannot raise, so no error
+                // point is jumped over), then this element's `for_each`;
+                // the predicates themselves charge exactly during eval.
+                *steps += u64::from(j - prev) * cov.skip_per + 1;
+                prev = j + 1;
+                if *steps > self.limit {
+                    return Err(EvalError::BudgetExceeded);
+                }
+                self.element(j, &plan.preds, plan, steps, &mut acc, &mut n, &mut started)?;
+            }
+            *steps += u64::from(hi - prev) * cov.skip_per;
+        } else if plan.children_base {
+            let end = self.arena.subtree_end(ctx);
+            let mut j = ctx + 1;
+            while j < end {
+                *steps += 1; // the per-element `for_each` charge
+                if *steps > self.limit {
+                    return Err(EvalError::BudgetExceeded);
+                }
+                self.element(j, &plan.preds, plan, steps, &mut acc, &mut n, &mut started)?;
+                j = self.arena.subtree_end(j);
+            }
+        } else {
+            if plan.preds.is_empty() {
+                if let Some(body) = &plan.body {
+                    if let Some(r) = self.column_agg(ctx, plan.kind, body, steps) {
+                        return r;
+                    }
+                }
+            }
+            for j in ctx + 1..self.arena.subtree_end(ctx) {
+                *steps += 1;
+                if *steps > self.limit {
+                    return Err(EvalError::BudgetExceeded);
+                }
+                self.element(j, &plan.preds, plan, steps, &mut acc, &mut n, &mut started)?;
+            }
+        }
+        let v = match plan.kind {
+            AggKind::Count => n as f64,
+            AggKind::Sum => acc,
+            AggKind::Max | AggKind::Min => {
+                if started {
+                    acc
+                } else {
+                    0.0
+                }
+            }
+            AggKind::Avg => {
+                if n == 0 {
+                    0.0
+                } else {
+                    acc / n as f64
+                }
+            }
+        };
+        self.finite(v, *steps)
+    }
+
+    /// One element: remaining predicates, then body accumulation.
+    #[allow(clippy::too_many_arguments)]
+    fn element(
+        &self,
+        j: u32,
+        preds: &[PlanPred],
+        plan: &PlanAgg,
+        steps: &mut u64,
+        acc: &mut f64,
+        n: &mut u64,
+        started: &mut bool,
+    ) -> Result<(), EvalError> {
+        for p in preds {
+            let holds = match p {
+                PlanPred::Pure(pp) => pure_pred_matches(self.arena, j, pp, steps),
+                PlanPred::Dyn(pb) => self.boolean(j, pb, steps)?,
+            };
+            if !holds {
+                return Ok(());
+            }
+        }
+        let v = match &plan.body {
+            None => {
+                *n += 1; // `count` has no body
+                return Ok(());
+            }
+            Some(b) => self.expr(j, b, steps)?,
+        };
+        match plan.kind {
+            AggKind::Count => *n += 1,
+            AggKind::Sum => *acc += v,
+            AggKind::Max => {
+                *acc = if *started { acc.max(v) } else { v };
+                *started = true;
+            }
+            AggKind::Min => {
+                *acc = if *started { acc.min(v) } else { v };
+                *started = true;
+            }
+            AggKind::Avg => {
+                *acc += v;
+                *n += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// A predicate node: one entry charge, then the interpreter's
+    /// short-circuit/child-probe semantics.
+    fn boolean(&self, j: u32, e: &PlanBool, steps: &mut u64) -> Result<bool, EvalError> {
+        *steps += 1;
+        match e {
+            PlanBool::Atom(a) => Ok(pure_atom_matches(self.arena, j, a)),
+            PlanBool::Cmp(op, a, b) => {
+                let x = self.expr(j, a, steps)?;
+                let y = self.expr(j, b, steps)?;
+                Ok(op.apply(x, y))
+            }
+            PlanBool::LeafCmp(op, a, b) => {
+                let (ca, x) = self.leaf_arg_at(j, *a);
+                *steps += ca;
+                if !x.is_finite() {
+                    return Err(self.non_finite(*steps));
+                }
+                let (cb, y) = self.leaf_arg_at(j, *b);
+                *steps += cb;
+                if !y.is_finite() {
+                    return Err(self.non_finite(*steps));
+                }
+                Ok(op.apply(x, y))
+            }
+            PlanBool::Not(inner) => Ok(!self.boolean(j, inner, steps)?),
+            PlanBool::And(a, b) => Ok(self.boolean(j, a, steps)? && self.boolean(j, b, steps)?),
+            PlanBool::Or(a, b) => Ok(self.boolean(j, a, steps)? || self.boolean(j, b, steps)?),
+            PlanBool::Child(idx, inner) => match self.arena.nth_child(j, *idx as usize) {
+                Some(child) => self.boolean(child, inner, steps),
+                None => Ok(false),
+            },
+        }
+    }
+
+    /// A numeric node: one entry charge, value computed, finiteness checked
+    /// — exactly the interpreter's per-node protocol.
+    fn expr(&self, j: u32, e: &PlanExpr, steps: &mut u64) -> Result<f64, EvalError> {
+        match e {
+            PlanExpr::Const(c) => {
+                *steps += 1;
+                self.finite(*c, *steps)
+            }
+            PlanExpr::Attr(a) => {
+                *steps += 1;
+                let v = self
+                    .arena
+                    .attr(j, *a)
+                    .and_then(|x| x.as_num())
+                    .unwrap_or(0.0);
+                self.finite(v, *steps)
+            }
+            PlanExpr::Count(cm) => {
+                let (cost, m) = indexed_count_at(self.arena, j, cm);
+                *steps += cost;
+                Ok(m as f64) // counts are always finite
+            }
+            PlanExpr::Agg(inner) => self.agg(j, inner, steps),
+            PlanExpr::LeafAgg {
+                kind,
+                children_base,
+                body,
+            } => self.leaf_agg(j, *kind, *children_base, *body, steps),
+            PlanExpr::Arith(op, a, b) => {
+                *steps += 1;
+                let x = self.expr(j, a, steps)?;
+                let y = self.expr(j, b, steps)?;
+                let v = match op {
+                    ArithOp::Add => x + y,
+                    ArithOp::Sub => x - y,
+                    ArithOp::Mul => x * y,
+                    ArithOp::Div => {
+                        if y.abs() < 1e-12 {
+                            0.0
+                        } else {
+                            x / y
+                        }
+                    }
+                };
+                self.finite(v, *steps)
+            }
+            PlanExpr::Neg(a) => {
+                *steps += 1;
+                let v = -self.expr(j, a, steps)?;
+                self.finite(v, *steps)
+            }
+        }
+    }
+
+    /// Evaluates a leaf operand at element `j`: `(exact step cost, value)`.
+    #[inline]
+    fn leaf_arg_at(&self, j: u32, a: LeafArg) -> (u64, f64) {
+        match a {
+            LeafArg::Const(c) => (1, c),
+            LeafArg::Attr(s) => (1, self.attr_num(j, s)),
+            LeafArg::ChildCount => {
+                let c = self.arena.child_count(j);
+                (1 + u64::from(c), f64::from(c))
+            }
+            LeafArg::DescCount => {
+                let d = self.arena.descendant_count(j);
+                (1 + u64::from(d), f64::from(d))
+            }
+        }
+    }
+
+    #[inline]
+    fn attr_num(&self, j: u32, name: Symbol) -> f64 {
+        self.arena
+            .attr(j, name)
+            .and_then(|x| x.as_num())
+            .unwrap_or(0.0)
+    }
+
+    /// A predicate-free aggregate with a leaf body: one bulk-charged arena
+    /// loop. Over `//*` the charge total is closed-form per body kind and
+    /// only genuine error points (non-finite attribute values) are visited
+    /// individually; over `/*` the sibling-jump loop is short enough that
+    /// per-element charging is already cheap.
+    fn leaf_agg(
+        &self,
+        ctx: u32,
+        kind: AggKind,
+        children_base: bool,
+        body: LeafArg,
+        steps: &mut u64,
+    ) -> Result<f64, EvalError> {
+        *steps += 1; // the aggregate node's entry charge
+        if children_base {
+            let end = self.arena.subtree_end(ctx);
+            let (mut acc, mut n, mut started) = (0.0f64, 0u64, false);
+            let mut j = ctx + 1;
+            while j < end {
+                let (c, v) = self.leaf_arg_at(j, body);
+                *steps += 1 + c; // `for_each` + the body's charge
+                if !v.is_finite() {
+                    return Err(self.non_finite(*steps));
+                }
+                n += 1;
+                match kind {
+                    AggKind::Sum | AggKind::Avg => acc += v,
+                    AggKind::Max => acc = if started { acc.max(v) } else { v },
+                    AggKind::Min => acc = if started { acc.min(v) } else { v },
+                    AggKind::Count => unreachable!("count aggregates have no body"),
+                }
+                started = true;
+                j = self.arena.subtree_end(j);
+            }
+            let v = match kind {
+                AggKind::Avg => {
+                    if n == 0 {
+                        0.0
+                    } else {
+                        acc / n as f64
+                    }
+                }
+                _ => {
+                    if started {
+                        acc
+                    } else {
+                        0.0
+                    }
+                }
+            };
+            return self.finite(v, *steps);
+        }
+        let (lo, hi) = (ctx + 1, self.arena.subtree_end(ctx));
+        let n = u64::from(hi - lo);
+        let v = match body {
+            LeafArg::Const(c) => {
+                if n > 0 && !c.is_finite() {
+                    // The first element's body raises at exactly this
+                    // prefix (`for_each` + the literal's entry charge).
+                    *steps += 2;
+                    return Err(self.non_finite(*steps));
+                }
+                *steps += 2 * n;
+                match kind {
+                    AggKind::Sum | AggKind::Avg => {
+                        // Repeated addition, not multiplication: identical
+                        // rounding to the interpreter's fold.
+                        let mut acc = 0.0;
+                        for _ in 0..n {
+                            acc += c;
+                        }
+                        if matches!(kind, AggKind::Avg) && n > 0 {
+                            acc / n as f64
+                        } else {
+                            acc
+                        }
+                    }
+                    AggKind::Max | AggKind::Min => {
+                        if n > 0 {
+                            c
+                        } else {
+                            0.0
+                        }
+                    }
+                    AggKind::Count => unreachable!("count aggregates have no body"),
+                }
+            }
+            LeafArg::Attr(name) => match kind {
+                AggKind::Sum | AggKind::Avg => {
+                    // Only elements carrying the attribute can contribute a
+                    // non-zero (or non-finite) value; the rest add +0.0,
+                    // an exact identity here (the accumulator starts at
+                    // +0.0 and IEEE round-to-nearest addition never
+                    // produces -0.0 from a +0.0 start).
+                    let mut acc = 0.0;
+                    for &j in self.arena.attr_nodes_in(name, lo, hi) {
+                        let v = self.attr_num(j, name);
+                        if !v.is_finite() {
+                            // Every element up to and including `j` costs
+                            // exactly 2 (`for_each` + attribute read).
+                            *steps += 2 * u64::from(j - lo + 1);
+                            return Err(self.non_finite(*steps));
+                        }
+                        acc += v;
+                    }
+                    *steps += 2 * n;
+                    if matches!(kind, AggKind::Avg) && n > 0 {
+                        acc / n as f64
+                    } else {
+                        acc
+                    }
+                }
+                AggKind::Max | AggKind::Min => {
+                    // Missing attributes contribute 0.0 to the fold, so
+                    // every element participates; keep the fold order.
+                    let (mut acc, mut started) = (0.0f64, false);
+                    for j in lo..hi {
+                        *steps += 2;
+                        let v = self.attr_num(j, name);
+                        if !v.is_finite() {
+                            return Err(self.non_finite(*steps));
+                        }
+                        acc = match (started, kind) {
+                            (false, _) => v,
+                            (true, AggKind::Max) => acc.max(v),
+                            _ => acc.min(v),
+                        };
+                        started = true;
+                    }
+                    if started {
+                        acc
+                    } else {
+                        0.0
+                    }
+                }
+                AggKind::Count => unreachable!("count aggregates have no body"),
+            },
+            LeafArg::ChildCount => {
+                // Σ child-count over `lo..hi` is the subtree's inner edge
+                // count: every descendant's parent edge except those from
+                // `ctx` itself. All values are small integers, so the
+                // interpreter's f64 fold is exact and order-free.
+                let edges = n - u64::from(self.arena.child_count(ctx));
+                *steps += 2 * n + edges;
+                match kind {
+                    AggKind::Sum => edges as f64,
+                    AggKind::Avg => {
+                        if n == 0 {
+                            0.0
+                        } else {
+                            edges as f64 / n as f64
+                        }
+                    }
+                    AggKind::Max | AggKind::Min => {
+                        let it = (lo..hi).map(|j| self.arena.child_count(j));
+                        let m = match kind {
+                            AggKind::Max => it.max(),
+                            _ => it.min(),
+                        };
+                        m.map_or(0.0, f64::from)
+                    }
+                    AggKind::Count => unreachable!("count aggregates have no body"),
+                }
+            }
+            LeafArg::DescCount => {
+                // Charge per element is 2 + its descendant count; the f64
+                // fold mirrors the interpreter's exactly (all integers).
+                let mut charged = 2 * n;
+                let (mut acc, mut started) = (0.0f64, false);
+                for j in lo..hi {
+                    let d = self.arena.descendant_count(j);
+                    charged += u64::from(d);
+                    let v = f64::from(d);
+                    acc = match (started, kind) {
+                        (false, _) => v,
+                        (true, AggKind::Sum) | (true, AggKind::Avg) => acc + v,
+                        (true, AggKind::Max) => acc.max(v),
+                        (true, AggKind::Min) => acc.min(v),
+                        (true, AggKind::Count) => {
+                            unreachable!("count aggregates have no body")
+                        }
+                    };
+                    started = true;
+                }
+                *steps += charged;
+                match kind {
+                    AggKind::Avg => {
+                        if n == 0 {
+                            0.0
+                        } else {
+                            acc / n as f64
+                        }
+                    }
+                    _ => {
+                        if started {
+                            acc
+                        } else {
+                            0.0
+                        }
+                    }
+                }
+            }
+        };
+        self.finite(v, *steps)
+    }
+
+    /// `count(filter(//*, <leaf> OP <leaf>))`: one flat pass over the
+    /// subtree range with no per-element dispatch. When neither operand
+    /// reads an attribute the loop is error-free (counts and literals are
+    /// always finite), so only the cumulative step total matters and the
+    /// charge is applied in bulk after the scan.
+    fn count_leaf_cmp(
+        &self,
+        ctx: u32,
+        op: CmpOp,
+        a: LeafArg,
+        b: LeafArg,
+        steps: &mut u64,
+    ) -> Result<f64, EvalError> {
+        let (lo, hi) = (ctx + 1, self.arena.subtree_end(ctx));
+        let attr_free = !matches!(a, LeafArg::Attr(_)) && !matches!(b, LeafArg::Attr(_));
+        let mut n = 0u64;
+        if attr_free {
+            let mut total = 0u64;
+            for j in lo..hi {
+                let (ca, x) = self.leaf_arg_at(j, a);
+                let (cb, y) = self.leaf_arg_at(j, b);
+                total += 2 + ca + cb; // `for_each` + the Cmp node's entry
+                n += u64::from(op.apply(x, y));
+            }
+            *steps += total;
+        } else {
+            for j in lo..hi {
+                *steps += 2; // `for_each` + the Cmp node's entry
+                let (ca, x) = self.leaf_arg_at(j, a);
+                *steps += ca;
+                if !x.is_finite() {
+                    return Err(self.non_finite(*steps));
+                }
+                let (cb, y) = self.leaf_arg_at(j, b);
+                *steps += cb;
+                if !y.is_finite() {
+                    return Err(self.non_finite(*steps));
+                }
+                n += u64::from(op.apply(x, y));
+            }
+        }
+        self.finite(n as f64, *steps)
+    }
+
+    /// Columnar evaluation of a predicate-free descendants aggregate with
+    /// a column-supported body: bottom-up passes produce the body's value
+    /// column and exact per-element step-cost column for every element at
+    /// once (children-base sub-aggregates scatter child values to their
+    /// parents through the arena's parent array), then a single in-order
+    /// fold finishes the aggregate.
+    ///
+    /// Exactness: every per-parent accumulation visits children in
+    /// increasing preorder — the interpreter's iteration order — so each
+    /// floating-point fold performs the identical operation sequence. The
+    /// fast path is *optimistic*: it returns `None` (and the scalar loop
+    /// reproduces the interpreter's exact error point) when the range is
+    /// small, any intermediate value the interpreter would finite-check is
+    /// non-finite, or the bulk charge would exceed the budget.
+    fn column_agg(
+        &self,
+        ctx: u32,
+        kind: AggKind,
+        body: &PlanExpr,
+        steps: &mut u64,
+    ) -> Option<Result<f64, EvalError>> {
+        let (lo, hi) = (ctx + 1, self.arena.subtree_end(ctx));
+        if hi - lo < COLUMN_MIN || matches!(kind, AggKind::Count) || !column_supported(body) {
+            return None;
+        }
+        COL_POOL.with(|p| {
+            let mut pool = p.try_borrow_mut().ok()?;
+            let mut ok = true;
+            let col = self.col_expr(body, lo, hi, &mut pool, &mut ok);
+            let result = self.column_fold(kind, &col, steps, ok);
+            pool.push(col);
+            result
+        })
+    }
+
+    /// Final fold of the top-level column: bulk budget check first, then
+    /// the aggregate's in-order value fold and the final finiteness check.
+    fn column_fold(
+        &self,
+        kind: AggKind,
+        col: &ColBuf,
+        steps: &mut u64,
+        ok: bool,
+    ) -> Option<Result<f64, EvalError>> {
+        if !ok {
+            return None;
+        }
+        let n = col.val.len() as u64;
+        // One `for_each` charge per element plus the body's exact cost.
+        let mut total = n;
+        for c in &col.cost {
+            total += c;
+        }
+        if *steps + total > self.limit {
+            return None;
+        }
+        *steps += total;
+        let v = match kind {
+            AggKind::Sum | AggKind::Avg => {
+                let mut acc = 0.0f64;
+                for &v in &col.val {
+                    acc += v;
+                }
+                if matches!(kind, AggKind::Avg) && n > 0 {
+                    acc / n as f64
+                } else {
+                    acc
+                }
+            }
+            AggKind::Max => col.val.iter().copied().reduce(f64::max).unwrap_or(0.0),
+            AggKind::Min => col.val.iter().copied().reduce(f64::min).unwrap_or(0.0),
+            AggKind::Count => unreachable!("count aggregates never take the columnar path"),
+        };
+        Some(self.finite(v, *steps))
+    }
+
+    /// Evaluates `e` for **every** node in `lo..hi` at once, returning the
+    /// value column and the exact per-node interpreter step cost column.
+    /// Non-finiteness of any value the interpreter would check clears
+    /// `ok` (conservatively — including values no element consumes).
+    fn col_expr(
+        &self,
+        e: &PlanExpr,
+        lo: u32,
+        hi: u32,
+        pool: &mut Vec<ColBuf>,
+        ok: &mut bool,
+    ) -> ColBuf {
+        let n = (hi - lo) as usize;
+        match e {
+            PlanExpr::Const(c) => {
+                *ok &= c.is_finite();
+                acquire(pool, n, *c, 1)
+            }
+            PlanExpr::Attr(name) => {
+                let mut b = acquire(pool, n, 0.0, 1);
+                let mut fin = true;
+                for &j in self.arena.attr_nodes_in(*name, lo, hi) {
+                    let v = self.attr_num(j, *name);
+                    fin &= v.is_finite();
+                    b.val[(j - lo) as usize] = v;
+                }
+                *ok &= fin;
+                b
+            }
+            PlanExpr::Arith(op, x, y) => {
+                let mut a = self.col_expr(x, lo, hi, pool, ok);
+                let b = self.col_expr(y, lo, hi, pool, ok);
+                let mut fin = true;
+                for (i, (va, ca)) in a.val.iter_mut().zip(&mut a.cost).enumerate() {
+                    let vb = b.val[i];
+                    let v = match op {
+                        ArithOp::Add => *va + vb,
+                        ArithOp::Sub => *va - vb,
+                        ArithOp::Mul => *va * vb,
+                        ArithOp::Div => {
+                            if vb.abs() < 1e-12 {
+                                0.0
+                            } else {
+                                *va / vb
+                            }
+                        }
+                    };
+                    fin &= v.is_finite();
+                    *va = v;
+                    *ca += 1 + b.cost[i];
+                }
+                *ok &= fin;
+                pool.push(b);
+                a
+            }
+            PlanExpr::Neg(x) => {
+                let mut a = self.col_expr(x, lo, hi, pool, ok);
+                let mut fin = true;
+                for (v, c) in a.val.iter_mut().zip(&mut a.cost) {
+                    *v = -*v;
+                    fin &= v.is_finite();
+                    *c += 1;
+                }
+                *ok &= fin;
+                a
+            }
+            // `column_supported` guarantees `children_base` here.
+            PlanExpr::LeafAgg { kind, body, .. } => {
+                if matches!(kind, AggKind::Sum | AggKind::Avg) {
+                    if let LeafArg::Attr(name) = body {
+                        return self.col_leaf_attr_sum(*kind, *name, lo, hi, pool, ok);
+                    }
+                }
+                let mut out = acquire(pool, n, 0.0, 1);
+                if let LeafArg::Const(c) = body {
+                    *ok &= c.is_finite();
+                }
+                let check_leaf = matches!(body, LeafArg::Attr(_));
+                let mut fin = true;
+                for i in lo..hi {
+                    let mut acc = 0.0f64;
+                    let mut cost = 1u64;
+                    let mut count = 0u32;
+                    let end = self.arena.subtree_end(i);
+                    let mut k = i + 1;
+                    while k < end {
+                        let (lc, lv) = self.leaf_arg_at(k, *body);
+                        if check_leaf {
+                            fin &= lv.is_finite();
+                        }
+                        cost += 1 + lc;
+                        acc = scatter_accum(*kind, acc, lv, count == 0);
+                        count += 1;
+                        k = self.arena.subtree_end(k);
+                    }
+                    let v = finish_agg(*kind, acc, count);
+                    fin &= v.is_finite();
+                    let idx = (i - lo) as usize;
+                    out.val[idx] = v;
+                    out.cost[idx] = cost;
+                }
+                *ok &= fin;
+                out
+            }
+            PlanExpr::Agg(inner) => {
+                let body = inner
+                    .body
+                    .as_ref()
+                    .expect("column_supported requires a body");
+                let b = self.col_expr(body, lo, hi, pool, ok);
+                let mut out = acquire(pool, n, 0.0, 1);
+                let mut fin = true;
+                for i in lo..hi {
+                    let mut acc = 0.0f64;
+                    let mut cost = 1u64;
+                    let mut count = 0u32;
+                    let end = self.arena.subtree_end(i);
+                    let mut k = i + 1;
+                    while k < end {
+                        let ki = (k - lo) as usize;
+                        cost += 1 + b.cost[ki];
+                        acc = scatter_accum(inner.kind, acc, b.val[ki], count == 0);
+                        count += 1;
+                        k = self.arena.subtree_end(k);
+                    }
+                    let v = finish_agg(inner.kind, acc, count);
+                    fin &= v.is_finite();
+                    let idx = (i - lo) as usize;
+                    out.val[idx] = v;
+                    out.cost[idx] = cost;
+                }
+                *ok &= fin;
+                pool.push(b);
+                out
+            }
+            PlanExpr::Count(_) => unreachable!("column_supported rejects Count"),
+        }
+    }
+
+    /// Sparse column for `sum`/`avg` over a children-base attribute leaf.
+    /// Missing attributes contribute `+0.0`, which is an exact identity on
+    /// the running sum (a sum of non-`-0.0` addends is never `-0.0`), so
+    /// only the attribute-carrying children — found through the postings
+    /// list — are scattered to their parents. The step cost per element is
+    /// closed-form: one aggregate entry plus `for_each` + leaf for each
+    /// child.
+    fn col_leaf_attr_sum(
+        &self,
+        kind: AggKind,
+        name: Symbol,
+        lo: u32,
+        hi: u32,
+        pool: &mut Vec<ColBuf>,
+        ok: &mut bool,
+    ) -> ColBuf {
+        let n = (hi - lo) as usize;
+        let mut out = acquire(pool, n, 0.0, 1);
+        for i in lo..hi {
+            out.cost[(i - lo) as usize] = 1 + 2 * u64::from(self.arena.child_count(i));
+        }
+        let mut fin = true;
+        for &j in self.arena.attr_nodes_in(name, lo, hi) {
+            let p = self.arena.parent(j);
+            if p < lo {
+                continue;
+            }
+            let v = self.attr_num(j, name);
+            fin &= v.is_finite();
+            out.val[(p - lo) as usize] += v;
+        }
+        for (idx, v) in out.val.iter_mut().enumerate() {
+            let c = self.arena.child_count(lo + idx as u32);
+            if c == 0 {
+                *v = 0.0;
+            } else if matches!(kind, AggKind::Avg) {
+                *v /= f64::from(c);
+            }
+            fin &= v.is_finite();
+        }
+        *ok &= fin;
+        out
+    }
+}
+
+/// Minimum element count for the columnar aggregate sweep; below this the
+/// scalar loop's smaller constant factor wins.
+const COLUMN_MIN: u32 = 8;
+
+/// One reusable column pair: per-element body value and the exact
+/// interpreter step cost of producing it.
+#[derive(Debug, Default)]
+struct ColBuf {
+    val: Vec<f64>,
+    cost: Vec<u64>,
+}
+
+thread_local! {
+    /// Reused column buffers for [`PlanEval::column_agg`] (one columnar
+    /// evaluation is active at a time; `col_expr` never re-enters it).
+    static COL_POOL: std::cell::RefCell<Vec<ColBuf>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Takes a buffer from the pool sized to `n` with the given initial value
+/// and step cost.
+fn acquire(pool: &mut Vec<ColBuf>, n: usize, v0: f64, c0: u64) -> ColBuf {
+    let mut b = pool.pop().unwrap_or_default();
+    b.val.clear();
+    b.val.resize(n, v0);
+    b.cost.clear();
+    b.cost.resize(n, c0);
+    b
+}
+
+/// Finishes one gathered children-base aggregate: empty aggregates yield
+/// `0.0` and `Avg` divides by the child count, exactly as the interpreter
+/// does at aggregate exit.
+#[inline]
+fn finish_agg(kind: AggKind, acc: f64, count: u32) -> f64 {
+    if count == 0 {
+        0.0
+    } else if matches!(kind, AggKind::Avg) {
+        acc / f64::from(count)
+    } else {
+        acc
+    }
+}
+
+/// One child value arriving at its parent's accumulator. `first` is true
+/// for the parent's first child (preorder index `parent + 1`), which seeds
+/// `Max`/`Min` exactly like the interpreter's `started` flag.
+#[inline]
+fn scatter_accum(kind: AggKind, acc: f64, v: f64, first: bool) -> f64 {
+    match kind {
+        AggKind::Sum | AggKind::Avg => acc + v,
+        AggKind::Max => {
+            if first {
+                v
+            } else {
+                acc.max(v)
+            }
+        }
+        AggKind::Min => {
+            if first {
+                v
+            } else {
+                acc.min(v)
+            }
+        }
+        AggKind::Count => unreachable!("count sub-aggregates never take the columnar path"),
+    }
+}
+
+/// Whether `e` can be evaluated as a column over a preorder range:
+/// per-node leaves, arithmetic, and predicate-free children-base
+/// aggregates (which scatter child values to parents in one pass).
+/// Descendants-base sub-aggregates are excluded — their range folds
+/// cannot reuse prefix sums without changing floating-point rounding.
+fn column_supported(e: &PlanExpr) -> bool {
+    match e {
+        PlanExpr::Const(_) | PlanExpr::Attr(_) => true,
+        PlanExpr::LeafAgg { children_base, .. } => *children_base,
+        PlanExpr::Agg(inner) => {
+            inner.children_base
+                && inner.preds.is_empty()
+                && !matches!(inner.kind, AggKind::Count)
+                && inner.body.as_ref().is_some_and(column_supported)
+        }
+        PlanExpr::Arith(_, a, b) => column_supported(a) && column_supported(b),
+        PlanExpr::Neg(a) => column_supported(a),
+        PlanExpr::Count(_) => false,
+    }
+}
+
+/// Evaluates one pure predicate at arena node `j`, accumulating the exact
+/// interpreter step cost. Shared by the fused-aggregate loop and the
+/// loop-nest plan evaluator.
+#[inline]
+fn pure_pred_matches(arena: &IrArena, j: u32, p: &PurePred, steps: &mut u64) -> bool {
+    match p {
+        PurePred::Atom {
+            atom,
+            negated,
+            cost,
+        } => {
+            *steps += cost;
+            pure_atom_matches(arena, j, atom) != *negated
+        }
+        PurePred::Tree { expr, kinds } => match kinds {
+            Some(table) => {
+                let k = arena.kind(j);
+                let (matched, cost) = table
+                    .entries
+                    .iter()
+                    .find(|&&(s, ..)| s == k)
+                    .map_or(table.default, |&(_, m, c)| (m, c));
+                *steps += cost;
+                matched
+            }
+            None => eval_pure(arena, j, expr, steps),
+        },
     }
 }
 
@@ -801,6 +1991,9 @@ pub struct EvalPool<'a> {
     cancel: Option<CancelToken>,
     vm_evals: AtomicU64,
     interp_evals: AtomicU64,
+    fast_evals: AtomicU64,
+    plan_evals: AtomicU64,
+    frame_evals: AtomicU64,
     program_hits: AtomicU64,
     program_misses: AtomicU64,
 }
@@ -813,6 +2006,15 @@ pub struct PoolStats {
     pub vm_evals: u64,
     /// Per-loop evaluations dispatched to the reference interpreter.
     pub interp_evals: u64,
+    /// VM evaluations of straight-line fast-path programs (leaves, indexed
+    /// counts, fused aggregates — no plan or frame aggregates).
+    pub fast_evals: u64,
+    /// VM evaluations of programs containing loop-nest plans (and no frame
+    /// aggregates).
+    pub plan_evals: u64,
+    /// VM evaluations of programs containing frame-path fallback
+    /// aggregates (per-element bytecode dispatch).
+    pub frame_evals: u64,
     /// Compiled-program cache hits.
     pub program_hits: u64,
     /// Compiled-program cache misses (compilations).
@@ -842,6 +2044,9 @@ impl<'a> EvalPool<'a> {
             cancel: None,
             vm_evals: AtomicU64::new(0),
             interp_evals: AtomicU64::new(0),
+            fast_evals: AtomicU64::new(0),
+            plan_evals: AtomicU64::new(0),
+            frame_evals: AtomicU64::new(0),
             program_hits: AtomicU64::new(0),
             program_misses: AtomicU64::new(0),
         }
@@ -892,8 +2097,8 @@ impl<'a> EvalPool<'a> {
                 expr.eval_with_budget(self.trees[idx], budget)
             }
             EvalEngine::Compiled => {
-                self.vm_evals.fetch_add(1, Ordering::Relaxed);
                 let prog = self.program(expr);
+                self.note_vm_evals(&prog, 1);
                 Vm::run(
                     &prog,
                     &self.arenas[idx],
@@ -903,6 +2108,18 @@ impl<'a> EvalPool<'a> {
                 )
             }
         }
+    }
+
+    /// Batches the VM-dispatch counters: `n` evaluations of `prog`,
+    /// attributed to its execution tier (observability only).
+    fn note_vm_evals(&self, prog: &Program, n: u64) {
+        self.vm_evals.fetch_add(n, Ordering::Relaxed);
+        let tier = match prog.path() {
+            ProgramPath::Fast => &self.fast_evals,
+            ProgramPath::LoopNest => &self.plan_evals,
+            ProgramPath::Frame => &self.frame_evals,
+        };
+        tier.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Installs a cancellation token consulted by
@@ -932,9 +2149,8 @@ impl<'a> EvalPool<'a> {
     }
 
     fn column_inner(&self, expr: &FeatureExpr, budget: u64, cancellable: bool) -> Option<Vec<f64>> {
-        let cancelled = || {
-            cancellable && self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
-        };
+        let cancelled =
+            || cancellable && self.cancel.as_ref().is_some_and(CancelToken::is_cancelled);
         match self.engine {
             EvalEngine::Interpreter => {
                 self.interp_evals
@@ -949,18 +2165,34 @@ impl<'a> EvalPool<'a> {
                 Some(out)
             }
             EvalEngine::Compiled => {
+                // Columnar sweep: one program fetch, one scratch allocation
+                // set, and one counter flush for the whole column; the
+                // cancellation token is still consulted at every cell
+                // boundary so shutdown latency is unchanged.
                 let prog = self.program(expr);
+                let mut scratch = VmScratch::default();
                 let mut out = Vec::with_capacity(self.arenas.len());
                 for (i, arena) in self.arenas.iter().enumerate() {
                     if cancelled() {
+                        self.note_vm_evals(&prog, out.len() as u64);
                         return None;
                     }
-                    self.vm_evals.fetch_add(1, Ordering::Relaxed);
-                    match Vm::run(&prog, arena, i as u32, budget, Some(&self.cache)) {
+                    match Vm::run_scratch(
+                        &prog,
+                        arena,
+                        i as u32,
+                        budget,
+                        Some(&self.cache),
+                        &mut scratch,
+                    ) {
                         Ok(v) => out.push(v),
-                        Err(_) => return None,
+                        Err(_) => {
+                            self.note_vm_evals(&prog, out.len() as u64 + 1);
+                            return None;
+                        }
                     }
                 }
+                self.note_vm_evals(&prog, out.len() as u64);
                 Some(out)
             }
         }
@@ -976,6 +2208,9 @@ impl<'a> EvalPool<'a> {
         PoolStats {
             vm_evals: self.vm_evals.load(Ordering::Relaxed),
             interp_evals: self.interp_evals.load(Ordering::Relaxed),
+            fast_evals: self.fast_evals.load(Ordering::Relaxed),
+            plan_evals: self.plan_evals.load(Ordering::Relaxed),
+            frame_evals: self.frame_evals.load(Ordering::Relaxed),
             program_hits: self.program_hits.load(Ordering::Relaxed),
             program_misses: self.program_misses.load(Ordering::Relaxed),
             result_hits: self.cache.hits.load(Ordering::Relaxed),
@@ -993,6 +2228,9 @@ impl<'a> EvalPool<'a> {
         let s = self.stats();
         telemetry.gauge_set("eval.vm_evals", s.vm_evals as f64);
         telemetry.gauge_set("eval.interp_evals", s.interp_evals as f64);
+        telemetry.gauge_set("eval.path_fast", s.fast_evals as f64);
+        telemetry.gauge_set("eval.path_plan", s.plan_evals as f64);
+        telemetry.gauge_set("eval.path_frame", s.frame_evals as f64);
         telemetry.gauge_set("eval.program_hits", s.program_hits as f64);
         telemetry.gauge_set("eval.program_misses", s.program_misses as f64);
         telemetry.gauge_set("eval.result_hits", s.result_hits as f64);
@@ -1079,6 +2317,15 @@ mod tests {
         "sum(//*, sum(//*, count(//*)))",
         "avg(//*, get-attr(@value) * 2 - 1)",
         "min(filter(/*, has-attr(@loop-depth)), get-attr(@loop-depth))",
+        // Loop-nest plan shapes: postings-driven outer loops, dynamic
+        // predicates, nested aggregates in bodies and comparisons.
+        "sum(filter(//*, is-type(reg)), count(/*) + 1)",
+        "sum(filter(//*, has-attr(@mode)), get-attr(@value) + count(//*))",
+        "avg(filter(//*, is-type(insn) && count(/*) > 0), sum(/*, count(/*)))",
+        "max(filter(/*, count(/*) > 0), min(//*, get-attr(@value) * 2))",
+        "count(filter(filter(//*, is-type(set)), count(//*) > 1))",
+        "sum(filter(//*, is-type(reg) || /[0][count(/*) > 0]), 1)",
+        "min(filter(//*, !(count(/*) > 2)), max(/*, get-attr(@value)) - 1)",
     ];
 
     #[test]
@@ -1188,5 +2435,61 @@ mod tests {
                 "budget {budget}"
             );
         }
+    }
+
+    /// `levels` nested `sum(//*, ... + 0)` — beyond the plan depth bound,
+    /// so the outer levels stay on the frame path.
+    fn deep_src(levels: usize) -> String {
+        let mut s = String::from("1");
+        for _ in 0..levels {
+            s = format!("sum(//*, {s} + 0)");
+        }
+        s
+    }
+
+    #[test]
+    fn frame_fallback_and_superinstructions_match_interpreter() {
+        let ir = sample_ir();
+        let arena = IrArena::from_tree(&ir);
+        let deep = deep_src(10);
+        let gate_src = format!("sum(filter(//*, is-type(basic-block)), {deep})");
+        let accum_src = format!("sum(filter(//*, {deep} > 0), 1)");
+        for src in [deep.as_str(), gate_src.as_str(), accum_src.as_str()] {
+            let f = parse_feature(src).unwrap();
+            let prog = Program::compile(&f);
+            assert!(!prog.aggs.is_empty(), "deep nest should keep frame levels");
+            for budget in [0, 1, 13, 997, 50_000] {
+                let want = f.eval_with_budget(&ir, budget);
+                let got = prog.eval(&arena, budget);
+                assert_eq!(got, want, "mismatch at budget {budget}");
+            }
+        }
+        // The superinstruction rewrites really fired on the frame levels.
+        let gate = Program::compile(&parse_feature(&gate_src).unwrap());
+        assert!(gate.ops.iter().any(|op| matches!(op, Op::IsTypeGate(_))));
+        let accum = Program::compile(&parse_feature(&accum_src).unwrap());
+        assert!(accum.ops.iter().any(|op| matches!(op, Op::ConstAccum(_))));
+    }
+
+    #[test]
+    fn pool_counts_execution_paths() {
+        let ir = sample_ir();
+        let pool = EvalPool::new([&ir], EvalEngine::Compiled);
+        let fast = parse_feature("count(//*)").unwrap();
+        let plan = parse_feature("sum(//*, 1 + get-attr(@value))").unwrap();
+        let frame = parse_feature(&deep_src(10)).unwrap();
+        assert_eq!(Program::compile(&fast).path(), ProgramPath::Fast);
+        assert_eq!(Program::compile(&plan).path(), ProgramPath::LoopNest);
+        assert_eq!(Program::compile(&frame).path(), ProgramPath::Frame);
+        assert!(pool.column(&fast, DEFAULT_BUDGET).is_some());
+        assert!(pool.column(&plan, DEFAULT_BUDGET).is_some());
+        // Deep contexts have few descendants, so even the deep nest fits
+        // the default budget on this small tree.
+        assert!(pool.column(&frame, DEFAULT_BUDGET).is_some());
+        let s = pool.stats();
+        assert_eq!(s.fast_evals, 1);
+        assert_eq!(s.plan_evals, 1);
+        assert_eq!(s.frame_evals, 1);
+        assert_eq!(s.vm_evals, 3);
     }
 }

@@ -63,7 +63,6 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-
 // Library code must report through telemetry events or typed errors,
 // never by printing; binaries are exempt (their crate roots are in bin/).
 #![deny(clippy::print_stdout, clippy::print_stderr)]
@@ -71,8 +70,8 @@
 pub mod checkpoint;
 pub mod error;
 pub mod faults;
-pub mod grammar;
 pub mod gp;
+pub mod grammar;
 pub mod ir;
 pub mod lang;
 pub mod search;
@@ -84,8 +83,6 @@ pub use faults::{stable_hash, CancelToken, FaultInjector, FaultKind, FaultPlan, 
 pub use gp::island::{IslandStatus, IslandTopology, IslandsSnapshot, MigrationRecord};
 pub use grammar::Grammar;
 pub use ir::{AttrValue, IrArena, IrNode, Symbol};
-pub use lang::{parse_feature, EvalEngine, EvalPool, FeatureExpr, Program};
-pub use search::{
-    FeatureSearch, SearchConfig, SearchDriver, SearchOutcome, TrainingExample,
-};
+pub use lang::{parse_feature, EvalEngine, EvalPool, FeatureExpr, Program, ProgramPath};
+pub use search::{FeatureSearch, SearchConfig, SearchDriver, SearchOutcome, TrainingExample};
 pub use telemetry::{Telemetry, TelemetryConfig};

@@ -262,6 +262,17 @@ pub fn render(events: &[ParsedEvent], skipped: usize) -> String {
             get("eval.result_hits"),
             get("eval.result_misses"),
         );
+        let fast = get("eval.path_fast");
+        let plan = get("eval.path_plan");
+        let frame = get("eval.path_frame");
+        let paths = fast + plan + frame;
+        if paths > 0 {
+            let pct = 100.0 * frame as f64 / paths as f64;
+            let _ = writeln!(
+                out,
+                "  vm paths:      {fast} fast / {plan} loop-nest / {frame} frame fallback ({pct:.1}% fallback)"
+            );
+        }
     }
 
     // GP trajectory: generations seen, last best/mean, stagnation.
@@ -328,8 +339,9 @@ pub fn render(events: &[ParsedEvent], skipped: usize) -> String {
                 );
             }
         }
-        if let Some((id, (status, dur))) =
-            done.iter().max_by_key(|(id, (_, dur))| (*dur, u64::MAX - *id))
+        if let Some((id, (status, dur))) = done
+            .iter()
+            .max_by_key(|(id, (_, dur))| (*dur, u64::MAX - *id))
         {
             let _ = writeln!(
                 out,
@@ -391,10 +403,8 @@ mod tests {
     use crate::telemetry::Telemetry;
 
     fn tmp_dir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "fegen-report-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("fegen-report-test-{tag}-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         dir
     }
@@ -422,6 +432,9 @@ mod tests {
         t.counter_add("eval.interp_evals", 2);
         t.counter_add("eval.program_hits", 8);
         t.counter_add("eval.program_misses", 2);
+        t.counter_add("eval.path_fast", 6);
+        t.counter_add("eval.path_plan", 3);
+        t.counter_add("eval.path_frame", 1);
         t.emit_metrics("eval_pool");
         t.event("gp_generation")
             .u64("generation", 5)
@@ -439,6 +452,10 @@ mod tests {
         assert!(summary.contains("site:a:k0#1"), "{summary}");
         assert!(summary.contains("80.0%"), "{summary}");
         assert!(summary.contains("12 evaluation(s)"), "{summary}");
+        assert!(
+            summary.contains("6 fast / 3 loop-nest / 1 frame fallback (10.0% fallback)"),
+            "{summary}"
+        );
         assert!(summary.contains("best 0.9000"), "{summary}");
         assert!(summary.contains("checkpoints: 1 write(s)"), "{summary}");
         assert!(
@@ -497,12 +514,18 @@ mod tests {
         drop(t);
 
         let summary = summarize_dir(&dir).expect("summarize");
-        assert!(summary.contains("islands: 4 island(s), 2 worker(s)"), "{summary}");
+        assert!(
+            summary.contains("islands: 4 island(s), 2 worker(s)"),
+            "{summary}"
+        );
         assert!(
             summary.contains("2 restarted step(s), 1 frozen island(s), 1 missed heartbeat(s)"),
             "{summary}"
         );
-        assert!(summary.contains("2 exchange(s), last at round 6"), "{summary}");
+        assert!(
+            summary.contains("2 exchange(s), last at round 6"),
+            "{summary}"
+        );
         assert!(summary.contains("slowest island: 3"), "{summary}");
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -66,7 +66,7 @@
 use fegen::core::ir::IrArena;
 use fegen::core::search::SearchDriver;
 use fegen::core::{
-    parse_feature, EvalEngine, EvalPool, FeatureExpr, FeatureSearch, Grammar, Program,
+    parse_feature, EvalEngine, EvalPool, FeatureExpr, FeatureSearch, Grammar, Program, ProgramPath,
     SearchConfig, SearchError, SearchOutcome, TrainingExample,
 };
 use fegen::rtl::export::export_loop;
@@ -559,7 +559,11 @@ fn cmd_search(path: &str, flags: &[String]) -> Result<(), Anyhow> {
     if let Some(dir) = &checkpoint_dir {
         driver = driver.checkpoint(dir, checkpoint_every);
     }
-    driver = driver.telemetry(build_telemetry(telemetry_dir.as_deref(), log_json, progress)?);
+    driver = driver.telemetry(build_telemetry(
+        telemetry_dir.as_deref(),
+        log_json,
+        progress,
+    )?);
     let result = match &resume {
         Some(p) => driver.resume(p, &examples),
         None => driver.run(&examples),
@@ -654,7 +658,8 @@ fn cmd_measure(flags: &[String]) -> Result<(), Anyhow> {
         config.suite.n_benchmarks, campaign.jobs
     );
     let cancel = fegen::core::CancelToken::new();
-    let report = run_campaign_with_telemetry(&config, &campaign, &store, None, &cancel, &telemetry)?;
+    let report =
+        run_campaign_with_telemetry(&config, &campaign, &store, None, &cancel, &telemetry)?;
     print!("{}", fegen::bench::report::campaign_summary(&report));
     Ok(())
 }
@@ -724,9 +729,14 @@ fn cmd_bench_perf(flags: &[String]) -> Result<(), Anyhow> {
     .map(|s| parse_feature(s))
     .collect::<Result<_, _>>()?;
     use rand::SeedableRng;
+    /// Grammar depths of the generated mix; each contributes
+    /// `GEN_PER_DEPTH` features after the paper-shaped group.
+    const GEN_DEPTHS: [usize; 3] = [3, 4, 5];
+    /// Generated features per depth bucket.
+    const GEN_PER_DEPTH: usize = 8;
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xbe7c);
-    for depth in [3, 4, 5] {
-        for _ in 0..8 {
+    for depth in GEN_DEPTHS {
+        for _ in 0..GEN_PER_DEPTH {
             features.push(grammar.gen_feature(&mut rng, depth));
         }
     }
@@ -781,17 +791,49 @@ fn cmd_bench_perf(flags: &[String]) -> Result<(), Anyhow> {
         group_stats.push((name, fs.len(), interp_eps, vm_eps, vm_eps / interp_eps));
     }
 
-    // Coarse regression guard (CI smoke): the compiled engine must at least
-    // hold parity with the interpreter on the paper-shaped group. The
-    // measured margin is ~7x, so tripping this means a fast path broke, not
-    // that the runner was noisy.
-    let (name, _, interp_eps, vm_eps, _) = group_stats[0];
-    if vm_eps < interp_eps {
-        return Err(format!(
-            "perf regression: {name} vm {vm_eps:.0} ev/s < interp {interp_eps:.0} ev/s"
-        )
-        .into());
+    // Per-depth breakdown of the generated mix: which grammar depths the
+    // loop-nest planner actually accelerates, and how often programs still
+    // fall back to the frame path.
+    let mut depth_stats = Vec::new();
+    for (bucket, depth) in GEN_DEPTHS.iter().enumerate() {
+        let lo = PAPER_FEATURES + bucket * GEN_PER_DEPTH;
+        let range = lo..lo + GEN_PER_DEPTH;
+        let fs = &features[range.clone()];
+        let ps = &programs[range];
+        let per_pass = (fs.len() * loops.len()) as f64;
+        let (ip, is) = measure(window, || {
+            let mut acc = 0.0;
+            for f in fs {
+                for ir in &loops {
+                    acc += f.eval_with_budget(ir, BENCH_BUDGET).unwrap_or(0.0);
+                }
+            }
+            acc
+        });
+        let interp_eps = ip as f64 * per_pass / is;
+        let (vp, vs) = measure(window, || {
+            let mut acc = 0.0;
+            for p in ps {
+                for arena in &arenas {
+                    acc += p.eval(arena, BENCH_BUDGET).unwrap_or(0.0);
+                }
+            }
+            acc
+        });
+        let vm_eps = vp as f64 * per_pass / vs;
+        depth_stats.push((*depth, vm_eps / interp_eps));
     }
+    let gen_paths: Vec<ProgramPath> = programs[PAPER_FEATURES..]
+        .iter()
+        .map(Program::path)
+        .collect();
+    let count_path = |p: ProgramPath| gen_paths.iter().filter(|&&q| q == p).count();
+    let (n_fast, n_plan, n_frame) = (
+        count_path(ProgramPath::Fast),
+        count_path(ProgramPath::LoopNest),
+        count_path(ProgramPath::Frame),
+    );
+    let frame_pct = 100.0 * n_frame as f64 / gen_paths.len() as f64;
 
     // The pool as the search drives it: warm program + result caches, all
     // features; its baseline is the interpreter over the same full sweep.
@@ -836,6 +878,17 @@ fn cmd_bench_perf(flags: &[String]) -> Result<(), Anyhow> {
              \"vm_evals_per_sec\": {vm_eps:.1},\n    \"vm_speedup\": {speedup:.2}\n  }},\n",
         ));
     }
+    json.push_str("  \"generated_breakdown\": {\n    \"by_depth\": {\n");
+    for (i, (depth, speedup)) in depth_stats.iter().enumerate() {
+        let comma = if i + 1 < depth_stats.len() { "," } else { "" };
+        json.push_str(&format!(
+            "      \"{depth}\": {{ \"features\": {GEN_PER_DEPTH}, \"vm_speedup\": {speedup:.2} }}{comma}\n"
+        ));
+    }
+    json.push_str(&format!(
+        "    }},\n    \"paths\": {{ \"fast\": {n_fast}, \"loop_nest\": {n_plan}, \
+         \"frame\": {n_frame} }},\n    \"frame_fallback_pct\": {frame_pct:.1}\n  }},\n"
+    ));
     json.push_str(&format!(
         "  \"pool_warm\": {{\n    \"features\": {},\n    \
          \"interp_evals_per_sec\": {interp_all_eps:.1},\n    \
@@ -849,12 +902,47 @@ fn cmd_bench_perf(flags: &[String]) -> Result<(), Anyhow> {
             "{name:>20} ({n:>2}): interp {interp_eps:>10.0} ev/s, vm {vm_eps:>10.0} ev/s ({speedup:.1}x)"
         );
     }
+    for (depth, speedup) in &depth_stats {
+        println!(
+            "{:>20} ({GEN_PER_DEPTH:>2}): vm {speedup:.1}x",
+            format!("depth {depth}")
+        );
+    }
+    println!(
+        "{:>20}     : {n_fast} fast / {n_plan} loop-nest / {n_frame} frame ({frame_pct:.1}% fallback)",
+        "generated paths",
+    );
     println!(
         "{:>20} ({:>2}): interp {interp_all_eps:>10.0} ev/s, pool {pool_eps:>10.0} ev/s ({pool_speedup:.1}x)",
         "pool_warm",
         features.len(),
     );
     println!("report written to {out}");
+
+    // Coarse regression guards (CI smoke), checked after the report is on
+    // disk so a failure still leaves the numbers behind for diagnosis. The
+    // compiled engine must at least hold parity with the interpreter on the
+    // paper-shaped group — the measured margin is ~7x, so tripping this
+    // means a fast path broke, not that the runner was noisy. The generated
+    // mix must clear a conservative floor well under the measured speedup,
+    // so the loop-nest planner gap cannot silently reopen.
+    let (name, _, interp_eps, vm_eps, _) = group_stats[0];
+    if vm_eps < interp_eps {
+        return Err(format!(
+            "perf regression: {name} vm {vm_eps:.0} ev/s < interp {interp_eps:.0} ev/s"
+        )
+        .into());
+    }
+    /// Minimum acceptable generated-mix speedup.
+    const GENERATED_SPEEDUP_FLOOR: f64 = 2.5;
+    let (name, _, _, _, gen_speedup) = group_stats[1];
+    if gen_speedup < GENERATED_SPEEDUP_FLOOR {
+        return Err(format!(
+            "perf regression: {name} speedup {gen_speedup:.2}x below the \
+             {GENERATED_SPEEDUP_FLOOR:.1}x floor"
+        )
+        .into());
+    }
     Ok(())
 }
 

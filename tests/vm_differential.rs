@@ -15,8 +15,8 @@ use fegen::core::ir::{IrArena, IrNode};
 use fegen::core::lang::{parse_feature, EvalError, Evaluator, FeatureExpr, Program};
 use fegen::core::search::TrainingExample;
 use fegen::core::{
-    EvalEngine, EvalPool, FaultInjector, FaultKind, FaultPlan, FaultTrigger, FeatureSearch,
-    SearchConfig, SearchError,
+    CancelToken, EvalEngine, EvalPool, FaultInjector, FaultKind, FaultPlan, FaultTrigger,
+    FeatureSearch, SearchConfig, SearchError,
 };
 use fegen::rtl::export::export_loop;
 use fegen::rtl::lower::lower_program;
@@ -173,6 +173,59 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// The amortized columnar sweep is extensionally identical to
+    /// evaluating every cell individually: equal values when all loops
+    /// succeed, and `None` exactly when any per-cell evaluation fails
+    /// (budget exhaustion or a non-finite value).
+    #[test]
+    fn columnar_sweep_matches_per_cell_eval(seed in 0u64..10_000) {
+        let (grammar, irs) = corpus();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc01);
+        let pool = EvalPool::new(irs.iter(), EvalEngine::Compiled);
+        for depth in [3usize, 5] {
+            let f = grammar.gen_feature(&mut rng, depth);
+            for budget in [300, 60_000] {
+                let cells: Result<Vec<f64>, EvalError> =
+                    (0..irs.len()).map(|i| pool.eval(&f, i, budget)).collect();
+                prop_assert_eq!(
+                    pool.column(&f, budget),
+                    cells.ok(),
+                    "column/per-cell divergence on `{}` (budget {})", &f, budget
+                );
+            }
+        }
+    }
+
+    /// An installed but untriggered cancellation token leaves
+    /// `column_cancellable` identical to `column`; once the token flips,
+    /// the cancellable sweep bails out with `None` while the plain sweep
+    /// is deliberately unaffected.
+    #[test]
+    fn cancellation_gates_only_the_cancellable_sweep(seed in 0u64..10_000) {
+        let (grammar, irs) = corpus();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xca7);
+        let mut pool = EvalPool::new(irs.iter(), EvalEngine::Compiled);
+        let token = CancelToken::new();
+        pool.set_cancel(token.clone());
+        let f = grammar.gen_feature(&mut rng, 4);
+        for budget in [300u64, 60_000] {
+            prop_assert_eq!(
+                pool.column_cancellable(&f, budget),
+                pool.column(&f, budget),
+                "uncancelled token perturbed the sweep of `{}`", &f
+            );
+        }
+        token.cancel();
+        prop_assert_eq!(pool.column_cancellable(&f, 60_000), None);
+        let cells: Result<Vec<f64>, EvalError> =
+            (0..irs.len()).map(|i| pool.eval(&f, i, 60_000)).collect();
+        prop_assert_eq!(
+            pool.column(&f, 60_000),
+            cells.ok(),
+            "plain column sweep must ignore cancellation (`{}`)", &f
+        );
     }
 }
 
