@@ -37,7 +37,8 @@ use crate::dataset::{
     DATASET_VERSION,
 };
 use crate::pipeline::{
-    try_compile, CompiledBenchmark, ExperimentConfig, LoopRecord, PipelineError, SuiteData,
+    try_compile, BenchmarkSnapshot, CompiledBenchmark, ExperimentConfig, LoopRecord,
+    PipelineError, SuiteData,
 };
 use fegen_core::{stable_hash, CancelToken, FaultInjector, FaultKind, Telemetry};
 use fegen_rtl::export::export_loop;
@@ -49,8 +50,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// How many noisy runs to draw per (site, factor) cell and when to stop.
@@ -93,6 +94,24 @@ impl SamplingPolicy {
     }
 }
 
+/// How a campaign obtains the ground-truth cycle table of each
+/// `(site, factor)` cell. Both modes are bit-identical by construction
+/// (the fork path is proved against the scratch path in
+/// `tests/campaign_resilience.rs`), so this is pure execution policy —
+/// deliberately *not* part of the dataset fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MeasureMode {
+    /// Fork-once: compile, discover and warm up each benchmark exactly
+    /// once into a [`BenchmarkSnapshot`], then fork every cell off that
+    /// shared state. The fast path, and the default.
+    #[default]
+    Forked,
+    /// Recompile and re-simulate from scratch for every cell — the
+    /// original protocol, kept as the cross-check the fork path is
+    /// validated against (`fegen bench-measure`).
+    Scratch,
+}
+
 /// Execution policy of one campaign run. None of these fields affect the
 /// measured values — they are deliberately *not* part of the dataset
 /// fingerprint.
@@ -111,6 +130,8 @@ pub struct CampaignConfig {
     pub site_deadline: Duration,
     /// Noisy-run sampling policy (part of the dataset identity).
     pub sampling: SamplingPolicy,
+    /// Fork-once or from-scratch measurement (never changes a shard byte).
+    pub measure: MeasureMode,
 }
 
 impl Default for CampaignConfig {
@@ -122,21 +143,45 @@ impl Default for CampaignConfig {
             backoff: Duration::from_millis(50),
             site_deadline: Duration::from_secs(120),
             sampling: SamplingPolicy::default(),
+            measure: MeasureMode::default(),
         }
     }
 }
 
-/// The dataset fingerprint of an experiment + sampling-policy pair (see
-/// [`dataset_fingerprint`]; search/fold settings are excluded because they
-/// never change what is measured — figures with different fold counts
-/// share one dataset).
+/// Content digest of the suite's pre-unroll RTL: every benchmark is
+/// generated and lowered (deterministic and cheap — the simulation, not
+/// the compilation, is the expensive part) and its program digest, or its
+/// compile-error text, is chained into one value. Folding this into the
+/// campaign fingerprint means a dataset records exactly which compile
+/// state produced it — a lowering change that alters any benchmark's RTL
+/// invalidates the dataset even when no configuration struct changed.
+fn suite_rtl_digest(suite: &fegen_suite::SuiteConfig) -> u64 {
+    let mut acc = stable_hash(b"suite-rtl");
+    for b in fegen_suite::generate_suite(suite) {
+        let token = match try_compile(&b) {
+            Ok(cb) => format!("{}={:016x}", b.name, cb.rtl.content_digest()),
+            Err(e) => format!("{}!{e}", b.name),
+        };
+        acc = stable_hash(format!("{acc:016x}|{token}").as_bytes());
+    }
+    acc
+}
+
+/// The dataset fingerprint of an experiment + sampling-policy pair:
+/// [`dataset_fingerprint`] over the configuration, folded with the suite's
+/// pre-unroll RTL [content digest](suite_rtl_digest). Search/fold settings
+/// are excluded because they never change what is measured — figures with
+/// different fold counts share one dataset. [`MeasureMode`] is excluded
+/// because both modes produce bit-identical shards.
 pub fn campaign_fingerprint(experiment: &ExperimentConfig, sampling: &SamplingPolicy) -> u64 {
-    dataset_fingerprint(
+    let config = dataset_fingerprint(
         &experiment.suite,
         &experiment.oracle,
         &sampling.identity(),
         experiment.seed,
-    )
+    );
+    let rtl = suite_rtl_digest(&experiment.suite);
+    stable_hash(format!("{config:016x}|rtl:{rtl:016x}").as_bytes())
 }
 
 /// What one campaign run did.
@@ -158,6 +203,13 @@ pub struct CampaignReport {
     pub retries: usize,
     /// (site, factor) cells whose sampling escalated past `base_runs`.
     pub escalated_cells: usize,
+    /// Benchmark snapshots built (fork-once mode; 0 in scratch mode).
+    pub snapshot_builds: usize,
+    /// (site, factor) cells measured by forking a snapshot.
+    pub forks: u64,
+    /// Forked cells that also reused the snapshot's pre-warmed init state
+    /// instead of re-simulating the workload's init calls.
+    pub init_forks: u64,
 }
 
 /// A typed failure of the campaign driver.
@@ -252,6 +304,11 @@ struct Shared<'a> {
     fatal_stop: AtomicBool,
     fatal: Mutex<Option<DatasetError>>,
     report: Mutex<CampaignReport>,
+    /// Cumulative per-function analyses reused across every snapshot this
+    /// run built (fork-once mode) — feeds the reuse-rate gauge.
+    analyses_reused: AtomicU64,
+    /// Cumulative per-function analyses built from scratch.
+    analyses_built: AtomicU64,
 }
 
 /// Runs (or resumes) a measurement campaign into `store`.
@@ -317,6 +374,8 @@ pub fn run_campaign_with_telemetry(
             total: suite.len(),
             ..CampaignReport::default()
         }),
+        analyses_reused: AtomicU64::new(0),
+        analyses_built: AtomicU64::new(0),
     };
     if workers <= 1 {
         worker(&shared);
@@ -541,6 +600,41 @@ fn emit_quarantine(shared: &Shared<'_>, entry: &QuarantineEntry) {
     shared.telemetry.progress(&format!("quarantined {entry}"));
 }
 
+/// Per-benchmark compile state produced by the setup stage, in either
+/// measurement mode. Both variants answer the same questions (sites,
+/// baseline); they differ only in how a cell's ground truth is obtained.
+enum Prepared {
+    /// From-scratch mode: the compiled benchmark, re-unrolled and re-run
+    /// per cell by [`measure_site`]. Boxed so the enum stays pointer-sized
+    /// either way.
+    Scratch(Box<ScratchState>),
+    /// Fork-once mode: the shared snapshot every cell forks from.
+    Forked(Arc<BenchmarkSnapshot>),
+}
+
+struct ScratchState {
+    cb: CompiledBenchmark,
+    kernel_funcs: Vec<String>,
+    sites: Vec<LoopSite>,
+    baseline: f64,
+}
+
+impl Prepared {
+    fn sites(&self) -> &[LoopSite] {
+        match self {
+            Prepared::Scratch(s) => &s.sites,
+            Prepared::Forked(snap) => &snap.sites,
+        }
+    }
+
+    fn baseline(&self) -> f64 {
+        match self {
+            Prepared::Scratch(s) => s.baseline,
+            Prepared::Forked(snap) => snap.baseline_cycles,
+        }
+    }
+}
+
 /// Measures one benchmark into a shard, quarantining what persistently
 /// fails. Returns `None` only when the campaign was cancelled before the
 /// shard was complete.
@@ -563,24 +657,38 @@ fn measure_benchmark(
 
     // Stage 1: compile + baseline + site discovery (retried as one unit —
     // all deterministic, so retries only matter under injected faults).
-    struct Setup {
-        cb: CompiledBenchmark,
-        kernel_funcs: Vec<String>,
-        sites: Vec<LoopSite>,
-        baseline: f64,
-    }
+    // In fork-once mode this is the *only* compile of the benchmark: every
+    // (site, factor) cell is forked off the snapshot built here.
     let setup = attempt_with_retry(shared, &format!("setup:{}", bench.name), |_poison| {
         let cb = try_compile(bench).map_err(|e| e.to_string())?;
-        let kernel_funcs = kernel_functions(&cb.rtl, &cb.workload);
-        let sites = loop_sites(&cb.rtl, &cb.workload);
-        let baseline = run_workload(&cb.rtl, &cb.workload, &experiment.oracle.sim)
-            .map_err(|e| e.to_string())? as f64;
-        Ok(Setup {
-            cb,
-            kernel_funcs,
-            sites,
-            baseline,
-        })
+        match shared.campaign.measure {
+            MeasureMode::Forked => {
+                let snap = BenchmarkSnapshot::try_from_compiled(cb, &experiment.oracle)
+                    .map_err(|e| e.to_string())?;
+                Ok(Prepared::Forked(Arc::new(snap)))
+            }
+            MeasureMode::Scratch => {
+                let kernel_funcs = kernel_functions(&cb.rtl, &cb.workload);
+                let sites = loop_sites(&cb.rtl, &cb.workload);
+                let baseline = run_workload(&cb.rtl, &cb.workload, &experiment.oracle.sim)
+                    .map_err(|e| {
+                        // Wrapped exactly as the snapshot path wraps it, so
+                        // the quarantine record is byte-identical in both
+                        // modes.
+                        PipelineError::Baseline {
+                            bench: cb.name.clone(),
+                            detail: e.to_string(),
+                        }
+                        .to_string()
+                    })? as f64;
+                Ok(Prepared::Scratch(Box::new(ScratchState {
+                    cb,
+                    kernel_funcs,
+                    sites,
+                    baseline,
+                })))
+            }
+        }
     });
     let setup = match setup {
         Attempted::Ok(s) => s,
@@ -599,12 +707,12 @@ fn measure_benchmark(
             return Some(shard);
         }
     };
-    shard.baseline_cycles = Some(setup.baseline);
+    shard.baseline_cycles = Some(setup.baseline());
 
     // Stage 2: every site, with per-site retry/quarantine. Cancellation is
     // honoured between sites: the shard is abandoned un-written, so resume
     // re-measures the whole benchmark.
-    for site in &setup.sites {
+    for site in setup.sites() {
         if shared.cancel.is_cancelled() || shared.fatal_stop.load(Ordering::SeqCst) {
             return None;
         }
@@ -613,14 +721,7 @@ fn measure_benchmark(
             .telemetry
             .span(&format!("site:{}:{site}", bench.name));
         let measured = attempt_with_retry(shared, &key, |poison| {
-            measure_site_sampled(
-                &setup.cb,
-                &setup.kernel_funcs,
-                site,
-                shared,
-                &bench.name,
-                poison,
-            )
+            measure_site_sampled(&setup, site, shared, &bench.name, poison)
         });
         drop(site_span);
         match measured {
@@ -656,7 +757,7 @@ fn measure_benchmark(
                 attempts: site_quarantines,
                 reason: format!(
                     "{site_quarantines} of {} sites quarantined (threshold {})",
-                    setup.sites.len(),
+                    setup.sites().len(),
                     shared.campaign.quarantine_after
                 ),
             };
@@ -671,7 +772,40 @@ fn measure_benchmark(
             break;
         }
     }
+    if let Prepared::Forked(snap) = &setup {
+        account_snapshot(shared, snap);
+    }
     Some(shard)
+}
+
+/// Folds one completed snapshot's fork accounting into the report, the
+/// telemetry counters and the cumulative reuse-rate gauge. Observational
+/// only — called after the shard's contents are final.
+fn account_snapshot(shared: &Shared<'_>, snap: &BenchmarkSnapshot) {
+    let stats = snap.stats();
+    {
+        let mut report = shared.report.lock().expect("report lock");
+        report.snapshot_builds += 1;
+        report.forks += stats.forks;
+        report.init_forks += stats.init_forks;
+    }
+    shared.telemetry.counter_add("campaign.snapshot_builds", 1);
+    shared.telemetry.counter_add("campaign.forks", stats.forks);
+    shared.telemetry.counter_add("campaign.init_forks", stats.init_forks);
+    let reused = stats.analyses_reused
+        + shared
+            .analyses_reused
+            .fetch_add(stats.analyses_reused, Ordering::SeqCst);
+    let built = stats.analyses_built
+        + shared
+            .analyses_built
+            .fetch_add(stats.analyses_built, Ordering::SeqCst);
+    if reused + built > 0 {
+        shared.telemetry.gauge_set(
+            "campaign.snapshot_reuse_rate",
+            reused as f64 / (reused + built) as f64,
+        );
+    }
 }
 
 /// Measures one site's cycle table through the paper's noisy-measurement
@@ -683,8 +817,7 @@ fn measure_benchmark(
 /// — never by execution order — so the result is bit-identical at any
 /// worker count, attempt number and resume point.
 fn measure_site_sampled(
-    cb: &CompiledBenchmark,
-    kernel_funcs: &[String],
+    prepared: &Prepared,
     site: &LoopSite,
     shared: &Shared<'_>,
     bench_name: &str,
@@ -692,13 +825,19 @@ fn measure_site_sampled(
 ) -> Result<(SiteData, usize), String> {
     let experiment = shared.experiment;
     let policy = &shared.campaign.sampling;
-    let truth = measure_site(
-        &cb.rtl,
-        &cb.workload,
-        kernel_funcs,
-        site,
-        &experiment.oracle,
-    )
+    // Ground truth: both arms return the same `LoopMeasurement` through
+    // the same `OracleError`, so success bytes *and* failure strings are
+    // identical between the modes.
+    let truth = match prepared {
+        Prepared::Scratch(s) => measure_site(
+            &s.cb.rtl,
+            &s.cb.workload,
+            &s.kernel_funcs,
+            site,
+            &experiment.oracle,
+        ),
+        Prepared::Forked(snap) => snap.measure_site(site),
+    }
     .map_err(|e| e.to_string())?;
     let mut cycles = Vec::with_capacity(truth.cycles.len());
     let mut runs = Vec::with_capacity(truth.cycles.len());

@@ -34,12 +34,12 @@ pub mod report;
 
 pub use campaign::{
     campaign_fingerprint, load_suite_data, run_campaign, run_campaign_with_telemetry,
-    CampaignConfig, CampaignError, CampaignReport, SamplingPolicy,
+    CampaignConfig, CampaignError, CampaignReport, MeasureMode, SamplingPolicy,
 };
 pub use dataset::{DatasetError, DatasetStore, QuarantineEntry};
 pub use pipeline::{
-    build_suite_data, try_build_suite_data, ExperimentConfig, LoopRecord, PipelineError,
-    SuiteData,
+    build_suite_data, try_build_suite_data, BenchmarkSnapshot, ExperimentConfig, LoopRecord,
+    PipelineError, SuiteData,
 };
 
 /// Parses the common CLI flags (`--paper`, `--quick`, `--seed N`,

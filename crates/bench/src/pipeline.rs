@@ -14,8 +14,9 @@ use fegen_rtl::lower::lower_program;
 use fegen_rtl::stateml::stateml_features;
 use fegen_rtl::RtlProgram;
 use fegen_sim::oracle::{
-    kernel_functions, measure_site, program_with_factors, run_workload, CallSpec, LoopSite,
-    OracleConfig, Workload,
+    kernel_functions, loop_sites, program_with_factors, relevant_kernel_calls, run_workload,
+    CallSpec, LoopMeasurement, LoopSite, OracleConfig, OracleError, ProgramSnapshot,
+    SnapshotStats, Workload,
 };
 use fegen_sim::{Arg, SimConfig};
 use fegen_suite::{ArgDesc, Benchmark, SuiteConfig};
@@ -175,6 +176,145 @@ pub fn try_compile(b: &Benchmark) -> Result<CompiledBenchmark, PipelineError> {
     })
 }
 
+/// Fork-once compile state for one benchmark: parse → lower → loop
+/// discovery → baseline warmup performed exactly once, plus the shared
+/// [`ProgramSnapshot`] every per-factor measurement forks from.
+///
+/// The pre-unroll RTL is immutable once built; its [`content
+/// digest`](RtlProgram::content_digest) is folded into the campaign
+/// fingerprint so a dataset records exactly which compile state produced
+/// it. [`BenchmarkSnapshot::fork`] measures one `(site, factor)` cell by
+/// cloning only the mutable state of that cell — the site function's
+/// unrolled body and a fresh machine — and is bit-identical to the scratch
+/// path ([`fegen_sim::oracle::measure_site`] on the pre-unroll RTL).
+#[derive(Debug)]
+pub struct BenchmarkSnapshot {
+    /// The compiled benchmark (name, suite, pre-unroll RTL, workload).
+    pub cb: CompiledBenchmark,
+    /// Functions reachable from the workload's kernel calls (sorted).
+    pub kernel_funcs: Vec<String>,
+    /// Loop sites of the kernel functions, in discovery order.
+    pub sites: Vec<LoopSite>,
+    /// Baseline (no unrolling anywhere) total workload cycles.
+    pub baseline_cycles: f64,
+    /// Content digest of the pre-unroll RTL.
+    pub digest: u64,
+    snapshot: ProgramSnapshot,
+    /// Kernel calls reaching each kernel function, precomputed once.
+    relevant: HashMap<String, Vec<CallSpec>>,
+}
+
+impl BenchmarkSnapshot {
+    /// Compiles `b` and builds its fork-once state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors, with the same messages, that the scratch
+    /// pipeline's setup stage (compile → discovery → baseline) raises.
+    pub fn try_build(b: &Benchmark, oracle: &OracleConfig) -> Result<Self, PipelineError> {
+        Self::try_from_compiled(try_compile(b)?, oracle)
+    }
+
+    /// Builds the fork-once state for an already-compiled benchmark.
+    ///
+    /// # Errors
+    ///
+    /// As [`BenchmarkSnapshot::try_build`], minus compilation.
+    pub fn try_from_compiled(
+        cb: CompiledBenchmark,
+        oracle: &OracleConfig,
+    ) -> Result<Self, PipelineError> {
+        let kernel_funcs = kernel_functions(&cb.rtl, &cb.workload);
+        let sites = loop_sites(&cb.rtl, &cb.workload);
+        let baseline_cycles = run_workload(&cb.rtl, &cb.workload, &oracle.sim).map_err(|e| {
+            PipelineError::Baseline {
+                bench: cb.name.clone(),
+                detail: e.to_string(),
+            }
+        })? as f64;
+        let snapshot = ProgramSnapshot::build(&cb.rtl, &kernel_funcs, &cb.workload, oracle)
+            .map_err(|e| PipelineError::Compile {
+                bench: cb.name.clone(),
+                detail: format!("snapshot: {e}"),
+            })?;
+        let relevant = kernel_funcs
+            .iter()
+            .map(|f| (f.clone(), relevant_kernel_calls(&cb.rtl, &cb.workload, f)))
+            .collect();
+        let digest = cb.rtl.content_digest();
+        Ok(BenchmarkSnapshot {
+            cb,
+            kernel_funcs,
+            sites,
+            baseline_cycles,
+            digest,
+            snapshot,
+            relevant,
+        })
+    }
+
+    /// Forks one `(site, factor)` cell off the shared compile state and
+    /// returns the site function's exclusive cycles.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors the scratch path raises for this cell.
+    pub fn fork(&self, site: &LoopSite, factor: usize) -> Result<f64, OracleError> {
+        let relevant = self
+            .relevant
+            .get(&site.func)
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        self.snapshot
+            .fork(site, factor, relevant)
+            .map(|c| c as f64)
+    }
+
+    /// One site's full cycle table over factors `0..=max_factor`, by
+    /// forking each factor.
+    ///
+    /// # Errors
+    ///
+    /// As [`BenchmarkSnapshot::fork`]; the error type matches the scratch
+    /// path's so failure messages (and therefore quarantine records) are
+    /// identical in both modes.
+    pub fn measure_site(&self, site: &LoopSite) -> Result<LoopMeasurement, OracleError> {
+        let max_factor = self.snapshot.config().max_factor;
+        let mut cycles = Vec::with_capacity(max_factor + 1);
+        for factor in 0..=max_factor {
+            cycles.push(self.fork(site, factor)?);
+        }
+        Ok(LoopMeasurement {
+            site: site.clone(),
+            cycles,
+        })
+    }
+
+    /// [`BenchmarkSnapshot::measure_site`] with the error wrapped as a
+    /// [`PipelineError::Measure`] naming the benchmark and site.
+    ///
+    /// # Errors
+    ///
+    /// As [`BenchmarkSnapshot::measure_site`].
+    pub fn try_measure_site(&self, site: &LoopSite) -> Result<LoopMeasurement, PipelineError> {
+        self.measure_site(site).map_err(|e| PipelineError::Measure {
+            bench: self.cb.name.clone(),
+            site: site.to_string(),
+            detail: e.to_string(),
+        })
+    }
+
+    /// Cumulative fork accounting.
+    pub fn stats(&self) -> SnapshotStats {
+        self.snapshot.stats()
+    }
+
+    /// Releases the snapshot, keeping the compiled benchmark.
+    pub fn into_compiled(self) -> CompiledBenchmark {
+        self.cb
+    }
+}
+
 /// One measured loop with everything every method needs.
 #[derive(Debug, Clone)]
 pub struct LoopRecord {
@@ -283,20 +423,14 @@ pub fn try_build_suite_data(config: &ExperimentConfig) -> Result<SuiteData, Pipe
     let mut loops = Vec::new();
     let mut baseline_cycles = Vec::with_capacity(suite.len());
     for (bench_idx, b) in suite.iter().enumerate() {
-        let cb = try_compile(b)?;
-        let kernel_funcs = kernel_functions(&cb.rtl, &cb.workload);
-        for site in fegen_sim::oracle::loop_sites(&cb.rtl, &cb.workload) {
-            let m = measure_site(&cb.rtl, &cb.workload, &kernel_funcs, &site, &config.oracle)
-                .map_err(|e| PipelineError::Measure {
-                    bench: cb.name.clone(),
-                    site: site.to_string(),
-                    detail: e.to_string(),
-                })?;
+        let snap = BenchmarkSnapshot::try_build(b, &config.oracle)?;
+        for site in &snap.sites {
+            let m = snap.try_measure_site(site)?;
             let missing = || PipelineError::MissingSite {
-                bench: cb.name.clone(),
+                bench: snap.cb.name.clone(),
                 site: site.to_string(),
             };
-            let func = cb.rtl.function(&site.func).ok_or_else(missing)?;
+            let func = snap.cb.rtl.function(&site.func).ok_or_else(missing)?;
             let region = func
                 .loops
                 .iter()
@@ -306,20 +440,14 @@ pub fn try_build_suite_data(config: &ExperimentConfig) -> Result<SuiteData, Pipe
                 bench: bench_idx,
                 site: site.clone(),
                 cycles: m.cycles,
-                ir: export_loop(func, region, &cb.rtl.layout),
+                ir: export_loop(func, region, &snap.cb.rtl.layout),
                 gcc_feats: gcc_features(func, region),
                 stateml_feats: stateml_features(func, region),
                 gcc_default_factor: gcc_default_factor(func, region, &config.oracle.gcc),
             });
         }
-        let base = run_workload(&cb.rtl, &cb.workload, &config.oracle.sim).map_err(|e| {
-            PipelineError::Baseline {
-                bench: cb.name.clone(),
-                detail: e.to_string(),
-            }
-        })? as f64;
-        baseline_cycles.push(base);
-        benchmarks.push(cb);
+        baseline_cycles.push(snap.baseline_cycles);
+        benchmarks.push(snap.into_compiled());
     }
     Ok(SuiteData {
         benchmarks,
@@ -414,10 +542,12 @@ impl SuiteData {
 }
 
 /// Builds the motivating-example data (paper Figure 2): the mesa
-/// `SpotExpTable` loop, compiled, measured over all factors, with its
-/// exported IR and hand features — everything the Figure 2/3/4 binaries
-/// need.
-pub fn mesa_record(config: &ExperimentConfig) -> (CompiledBenchmark, LoopRecord) {
+/// `SpotExpTable` loop, compiled once into a [`BenchmarkSnapshot`],
+/// measured over all factors by forking, with its exported IR and hand
+/// features — everything the Figure 2/3/4 binaries need. Returning the
+/// snapshot (the compiled benchmark is `snapshot.cb`) lets callers reuse
+/// the compile state for further measurements instead of recompiling.
+pub fn mesa_record(config: &ExperimentConfig) -> (BenchmarkSnapshot, LoopRecord) {
     match try_mesa_record(config) {
         Ok(r) => r,
         Err(e) => panic!("{e}"),
@@ -427,44 +557,51 @@ pub fn mesa_record(config: &ExperimentConfig) -> (CompiledBenchmark, LoopRecord)
 /// Fallible form of [`mesa_record`].
 pub fn try_mesa_record(
     config: &ExperimentConfig,
-) -> Result<(CompiledBenchmark, LoopRecord), PipelineError> {
+) -> Result<(BenchmarkSnapshot, LoopRecord), PipelineError> {
     let bench = fegen_suite::mesa_example();
-    let cb = try_compile(&bench)?;
-    let kernel_funcs = kernel_functions(&cb.rtl, &cb.workload);
+    let snap = BenchmarkSnapshot::try_build(&bench, &config.oracle)?;
     let site = LoopSite {
         func: "spot_exp".into(),
         loop_id: 0,
     };
-    let m = measure_site(&cb.rtl, &cb.workload, &kernel_funcs, &site, &config.oracle)
-        .map_err(|e| PipelineError::Measure {
-            bench: cb.name.clone(),
-            site: site.to_string(),
-            detail: e.to_string(),
-        })?;
+    let m = snap.try_measure_site(&site)?;
     let missing = || PipelineError::MissingSite {
-        bench: cb.name.clone(),
+        bench: snap.cb.name.clone(),
         site: site.to_string(),
     };
-    let func = cb.rtl.function("spot_exp").ok_or_else(missing)?;
+    let func = snap.cb.rtl.function("spot_exp").ok_or_else(missing)?;
     let region = func.loops.first().ok_or_else(missing)?;
     let record = LoopRecord {
         bench: 0,
         site,
         cycles: m.cycles,
-        ir: export_loop(func, region, &cb.rtl.layout),
+        ir: export_loop(func, region, &snap.cb.rtl.layout),
         gcc_feats: gcc_features(func, region),
         stateml_feats: stateml_features(func, region),
         gcc_default_factor: gcc_default_factor(func, region, &config.oracle.gcc),
     };
-    Ok((cb, record))
+    Ok((snap, record))
 }
 
-/// Arithmetic mean.
+/// Arithmetic mean over the finite entries; `0.0` when none remain.
+///
+/// A non-finite entry is a caller bug (a quarantined, never-measured cell
+/// leaking into an aggregate) — debug builds assert on it, release builds
+/// filter it so one poisoned cell cannot turn a whole figure into NaN.
 pub fn mean(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        return 0.0;
+    debug_assert!(
+        xs.iter().all(|x| x.is_finite()),
+        "non-finite input to mean: {xs:?}"
+    );
+    let (sum, n) = xs
+        .iter()
+        .filter(|x| x.is_finite())
+        .fold((0.0, 0usize), |(s, n), x| (s + x, n + 1));
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
     }
-    xs.iter().sum::<f64>() / xs.len() as f64
 }
 
 #[cfg(test)]
@@ -504,6 +641,70 @@ mod tests {
             // noticeably.
             assert!(o > 0.95, "oracle regressed on benchmark {i}: {o}");
         }
+    }
+
+    #[test]
+    fn snapshot_fork_matches_scratch_measurement() {
+        let config = ExperimentConfig::quick();
+        let suite = fegen_suite::generate_suite(&SuiteConfig::tiny());
+        for b in &suite {
+            let snap = BenchmarkSnapshot::try_build(b, &config.oracle).unwrap();
+            for site in &snap.sites {
+                let scratch = fegen_sim::oracle::measure_site(
+                    &snap.cb.rtl,
+                    &snap.cb.workload,
+                    &snap.kernel_funcs,
+                    site,
+                    &config.oracle,
+                )
+                .unwrap();
+                let forked = snap.measure_site(site).unwrap();
+                assert_eq!(
+                    scratch
+                        .cycles
+                        .iter()
+                        .map(|c| c.to_bits())
+                        .collect::<Vec<_>>(),
+                    forked
+                        .cycles
+                        .iter()
+                        .map(|c| c.to_bits())
+                        .collect::<Vec<_>>(),
+                    "fork diverged from scratch at {}:{site}",
+                    b.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_fork_is_deterministic() {
+        let config = ExperimentConfig::quick();
+        let suite = fegen_suite::generate_suite(&SuiteConfig::tiny());
+        let snap = BenchmarkSnapshot::try_build(&suite[0], &config.oracle).unwrap();
+        let site = snap.sites.first().expect("tiny suite has loops").clone();
+        let a = snap.fork(&site, 7).unwrap();
+        let b = snap.fork(&site, 7).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(snap.stats().forks, 2);
+        assert!(snap.stats().reuse_rate() > 0.0);
+    }
+
+    #[test]
+    fn snapshot_digest_is_content_stable() {
+        let config = ExperimentConfig::quick();
+        let suite = fegen_suite::generate_suite(&SuiteConfig::tiny());
+        let a = BenchmarkSnapshot::try_build(&suite[0], &config.oracle).unwrap();
+        let b = BenchmarkSnapshot::try_build(&suite[0], &config.oracle).unwrap();
+        let c = BenchmarkSnapshot::try_build(&suite[1], &config.oracle).unwrap();
+        assert_eq!(a.digest, b.digest);
+        assert_ne!(a.digest, c.digest);
+    }
+
+    #[test]
+    fn mean_is_total() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
     }
 
     #[test]

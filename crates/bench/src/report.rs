@@ -86,6 +86,13 @@ pub fn campaign_summary(report: &CampaignReport) -> String {
         "sites measured: {} ({} retried attempt(s), {} cell(s) escalated sampling)",
         report.sites_measured, report.retries, report.escalated_cells
     );
+    if report.snapshot_builds > 0 {
+        let _ = writeln!(
+            out,
+            "fork-once: {} snapshot(s) built, {} cell(s) forked ({} reusing pre-warmed init state)",
+            report.snapshot_builds, report.forks, report.init_forks
+        );
+    }
     if !report.remeasured_corrupt.is_empty() {
         let _ = writeln!(
             out,
@@ -158,14 +165,20 @@ mod tests {
             sites_measured: 7,
             retries: 2,
             escalated_cells: 1,
+            snapshot_builds: 2,
+            forks: 112,
+            init_forks: 96,
         };
         let s = campaign_summary(&report);
         assert!(s.contains("2 measured"));
         assert!(s.contains("epic_bench"));
         assert!(s.contains("adpcm_encode:kernel0#1"));
         assert!(s.contains("3 attempt(s)"));
+        assert!(s.contains("2 snapshot(s) built"));
+        assert!(s.contains("112 cell(s) forked"));
         let clean = campaign_summary(&CampaignReport::default());
         assert!(clean.contains("quarantine: empty"));
+        assert!(!clean.contains("fork-once"), "scratch runs stay silent");
     }
 
     #[test]

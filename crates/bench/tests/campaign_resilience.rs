@@ -8,11 +8,14 @@
 //! - a persistently failing site (or benchmark) is quarantined and the
 //!   campaign still completes, naming it in the report;
 //! - transient faults are retried away without changing the measured
-//!   values.
+//!   values;
+//! - the fork-once measurement path produces shards byte-identical to the
+//!   recompile-per-cell scratch path, at any worker count and across any
+//!   kill/resume point (property-tested).
 
 use fegen_bench::campaign::{
     campaign_fingerprint, load_suite_data, run_campaign, CampaignConfig, CampaignError,
-    CampaignReport, SamplingPolicy,
+    CampaignReport, MeasureMode, SamplingPolicy,
 };
 use fegen_bench::dataset::DatasetStore;
 use fegen_bench::pipeline::{try_compile, ExperimentConfig};
@@ -29,7 +32,7 @@ fn tiny_experiment() -> ExperimentConfig {
     config
 }
 
-fn tiny_campaign(jobs: usize) -> CampaignConfig {
+fn tiny_campaign_mode(jobs: usize, measure: MeasureMode) -> CampaignConfig {
     CampaignConfig {
         jobs,
         retry: 2,
@@ -42,7 +45,12 @@ fn tiny_campaign(jobs: usize) -> CampaignConfig {
             max_runs: 16,
             target_log_iqr: 0.1,
         },
+        measure,
     }
+}
+
+fn tiny_campaign(jobs: usize) -> CampaignConfig {
+    tiny_campaign_mode(jobs, MeasureMode::default())
 }
 
 fn temp_dir(tag: &str) -> PathBuf {
@@ -420,4 +428,103 @@ fn transient_nan_fault_is_retried_without_changing_the_data() {
     );
     let _ = std::fs::remove_dir_all(&ref_dir);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Shard bytes of one uninterrupted scratch-mode (recompile-per-cell) run
+/// of the tiny suite — the ground truth the fork-once path must reproduce
+/// bit-for-bit. Computed once and shared by every fork-vs-scratch test.
+fn scratch_reference(experiment: &ExperimentConfig) -> &'static [Vec<u8>] {
+    static REFERENCE: std::sync::OnceLock<Vec<Vec<u8>>> = std::sync::OnceLock::new();
+    REFERENCE.get_or_init(|| {
+        let names = bench_names(experiment);
+        let dir = temp_dir("scratch-ref");
+        let store = open_store(&dir, experiment, 1);
+        run_campaign(
+            experiment,
+            &tiny_campaign_mode(1, MeasureMode::Scratch),
+            &store,
+            None,
+            &CancelToken::new(),
+        )
+        .expect("scratch campaign completes");
+        let bytes = shard_bytes(&store, &names);
+        let _ = std::fs::remove_dir_all(&dir);
+        bytes
+    })
+}
+
+#[test]
+fn forked_campaign_is_byte_identical_to_scratch() {
+    let experiment = tiny_experiment();
+    let names = bench_names(&experiment);
+    let reference = scratch_reference(&experiment);
+    for jobs in [1usize, 3] {
+        let dir = temp_dir(&format!("forked-{jobs}"));
+        let store = open_store(&dir, &experiment, jobs);
+        let report = run_campaign(
+            &experiment,
+            &tiny_campaign_mode(jobs, MeasureMode::Forked),
+            &store,
+            None,
+            &CancelToken::new(),
+        )
+        .expect("forked campaign completes");
+        assert_eq!(report.snapshot_builds, 3, "one snapshot per benchmark");
+        assert!(report.forks > 0, "cells were forked, not recompiled");
+        assert_eq!(
+            shard_bytes(&store, &names),
+            reference,
+            "forked shards diverged from scratch at jobs={jobs}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig { cases: 6 })]
+
+    /// The fork-once path is byte-identical to the scratch path under any
+    /// worker count, kill point and resume worker count: a forked campaign
+    /// cancelled while setting up benchmark `kill_idx`, then resumed with
+    /// a different number of workers, yields the scratch reference bytes.
+    #[test]
+    fn fork_scratch_identical_under_kill_and_resume(
+        jobs in 1usize..4,
+        resume_jobs in 1usize..4,
+        kill_idx in 0usize..3,
+    ) {
+        let experiment = tiny_experiment();
+        let names = bench_names(&experiment);
+        let reference = scratch_reference(&experiment);
+        let dir = temp_dir(&format!("prop-{jobs}-{resume_jobs}-{kill_idx}"));
+        let store = open_store(&dir, &experiment, jobs);
+        let injector = FaultInjector::new(vec![FaultPlan {
+            trigger: FaultTrigger::OnKeyPrefix(format!("setup:{}", names[kill_idx])),
+            kind: FaultKind::Cancel,
+        }]);
+        let cancel = injector.cancel_token();
+        let first = run_campaign(
+            &experiment,
+            &tiny_campaign_mode(jobs, MeasureMode::Forked),
+            &store,
+            Some(&injector),
+            &cancel,
+        );
+        proptest::prop_assert!(first.is_err(), "cancellation interrupts the campaign");
+        let report = run_campaign(
+            &experiment,
+            &tiny_campaign_mode(resume_jobs, MeasureMode::Forked),
+            &store,
+            None,
+            &CancelToken::new(),
+        )
+        .expect("resume completes");
+        proptest::prop_assert_eq!(report.measured + report.resumed, 3);
+        proptest::prop_assert_eq!(
+            &shard_bytes(&store, &names)[..],
+            reference,
+            "resumed forked dataset diverged from the scratch reference"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

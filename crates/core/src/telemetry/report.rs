@@ -275,6 +275,26 @@ pub fn render(events: &[ParsedEvent], skipped: usize) -> String {
         }
     }
 
+    // Fork-once campaign accounting: snapshots built, cells forked off
+    // them, and how much shared work the snapshots actually saved.
+    let snapshots = get("campaign.snapshot_builds");
+    if snapshots > 0 {
+        let forks = get("campaign.forks");
+        let init_forks = get("campaign.init_forks");
+        let _ = writeln!(
+            out,
+            "fork-once: {snapshots} snapshot(s) built, {forks} cell(s) forked \
+             ({init_forks} reusing pre-warmed init state)"
+        );
+        if let Some(reuse) = metrics.get("campaign.snapshot_reuse_rate") {
+            let _ = writeln!(
+                out,
+                "  analysis reuse: {:.1}% of per-function analyses served from the snapshot cache",
+                reuse * 100.0
+            );
+        }
+    }
+
     // GP trajectory: generations seen, last best/mean, stagnation.
     let gens: Vec<&ParsedEvent> = events
         .iter()
@@ -435,6 +455,10 @@ mod tests {
         t.counter_add("eval.path_fast", 6);
         t.counter_add("eval.path_plan", 3);
         t.counter_add("eval.path_frame", 1);
+        t.counter_add("campaign.snapshot_builds", 3);
+        t.counter_add("campaign.forks", 320);
+        t.counter_add("campaign.init_forks", 300);
+        t.gauge_set("campaign.snapshot_reuse_rate", 0.75);
         t.emit_metrics("eval_pool");
         t.event("gp_generation")
             .u64("generation", 5)
@@ -456,6 +480,11 @@ mod tests {
             summary.contains("6 fast / 3 loop-nest / 1 frame fallback (10.0% fallback)"),
             "{summary}"
         );
+        assert!(
+            summary.contains("3 snapshot(s) built, 320 cell(s) forked"),
+            "{summary}"
+        );
+        assert!(summary.contains("analysis reuse: 75.0%"), "{summary}");
         assert!(summary.contains("best 0.9000"), "{summary}");
         assert!(summary.contains("checkpoints: 1 write(s)"), "{summary}");
         assert!(

@@ -271,6 +271,35 @@ impl RtlProgram {
     pub fn function_mut(&mut self, name: &str) -> Option<&mut RtlFunction> {
         self.functions.iter_mut().find(|f| f.name == name)
     }
+
+    /// Content digest of the whole lowered program (functions in order,
+    /// bodies, loop regions, memory layout) — FNV-1a over an exhaustive,
+    /// *canonical* rendering: the functions' `Debug` form (every field,
+    /// deterministic — only `Vec`s and scalars) followed by the memory
+    /// layout's allocations sorted by name, so the `HashMap`'s per-instance
+    /// iteration order cannot leak in. Two independently lowered programs
+    /// digest equal iff a simulation could not tell them apart, so the
+    /// digest pins the exact pre-unroll compile state a measurement
+    /// campaign forks from, independent of how it was configured.
+    pub fn content_digest(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut feed = |text: String| {
+            for byte in text.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for f in &self.functions {
+            feed(format!("{f:?}|"));
+        }
+        let mut arrays: Vec<_> = self.layout.iter().collect();
+        arrays.sort_by(|a, b| a.0.cmp(b.0));
+        for (name, info) in arrays {
+            feed(format!("{name}={info:?};"));
+        }
+        feed(format!("next={}", self.layout.total_cells()));
+        hash
+    }
 }
 
 #[cfg(test)]
@@ -320,6 +349,45 @@ mod tests {
         let mut l = MemoryLayout::new();
         l.alloc("x", 1, Mode::SI);
         l.alloc("x", 1, Mode::SI);
+    }
+
+    #[test]
+    fn content_digest_tracks_content_not_identity() {
+        let f = RtlFunction {
+            name: "f".into(),
+            params: vec![],
+            reg_modes: vec![Mode::SI],
+            insns: vec![],
+            loops: vec![],
+            ret_mode: None,
+            next_label: 0,
+            next_uid: 0,
+        };
+        let p1 = RtlProgram {
+            functions: vec![f.clone()],
+            layout: MemoryLayout::new(),
+        };
+        let p2 = p1.clone();
+        assert_eq!(p1.content_digest(), p2.content_digest());
+        let mut p3 = p1.clone();
+        p3.functions[0].reg_modes.push(Mode::DF);
+        assert_ne!(p1.content_digest(), p3.content_digest());
+        let mut p4 = p1;
+        p4.functions.push(f);
+        assert_ne!(p2.content_digest(), p4.content_digest());
+        // Independently built layouts must digest equal: each HashMap has
+        // its own iteration order, which the canonical rendering hides.
+        let build = || {
+            let mut layout = MemoryLayout::new();
+            for name in ["a", "b", "c", "d", "e", "g", "h"] {
+                layout.alloc(name, 4, Mode::SI);
+            }
+            RtlProgram {
+                functions: vec![],
+                layout,
+            }
+        };
+        assert_eq!(build().content_digest(), build().content_digest());
     }
 
     #[test]

@@ -19,6 +19,7 @@ use fegen_rtl::{RtlFunction, RtlProgram};
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// A runtime value.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -135,19 +136,90 @@ impl Default for SimConfig {
 const LINE_BYTES: usize = 64;
 const INSN_BYTES: u64 = 4;
 
-/// Prepared per-function execution image.
+/// The content-derived part of a function's execution image: CFG-shaped
+/// lookup tables and static block costs. Depends only on the function body
+/// and the cost model — never on the function's position in a program — so
+/// one analysis can be shared (via [`Arc`]) by every [`Machine`] simulating
+/// an identical copy of the function. This is the immutable state a
+/// fork-once measurement campaign builds once per benchmark and reuses for
+/// every per-factor variant.
+#[derive(Debug, Clone)]
+pub struct FuncAnalysis {
+    /// Static block costs under the configured pipeline model.
+    pub costs: BlockCosts,
+    /// Block index of every instruction.
+    pub block_of: Vec<usize>,
+    /// Whether the instruction index starts a block.
+    pub is_block_start: Vec<bool>,
+    /// Block span (start, end) per block.
+    pub spans: Vec<(usize, usize)>,
+    /// Instruction index of every label.
+    pub label_at: HashMap<u32, usize>,
+}
+
+impl FuncAnalysis {
+    /// Builds the analysis for one function under `model`.
+    pub fn build(f: &RtlFunction, model: &CostModel) -> FuncAnalysis {
+        let cfg = Cfg::build(f);
+        let costs = block_costs(f, &cfg, model);
+        let n = f.insns.len();
+        let mut block_of = vec![0usize; n];
+        let mut is_block_start = vec![false; n];
+        let mut spans = Vec::with_capacity(cfg.blocks.len());
+        for b in &cfg.blocks {
+            spans.push((b.start, b.end));
+            if b.start < n {
+                is_block_start[b.start] = true;
+            }
+            block_of[b.start..b.end].fill(b.index);
+        }
+        let mut label_at = HashMap::new();
+        for (i, insn) in f.insns.iter().enumerate() {
+            if let InsnBody::Label(l) = insn.body {
+                label_at.insert(l, i);
+            }
+        }
+        FuncAnalysis {
+            costs,
+            block_of,
+            is_block_start,
+            spans,
+            label_at,
+        }
+    }
+}
+
+/// Shareable per-function analyses, keyed by function name. Entries must
+/// have been built from functions *identical in content* to the ones they
+/// are reused for — [`Machine::with_overlay`] looks them up by name and
+/// trusts them.
+pub type AnalysisCache = HashMap<String, Arc<FuncAnalysis>>;
+
+/// Prepared per-function execution image: the shared content analysis plus
+/// the program-position-dependent code address.
 struct FuncImage<'p> {
     func: &'p RtlFunction,
-    costs: BlockCosts,
-    /// Block index of every instruction.
-    block_of: Vec<usize>,
-    /// Whether the instruction index starts a block.
-    is_block_start: Vec<bool>,
-    /// Block span (start, end) per block.
-    spans: Vec<(usize, usize)>,
-    label_at: HashMap<u32, usize>,
+    analysis: Arc<FuncAnalysis>,
     /// Byte address of the function's first instruction.
     code_base: u64,
+}
+
+/// The mutable simulation state of a [`Machine`] at one point in time:
+/// memory image, cache and predictor contents, and cycle/instruction
+/// counters. Exported after a benchmark's `init` calls and imported into
+/// per-factor fork machines, it lets a measurement campaign simulate
+/// initialisation once instead of once per factor — sound only when the
+/// fork would replay init at identical code addresses (the eligibility
+/// test lives in [`crate::oracle::ProgramSnapshot`]).
+#[derive(Debug, Clone)]
+pub struct MachineState {
+    memory: Vec<u64>,
+    dcache: Cache,
+    icache: Cache,
+    bp: BranchPredictor,
+    cycles_by_func: HashMap<String, u64>,
+    total_cycles: u64,
+    insns_executed: u64,
 }
 
 /// The simulated machine: program, memory image, caches, predictor and
@@ -163,6 +235,8 @@ pub struct Machine<'p> {
     cycles_by_func: HashMap<String, u64>,
     total_cycles: u64,
     insns_executed: u64,
+    analyses_reused: usize,
+    analyses_built: usize,
     config: SimConfig,
 }
 
@@ -181,37 +255,57 @@ impl<'p> Machine<'p> {
     /// Prepares a machine for `program` (builds CFGs and static block
     /// costs for every function, zeroes memory).
     pub fn new(program: &'p RtlProgram, config: SimConfig) -> Machine<'p> {
+        Machine::with_overlay(program, None, None, config)
+    }
+
+    /// As [`Machine::new`], with two fork-oriented extensions: `overlay`
+    /// (when `Some`) is substituted — by name — for the program's own copy
+    /// of that function, and `analyses` (when `Some`) supplies prebuilt
+    /// [`FuncAnalysis`] entries reused for every non-overlay function found
+    /// in it. The overlay's analysis is always built fresh.
+    ///
+    /// Code addresses are assigned sequentially over the *substituted*
+    /// function list in program order, exactly as [`Machine::new`] would
+    /// lay out a materialized variant program — so I-cache and
+    /// branch-predictor behaviour is identical to simulating that variant.
+    ///
+    /// Cached entries are trusted: the caller guarantees each was built
+    /// from a function with the same body as the program's, under the same
+    /// cost model.
+    pub fn with_overlay(
+        program: &'p RtlProgram,
+        overlay: Option<&'p RtlFunction>,
+        analyses: Option<&AnalysisCache>,
+        config: SimConfig,
+    ) -> Machine<'p> {
         let mut images = HashMap::new();
         let mut code_base = 0u64;
+        let mut analyses_reused = 0usize;
+        let mut analyses_built = 0usize;
         for f in &program.functions {
-            let cfg = Cfg::build(f);
-            let costs = block_costs(f, &cfg, &config.model);
+            let substituted = overlay.filter(|o| o.name == f.name);
+            let f: &'p RtlFunction = substituted.unwrap_or(f);
+            let cached = if substituted.is_none() {
+                analyses.and_then(|c| c.get(f.name.as_str()))
+            } else {
+                None
+            };
+            let analysis = match cached {
+                Some(a) => {
+                    analyses_reused += 1;
+                    Arc::clone(a)
+                }
+                None => {
+                    analyses_built += 1;
+                    Arc::new(FuncAnalysis::build(f, &config.model))
+                }
+            };
             let n = f.insns.len();
-            let mut block_of = vec![0usize; n];
-            let mut is_block_start = vec![false; n];
-            let mut spans = Vec::with_capacity(cfg.blocks.len());
-            for b in &cfg.blocks {
-                spans.push((b.start, b.end));
-                if b.start < n {
-                    is_block_start[b.start] = true;
-                }
-                block_of[b.start..b.end].fill(b.index);
-            }
-            let mut label_at = HashMap::new();
-            for (i, insn) in f.insns.iter().enumerate() {
-                if let InsnBody::Label(l) = insn.body {
-                    label_at.insert(l, i);
-                }
-            }
             images.insert(
                 f.name.as_str(),
                 Rc::new(FuncImage {
                     func: f,
-                    costs,
-                    block_of,
-                    is_block_start,
-                    spans,
-                    label_at,
+                    analysis,
                     code_base,
                 }),
             );
@@ -228,6 +322,8 @@ impl<'p> Machine<'p> {
             cycles_by_func: HashMap::new(),
             total_cycles: 0,
             insns_executed: 0,
+            analyses_reused,
+            analyses_built,
             config,
         }
     }
@@ -292,6 +388,50 @@ impl<'p> Machine<'p> {
     /// Total instructions executed.
     pub fn insns_executed(&self) -> u64 {
         self.insns_executed
+    }
+
+    /// Snapshots the machine's mutable state (memory, caches, predictor,
+    /// counters) for later [`Machine::import_state`] into a fork.
+    pub fn export_state(&self) -> MachineState {
+        MachineState {
+            memory: self.memory.clone(),
+            dcache: self.dcache.clone(),
+            icache: self.icache.clone(),
+            bp: self.bp.clone(),
+            cycles_by_func: self.cycles_by_func.clone(),
+            total_cycles: self.total_cycles,
+            insns_executed: self.insns_executed,
+        }
+    }
+
+    /// Replaces the machine's mutable state with an exported snapshot.
+    /// The state must come from a machine whose execution up to the export
+    /// point would have been identical on this machine (same memory
+    /// layout, same code addresses for everything executed) — the caller
+    /// proves that; this method just installs the bytes.
+    pub fn import_state(&mut self, state: MachineState) {
+        debug_assert_eq!(
+            state.memory.len(),
+            self.memory.len(),
+            "state from a different memory layout"
+        );
+        self.memory = state.memory;
+        self.dcache = state.dcache;
+        self.icache = state.icache;
+        self.bp = state.bp;
+        self.cycles_by_func = state.cycles_by_func;
+        self.total_cycles = state.total_cycles;
+        self.insns_executed = state.insns_executed;
+    }
+
+    /// Function analyses taken from the cache at construction.
+    pub fn analyses_reused(&self) -> usize {
+        self.analyses_reused
+    }
+
+    /// Function analyses built from scratch at construction.
+    pub fn analyses_built(&self) -> usize {
+        self.analyses_built
     }
 
     /// Branch mispredictions so far.
@@ -392,10 +532,10 @@ impl<'p> Machine<'p> {
 
         'exec: while pc < func.insns.len() {
             // Charge block cost on block entry.
-            if image.is_block_start[pc] {
-                let b = image.block_of[pc];
-                let (bs, be) = image.spans[b];
-                cycles += image.costs.cycles[b] + image.costs.spill[b];
+            if image.analysis.is_block_start[pc] {
+                let b = image.analysis.block_of[pc];
+                let (bs, be) = image.analysis.spans[b];
+                cycles += image.analysis.costs.cycles[b] + image.analysis.costs.spill[b];
                 // Touch the block's I-cache lines.
                 let lo = code_base + bs as u64 * INSN_BYTES;
                 let hi = code_base + be as u64 * INSN_BYTES;
@@ -445,6 +585,7 @@ impl<'p> Machine<'p> {
                     }
                     if taken {
                         pc = *image
+                            .analysis
                             .label_at
                             .get(target)
                             .ok_or(SimError::BadLabel(*target))?;
@@ -454,6 +595,7 @@ impl<'p> Machine<'p> {
                 }
                 InsnBody::Jump { target } => {
                     pc = *image
+                        .analysis
                         .label_at
                         .get(target)
                         .ok_or(SimError::BadLabel(*target))?;

@@ -42,7 +42,8 @@ pub mod interp;
 pub mod measure;
 pub mod oracle;
 
-pub use interp::{Arg, Machine, SimConfig, SimError, Value};
+pub use interp::{AnalysisCache, Arg, FuncAnalysis, Machine, MachineState, SimConfig, SimError, Value};
 pub use oracle::{
-    measure_workload, CallSpec, LoopMeasurement, LoopSite, OracleConfig, Workload,
+    measure_workload, CallSpec, LoopMeasurement, LoopSite, OracleConfig, ProgramSnapshot,
+    SnapshotStats, Workload,
 };

@@ -7,13 +7,15 @@
 //! of cycles required to execute the function containing the loop that had
 //! been altered." (§V)
 
-use crate::interp::{Arg, Machine, SimConfig, SimError};
+use crate::interp::{AnalysisCache, Arg, FuncAnalysis, Machine, MachineState, SimConfig, SimError};
 use fegen_rtl::heuristic::{gcc_default_factors, GccParams};
 use fegen_rtl::node::InsnBody;
 use fegen_rtl::unroll::{apply_factors, UnrollError};
 use fegen_rtl::RtlProgram;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// One call the workload performs.
 #[derive(Debug, Clone, PartialEq)]
@@ -135,8 +137,12 @@ impl From<UnrollError> for OracleError {
     }
 }
 
-/// The functions transitively reachable from the workload's kernel calls.
-pub fn kernel_functions(program: &RtlProgram, workload: &Workload) -> Vec<String> {
+/// The functions transitively reachable from `calls` through the call
+/// graph of `program`.
+fn reachable_functions<'a>(
+    program: &'a RtlProgram,
+    calls: &'a [CallSpec],
+) -> HashSet<&'a str> {
     // Call graph.
     let mut callees: HashMap<&str, Vec<&str>> = HashMap::new();
     for f in &program.functions {
@@ -149,7 +155,7 @@ pub fn kernel_functions(program: &RtlProgram, workload: &Workload) -> Vec<String
         callees.insert(f.name.as_str(), out);
     }
     let mut seen: HashSet<&str> = HashSet::new();
-    let mut stack: Vec<&str> = workload.kernels.iter().map(|c| c.func.as_str()).collect();
+    let mut stack: Vec<&str> = calls.iter().map(|c| c.func.as_str()).collect();
     while let Some(f) = stack.pop() {
         if seen.insert(f) {
             if let Some(cs) = callees.get(f) {
@@ -157,6 +163,12 @@ pub fn kernel_functions(program: &RtlProgram, workload: &Workload) -> Vec<String
             }
         }
     }
+    seen
+}
+
+/// The functions transitively reachable from the workload's kernel calls.
+pub fn kernel_functions(program: &RtlProgram, workload: &Workload) -> Vec<String> {
+    let seen = reachable_functions(program, &workload.kernels);
     let mut out: Vec<String> = program
         .functions
         .iter()
@@ -261,6 +273,28 @@ pub fn run_workload(
     Ok(m.total_cycles())
 }
 
+/// The workload's kernel calls that can reach `func`, in workload order.
+/// Simulating only these (after `init`) reproduces the exclusive cycle
+/// count `func` would accumulate under the full kernel sequence.
+pub fn relevant_kernel_calls(
+    program: &RtlProgram,
+    workload: &Workload,
+    func: &str,
+) -> Vec<CallSpec> {
+    workload
+        .kernels
+        .iter()
+        .filter(|c| {
+            let single = Workload {
+                init: vec![],
+                kernels: vec![(*c).clone()],
+            };
+            kernel_functions(program, &single).iter().any(|f| f == func)
+        })
+        .cloned()
+        .collect()
+}
+
 /// Measures the cycle table of one loop site: one simulation per factor,
 /// re-running `init` each time, recording the containing function's
 /// exclusive cycles.
@@ -276,20 +310,7 @@ pub fn measure_site(
     config: &OracleConfig,
 ) -> Result<LoopMeasurement, OracleError> {
     let mut cycles = Vec::with_capacity(config.max_factor + 1);
-    // Kernel calls that can reach the function under measurement.
-    let relevant: Vec<&CallSpec> = workload
-        .kernels
-        .iter()
-        .filter(|c| {
-            let single = Workload {
-                init: vec![],
-                kernels: vec![(*c).clone()],
-            };
-            kernel_functions(program, &single)
-                .iter()
-                .any(|f| f == &site.func)
-        })
-        .collect();
+    let relevant = relevant_kernel_calls(program, workload, &site.func);
     for factor in 0..=config.max_factor {
         let variant = program_variant(
             program,
@@ -329,6 +350,310 @@ pub fn measure_workload(
         .iter()
         .map(|site| measure_site(program, workload, &kernel_funcs, site, config))
         .collect()
+}
+
+/// Cumulative fork accounting of one [`ProgramSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SnapshotStats {
+    /// Per-factor forks performed.
+    pub forks: u64,
+    /// Forks that imported the shared post-init machine state instead of
+    /// re-simulating the workload's `init` calls.
+    pub init_forks: u64,
+    /// Function analyses served from the snapshot's cache across forks.
+    pub analyses_reused: u64,
+    /// Function analyses rebuilt (the overlay function, once per fork).
+    pub analyses_built: u64,
+}
+
+impl SnapshotStats {
+    /// Fraction of per-fork analyses served from the cache.
+    pub fn reuse_rate(&self) -> f64 {
+        let total = self.analyses_reused + self.analyses_built;
+        if total == 0 {
+            0.0
+        } else {
+            self.analyses_reused as f64 / total as f64
+        }
+    }
+}
+
+/// Immutable compile-and-warmup state shared by every per-factor
+/// measurement of one benchmark: the pre-unroll RTL, the default-unrolled
+/// variant every measurement differs from in exactly one function, the GCC
+/// default factors those variants embed, one [`FuncAnalysis`] per function
+/// of the default variant, and — when provably sound — the machine state
+/// left behind by the workload's `init` calls.
+///
+/// [`ProgramSnapshot::fork`] then measures one `(site, factor)` cell by
+/// re-unrolling only the site's function, simulating it as an overlay on
+/// the shared default variant, and importing the post-init machine state
+/// instead of replaying initialisation — the paper's §V protocol with the
+/// per-factor redundancy (re-clone, re-unroll, re-analysis, re-init of
+/// every other function) forked away. Forks are read-only on the snapshot
+/// (counters aside), so one snapshot behind an [`Arc`] serves concurrent
+/// workers.
+///
+/// Byte-for-byte equivalence with the scratch path ([`measure_site`]) is
+/// load-bearing: default factors are computed from *original* function
+/// bodies (as [`program_variant`] does); function order — and therefore
+/// every code address the I-cache and branch predictor see — is preserved;
+/// unroll failures are re-raised at fork time in the order the scratch
+/// path would first encounter them; and the post-init state is reused only
+/// when every function init executes sits *before* the site's function in
+/// program order, which pins its code addresses (and with them the I-cache
+/// and predictor contents init leaves behind) to the same values in every
+/// variant. Sites failing that test replay init per fork, exactly like the
+/// scratch path.
+#[derive(Debug)]
+pub struct ProgramSnapshot {
+    original: RtlProgram,
+    default_program: RtlProgram,
+    workload: Workload,
+    kernel_funcs: Vec<String>,
+    /// GCC default factors per kernel function (computed on original bodies).
+    default_factors: HashMap<String, HashMap<usize, usize>>,
+    /// Default-unroll errors deferred to fork time, keyed by function.
+    default_errors: HashMap<String, UnrollError>,
+    analyses: AnalysisCache,
+    /// Machine state after the `init` calls, run once on the default
+    /// variant (`None` when init itself fails — forks then replay init and
+    /// surface the failure exactly where the scratch path would).
+    init_state: Option<MachineState>,
+    /// Functions transitively reachable from the `init` calls.
+    init_reachable: HashSet<String>,
+    /// Greatest program-order position among init-reachable functions.
+    max_init_pos: Option<usize>,
+    /// Program-order position of every function.
+    positions: HashMap<String, usize>,
+    config: OracleConfig,
+    forks: AtomicU64,
+    init_forks: AtomicU64,
+    analyses_reused: AtomicU64,
+    analyses_built: AtomicU64,
+}
+
+impl ProgramSnapshot {
+    /// Builds the shared state: one default-factor unroll per kernel
+    /// function, one analysis per function of the resulting program, and
+    /// one simulation of the workload's `init` calls.
+    ///
+    /// Unroll and init failures are recorded, not raised — the scratch
+    /// path only surfaces them when a site is measured, so
+    /// [`ProgramSnapshot::fork`] re-raises them there to keep failure
+    /// behaviour identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a kernel function is missing from `program`.
+    pub fn build(
+        program: &RtlProgram,
+        kernel_funcs: &[String],
+        workload: &Workload,
+        config: &OracleConfig,
+    ) -> Result<ProgramSnapshot, OracleError> {
+        let mut default_program = program.clone();
+        let mut default_factors = HashMap::new();
+        let mut default_errors = HashMap::new();
+        for name in kernel_funcs {
+            let f = default_program
+                .function(name)
+                .ok_or_else(|| OracleError::UnknownFunction(name.clone()))?;
+            let factors = gcc_default_factors(f, &config.gcc);
+            match apply_factors(f, &factors) {
+                Ok(new_f) => {
+                    *default_program.function_mut(name).expect("present") = new_f;
+                    default_factors.insert(name.clone(), factors);
+                }
+                Err(e) => {
+                    default_errors.insert(name.clone(), e);
+                }
+            }
+        }
+        let analyses: AnalysisCache = default_program
+            .functions
+            .iter()
+            .map(|f| {
+                (
+                    f.name.clone(),
+                    Arc::new(FuncAnalysis::build(f, &config.sim.model)),
+                )
+            })
+            .collect();
+        let positions: HashMap<String, usize> = program
+            .functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.clone(), i))
+            .collect();
+        let init_reachable: HashSet<String> = reachable_functions(program, &workload.init)
+            .into_iter()
+            .map(str::to_owned)
+            .collect();
+        let max_init_pos = init_reachable
+            .iter()
+            .filter_map(|f| positions.get(f))
+            .copied()
+            .max();
+        // One init run on the default variant. Sound to reuse for a fork
+        // of `site` iff every init-executed function keeps its content and
+        // code address in that variant (see `init_forkable`).
+        let init_state = (|| {
+            let mut m = Machine::with_overlay(
+                &default_program,
+                None,
+                Some(&analyses),
+                config.sim.clone(),
+            );
+            for call in &workload.init {
+                m.call(&call.func, &call.args).ok()?;
+            }
+            Some(m.export_state())
+        })();
+        Ok(ProgramSnapshot {
+            original: program.clone(),
+            default_program,
+            workload: workload.clone(),
+            kernel_funcs: kernel_funcs.to_vec(),
+            default_factors,
+            default_errors,
+            analyses,
+            init_state,
+            init_reachable,
+            max_init_pos,
+            positions,
+            config: config.clone(),
+            forks: AtomicU64::new(0),
+            init_forks: AtomicU64::new(0),
+            analyses_reused: AtomicU64::new(0),
+            analyses_built: AtomicU64::new(0),
+        })
+    }
+
+    /// The pre-unroll program the snapshot was built from.
+    pub fn original(&self) -> &RtlProgram {
+        &self.original
+    }
+
+    /// The workload the snapshot measures.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// The oracle configuration the snapshot embeds.
+    pub fn config(&self) -> &OracleConfig {
+        &self.config
+    }
+
+    /// Whether forks of `site` may import the shared post-init state:
+    /// requires init never to execute the site's function (its body varies
+    /// per factor) and every init-reachable function to sit before it in
+    /// program order (so the code addresses init touched — and with them
+    /// the I-cache and predictor state it left — are variant-invariant).
+    fn init_forkable(&self, site: &LoopSite) -> bool {
+        if self.init_reachable.contains(&site.func) {
+            return false;
+        }
+        let Some(site_pos) = self.positions.get(&site.func) else {
+            return false;
+        };
+        self.max_init_pos.is_none_or(|m| m < *site_pos)
+    }
+
+    /// Forks one `(site, factor)` cell: re-unrolls only the site's
+    /// function (GCC defaults merged with the override, from the original
+    /// body), seeds a machine with the shared post-init state (or replays
+    /// `init` when that is not provably sound) and simulates the
+    /// `relevant` kernel calls against the shared default variant.
+    /// Returns the site function's exclusive cycles.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors [`measure_site`] would raise for this cell, in
+    /// the same encounter order.
+    pub fn fork(
+        &self,
+        site: &LoopSite,
+        factor: usize,
+        relevant: &[CallSpec],
+    ) -> Result<u64, OracleError> {
+        // Re-raise deferred default-unroll errors in the order the scratch
+        // path's per-function loop would hit them; the site's own function
+        // fails (or not) with the merged factors instead.
+        let mut overlay = None;
+        for name in &self.kernel_funcs {
+            if name == &site.func {
+                let orig = self
+                    .original
+                    .function(name)
+                    .ok_or_else(|| OracleError::UnknownFunction(name.clone()))?;
+                let mut factors = self
+                    .default_factors
+                    .get(name)
+                    .cloned()
+                    .unwrap_or_else(|| gcc_default_factors(orig, &self.config.gcc));
+                factors.insert(site.loop_id, factor);
+                overlay = Some(apply_factors(orig, &factors)?);
+            } else if let Some(e) = self.default_errors.get(name) {
+                return Err(OracleError::Unroll(e.clone()));
+            }
+        }
+        let overlay = overlay.ok_or_else(|| OracleError::UnknownFunction(site.func.clone()))?;
+        let mut m = Machine::with_overlay(
+            &self.default_program,
+            Some(&overlay),
+            Some(&self.analyses),
+            self.config.sim.clone(),
+        );
+        match self.init_state.as_ref().filter(|_| self.init_forkable(site)) {
+            Some(state) => {
+                m.import_state(state.clone());
+                self.init_forks.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                for call in &self.workload.init {
+                    m.call(&call.func, &call.args)?;
+                }
+            }
+        }
+        for call in relevant {
+            m.call(&call.func, &call.args)?;
+        }
+        self.forks.fetch_add(1, Ordering::Relaxed);
+        self.analyses_reused
+            .fetch_add(m.analyses_reused() as u64, Ordering::Relaxed);
+        self.analyses_built
+            .fetch_add(m.analyses_built() as u64, Ordering::Relaxed);
+        Ok(m.cycles_of(&site.func))
+    }
+
+    /// Measures one site's full cycle table by forking every factor —
+    /// the fork-once equivalent of [`measure_site`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ProgramSnapshot::fork`].
+    pub fn measure_site(&self, site: &LoopSite) -> Result<LoopMeasurement, OracleError> {
+        let relevant = relevant_kernel_calls(&self.original, &self.workload, &site.func);
+        let mut cycles = Vec::with_capacity(self.config.max_factor + 1);
+        for factor in 0..=self.config.max_factor {
+            cycles.push(self.fork(site, factor, &relevant)? as f64);
+        }
+        Ok(LoopMeasurement {
+            site: site.clone(),
+            cycles,
+        })
+    }
+
+    /// Cumulative fork accounting (cheap; counters are relaxed atomics).
+    pub fn stats(&self) -> SnapshotStats {
+        SnapshotStats {
+            forks: self.forks.load(Ordering::Relaxed),
+            init_forks: self.init_forks.load(Ordering::Relaxed),
+            analyses_reused: self.analyses_reused.load(Ordering::Relaxed),
+            analyses_built: self.analyses_built.load(Ordering::Relaxed),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -443,6 +768,77 @@ mod tests {
         let (p, w) = setup();
         let total = run_workload(&p, &w, &SimConfig::default()).unwrap();
         assert!(total > 1000, "workload should cost real cycles: {total}");
+    }
+
+    #[test]
+    fn forked_measurement_is_bit_identical_to_scratch() {
+        let (p, w) = setup();
+        let config = OracleConfig::default();
+        let kernel_funcs = kernel_functions(&p, &w);
+        let snapshot = ProgramSnapshot::build(&p, &kernel_funcs, &w, &config).unwrap();
+        for site in loop_sites(&p, &w) {
+            let scratch = measure_site(&p, &w, &kernel_funcs, &site, &config).unwrap();
+            let forked = snapshot.measure_site(&site).unwrap();
+            assert_eq!(
+                scratch.cycles.iter().map(|c| c.to_bits()).collect::<Vec<_>>(),
+                forked.cycles.iter().map(|c| c.to_bits()).collect::<Vec<_>>(),
+                "fork diverged from scratch at {site}"
+            );
+        }
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_counts_reuse() {
+        let (p, w) = setup();
+        let config = OracleConfig::default();
+        let kernel_funcs = kernel_functions(&p, &w);
+        let snapshot = ProgramSnapshot::build(&p, &kernel_funcs, &w, &config).unwrap();
+        let site = LoopSite {
+            func: "reduce".into(),
+            loop_id: 0,
+        };
+        let relevant = relevant_kernel_calls(&p, &w, &site.func);
+        let a = snapshot.fork(&site, 4, &relevant).unwrap();
+        let b = snapshot.fork(&site, 4, &relevant).unwrap();
+        assert_eq!(a, b, "repeated forks must agree");
+        let stats = snapshot.stats();
+        assert_eq!(stats.forks, 2);
+        // Each fork rebuilds exactly one analysis (the overlay) and reuses
+        // the rest of the program's.
+        assert_eq!(stats.analyses_built, 2);
+        assert_eq!(
+            stats.analyses_reused,
+            2 * (p.functions.len() as u64 - 1)
+        );
+        assert!(stats.reuse_rate() > 0.5);
+    }
+
+    #[test]
+    fn snapshot_is_shareable_across_threads() {
+        let (p, w) = setup();
+        let config = OracleConfig::default();
+        let kernel_funcs = kernel_functions(&p, &w);
+        let snapshot = Arc::new(ProgramSnapshot::build(&p, &kernel_funcs, &w, &config).unwrap());
+        let site = LoopSite {
+            func: "scale".into(),
+            loop_id: 0,
+        };
+        let baseline = snapshot.measure_site(&site).unwrap();
+        let results: Vec<LoopMeasurement> = std::thread::scope(|s| {
+            (0..4)
+                .map(|_| {
+                    let snap = Arc::clone(&snapshot);
+                    let site = site.clone();
+                    s.spawn(move || snap.measure_site(&site).unwrap())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for r in results {
+            assert_eq!(r.cycles, baseline.cycles);
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! fegen measure [flags]                        run the measurement campaign into a dataset
 //! fegen report  <dir>                          summarize a telemetry event log
 //! fegen bench-perf [flags]                     measure eval-engine throughput
+//! fegen bench-measure [flags]                  time fork-once vs scratch campaigns
 //! ```
 //!
 //! `fegen measure` flags:
@@ -62,6 +63,20 @@
 //! --out <path>             where to write the JSON report (default BENCH_eval.json)
 //! --quick                  shorter measurement windows (CI smoke mode)
 //! ```
+//!
+//! `fegen bench-measure` flags:
+//!
+//! ```text
+//! --out <path>             where to write the JSON report (default BENCH_measure.json)
+//! --quick                  tiny suite + reduced sampling (CI smoke mode)
+//! --jobs <n>               parallel workers for both campaigns (default 1)
+//! ```
+//!
+//! `bench-measure` runs the same measurement campaign twice — once
+//! recompiling every (site, factor) cell from scratch, once forking each
+//! cell off a per-benchmark snapshot — verifies the shards are
+//! byte-identical, and reports the wall-clock ratio. It fails below a 2x
+//! forked-over-scratch floor, after writing the report.
 
 use fegen::core::ir::IrArena;
 use fegen::core::search::SearchDriver;
@@ -125,6 +140,7 @@ fn run(args: &[String]) -> Result<(), Anyhow> {
         "measure" => cmd_measure(&args[1..]),
         "report" => cmd_report(arg(args, 1)?),
         "bench-perf" => cmd_bench_perf(&args[1..]),
+        "bench-measure" => cmd_bench_measure(&args[1..]),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -150,6 +166,7 @@ fn print_usage() {
     println!("  fegen measure [flags]                        measurement campaign -> dataset");
     println!("  fegen report  <dir>                          summarize a telemetry event log");
     println!("  fegen bench-perf [flags]                     measure eval-engine throughput");
+    println!("  fegen bench-measure [flags]                  time fork-once vs scratch campaigns");
     println!();
     println!("measure flags:");
     println!("  --dataset-dir <dir>      dataset directory (required)");
@@ -175,6 +192,11 @@ fn print_usage() {
     println!("bench-perf flags:");
     println!("  --out <path>             JSON report path (default BENCH_eval.json)");
     println!("  --quick                  shorter measurement windows (CI smoke mode)");
+    println!();
+    println!("bench-measure flags:");
+    println!("  --out <path>             JSON report path (default BENCH_measure.json)");
+    println!("  --quick                  tiny suite + reduced sampling (CI smoke mode)");
+    println!("  --jobs <n>               parallel workers for both campaigns (default 1)");
     println!();
     println!("telemetry flags (search + measure):");
     println!("  --telemetry-dir <dir>    append JSONL events to <dir>/events.jsonl");
@@ -940,6 +962,133 @@ fn cmd_bench_perf(flags: &[String]) -> Result<(), Anyhow> {
         return Err(format!(
             "perf regression: {name} speedup {gen_speedup:.2}x below the \
              {GENERATED_SPEEDUP_FLOOR:.1}x floor"
+        )
+        .into());
+    }
+    Ok(())
+}
+
+fn cmd_bench_measure(flags: &[String]) -> Result<(), Anyhow> {
+    use fegen::bench::{
+        campaign_fingerprint, run_campaign, CampaignConfig, CampaignReport, DatasetStore,
+        ExperimentConfig, MeasureMode, SamplingPolicy,
+    };
+    let mut out = "BENCH_measure.json".to_owned();
+    let mut quick = false;
+    let mut jobs = 1usize;
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => {
+                out = it.next().cloned().ok_or("--out needs a value")?;
+            }
+            "--quick" => quick = true,
+            "--jobs" => {
+                jobs = parse_num(it.next().ok_or("--jobs needs a value")?)?.max(1);
+            }
+            other => return Err(format!("unknown bench-measure flag `{other}`").into()),
+        }
+    }
+
+    let mut config = ExperimentConfig::quick();
+    let mut sampling = SamplingPolicy::default();
+    if quick {
+        // CI smoke mode: the 3-benchmark suite with the resilience tests'
+        // reduced sampling — the protocol is unchanged, only the scale.
+        config.suite = fegen::suite::SuiteConfig::tiny();
+        sampling.base_runs = 8;
+        sampling.max_runs = 16;
+        sampling.target_log_iqr = 0.1;
+    }
+    let fingerprint = campaign_fingerprint(&config, &sampling);
+    let base = std::env::temp_dir().join(format!("fegen-bench-measure-{}", std::process::id()));
+
+    // Both campaigns share one fingerprint (MeasureMode is execution
+    // policy, not dataset identity) and run with identical settings; only
+    // how each cell's ground truth is obtained differs.
+    let run_mode = |mode: MeasureMode, tag: &str| -> Result<(CampaignReport, f64, DatasetStore), Anyhow> {
+        let dir = base.join(tag);
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = DatasetStore::open(&dir, fingerprint)?;
+        let campaign = CampaignConfig {
+            jobs,
+            sampling: sampling.clone(),
+            measure: mode,
+            ..CampaignConfig::default()
+        };
+        let start = std::time::Instant::now();
+        let report = run_campaign(&config, &campaign, &store, None, &fegen::core::CancelToken::new())?;
+        Ok((report, start.elapsed().as_secs_f64(), store))
+    };
+    eprintln!(
+        "bench-measure: {} benchmark(s), {jobs} job(s); scratch campaign...",
+        config.suite.n_benchmarks
+    );
+    let (scratch_report, scratch_secs, scratch_store) = run_mode(MeasureMode::Scratch, "scratch")?;
+    eprintln!("scratch done in {scratch_secs:.2}s; forked campaign...");
+    let (forked_report, forked_secs, forked_store) = run_mode(MeasureMode::Forked, "forked")?;
+    eprintln!("forked done in {forked_secs:.2}s");
+
+    let names: Vec<String> = fegen::suite::generate_suite(&config.suite)
+        .iter()
+        .map(|b| b.name.clone())
+        .collect();
+    let identical = names.iter().all(|n| {
+        let a = std::fs::read(scratch_store.shard_path(n)).ok();
+        let b = std::fs::read(forked_store.shard_path(n)).ok();
+        a.is_some() && a == b
+    });
+    let _ = std::fs::remove_dir_all(&base);
+
+    let cells = forked_report.forks;
+    let speedup = scratch_secs / forked_secs.max(1e-9);
+    let init_reuse = if forked_report.forks > 0 {
+        forked_report.init_forks as f64 / forked_report.forks as f64
+    } else {
+        0.0
+    };
+    let json = format!(
+        "{{\n  \"benchmarks\": {},\n  \"jobs\": {jobs},\n  \"cells\": {cells},\n  \
+         \"scratch\": {{ \"secs\": {scratch_secs:.3}, \"cells_per_sec\": {:.1} }},\n  \
+         \"forked\": {{ \"secs\": {forked_secs:.3}, \"cells_per_sec\": {:.1}, \
+         \"snapshot_builds\": {}, \"forks\": {}, \"init_forks\": {}, \
+         \"init_reuse_rate\": {init_reuse:.3} }},\n  \
+         \"speedup\": {speedup:.2},\n  \"shards_identical\": {identical}\n}}\n",
+        names.len(),
+        cells as f64 / scratch_secs.max(1e-9),
+        cells as f64 / forked_secs.max(1e-9),
+        forked_report.snapshot_builds,
+        forked_report.forks,
+        forked_report.init_forks,
+    );
+    std::fs::write(&out, &json).map_err(|e| format!("writing `{out}`: {e}"))?;
+    println!(
+        "{} benchmark(s), {cells} cell(s): scratch {scratch_secs:.2}s, forked {forked_secs:.2}s \
+         ({speedup:.2}x), init-state reuse {:.1}%, shards identical: {identical}",
+        names.len(),
+        init_reuse * 100.0
+    );
+    println!("report written to {out}");
+
+    // Guards run after the report is on disk so a failure still leaves the
+    // numbers behind for diagnosis. Bit-identity is non-negotiable; the 2x
+    // wall-clock floor is conservative against the ~15x measured margin.
+    if !identical {
+        return Err("fork-once shards diverged from the scratch campaign's".into());
+    }
+    if scratch_report.sites_measured != forked_report.sites_measured {
+        return Err(format!(
+            "site counts diverged: scratch {} vs forked {}",
+            scratch_report.sites_measured, forked_report.sites_measured
+        )
+        .into());
+    }
+    /// Minimum acceptable forked-over-scratch wall-clock ratio.
+    const FORK_SPEEDUP_FLOOR: f64 = 2.0;
+    if speedup < FORK_SPEEDUP_FLOOR {
+        return Err(format!(
+            "perf regression: fork-once speedup {speedup:.2}x below the \
+             {FORK_SPEEDUP_FLOOR:.1}x floor"
         )
         .into());
     }

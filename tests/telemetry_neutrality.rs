@@ -197,6 +197,7 @@ fn tiny_campaign(jobs: usize) -> CampaignConfig {
             target_log_iqr: 0.1,
             ..SamplingPolicy::default()
         },
+        measure: fegen::bench::MeasureMode::default(),
     }
 }
 
