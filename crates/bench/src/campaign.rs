@@ -525,13 +525,19 @@ fn attempt_with_retry<T>(
                 shared.cancel.cancel();
                 None
             }
-            // Island-supervision kinds only mean something to the GP
-            // island coordinator; campaign stages ignore them.
+            // Island-supervision and worker-transport kinds only mean
+            // something to the GP island runtimes; campaign stages ignore
+            // them.
             Some(
                 FaultKind::CorruptWrite
                 | FaultKind::IslandKill
                 | FaultKind::IslandStall(_)
-                | FaultKind::SlowHeartbeat(_),
+                | FaultKind::SlowHeartbeat(_)
+                | FaultKind::TornFrame
+                | FaultKind::DuplicateFrame
+                | FaultKind::StallConn(_)
+                | FaultKind::KillWorker
+                | FaultKind::SlowHandshake(_),
             )
             | None => None,
         };

@@ -101,6 +101,34 @@ pub enum FaultKind {
     /// missed heartbeat; the step itself proceeds normally. Benign on the
     /// fitness path.
     SlowHeartbeat(u64),
+    /// Truncate the next frame the supervisor sends to a process-level
+    /// worker mid-header/mid-payload (a torn write). The worker rejects
+    /// the torn frame with a typed error and exits; the supervisor sees
+    /// the connection close, discards the attempt and respawns from the
+    /// last committed round. Keys look like
+    /// `worker:<id>:round<r>#a<attempt>`. Benign on the fitness path.
+    TornFrame,
+    /// Send the next supervisor frame twice with the same sequence number.
+    /// The receiver's dedup window drops the replay, so this fault is
+    /// *proven* neutral: the run's bytes cannot change. Benign on the
+    /// fitness path.
+    DuplicateFrame,
+    /// Stall the supervisor's connection to a worker for the given number
+    /// of milliseconds before the attempt proceeds. Wall-clock only: the
+    /// heartbeat monitor may report the worker late, but the step results
+    /// are unchanged. Benign on the fitness path.
+    StallConn(u64),
+    /// Kill the process-level worker owning the keyed attempt before it is
+    /// used: the child is terminated (or the loopback channel dropped),
+    /// the attempt is discarded, and the supervisor respawns the worker
+    /// from the last committed round with bounded backoff — freezing the
+    /// worker's islands once the reconnect window is exhausted. Benign on
+    /// the fitness path.
+    KillWorker,
+    /// Delay the supervisor→worker handshake by the given number of
+    /// milliseconds (a slow worker start). Wall-clock only. Benign on the
+    /// fitness path.
+    SlowHandshake(u64),
 }
 
 /// When a plan fires.
@@ -202,19 +230,43 @@ impl FaultInjector {
         let call = self.calls.fetch_add(1, Ordering::SeqCst) + 1;
         let hash = fnv1a(key.as_bytes());
         for plan in &self.plans {
-            let fires = match &plan.trigger {
-                FaultTrigger::OnCall(n) => call == *n,
-                FaultTrigger::OnMatch { modulus, residue } => {
-                    *modulus > 0 && hash % *modulus == *residue % *modulus
-                }
-                FaultTrigger::OnKeyPrefix(prefix) => key.starts_with(prefix.as_str()),
-            };
-            if fires {
+            if Self::plan_fires(plan, call, hash, key) {
                 self.injected.fetch_add(1, Ordering::SeqCst);
                 return Some(plan.kind);
             }
         }
         None
+    }
+
+    /// Reports one event keyed `key` and returns *every* fault whose plan
+    /// fires, in plan (insertion) order. Unlike [`FaultInjector::fire`],
+    /// overlapping [`FaultTrigger::OnKeyPrefix`] schedules compose: a
+    /// `worker:1:` kill and a `worker:1:round3` stall armed together both
+    /// fire on `worker:1:round3#a1`, kill first — deterministically, in
+    /// the order the plans were inserted. The transport supervisor uses
+    /// this so a single attempt can carry several faults (e.g. a stalled
+    /// connection that is then killed).
+    pub fn fire_all(&self, key: &str) -> Vec<FaultKind> {
+        let call = self.calls.fetch_add(1, Ordering::SeqCst) + 1;
+        let hash = fnv1a(key.as_bytes());
+        let mut fired = Vec::new();
+        for plan in &self.plans {
+            if Self::plan_fires(plan, call, hash, key) {
+                self.injected.fetch_add(1, Ordering::SeqCst);
+                fired.push(plan.kind);
+            }
+        }
+        fired
+    }
+
+    fn plan_fires(plan: &FaultPlan, call: u64, hash: u64, key: &str) -> bool {
+        match &plan.trigger {
+            FaultTrigger::OnCall(n) => call == *n,
+            FaultTrigger::OnMatch { modulus, residue } => {
+                *modulus > 0 && hash % *modulus == *residue % *modulus
+            }
+            FaultTrigger::OnKeyPrefix(prefix) => key.starts_with(prefix.as_str()),
+        }
     }
 }
 
@@ -238,13 +290,18 @@ impl<F: FitnessFn> FitnessFn for InjectedFitness<'_, F> {
                 std::thread::sleep(std::time::Duration::from_millis(ms));
                 self.inner.fitness(expr)
             }
-            // I/O and island-supervision faults have no meaning on the
-            // fitness path; evaluate normally.
+            // I/O, island-supervision and transport faults have no meaning
+            // on the fitness path; evaluate normally.
             Some(
                 FaultKind::CorruptWrite
                 | FaultKind::IslandKill
                 | FaultKind::IslandStall(_)
-                | FaultKind::SlowHeartbeat(_),
+                | FaultKind::SlowHeartbeat(_)
+                | FaultKind::TornFrame
+                | FaultKind::DuplicateFrame
+                | FaultKind::StallConn(_)
+                | FaultKind::KillWorker
+                | FaultKind::SlowHandshake(_),
             )
             | None => self.inner.fitness(expr),
         }
@@ -343,6 +400,47 @@ mod tests {
         assert_eq!(wrapped.fitness(&f), Some(2.0));
         assert_eq!(wrapped.fitness(&f), Some(2.0));
         assert_eq!(inj.injected(), 2);
+    }
+
+    #[test]
+    fn overlapping_prefix_schedules_compose_in_insertion_order() {
+        // Three plans whose prefixes all cover the same key: `fire` keeps
+        // its historical first-match-wins contract, while `fire_all`
+        // returns every match in insertion order so transport schedules
+        // can stack a stall and a kill on one attempt.
+        let inj = FaultInjector::new(vec![
+            FaultPlan {
+                trigger: FaultTrigger::OnKeyPrefix("worker:1:".into()),
+                kind: FaultKind::StallConn(5),
+            },
+            FaultPlan {
+                trigger: FaultTrigger::OnKeyPrefix("worker:1:round3".into()),
+                kind: FaultKind::KillWorker,
+            },
+            FaultPlan {
+                trigger: FaultTrigger::OnKeyPrefix("worker:".into()),
+                kind: FaultKind::TornFrame,
+            },
+        ]);
+        assert_eq!(inj.fire("worker:1:round3#a1"), Some(FaultKind::StallConn(5)));
+        assert_eq!(
+            inj.fire_all("worker:1:round3#a1"),
+            vec![
+                FaultKind::StallConn(5),
+                FaultKind::KillWorker,
+                FaultKind::TornFrame
+            ],
+            "every overlapping plan fires, in insertion order"
+        );
+        assert_eq!(
+            inj.fire_all("worker:1:round2#a1"),
+            vec![FaultKind::StallConn(5), FaultKind::TornFrame],
+            "non-matching plans are skipped without disturbing the order"
+        );
+        assert_eq!(inj.fire_all("island:0:g1#a1"), vec![]);
+        // 1 (fire) + 3 + 2 injected events so far.
+        assert_eq!(inj.injected(), 6);
+        assert_eq!(inj.calls(), 4);
     }
 
     #[test]

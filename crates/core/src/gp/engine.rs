@@ -60,8 +60,11 @@ where
     }
 }
 
-/// Configuration of one GP run.
-#[derive(Debug, Clone, PartialEq)]
+/// Configuration of one GP run. Serializable because it travels in the
+/// [`crate::gp::worker_proc::WorkerSpec`] handed to process-level island
+/// workers; the checkpoint identity fingerprint still hashes the `Debug`
+/// form, so the derive changes no existing bytes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GpConfig {
     /// Number of individuals per generation.
     pub population: usize,

@@ -61,7 +61,7 @@ use std::time::{Duration, Instant};
 /// worker thread count deliberately lives elsewhere
 /// ([`crate::search::SearchDriver::workers`]): it is an execution knob
 /// that must not change results.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IslandTopology {
     /// Number of island populations (1 = the classic single-population
     /// search; the island coordinator is bypassed entirely).
@@ -699,39 +699,7 @@ impl<'a, 'g> IslandCoordinator<'a, 'g> {
     /// last population slot of island `(i + 1) % n`. Frozen and converged
     /// islands send but do not receive.
     fn migrate(&self, state: &mut IslandsState) {
-        let n = state.islands.len();
-        if n < 2 {
-            return;
-        }
-        let donors: Vec<Option<Evaluated>> =
-            state.islands.iter().map(|i| i.gp.best.clone()).collect();
-        for (from, donor) in donors.iter().enumerate() {
-            let Some(best) = donor else { continue };
-            let to = (from + 1) % n;
-            if state.islands[to].status != IslandStatus::Active {
-                continue;
-            }
-            let population = &mut state.islands[to].gp.population;
-            let Some(slot) = population.len().checked_sub(1) else {
-                continue;
-            };
-            population[slot] = best.expr.clone();
-            state.ledger.push(MigrationRecord {
-                round: state.round,
-                from,
-                to,
-                feature: best.expr.to_string(),
-                quality: best.quality,
-            });
-            self.telemetry
-                .event("island_migration")
-                .u64("round", state.round as u64)
-                .u64("from", from as u64)
-                .u64("to", to as u64)
-                .f64("quality", best.quality)
-                .emit();
-            self.telemetry.counter_add("island.migrations", 1);
-        }
+        migrate_ring(state, &self.telemetry);
     }
 
     /// Merges the islands into one [`GpRun`]: best individual across all
@@ -739,32 +707,89 @@ impl<'a, 'g> IslandCoordinator<'a, 'g> {
     /// islands included), summed counters. Emits one `island_done` event
     /// per island so the report can name the slowest.
     pub fn merge(&self, state: &IslandsState) -> GpRun {
-        let parsimony = self.engine.config().parsimony;
-        let mut best: Option<Evaluated> = None;
-        for island in &state.islands {
-            self.telemetry
-                .event("island_done")
-                .u64("island", island.id as u64)
-                .str("status", island.status.as_str())
-                .u64("generations", island.gp.generations as u64)
-                .u64("restarts", island.restarts as u64)
-                .u64("step_us", self.step_us[island.id])
-                .emit();
-            if let Some(candidate) = &island.gp.best {
-                if best
-                    .as_ref()
-                    .is_none_or(|b| candidate.better_than_with(b, parsimony))
-                {
-                    best = Some(candidate.clone());
-                }
+        merge_islands(
+            state,
+            self.engine.config().parsimony,
+            &self.step_us,
+            &self.telemetry,
+        )
+    }
+}
+
+/// The shared migration policy: island `i` clones its best into the last
+/// population slot of island `(i + 1) % n` (a deterministic ring), every
+/// exchange recorded in the digest-sealed ledger. Frozen and converged
+/// islands send but do not receive. Used by both the thread-level
+/// [`IslandCoordinator`] and the process-level
+/// [`super::worker_proc::ProcSupervisor`] so the two modes cannot drift.
+pub(crate) fn migrate_ring(state: &mut IslandsState, telemetry: &Telemetry) {
+    let n = state.islands.len();
+    if n < 2 {
+        return;
+    }
+    let donors: Vec<Option<Evaluated>> = state.islands.iter().map(|i| i.gp.best.clone()).collect();
+    for (from, donor) in donors.iter().enumerate() {
+        let Some(best) = donor else { continue };
+        let to = (from + 1) % n;
+        if state.islands[to].status != IslandStatus::Active {
+            continue;
+        }
+        let population = &mut state.islands[to].gp.population;
+        let Some(slot) = population.len().checked_sub(1) else {
+            continue;
+        };
+        population[slot] = best.expr.clone();
+        state.ledger.push(MigrationRecord {
+            round: state.round,
+            from,
+            to,
+            feature: best.expr.to_string(),
+            quality: best.quality,
+        });
+        telemetry
+            .event("island_migration")
+            .u64("round", state.round as u64)
+            .u64("from", from as u64)
+            .u64("to", to as u64)
+            .f64("quality", best.quality)
+            .emit();
+        telemetry.counter_add("island.migrations", 1);
+    }
+}
+
+/// The shared merge policy: best individual across all islands
+/// (parsimony-aware, ties to the lowest island id — frozen islands
+/// included), summed counters, one `island_done` event per island.
+pub(crate) fn merge_islands(
+    state: &IslandsState,
+    parsimony: bool,
+    step_us: &[u64],
+    telemetry: &Telemetry,
+) -> GpRun {
+    let mut best: Option<Evaluated> = None;
+    for island in &state.islands {
+        telemetry
+            .event("island_done")
+            .u64("island", island.id as u64)
+            .str("status", island.status.as_str())
+            .u64("generations", island.gp.generations as u64)
+            .u64("restarts", island.restarts as u64)
+            .u64("step_us", step_us.get(island.id).copied().unwrap_or(0))
+            .emit();
+        if let Some(candidate) = &island.gp.best {
+            if best
+                .as_ref()
+                .is_none_or(|b| candidate.better_than_with(b, parsimony))
+            {
+                best = Some(candidate.clone());
             }
         }
-        GpRun {
-            best,
-            generations: state.generations(),
-            evaluations: state.islands.iter().map(|i| i.gp.evaluations).sum(),
-            panics: state.islands.iter().map(|i| i.gp.panics).sum(),
-        }
+    }
+    GpRun {
+        best,
+        generations: state.generations(),
+        evaluations: state.islands.iter().map(|i| i.gp.evaluations).sum(),
+        panics: state.islands.iter().map(|i| i.gp.panics).sum(),
     }
 }
 

@@ -17,9 +17,18 @@
 //!   backoff and freeze-on-repeated-failure — byte-identical results for
 //!   a given (seed, topology) at any worker count.
 
+//!
+//! - [`transport`] and [`worker_proc`] move the islands across a process
+//!   boundary: a length-prefixed, digest-sealed frame protocol and a
+//!   supervisor/worker runtime with reconnect, respawn and
+//!   freeze-but-merge degradation — still byte-identical to the
+//!   in-process coordinator.
+
 pub mod engine;
 pub mod island;
 pub mod ops;
+pub mod transport;
+pub mod worker_proc;
 
 pub use engine::{Evaluated, FitnessFn, GenStats, GpConfig, GpEngine, GpRun};
 pub use island::{
@@ -27,3 +36,7 @@ pub use island::{
     MigrationRecord, RoundStatus,
 };
 pub use ops::{crossover, mutate};
+pub use transport::{FrameTransport, LoopbackTransport, StreamTransport, TransportError};
+pub use worker_proc::{
+    run_stdio_worker, ChannelKind, ProcSupervisor, WorkerError, WorkerLauncher, WorkerSpec,
+};

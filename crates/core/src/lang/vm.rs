@@ -1961,7 +1961,10 @@ impl Program {
 }
 
 /// Which engine an [`EvalPool`] (and the search built on it) uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// Serializable so a process-level island worker can be told which engine
+/// to rebuild (both engines are bit-identical, so this is a speed knob,
+/// not a correctness one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub enum EvalEngine {
     /// The compiled bytecode VM over arena-flattened loops (default).
     #[default]

@@ -81,6 +81,8 @@ pub use checkpoint::{SearchCheckpoint, CHECKPOINT_FILE, CHECKPOINT_VERSION};
 pub use error::{CheckpointError, SearchError};
 pub use faults::{stable_hash, CancelToken, FaultInjector, FaultKind, FaultPlan, FaultTrigger};
 pub use gp::island::{IslandStatus, IslandTopology, IslandsSnapshot, MigrationRecord};
+pub use gp::transport::{FrameTransport, TransportError};
+pub use gp::worker_proc::{run_stdio_worker, ChannelKind, WorkerError, WorkerLauncher};
 pub use grammar::Grammar;
 pub use ir::{AttrValue, IrArena, IrNode, Symbol};
 pub use lang::{parse_feature, EvalEngine, EvalPool, FeatureExpr, Program, ProgramPath};

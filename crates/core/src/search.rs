@@ -20,6 +20,7 @@ use crate::gp::engine::{GpSnapshot, GpState, GpStatus};
 use crate::gp::island::{
     IslandCoordinator, IslandTopology, IslandsSnapshot, IslandsState, RoundStatus,
 };
+use crate::gp::worker_proc::{ProcSupervisor, WorkerLauncher, WorkerSpec};
 use crate::gp::{FitnessFn, GpConfig, GpEngine, GpRun};
 use crate::grammar::Grammar;
 use crate::ir::IrNode;
@@ -31,6 +32,7 @@ use fegen_ml::tree::{DecisionTree, Presorted, TreeConfig};
 use fegen_ml::KFold;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 
 /// One training loop: its exported IR and the measured cycle table.
@@ -38,7 +40,10 @@ use std::path::{Path, PathBuf};
 /// `cycles[k]` is the cycle count of the function containing the loop when
 /// the loop is compiled with heuristic value `k` (unroll factor; `k = 0` is
 /// no unrolling).
-#[derive(Debug, Clone, PartialEq)]
+/// Serializable so it can travel in the [`crate::gp::worker_proc::WorkerSpec`]
+/// handed to process-level island workers (the vendored JSON layer
+/// round-trips `f64` exactly, so a worker rebuilds bit-identical cycles).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainingExample {
     /// Exported IR of the loop.
     pub ir: IrNode,
@@ -66,7 +71,13 @@ impl TrainingExample {
 }
 
 /// Configuration of a full feature search.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable because process-level island workers receive it in their
+/// [`crate::gp::worker_proc::WorkerSpec`]; the checkpoint identity
+/// fingerprint still hashes the `Debug` form
+/// ([`checkpoint::config_fingerprint`]), so the derive changes no
+/// existing checkpoint bytes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SearchConfig {
     /// Per-feature GP settings.
     pub gp: GpConfig,
@@ -262,6 +273,8 @@ impl FeatureSearch {
             telemetry: Telemetry::disabled(),
             island_workers: 1,
             heartbeat_deadline_ms: 2_000,
+            proc_workers: 1,
+            proc_launcher: None,
         }
     }
 
@@ -399,8 +412,141 @@ impl FeatureSearch {
         train_idx: &[usize],
         valid_idx: &[usize],
     ) -> f64 {
-        let tree = DecisionTree::train_on(data, presorted, train_idx, &self.config.tree);
-        mean_speedup_at(tables, valid_idx, |i| tree.predict(data.row(i)))
+        model_speedup(data, presorted, tables, train_idx, valid_idx, &self.config.tree)
+    }
+
+    /// Builds the candidate-fitness harness over `examples`: pool, labels,
+    /// cycle tables, internal splits — everything a fitness evaluation
+    /// touches, with no base features yet. Both the in-process driver and
+    /// process-level island workers construct their fitness through this
+    /// one path, which is what makes the two modes byte-identical.
+    pub(crate) fn harness<'e>(
+        &self,
+        examples: &'e [TrainingExample],
+    ) -> Result<FitnessHarness<'e>, SearchError> {
+        let cfg = &self.config;
+        if examples.is_empty() {
+            return Err(SearchError::EmptyTrainingSet);
+        }
+        let Some(n_classes) = examples.iter().map(|e| e.cycles.len()).max() else {
+            return Err(SearchError::EmptyTrainingSet);
+        };
+        if n_classes == 0 {
+            return Err(SearchError::InvalidConfig {
+                detail: "training examples must have non-empty cycle tables".into(),
+            });
+        }
+        Ok(FitnessHarness {
+            pool: self.pool(examples),
+            labels: examples.iter().map(|e| e.best_value()).collect(),
+            tables: examples.iter().map(|e| e.cycles.clone()).collect(),
+            splits: internal_splits(cfg, examples.len()),
+            n_classes,
+            tree: cfg.tree.clone(),
+            budget: cfg.eval_budget_per_example,
+            base_columns: Vec::new(),
+        })
+    }
+}
+
+/// Shared model-quality measure: train the decision tree on `train_idx`
+/// and report the mean speedup of its predictions on `valid_idx`.
+pub(crate) fn model_speedup(
+    data: &Dataset,
+    presorted: &Presorted,
+    tables: &[Vec<f64>],
+    train_idx: &[usize],
+    valid_idx: &[usize],
+    tree: &TreeConfig,
+) -> f64 {
+    let tree = DecisionTree::train_on(data, presorted, train_idx, tree);
+    mean_speedup_at(tables, valid_idx, |i| tree.predict(data.row(i)))
+}
+
+/// Everything one candidate-fitness evaluation needs, prepared once per
+/// search: the evaluation pool, derived labels and cycle tables, the fixed
+/// internal splits and the accumulated base-feature columns. Fitness of a
+/// candidate is a pure deterministic function of this state, so two
+/// harnesses built from the same `(examples, config, base features)` —
+/// whether in the driver's process or a worker process on the other end of
+/// a socket — produce the identical `f64` sequence.
+pub(crate) struct FitnessHarness<'e> {
+    pool: EvalPool<'e>,
+    labels: Vec<usize>,
+    tables: Vec<Vec<f64>>,
+    splits: Vec<(Vec<usize>, Vec<usize>)>,
+    n_classes: usize,
+    tree: TreeConfig,
+    budget: u64,
+    base_columns: Vec<Vec<f64>>,
+}
+
+impl<'e> FitnessHarness<'e> {
+    /// Candidate fitness: evaluate the column, append it to the base
+    /// columns, train/validate on every internal split, average.
+    ///
+    /// The cancellable column may return a spurious `None` once the
+    /// driver's token flips; the GP engine's commit gate then discards the
+    /// whole in-flight generation, so the value can never be memoised.
+    /// Without a token installed (worker processes) the path is identical
+    /// and never cancels.
+    pub(crate) fn fitness(&self, expr: &FeatureExpr) -> Option<f64> {
+        let column = self.pool.column_cancellable(expr, self.budget)?;
+        let Some((data, presorted)) =
+            fitness_model(&self.base_columns, Some(&column), &self.labels, self.n_classes)
+        else {
+            return Some(0.0);
+        };
+        let total: f64 = self
+            .splits
+            .iter()
+            .map(|(train_idx, valid_idx)| {
+                model_speedup(&data, &presorted, &self.tables, train_idx, valid_idx, &self.tree)
+            })
+            .sum();
+        Some(total / self.splits.len() as f64)
+    }
+
+    /// Uncancellable column of `expr` over all examples (base-feature
+    /// derivation; must not depend on cancellation timing).
+    pub(crate) fn column(&self, expr: &FeatureExpr) -> Option<Vec<f64>> {
+        self.pool.column(expr, self.budget)
+    }
+
+    /// Appends an accepted feature's column to the base set.
+    pub(crate) fn push_base_column(&mut self, column: Vec<f64>) {
+        self.base_columns.push(column);
+    }
+
+    /// Routes the driver's cancel token into the pool (see
+    /// [`EvalPool::set_cancel`]).
+    pub(crate) fn set_cancel(&mut self, cancel: CancelToken) {
+        self.pool.set_cancel(cancel);
+    }
+
+    /// The evaluation pool (telemetry, column reuse).
+    pub(crate) fn pool(&self) -> &EvalPool<'e> {
+        &self.pool
+    }
+
+    /// Per-example labels (best heuristic values).
+    pub(crate) fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Per-example cycle tables.
+    pub(crate) fn tables(&self) -> &[Vec<f64>] {
+        &self.tables
+    }
+
+    /// The fixed internal train/validation splits.
+    pub(crate) fn splits(&self) -> &[(Vec<usize>, Vec<usize>)] {
+        &self.splits
+    }
+
+    /// Number of heuristic classes.
+    pub(crate) fn n_classes(&self) -> usize {
+        self.n_classes
     }
 }
 
@@ -484,6 +630,8 @@ pub struct SearchDriver<'a> {
     telemetry: Telemetry,
     island_workers: usize,
     heartbeat_deadline_ms: u64,
+    proc_workers: usize,
+    proc_launcher: Option<WorkerLauncher>,
 }
 
 impl<'a> SearchDriver<'a> {
@@ -543,6 +691,19 @@ impl<'a> SearchDriver<'a> {
         self
     }
 
+    /// Steps islands in separate worker processes (or loopback workers)
+    /// instead of coordinator threads. Like [`SearchDriver::workers`], this
+    /// is an execution knob, not a search parameter: for a given
+    /// [`SearchConfig::topology`] any worker count, any launcher — and the
+    /// in-process thread coordinator itself — produce byte-identical
+    /// results and checkpoints. Ignored for single-island topologies (one
+    /// island has no round structure to distribute; it runs in-process).
+    pub fn process_workers(mut self, workers: usize, launcher: WorkerLauncher) -> Self {
+        self.proc_workers = workers.max(1);
+        self.proc_launcher = Some(launcher);
+        self
+    }
+
     /// Runs the search from scratch.
     pub fn run(&self, examples: &[TrainingExample]) -> Result<SearchOutcome, SearchError> {
         self.run_inner(examples, None)
@@ -576,14 +737,6 @@ impl<'a> SearchDriver<'a> {
         if examples.is_empty() {
             return Err(SearchError::EmptyTrainingSet);
         }
-        let Some(n_classes) = examples.iter().map(|e| e.cycles.len()).max() else {
-            return Err(SearchError::EmptyTrainingSet);
-        };
-        if n_classes == 0 {
-            return Err(SearchError::InvalidConfig {
-                detail: "training examples must have non-empty cycle tables".into(),
-            });
-        }
         if cfg.gp.population == 0 {
             return Err(SearchError::InvalidConfig {
                 detail: "GP population must be positive".into(),
@@ -599,40 +752,41 @@ impl<'a> SearchDriver<'a> {
                 detail: "island migration cadence must be at least one round".into(),
             });
         }
-        let labels: Vec<usize> = examples.iter().map(|e| e.best_value()).collect();
-        let tables: Vec<Vec<f64>> = examples.iter().map(|e| e.cycles.clone()).collect();
-        let splits = internal_splits(cfg, examples.len());
-        // One pool for the whole run: every loop is arena-flattened once and
-        // every candidate feature is compiled once, then executed over all
-        // loops; repeated (feature, loop) evaluations replay from the cache.
-        // The driver's cancel token reaches into the pool so a shutdown
-        // interrupts in-flight fitness columns instead of waiting them out
-        // (only `column_cancellable` consults it; every other column stays
-        // timing-independent).
-        let mut pool = search.pool(examples);
+        // One harness for the whole run: every loop is arena-flattened once
+        // and every candidate feature is compiled once, then executed over
+        // all loops; repeated (feature, loop) evaluations replay from the
+        // cache. The driver's cancel token reaches into the pool so a
+        // shutdown interrupts in-flight fitness columns instead of waiting
+        // them out (only the harness's `fitness` consults it; every other
+        // column stays timing-independent).
+        let mut harness = search.harness(examples)?;
         if let Some(token) = &self.cancel {
-            pool.set_cancel(token.clone());
+            harness.set_cancel(token.clone());
         }
-        let pool = pool;
 
         // Oracle ceiling on the validation loops.
-        let oracle_speedup = splits
+        let oracle_speedup = harness
+            .splits()
             .iter()
             .map(|(_, valid_idx)| {
-                mean_speedup_at(&tables, valid_idx, |i| metrics::oracle_choice(&tables[i]))
+                mean_speedup_at(harness.tables(), valid_idx, |i| {
+                    metrics::oracle_choice(&harness.tables()[i])
+                })
             })
             .sum::<f64>()
-            / splits.len() as f64;
+            / harness.splits().len() as f64;
 
         // Featureless baseline: majority best-factor of each training split.
-        let baseline_speedup = splits
+        let baseline_speedup = harness
+            .splits()
             .iter()
             .map(|(train_idx, valid_idx)| {
-                let majority = majority_label(train_idx, &labels, n_classes);
-                mean_speedup_at(&tables, valid_idx, |_| majority)
+                let majority =
+                    majority_label(train_idx, harness.labels(), harness.n_classes());
+                mean_speedup_at(harness.tables(), valid_idx, |_| majority)
             })
             .sum::<f64>()
-            / splits.len() as f64;
+            / harness.splits().len() as f64;
 
         let fingerprint = checkpoint::config_fingerprint(cfg);
         let digest = checkpoint::examples_digest(examples);
@@ -679,7 +833,6 @@ impl<'a> SearchDriver<'a> {
         // columns, splits and the baseline are deterministic functions of
         // the inputs and are recomputed rather than stored.
         let mut rng;
-        let mut base_columns: Vec<Vec<f64>> = Vec::new();
         let mut features: Vec<FeatureExpr> = Vec::new();
         let mut steps: Vec<SearchStep> = Vec::new();
         let mut best_speedup = baseline_speedup;
@@ -703,7 +856,7 @@ impl<'a> SearchDriver<'a> {
                             detail: format!("unparseable feature `{text}`: {e}"),
                         }
                     })?;
-                    let Some(column) = pool.column(&expr, cfg.eval_budget_per_example) else {
+                    let Some(column) = harness.column(&expr) else {
                         return Err(CheckpointError::StateMismatch {
                             path: path.clone(),
                             detail: format!(
@@ -713,7 +866,7 @@ impl<'a> SearchDriver<'a> {
                         }
                         .into());
                     };
-                    base_columns.push(column);
+                    harness.push_base_column(column);
                     features.push(expr);
                 }
                 for record in &ckpt.steps {
@@ -797,26 +950,7 @@ impl<'a> SearchDriver<'a> {
             && failed < cfg.max_failed_additions
             && total_generations < cfg.max_total_generations
         {
-            let fitness = |expr: &FeatureExpr| -> Option<f64> {
-                // The cancellable column may return a spurious `None` once
-                // the token flips; the GP engine's commit gate then discards
-                // the whole in-flight generation, so the value can never be
-                // memoised. Every other column call in this file stays
-                // uncancellable on purpose.
-                let column = pool.column_cancellable(expr, cfg.eval_budget_per_example)?;
-                let Some((data, presorted)) =
-                    fitness_model(&base_columns, Some(&column), &labels, n_classes)
-                else {
-                    return Some(0.0);
-                };
-                let total: f64 = splits
-                    .iter()
-                    .map(|(train_idx, valid_idx)| {
-                        search.model_speedup(&data, &presorted, &tables, train_idx, valid_idx)
-                    })
-                    .sum();
-                Some(total / splits.len() as f64)
-            };
+            let fitness = |expr: &FeatureExpr| harness.fitness(expr);
 
             let mut gp = cfg.gp.clone();
             // Never exceed the outer generation budget.
@@ -865,7 +999,13 @@ impl<'a> SearchDriver<'a> {
             // `InjectedFitness` and the plain closure are distinct types, so
             // the two arms instantiate the drivers separately instead of
             // erasing to `dyn` (the blanket closure impl forbids it anyway).
+            // The process-worker arm takes no fitness function at all —
+            // workers rebuild the identical harness from the wire spec, and
+            // the injector is consulted supervisor-side at transport keys.
             let run = match (island_state, state, self.injector) {
+                (Some(islands), _, _) if self.proc_launcher.is_some() => {
+                    self.drive_islands_proc(&engine, islands, &progress, examples)
+                }
                 (Some(islands), _, Some(injector)) => {
                     let wrapped = injector.wrap(&fitness);
                     self.drive_islands(&engine, islands, &wrapped, &progress)
@@ -886,7 +1026,7 @@ impl<'a> SearchDriver<'a> {
                     // Publish what the pool did before surfacing the
                     // interruption, so a killed run's log still carries its
                     // cache statistics.
-                    pool.record_telemetry(&self.telemetry);
+                    harness.pool().record_telemetry(&self.telemetry);
                     self.telemetry.emit_metrics("eval_pool");
                     return Err(e);
                 }
@@ -903,10 +1043,10 @@ impl<'a> SearchDriver<'a> {
                     // Re-derive the winning column; a feature that stops
                     // evaluating (flaky evaluator) costs this addition,
                     // not the search.
-                    match pool.column(&best.expr, cfg.eval_budget_per_example) {
+                    match harness.column(&best.expr) {
                         Some(column) => {
                             best_speedup = best.quality;
-                            base_columns.push(column);
+                            harness.push_base_column(column);
                             steps.push(SearchStep {
                                 feature: best.expr.clone(),
                                 speedup: best.quality,
@@ -975,7 +1115,7 @@ impl<'a> SearchDriver<'a> {
             let _ = std::fs::remove_file(path);
         }
 
-        pool.record_telemetry(&self.telemetry);
+        harness.pool().record_telemetry(&self.telemetry);
         self.telemetry.emit_metrics("eval_pool");
         self.telemetry
             .event("search_done")
@@ -1113,6 +1253,87 @@ impl<'a> SearchDriver<'a> {
                 }
             }
         }
+    }
+
+    /// Drives one multi-island GP run with islands stepped by worker
+    /// processes behind the supervisor's frame transport. Structurally the
+    /// twin of [`SearchDriver::drive_islands`]: rounds are barriers,
+    /// checkpoints land only at round boundaries, an interrupted round is
+    /// discarded whole — so the bytes this path writes are identical to the
+    /// thread coordinator's for the same `(seed, topology)`, at any worker
+    /// count and under any injected transport fault schedule.
+    fn drive_islands_proc(
+        &self,
+        engine: &GpEngine<'_>,
+        mut state: IslandsState,
+        progress: &OuterProgress,
+        examples: &[TrainingExample],
+    ) -> Result<GpRun, SearchError> {
+        let search = self.search;
+        let cfg = &search.config;
+        let launcher = self
+            .proc_launcher
+            .clone()
+            .expect("drive_islands_proc requires a launcher");
+        // The spec ships the *effective* GP config — with `max_generations`
+        // already clamped to the remaining outer budget — so the worker's
+        // convergence decisions match the ones this process would make.
+        let mut spec_config = cfg.clone();
+        spec_config.gp = engine.config().clone();
+        let spec = WorkerSpec::new(
+            spec_config,
+            search.engine(),
+            &search.grammar,
+            examples,
+            progress.features.clone(),
+        );
+        let mut supervisor = ProcSupervisor::new(spec, launcher, cfg.topology.clone())
+            .workers(self.proc_workers)
+            .heartbeat_deadline_ms(self.heartbeat_deadline_ms)
+            .cancel(self.cancel.as_ref())
+            .injector(self.injector)
+            .telemetry(&self.telemetry);
+        let mut since_checkpoint = 0usize;
+        // Break with a result instead of returning so the supervisor always
+        // shuts its workers down on the way out (`?` would leave that to
+        // the handles' kill-on-drop backstop).
+        let outcome = loop {
+            if progress.total_generations + state.generations() >= cfg.max_total_generations {
+                break Ok(supervisor.merge(&state));
+            }
+            match supervisor.round(&mut state) {
+                RoundStatus::Done => break Ok(supervisor.merge(&state)),
+                RoundStatus::Interrupted => {
+                    // Nothing from the broken round was committed: the
+                    // state — and therefore the checkpoint — sits at the
+                    // previous round boundary, whatever the worker count
+                    // and wherever the interruption landed.
+                    break self
+                        .write_checkpoint(progress, None, Some(state.snapshot()))
+                        .and_then(|checkpoint| {
+                            Err(SearchError::Interrupted {
+                                checkpoint,
+                                total_generations: progress.total_generations
+                                    + state.generations(),
+                            })
+                        });
+                }
+                RoundStatus::Running => {
+                    since_checkpoint += 1;
+                    if self.checkpoint_dir.is_some() && since_checkpoint >= self.checkpoint_every
+                    {
+                        if let Err(e) =
+                            self.write_checkpoint(progress, None, Some(state.snapshot()))
+                        {
+                            break Err(e);
+                        }
+                        since_checkpoint = 0;
+                    }
+                }
+            }
+        };
+        supervisor.shutdown();
+        outcome
     }
 
     fn write_checkpoint(

@@ -371,6 +371,51 @@ pub fn render(events: &[ParsedEvent], skipped: usize) -> String {
         }
     }
 
+    // Worker resilience: the process-supervisor mirror of the island tally.
+    // Respawns and reconnects are observational (byte-invisible to results);
+    // frozen islands are the only degradation that reaches the merge.
+    if let Some(start) = events.iter().rev().find(|e| e.kind == "workers_start") {
+        let workers = field_u64(&start.fields, "workers").unwrap_or(0);
+        let launcher = field_str(&start.fields, "launcher").unwrap_or("?");
+        let respawns: u64 = events
+            .iter()
+            .filter(|e| e.kind == "worker_respawn")
+            .filter_map(|e| field_u64(&e.fields, "respawns"))
+            .sum();
+        let reconnects: u64 = events
+            .iter()
+            .filter(|e| e.kind == "worker_reconnect")
+            .filter_map(|e| field_u64(&e.fields, "reconnects"))
+            .sum();
+        let frozen: u64 = events
+            .iter()
+            .filter(|e| e.kind == "worker_frozen")
+            .filter_map(|e| field_u64(&e.fields, "islands"))
+            .sum();
+        let missed = events
+            .iter()
+            .filter(|e| e.kind == "worker_heartbeat_missed")
+            .count();
+        let _ = writeln!(
+            out,
+            "worker processes: {workers} worker(s) via {launcher}"
+        );
+        let _ = writeln!(
+            out,
+            "  resilience: {respawns} respawn(s), {reconnects} reconnect(s), \
+             {frozen} frozen island(s), {missed} missed heartbeat(s)"
+        );
+        let _ = writeln!(
+            out,
+            "  frames: {} sent / {} received, {} duplicate(s) dropped, \
+             {} digest/handshake rejection(s)",
+            get("worker.frames_tx"),
+            get("worker.frames_rx"),
+            get("worker.duplicates_dropped"),
+            get("worker.digest_rejections"),
+        );
+    }
+
     // Checkpoint write latency.
     let ckpt: Vec<u64> = events
         .iter()
@@ -556,6 +601,62 @@ mod tests {
             "{summary}"
         );
         assert!(summary.contains("slowest island: 3"), "{summary}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn summarizes_worker_resilience() {
+        let dir = tmp_dir("workers");
+        let t = Telemetry::to_dir(&dir).expect("open");
+        t.event("workers_start")
+            .u64("workers", 2)
+            .str("launcher", "unix-socket")
+            .u64("reconnect_limit", 3)
+            .emit();
+        t.event("worker_respawn")
+            .u64("worker", 0)
+            .u64("round", 2)
+            .u64("respawns", 2)
+            .emit();
+        t.event("worker_reconnect")
+            .u64("worker", 0)
+            .u64("round", 2)
+            .u64("reconnects", 1)
+            .emit();
+        t.event("worker_heartbeat_missed")
+            .u64("worker", 1)
+            .u64("round", 3)
+            .emit();
+        t.event("worker_frozen")
+            .u64("worker", 1)
+            .u64("round", 4)
+            .u64("islands", 2)
+            .emit();
+        t.counter_add("worker.frames_tx", 40);
+        t.counter_add("worker.frames_rx", 38);
+        t.counter_add("worker.duplicates_dropped", 1);
+        t.counter_add("worker.digest_rejections", 1);
+        t.emit_metrics("proc_supervisor");
+        drop(t);
+
+        let summary = summarize_dir(&dir).expect("summarize");
+        assert!(
+            summary.contains("worker processes: 2 worker(s) via unix-socket"),
+            "{summary}"
+        );
+        assert!(
+            summary.contains(
+                "2 respawn(s), 1 reconnect(s), 2 frozen island(s), 1 missed heartbeat(s)"
+            ),
+            "{summary}"
+        );
+        assert!(
+            summary.contains(
+                "frames: 40 sent / 38 received, 1 duplicate(s) dropped, \
+                 1 digest/handshake rejection(s)"
+            ),
+            "{summary}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -43,7 +43,17 @@
 //! --migration-every <n>    rounds between elite migrations (default 5)
 //! --island-restart-limit <n>  crashed step retries before an island is frozen (default 3)
 //! --workers <n>            island worker threads (execution knob; results identical)
+//! --workers-proc <n>       step islands in n worker *processes* (results identical)
+//! --worker-channel <name>  process-worker channel: stdio (default) | unix-socket
 //! ```
+//!
+//! `--workers-proc` supervises separate `fegen island-worker` processes over
+//! a digest-sealed frame protocol; crashed or wedged workers are respawned
+//! from the last committed round and, past the reconnect window, their
+//! islands are frozen and merged. Results and checkpoints stay byte-identical
+//! to the in-process (`--workers`) path. `fegen island-worker` is the hidden
+//! worker entry point — it speaks frames on stdin/stdout and is not meant to
+//! be invoked by hand.
 //!
 //! `fegen search` and `fegen measure` also accept the telemetry flags:
 //!
@@ -137,6 +147,7 @@ fn run(args: &[String]) -> Result<(), Anyhow> {
         ),
         "suite" => cmd_suite(parse_num(arg(args, 1)?)?),
         "search" => cmd_search(arg(args, 1)?, &args[2..]),
+        "island-worker" => cmd_island_worker(),
         "measure" => cmd_measure(&args[1..]),
         "report" => cmd_report(arg(args, 1)?),
         "bench-perf" => cmd_bench_perf(&args[1..]),
@@ -188,6 +199,8 @@ fn print_usage() {
     println!("  --migration-every <n>    rounds between elite migrations (default 5)");
     println!("  --island-restart-limit <n>  crashed retries before freezing an island (default 3)");
     println!("  --workers <n>            island worker threads (results identical for any n)");
+    println!("  --workers-proc <n>       step islands in n worker processes (results identical)");
+    println!("  --worker-channel <name>  process-worker channel: stdio (default) | unix-socket");
     println!();
     println!("bench-perf flags:");
     println!("  --out <path>             JSON report path (default BENCH_eval.json)");
@@ -480,6 +493,14 @@ fn build_telemetry(
     .map_err(|e| format!("opening telemetry sink: {e}").into())
 }
 
+/// Hidden entry point for `--workers-proc`: runs the island-stepping loop
+/// over stdin/stdout frames until the supervisor closes the connection. Any
+/// protocol violation (malformed handshake, version skew, digest mismatch)
+/// is a typed error on stderr and a nonzero exit — never a hang.
+fn cmd_island_worker() -> Result<(), Anyhow> {
+    fegen::core::run_stdio_worker().map_err(|e| format!("island-worker: {e}").into())
+}
+
 fn cmd_report(dir: &str) -> Result<(), Anyhow> {
     let summary = fegen::core::telemetry::report::summarize_dir(std::path::Path::new(dir))
         .map_err(|e| format!("reading telemetry from `{dir}`: {e}"))?;
@@ -501,6 +522,8 @@ fn cmd_search(path: &str, flags: &[String]) -> Result<(), Anyhow> {
     let mut migration_every: Option<usize> = None;
     let mut island_restart_limit: Option<usize> = None;
     let mut workers = 1usize;
+    let mut workers_proc: Option<usize> = None;
+    let mut worker_channel = fegen::core::ChannelKind::Stdio;
     let mut it = flags.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<String, Anyhow> {
@@ -530,6 +553,19 @@ fn cmd_search(path: &str, flags: &[String]) -> Result<(), Anyhow> {
                 island_restart_limit = Some(parse_num(&value("--island-restart-limit")?)?)
             }
             "--workers" => workers = parse_num(&value("--workers")?)?.max(1),
+            "--workers-proc" => workers_proc = Some(parse_num(&value("--workers-proc")?)?.max(1)),
+            "--worker-channel" => {
+                worker_channel = match value("--worker-channel")?.as_str() {
+                    "stdio" => fegen::core::ChannelKind::Stdio,
+                    "unix" | "unix-socket" => fegen::core::ChannelKind::UnixSocket,
+                    other => {
+                        return Err(format!(
+                            "unknown worker channel `{other}` (expected `stdio` or `unix-socket`)"
+                        )
+                        .into())
+                    }
+                };
+            }
             "--telemetry-dir" => telemetry_dir = Some(value("--telemetry-dir")?),
             "--log-json" => log_json = true,
             "--progress" => progress = true,
@@ -578,6 +614,17 @@ fn cmd_search(path: &str, flags: &[String]) -> Result<(), Anyhow> {
     }
     let search = FeatureSearch::from_examples(&examples, config).with_engine(engine);
     let mut driver: SearchDriver = search.driver().workers(workers);
+    if let Some(n) = workers_proc {
+        // Re-invoke this very binary as the worker; the supervisor owns all
+        // robustness policy, so the launcher is just argv + channel.
+        let exe = std::env::current_exe()
+            .map_err(|e| format!("locating the fegen binary for worker spawn: {e}"))?;
+        let launcher = fegen::core::WorkerLauncher::Command {
+            argv: vec![exe.to_string_lossy().into_owned(), "island-worker".into()],
+            channel: worker_channel,
+        };
+        driver = driver.process_workers(n, launcher);
+    }
     if let Some(dir) = &checkpoint_dir {
         driver = driver.checkpoint(dir, checkpoint_every);
     }

@@ -1,0 +1,283 @@
+//! Property tests of the supervisor↔worker frame codec: every frame kind
+//! round-trips exactly, and every corruption a real transport can produce
+//! — truncation, over-length claims, version skew, bit flips — is rejected
+//! with a *typed* [`TransportError`], never a panic and never silently
+//! accepted bytes.
+
+use fegen::core::gp::transport::{
+    decode_frame, encode_frame, TransportError, FRAME_HEADER_LEN, FRAME_MAGIC, MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
+};
+use fegen::core::gp::engine::GpSnapshot;
+use fegen::core::gp::worker_proc::{decode_msg, encode_msg, WireMsg, WorkerSpec};
+use fegen::core::ir::IrNode;
+use fegen::core::search::TrainingExample;
+use fegen::core::{EvalEngine, Grammar, IslandTopology, SearchConfig};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Fixtures: one concrete instance of every message kind.
+// ---------------------------------------------------------------------------
+
+fn tiny_examples() -> Vec<TrainingExample> {
+    (0..4)
+        .map(|i| {
+            let ir = IrNode::build("loop", |l| {
+                l.attr_num("num-iter", 4.0 + i as f64);
+                for _ in 0..=i {
+                    l.child("insn", |x| {
+                        x.attr_enum("mode", "SI");
+                    });
+                }
+            });
+            TrainingExample {
+                ir,
+                // Deliberately awkward floats: the codec must round-trip
+                // them bit-exactly, not just "close enough".
+                cycles: vec![100.0, 90.0 + i as f64 / 3.0, 0.1 + 0.2],
+            }
+        })
+        .collect()
+}
+
+fn tiny_spec() -> WorkerSpec {
+    let examples = tiny_examples();
+    let mut config = SearchConfig::quick();
+    config.seed = 7;
+    config.topology = IslandTopology {
+        islands: 2,
+        migration_every: 1,
+        restart_limit: 1,
+    };
+    let grammar = Grammar::derive(examples.iter().map(|e| &e.ir));
+    WorkerSpec::new(
+        config,
+        EvalEngine::Compiled,
+        &grammar,
+        &examples,
+        vec!["count(//*)".to_owned()],
+    )
+}
+
+/// One message of every wire kind, with a real (non-trivial) island
+/// snapshot inside the `Step`/`StepDone` pair.
+fn all_message_kinds() -> Vec<WireMsg> {
+    let spec = tiny_spec();
+    let island = fegen::core::gp::island::IslandSnapshot {
+        id: 1,
+        status: fegen::core::IslandStatus::Active,
+        restarts: 2,
+        gp: GpSnapshot {
+            population: vec!["count(//*)".to_owned(), "sum(//*, @num-iter)".to_owned()],
+            best: Some(("count(//*)".to_owned(), 1.25)),
+            stagnant: 1,
+            generations: 3,
+            evaluations: 40,
+            panics: 1,
+            panic_generations: 1,
+            degraded: false,
+            memo: vec![
+                ("count(//*)".to_owned(), Some(1.25)),
+                ("sum(//*, @num-iter)".to_owned(), None),
+            ],
+            rng: [1, 2, 3, 4],
+        },
+    };
+    vec![
+        WireMsg::Hello { spec: spec.clone() },
+        WireMsg::HelloAck {
+            spec_digest: spec.digest(),
+        },
+        WireMsg::Step {
+            island: island.clone(),
+        },
+        WireMsg::StepDone {
+            island,
+            converged: true,
+        },
+        WireMsg::WorkerError {
+            detail: "grammar digest mismatch".to_owned(),
+        },
+        WireMsg::Shutdown,
+    ]
+}
+
+/// Every message kind survives message-encode → frame-encode →
+/// frame-decode → message-decode exactly, sequence number included.
+#[test]
+fn every_message_kind_round_trips_through_a_frame() {
+    for (seq, msg) in all_message_kinds().into_iter().enumerate() {
+        let payload = encode_msg(&msg).expect("message encodes");
+        let frame = encode_frame(seq as u64, &payload).expect("frame encodes");
+        let (got_seq, got_payload) = decode_frame(&frame).expect("frame decodes");
+        assert_eq!(got_seq, seq as u64);
+        assert_eq!(got_payload, payload);
+        let got = decode_msg(&got_payload).expect("message decodes");
+        assert_eq!(got, msg, "round-trip must be exact");
+    }
+}
+
+/// The encode side of the over-length guard: a payload past
+/// [`MAX_FRAME_LEN`] is refused before any bytes hit the wire.
+#[test]
+fn oversized_payloads_are_refused_at_encode_time() {
+    let payload = vec![0u8; MAX_FRAME_LEN as usize + 1];
+    match encode_frame(0, &payload) {
+        Err(TransportError::OverLength { .. }) => {}
+        other => panic!("expected OverLength, got {other:?}"),
+    }
+}
+
+/// Garbage that passed the frame digest can still be hostile JSON; the
+/// message decoder must reject it as `Malformed`, never panic.
+#[test]
+fn non_message_payloads_are_rejected_typed() {
+    for payload in [
+        &b""[..],
+        b"{}",
+        b"[1,2,3]",
+        b"{\"NoSuchVariant\":{}}",
+        b"\xff\xfe not utf-8",
+    ] {
+        match decode_msg(payload) {
+            Err(TransportError::Malformed(_)) => {}
+            other => panic!("payload {payload:?}: expected Malformed, got {other:?}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Properties over arbitrary payload bytes and corruptions.
+// ---------------------------------------------------------------------------
+
+/// An arbitrary byte (the vendored proptest drives ranges, not `any`).
+fn byte() -> impl Strategy<Value = u8> {
+    (0u16..256).prop_map(|v| v as u8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any payload round-trips exactly under any sequence number.
+    #[test]
+    fn arbitrary_payloads_round_trip(
+        seq in 0u64..u64::MAX,
+        payload in prop::collection::vec(byte(), 0..512),
+    ) {
+        let frame = encode_frame(seq, &payload).expect("frame encodes");
+        prop_assert_eq!(frame.len(), FRAME_HEADER_LEN + payload.len());
+        let (got_seq, got_payload) = decode_frame(&frame).expect("frame decodes");
+        prop_assert_eq!(got_seq, seq);
+        prop_assert_eq!(got_payload, payload);
+    }
+
+    /// Every possible truncation — mid-header or mid-payload — is a typed
+    /// `TornFrame` naming how many bytes were expected and seen.
+    #[test]
+    fn every_truncation_is_a_typed_torn_frame(
+        seq in 0u64..u64::MAX,
+        payload in prop::collection::vec(byte(), 0..256),
+        cut in 0.0f64..1.0,
+    ) {
+        let frame = encode_frame(seq, &payload).expect("frame encodes");
+        let keep = (frame.len() as f64 * cut) as usize; // always < len
+        match decode_frame(&frame[..keep]) {
+            Err(TransportError::TornFrame { expected, got }) => {
+                prop_assert_eq!(got, keep);
+                prop_assert!(expected > keep, "expected must exceed what arrived");
+            }
+            other => prop_assert!(false, "truncation to {keep} gave {other:?}"),
+        }
+    }
+
+    /// Flipping any single bit anywhere in the frame is either caught with
+    /// a typed error, or — only when the flip landed inside the sequence
+    /// field, which carries no integrity of its own — yields the original
+    /// payload under a different sequence number. No panic, no silent
+    /// payload corruption.
+    #[test]
+    fn any_single_bit_flip_is_caught_or_harmless(
+        seq in 0u64..u64::MAX,
+        payload in prop::collection::vec(byte(), 0..256),
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut frame = encode_frame(seq, &payload).expect("frame encodes");
+        let pos = ((frame.len() as f64 * pos_frac) as usize).min(frame.len() - 1);
+        frame[pos] ^= 1 << bit;
+        match decode_frame(&frame) {
+            Ok((got_seq, got_payload)) => {
+                // The seq field occupies header bytes 8..16.
+                prop_assert!((8..16).contains(&pos), "flip at {pos} slipped through");
+                prop_assert_ne!(got_seq, seq);
+                prop_assert_eq!(got_payload, payload);
+            }
+            Err(
+                TransportError::BadMagic { .. }
+                | TransportError::VersionSkew { .. }
+                | TransportError::OverLength { .. }
+                | TransportError::TornFrame { .. }
+                | TransportError::DigestMismatch { .. },
+            ) => {}
+            Err(other) => prop_assert!(false, "unexpected error kind {other:?}"),
+        }
+    }
+
+    /// Any protocol version other than ours is a typed `VersionSkew`
+    /// reporting both sides' versions.
+    #[test]
+    fn every_foreign_version_is_a_typed_skew(
+        version in prop_oneof![
+            0u32..PROTOCOL_VERSION,
+            PROTOCOL_VERSION + 1..u32::MAX,
+        ],
+        payload in prop::collection::vec(byte(), 0..64),
+    ) {
+        let mut frame = encode_frame(3, &payload).expect("frame encodes");
+        frame[4..8].copy_from_slice(&version.to_le_bytes());
+        match decode_frame(&frame) {
+            Err(TransportError::VersionSkew { found, expected }) => {
+                prop_assert_eq!(found, version);
+                prop_assert_eq!(expected, PROTOCOL_VERSION);
+            }
+            other => prop_assert!(false, "version {version} gave {other:?}"),
+        }
+    }
+
+    /// A length field past the cap is a typed `OverLength` even when the
+    /// digest and magic are pristine — the bound is checked *before* the
+    /// reader would try to allocate the claimed buffer.
+    #[test]
+    fn every_over_length_claim_is_typed(
+        extra in 1u32..1_000_000,
+        payload in prop::collection::vec(byte(), 0..64),
+    ) {
+        let mut frame = encode_frame(4, &payload).expect("frame encodes");
+        let claimed = MAX_FRAME_LEN + extra;
+        frame[16..20].copy_from_slice(&claimed.to_le_bytes());
+        match decode_frame(&frame) {
+            Err(TransportError::OverLength { len, max }) => {
+                prop_assert_eq!(len, claimed);
+                prop_assert_eq!(max, MAX_FRAME_LEN);
+            }
+            other => prop_assert!(false, "claimed {claimed} gave {other:?}"),
+        }
+    }
+
+    /// Wrong magic is a typed `BadMagic` echoing the found bytes.
+    #[test]
+    fn every_foreign_magic_is_typed(
+        raw in (0u16..256, 0u16..256, 0u16..256, 0u16..256),
+        payload in prop::collection::vec(byte(), 0..64),
+    ) {
+        let magic = [raw.0 as u8, raw.1 as u8, raw.2 as u8, raw.3 as u8];
+        if magic != FRAME_MAGIC {
+            let mut frame = encode_frame(5, &payload).expect("frame encodes");
+            frame[0..4].copy_from_slice(&magic);
+            match decode_frame(&frame) {
+                Err(TransportError::BadMagic { found }) => prop_assert_eq!(found, magic),
+                other => prop_assert!(false, "magic {magic:?} gave {other:?}"),
+            }
+        }
+    }
+}

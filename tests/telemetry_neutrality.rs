@@ -19,8 +19,8 @@ use fegen::core::ir::IrNode;
 use fegen::core::search::TrainingExample;
 use fegen::core::telemetry::report;
 use fegen::core::{
-    CancelToken, FaultInjector, FaultKind, FaultPlan, FaultTrigger, FeatureSearch, SearchConfig,
-    SearchError, Telemetry,
+    CancelToken, FaultInjector, FaultKind, FaultPlan, FaultTrigger, FeatureSearch, IslandTopology,
+    SearchConfig, SearchError, Telemetry, WorkerLauncher,
 };
 use std::path::{Path, PathBuf};
 
@@ -176,6 +176,99 @@ fn search_checkpoints_are_telemetry_neutral_sequential() {
 #[test]
 fn search_checkpoints_are_telemetry_neutral_parallel() {
     checkpoint_neutral(4, "par");
+}
+
+/// Neutrality proof #1 for the *process-worker* supervisor: the same
+/// interrupted-checkpoint byte identity and resumed-outcome identity, with
+/// the islands stepped by supervised worker threads over the frame
+/// transport. The cancel is keyed to a transport attempt (fitness runs
+/// inside workers, out of the injector's reach), and the telemetry-on run
+/// additionally proves the worker-resilience events land in the log.
+#[test]
+fn process_worker_checkpoints_are_telemetry_neutral() {
+    let examples = synthetic_examples(40);
+    let mut config = small_config(1);
+    config.max_total_generations = 48;
+    config.topology = IslandTopology {
+        islands: 2,
+        migration_every: 1,
+        restart_limit: 3,
+    };
+    let search = FeatureSearch::from_examples(&examples, config);
+    let reference = search.try_run(&examples).expect("reference run completes");
+    assert!(!reference.features.is_empty(), "task must be solvable");
+
+    let interrupted_proc = |ckpt_dir: &Path, telemetry: Telemetry| -> PathBuf {
+        let injector = FaultInjector::new(vec![FaultPlan {
+            trigger: FaultTrigger::OnKeyPrefix("worker:0:round2#a1".into()),
+            kind: FaultKind::Cancel,
+        }]);
+        let err = search
+            .driver()
+            .process_workers(2, WorkerLauncher::Loopback)
+            .checkpoint(ckpt_dir, 2)
+            .fault_injector(&injector)
+            .telemetry(telemetry)
+            .run(&examples)
+            .expect_err("injected cancellation must interrupt");
+        match err {
+            SearchError::Interrupted {
+                checkpoint: Some(p),
+                ..
+            } => p,
+            other => panic!("expected Interrupted with checkpoint, got {other}"),
+        }
+    };
+
+    let dir_off = temp_dir("proc-off");
+    let dir_on = temp_dir("proc-on");
+    let tel_dir = temp_dir("proc-events");
+    std::fs::create_dir_all(&tel_dir).expect("telemetry dir");
+
+    let ckpt_off = interrupted_proc(&dir_off, Telemetry::disabled());
+    let telemetry = Telemetry::to_dir(&tel_dir).expect("telemetry opens");
+    let ckpt_on = interrupted_proc(&dir_on, telemetry);
+    assert_eq!(
+        checkpoint_bytes(&ckpt_off),
+        checkpoint_bytes(&ckpt_on),
+        "telemetry changed the process-worker checkpoint bytes"
+    );
+
+    // Both resume — in process mode — to the thread-mode reference.
+    let resumed_off = search
+        .driver()
+        .process_workers(2, WorkerLauncher::Loopback)
+        .resume(&ckpt_off, &examples)
+        .expect("resume (off) completes");
+    let telemetry = Telemetry::to_dir(&tel_dir).expect("telemetry reopens");
+    let resumed_on = search
+        .driver()
+        .process_workers(2, WorkerLauncher::Loopback)
+        .telemetry(telemetry)
+        .resume(&ckpt_on, &examples)
+        .expect("resume (on) completes");
+    assert_eq!(resumed_off, reference);
+    assert_eq!(resumed_on, reference, "telemetry changed the outcome");
+
+    // The merged log is well-formed and carries the supervisor's events.
+    let verdict = report::check_integrity(&tel_dir).expect("events readable");
+    verdict.unwrap_or_else(|e| panic!("merged log not well-formed: {e}"));
+    let (parsed, _) = report::read_events(&tel_dir).expect("events readable");
+    for kind in ["workers_start", "island_migration", "metric"] {
+        assert!(
+            parsed.iter().any(|e| e.kind == kind),
+            "expected at least one `{kind}` event"
+        );
+    }
+    let summary = report::summarize_dir(&tel_dir).expect("report renders");
+    assert!(
+        summary.contains("worker processes:"),
+        "the worker-resilience section must render: {summary}"
+    );
+
+    for d in [&dir_off, &dir_on, &tel_dir] {
+        let _ = std::fs::remove_dir_all(d);
+    }
 }
 
 fn tiny_experiment() -> ExperimentConfig {
