@@ -82,6 +82,21 @@ impl Symbol {
     pub fn index(&self) -> usize {
         self.0 as usize
     }
+
+    /// Looks `name` up *without* interning it. Interned names live for the
+    /// process lifetime, so code that handles untrusted input (the serve
+    /// daemon's IR ingestion) uses this to count how many genuinely new
+    /// strings a request would pin before deciding to admit it.
+    pub fn lookup(name: &str) -> Option<Symbol> {
+        interner().read().map.get(name).copied()
+    }
+}
+
+/// Number of distinct symbols interned so far. The interner leaks each
+/// distinct string once by design; long-lived processes facing untrusted
+/// input watch this to keep the leak bounded (see `serve`).
+pub fn symbol_count() -> usize {
+    interner().read().names.len()
 }
 
 impl fmt::Display for Symbol {

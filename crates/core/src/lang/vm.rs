@@ -25,8 +25,9 @@ use super::compile::{
 use super::eval::EvalError;
 use crate::faults::CancelToken;
 use crate::ir::{AttrValue, IrArena, IrNode, Symbol};
+use crate::lru::LruCache;
 use crate::telemetry::Telemetry;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -1973,8 +1974,8 @@ pub enum EvalEngine {
     Interpreter,
 }
 
-/// Epoch-flush bound for the compiled-program cache.
-const PROGRAM_CACHE_CAP: usize = 1 << 16;
+/// Default capacity bound for the compiled-program LRU cache.
+pub const PROGRAM_CACHE_CAP: usize = 1 << 16;
 
 /// A batch evaluation engine over a fixed set of loops.
 ///
@@ -1987,10 +1988,20 @@ const PROGRAM_CACHE_CAP: usize = 1 << 16;
 /// testable end-to-end.
 pub struct EvalPool<'a> {
     trees: Vec<&'a IrNode>,
-    arenas: Vec<IrArena>,
+    arenas: Vec<Arc<IrArena>>,
     engine: EvalEngine,
     cache: EvalCache,
-    programs: RwLock<HashMap<Fingerprint, Arc<Program>>>,
+    /// Compiled programs, bounded: a long-lived pool (the `fegen serve`
+    /// daemon's warm path) must not grow without limit under a stream of
+    /// distinct features. Strict LRU replaces the old epoch flush, which
+    /// dumped all 65k entries at once and leaked unboundedly below the
+    /// flush threshold in any long-lived process. Behind an `Arc` so the
+    /// serve daemon's per-batch pools can share one warm cache
+    /// ([`EvalPool::adopt_program_cache`]); programs are keyed by
+    /// structural fingerprint only, never by loop, so sharing across
+    /// batches is always sound (unlike the CSE result cache, which is
+    /// loop-indexed and stays per-pool).
+    programs: Arc<Mutex<LruCache<Fingerprint, Arc<Program>>>>,
     cancel: Option<CancelToken>,
     vm_evals: AtomicU64,
     interp_evals: AtomicU64,
@@ -2022,6 +2033,8 @@ pub struct PoolStats {
     pub program_hits: u64,
     /// Compiled-program cache misses (compilations).
     pub program_misses: u64,
+    /// Compiled programs evicted by the bounded LRU cache.
+    pub program_evictions: u64,
     /// CSE result-cache hits.
     pub result_hits: u64,
     /// CSE result-cache misses.
@@ -2035,15 +2048,34 @@ impl<'a> EvalPool<'a> {
     pub fn new(trees: impl IntoIterator<Item = &'a IrNode>, engine: EvalEngine) -> EvalPool<'a> {
         let trees: Vec<&IrNode> = trees.into_iter().collect();
         let arenas = match engine {
-            EvalEngine::Compiled => trees.iter().map(|t| IrArena::from_tree(t)).collect(),
+            EvalEngine::Compiled => trees
+                .iter()
+                .map(|t| Arc::new(IrArena::from_tree(t)))
+                .collect(),
             EvalEngine::Interpreter => Vec::new(),
         };
+        EvalPool::from_parts(trees, arenas, engine)
+    }
+
+    /// Builds a compiled-engine pool directly over pre-flattened arenas —
+    /// the `fegen serve` warm path, where arenas come out of the daemon's
+    /// digest-keyed LRU cache and a batch must never re-flatten a loop it
+    /// has already seen.
+    pub fn from_arenas(arenas: Vec<Arc<IrArena>>) -> EvalPool<'static> {
+        EvalPool::from_parts(Vec::new(), arenas, EvalEngine::Compiled)
+    }
+
+    fn from_parts(
+        trees: Vec<&'a IrNode>,
+        arenas: Vec<Arc<IrArena>>,
+        engine: EvalEngine,
+    ) -> EvalPool<'a> {
         EvalPool {
             trees,
             arenas,
             engine,
             cache: EvalCache::default(),
-            programs: RwLock::new(HashMap::new()),
+            programs: Arc::new(Mutex::new(LruCache::new(PROGRAM_CACHE_CAP))),
             cancel: None,
             vm_evals: AtomicU64::new(0),
             interp_evals: AtomicU64::new(0),
@@ -2055,6 +2087,23 @@ impl<'a> EvalPool<'a> {
         }
     }
 
+    /// Rebounds the compiled-program LRU to `cap` entries (clamped to at
+    /// least 1). Existing entries are discarded — callers set this before
+    /// the first evaluation. Capacity never changes results, only how
+    /// often a program is recompiled; the differential suite pins this.
+    pub fn set_program_cache_capacity(&mut self, cap: usize) {
+        *self.programs.lock() = LruCache::new(cap);
+    }
+
+    /// Shares `donor`'s compiled-program cache with this pool. The serve
+    /// daemon builds a short-lived pool per batch over LRU-cached arenas;
+    /// adopting the long-lived pool's cache keeps programs warm across
+    /// batches. Sound because programs are keyed by structural fingerprint
+    /// alone — the loop-indexed CSE cache is deliberately *not* shared.
+    pub fn adopt_program_cache(&mut self, donor: &EvalPool<'_>) {
+        self.programs = Arc::clone(&donor.programs);
+    }
+
     /// The engine this pool evaluates with.
     pub fn engine(&self) -> EvalEngine {
         self.engine
@@ -2062,29 +2111,36 @@ impl<'a> EvalPool<'a> {
 
     /// Number of loops in the pool.
     pub fn len(&self) -> usize {
-        self.trees.len()
+        match self.engine {
+            EvalEngine::Interpreter => self.trees.len(),
+            EvalEngine::Compiled => self.arenas.len(),
+        }
     }
 
     /// True when the pool holds no loops.
     pub fn is_empty(&self) -> bool {
-        self.trees.is_empty()
+        self.len() == 0
     }
 
     /// Returns the compiled program for `expr`, compiling at most once per
     /// distinct structure.
     fn program(&self, expr: &FeatureExpr) -> Arc<Program> {
         let key = expr.fingerprint();
-        if let Some(p) = self.programs.read().get(&key) {
+        if let Some(p) = self.programs.lock().get(&key) {
             self.program_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(p);
         }
+        // Compile outside the lock: a slow compile must not stall other
+        // threads' cache hits. A racing thread may compile the same
+        // program; compilation is pure, so adopting either copy is fine.
         self.program_misses.fetch_add(1, Ordering::Relaxed);
         let compiled = Arc::new(Program::compile(expr));
-        let mut programs = self.programs.write();
-        if programs.len() >= PROGRAM_CACHE_CAP {
-            programs.clear();
+        let mut programs = self.programs.lock();
+        if let Some(p) = programs.get(&key) {
+            return Arc::clone(p);
         }
-        Arc::clone(programs.entry(key).or_insert(compiled))
+        programs.insert(key, Arc::clone(&compiled));
+        compiled
     }
 
     /// Evaluates `expr` on loop `idx` with the given budget.
@@ -2104,7 +2160,7 @@ impl<'a> EvalPool<'a> {
                 self.note_vm_evals(&prog, 1);
                 Vm::run(
                     &prog,
-                    &self.arenas[idx],
+                    self.arenas[idx].as_ref(),
                     idx as u32,
                     budget,
                     Some(&self.cache),
@@ -2182,7 +2238,7 @@ impl<'a> EvalPool<'a> {
                     }
                     match Vm::run_scratch(
                         &prog,
-                        arena,
+                        arena.as_ref(),
                         i as u32,
                         budget,
                         Some(&self.cache),
@@ -2216,6 +2272,7 @@ impl<'a> EvalPool<'a> {
             frame_evals: self.frame_evals.load(Ordering::Relaxed),
             program_hits: self.program_hits.load(Ordering::Relaxed),
             program_misses: self.program_misses.load(Ordering::Relaxed),
+            program_evictions: self.programs.lock().evictions(),
             result_hits: self.cache.hits.load(Ordering::Relaxed),
             result_misses: self.cache.misses.load(Ordering::Relaxed),
             cache_entries: self.cache_entries() as u64,
@@ -2236,6 +2293,7 @@ impl<'a> EvalPool<'a> {
         telemetry.gauge_set("eval.path_frame", s.frame_evals as f64);
         telemetry.gauge_set("eval.program_hits", s.program_hits as f64);
         telemetry.gauge_set("eval.program_misses", s.program_misses as f64);
+        telemetry.gauge_set("eval.program_evictions", s.program_evictions as f64);
         telemetry.gauge_set("eval.result_hits", s.result_hits as f64);
         telemetry.gauge_set("eval.result_misses", s.result_misses as f64);
         telemetry.gauge_set("eval.cache_entries", s.cache_entries as f64);

@@ -74,7 +74,9 @@ pub mod gp;
 pub mod grammar;
 pub mod ir;
 pub mod lang;
+pub mod lru;
 pub mod search;
+pub mod serve;
 pub mod telemetry;
 
 pub use checkpoint::{SearchCheckpoint, CHECKPOINT_FILE, CHECKPOINT_VERSION};
@@ -87,4 +89,5 @@ pub use grammar::Grammar;
 pub use ir::{AttrValue, IrArena, IrNode, Symbol};
 pub use lang::{parse_feature, EvalEngine, EvalPool, FeatureExpr, Program, ProgramPath};
 pub use search::{FeatureSearch, SearchConfig, SearchDriver, SearchOutcome, TrainingExample};
+pub use serve::{ModelArtifact, ModelError, ServeEngine, ServeOptions};
 pub use telemetry::{Telemetry, TelemetryConfig};

@@ -1,0 +1,306 @@
+//! A bounded least-recently-used cache with an eviction counter.
+//!
+//! Two long-lived caches need a hard memory bound: the compiled-program
+//! cache inside [`crate::lang::EvalPool`] (previously an epoch-flushed
+//! `HashMap` that held up to 65k programs and dumped them all at once) and
+//! the flattened-arena cache of the `fegen serve` daemon, which faces an
+//! unbounded stream of distinct loop digests from untrusted clients. Both
+//! want the same thing: O(1) get/insert, strict LRU eviction order, and a
+//! counter so telemetry can prove eviction actually happens under load.
+//!
+//! The implementation is an intrusive doubly-linked list threaded through a
+//! slab `Vec`, indexed by a `HashMap` — no unsafe, no allocation per
+//! touch, and eviction is O(1) (the epoch-flush it replaces was O(n) and
+//! lost *everything*, including entries touched on the previous lookup).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Sentinel index for "no neighbour" in the intrusive list.
+const NIL: usize = usize::MAX;
+
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    /// Towards the most-recently-used end.
+    prev: usize,
+    /// Towards the least-recently-used end.
+    next: usize,
+}
+
+/// A bounded LRU map. Capacity is fixed at construction and is always at
+/// least 1; inserting into a full cache evicts the least-recently-used
+/// entry and counts it.
+pub struct LruCache<K, V> {
+    cap: usize,
+    map: HashMap<K, usize>,
+    /// Slot storage; `None` marks a slot parked on the free list.
+    slab: Vec<Option<Entry<K, V>>>,
+    free: Vec<usize>,
+    /// Most-recently-used entry, or `NIL` when empty.
+    head: usize,
+    /// Least-recently-used entry, or `NIL` when empty.
+    tail: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache bounded to `cap` entries (clamped to at least 1).
+    pub fn new(cap: usize) -> LruCache<K, V> {
+        let cap = cap.max(1);
+        LruCache {
+            cap,
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The fixed capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lookups that found an entry (and refreshed its recency).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries evicted to make room since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn slot(&self, idx: usize) -> &Entry<K, V> {
+        self.slab[idx].as_ref().expect("live LRU slot")
+    }
+
+    fn slot_mut(&mut self, idx: usize) -> &mut Entry<K, V> {
+        self.slab[idx].as_mut().expect("live LRU slot")
+    }
+
+    /// Looks up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.hits += 1;
+                self.detach(idx);
+                self.attach_front(idx);
+                Some(&self.slot(idx).value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks up `key` without touching recency or the hit/miss counters.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|&idx| &self.slot(idx).value)
+    }
+
+    /// Inserts (or replaces) `key`, marking it most recently used. Returns
+    /// the evicted least-recently-used entry when the insert overflowed the
+    /// capacity bound.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(&idx) = self.map.get(&key) {
+            self.slot_mut(idx).value = value;
+            self.detach(idx);
+            self.attach_front(idx);
+            return None;
+        }
+        let evicted = if self.map.len() >= self.cap {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            self.detach(lru);
+            let entry = self.slab[lru].take().expect("live LRU tail");
+            self.map.remove(&entry.key);
+            self.free.push(lru);
+            self.evictions += 1;
+            Some((entry.key, entry.value))
+        } else {
+            None
+        };
+        let entry = Entry {
+            key: key.clone(),
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slab[idx] = Some(entry);
+                idx
+            }
+            None => {
+                self.slab.push(Some(entry));
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.attach_front(idx);
+        evicted
+    }
+
+    /// Removes every entry (counters are preserved; this is not an
+    /// eviction).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Keys from most to least recently used (diagnostics and tests).
+    pub fn keys_by_recency(&self) -> Vec<K> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut idx = self.head;
+        while idx != NIL {
+            let entry = self.slot(idx);
+            out.push(entry.key.clone());
+            idx = entry.next;
+        }
+        out
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = {
+            let entry = self.slot(idx);
+            (entry.prev, entry.next)
+        };
+        if prev != NIL {
+            self.slot_mut(prev).next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slot_mut(next).prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        let entry = self.slot_mut(idx);
+        entry.prev = NIL;
+        entry.next = NIL;
+    }
+
+    fn attach_front(&mut self, idx: usize) {
+        let head = self.head;
+        {
+            let entry = self.slot_mut(idx);
+            entry.prev = NIL;
+            entry.next = head;
+        }
+        if head != NIL {
+            self.slot_mut(head).prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> std::fmt::Debug for LruCache<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LruCache")
+            .field("len", &self.len())
+            .field("capacity", &self.cap)
+            .field("hits", &self.hits)
+            .field("misses", &self.misses)
+            .field("evictions", &self.evictions)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_hit_miss_evict() {
+        let mut c: LruCache<u32, String> = LruCache::new(2);
+        assert_eq!(c.capacity(), 2);
+        assert!(c.get(&1).is_none());
+        assert_eq!(c.misses(), 1);
+        assert!(c.insert(1, "a".into()).is_none());
+        assert!(c.insert(2, "b".into()).is_none());
+        assert_eq!(c.get(&1).map(String::as_str), Some("a"));
+        // Inserting a third evicts 2 (least recently used after the hit
+        // on 1).
+        let evicted = c.insert(3, "c".into());
+        assert_eq!(evicted, Some((2, "b".into())));
+        assert_eq!(c.evictions(), 1);
+        assert_eq!(c.len(), 2);
+        assert!(c.peek(&2).is_none());
+        assert_eq!(c.keys_by_recency(), vec![3, 1]);
+    }
+
+    #[test]
+    fn replace_does_not_evict() {
+        let mut c: LruCache<u32, u32> = LruCache::new(1);
+        assert!(c.insert(7, 1).is_none());
+        assert!(c.insert(7, 2).is_none());
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.get(&7), Some(&2));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut c: LruCache<u32, u32> = LruCache::new(0);
+        assert_eq!(c.capacity(), 1);
+        assert!(c.insert(1, 10).is_none());
+        assert_eq!(c.insert(2, 20), Some((1, 10)));
+        assert_eq!(c.get(&2), Some(&20));
+    }
+
+    #[test]
+    fn slots_are_reused_after_eviction() {
+        let mut c: LruCache<u32, u32> = LruCache::new(3);
+        for i in 0..100u32 {
+            c.insert(i, i * 10);
+        }
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.evictions(), 97);
+        // The slab never grows past capacity even after heavy churn.
+        assert!(c.slab.len() <= 3);
+        assert_eq!(c.keys_by_recency(), vec![99, 98, 97]);
+    }
+
+    #[test]
+    fn clear_preserves_counters() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        c.insert(3, 3);
+        assert_eq!(c.evictions(), 1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.evictions(), 1);
+        c.insert(4, 4);
+        assert_eq!(c.get(&4), Some(&4));
+    }
+}

@@ -1,0 +1,30 @@
+//! Production inference: serve trained unroll models to compilers.
+//!
+//! The search side of this crate *finds* features and trains models; this
+//! module *deploys* them. A [`ModelArtifact`](artifact::ModelArtifact) is
+//! the versioned, digest-checked file that crosses the boundary, a
+//! [`ServeEngine`](engine::ServeEngine) is the shared in-process brain
+//! (bounded arena LRU, warm program cache, hot reload), and
+//! [`daemon`] is the connection loop speaking length-prefixed frames via
+//! the same codec as [`crate::gp::transport`].
+//!
+//! Everything reachable from the wire is treated as hostile: admission
+//! caps bound node counts, nesting depth and interner growth *before* any
+//! global side effect, and every failure is a typed response or a dead
+//! connection — never a dead daemon.
+
+pub mod artifact;
+pub mod daemon;
+pub mod engine;
+pub mod wire;
+
+pub use artifact::{feature_digest, ModelArtifact, ModelError, MODEL_VERSION};
+pub use daemon::{run_stdio_serve, serve_connection, ServeError};
+#[cfg(unix)]
+pub use daemon::run_unix_serve;
+pub use engine::{LoadedModel, ServeEngine, ServeOptions};
+pub use wire::{
+    decode_request, decode_response, encode_request, encode_response, AdmissionError,
+    Decision, ServeRequest, ServeResponse, ServeStatsSnapshot, WireAttr, WireNode,
+    ERROR_ID_UNDECODABLE, MAX_BATCH, MAX_IR_DEPTH, MAX_REQUEST_NODES, SERVE_PROTOCOL,
+};

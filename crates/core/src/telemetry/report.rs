@@ -14,6 +14,79 @@ use std::path::Path;
 
 use super::EVENTS_FILE;
 
+/// Event kinds this reader knows how to aggregate. A directory whose log
+/// contains *only* kinds outside this list is almost certainly from a
+/// different (newer/foreign) producer; summarizing it would print an
+/// empty-looking report that reads as "the run did nothing", so
+/// [`summarize_dir`] refuses with a typed error instead.
+pub const KNOWN_KINDS: &[&str] = &[
+    "campaign_start",
+    "bench_done",
+    "retry",
+    "quarantine",
+    "span",
+    "metric",
+    "checkpoint",
+    "feature_step",
+    "kfold_clamped",
+    "search_start",
+    "search_done",
+    "shard_write",
+    "gp_generation",
+    "islands_start",
+    "island_restart",
+    "island_frozen",
+    "island_heartbeat_missed",
+    "island_migration",
+    "island_converged",
+    "island_done",
+    "workers_start",
+    "worker_respawn",
+    "worker_reconnect",
+    "worker_heartbeat_missed",
+    "worker_frozen",
+    "serve_start",
+    "serve_request",
+    "serve_reload",
+    "serve_reload_failed",
+];
+
+/// Why a telemetry directory could not be summarized.
+#[derive(Debug)]
+pub enum ReportError {
+    /// The directory or its `events.jsonl` could not be read.
+    Io(io::Error),
+    /// The log parsed, but every event kind is unknown to this reader —
+    /// the summary would be silently empty, so we refuse instead.
+    UnknownKindsOnly {
+        /// The distinct kinds found, for the error message.
+        kinds: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for ReportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReportError::Io(e) => write!(f, "cannot read telemetry: {e}"),
+            ReportError::UnknownKindsOnly { kinds } => write!(
+                f,
+                "telemetry log contains only unknown event kind(s) [{}]; \
+                 this reader would render an empty summary — was the log \
+                 written by a newer fegen?",
+                kinds.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+impl From<io::Error> for ReportError {
+    fn from(e: io::Error) -> Self {
+        ReportError::Io(e)
+    }
+}
+
 /// One parsed event line.
 #[derive(Debug, Clone)]
 pub struct ParsedEvent {
@@ -416,6 +489,42 @@ pub fn render(events: &[ParsedEvent], skipped: usize) -> String {
         );
     }
 
+    // Serve daemon: request volume, cache behavior, hot reloads. Gauges
+    // are cumulative, so the last emission is the daemon's final word.
+    if events.iter().any(|e| e.kind == "serve_start") || metrics.contains_key("serve.requests") {
+        let requests = get("serve.requests");
+        let loops = get("serve.loops_evaluated");
+        let errors = get("serve.errors");
+        let _ = writeln!(
+            out,
+            "serve: {requests} request(s), {loops} loop(s) evaluated, {errors} error(s)"
+        );
+        let _ = writeln!(
+            out,
+            "  arena cache:   {} hit rate ({} hits / {} misses), {} entries, {} eviction(s)",
+            rate(get("serve.arena_hits"), get("serve.arena_misses")),
+            get("serve.arena_hits"),
+            get("serve.arena_misses"),
+            get("serve.arena_entries"),
+            get("serve.arena_evictions"),
+        );
+        let _ = writeln!(
+            out,
+            "  program cache: {} hit rate ({} hits / {} misses), {} eviction(s)",
+            rate(get("serve.pool_program_hits"), get("serve.pool_program_misses")),
+            get("serve.pool_program_hits"),
+            get("serve.pool_program_misses"),
+            get("serve.pool_program_evictions"),
+        );
+        let _ = writeln!(
+            out,
+            "  queue depth peak: {}; reloads: {} ({} failed)",
+            get("serve.queue_depth_peak"),
+            get("serve.reloads"),
+            get("serve.reload_failures"),
+        );
+    }
+
     // Checkpoint write latency.
     let ckpt: Vec<u64> = events
         .iter()
@@ -438,8 +547,21 @@ pub fn render(events: &[ParsedEvent], skipped: usize) -> String {
 }
 
 /// Convenience wrapper: read `dir/events.jsonl` and render the summary.
-pub fn summarize_dir(dir: &Path) -> io::Result<String> {
+///
+/// # Errors
+///
+/// [`ReportError::Io`] when the log cannot be read;
+/// [`ReportError::UnknownKindsOnly`] when the log is non-empty but every
+/// event kind is foreign to this reader — a summary of it would be a
+/// misleading zero-report, so the caller gets a typed refusal instead.
+pub fn summarize_dir(dir: &Path) -> Result<String, ReportError> {
     let (events, skipped) = read_events(dir)?;
+    if !events.is_empty() && !events.iter().any(|e| KNOWN_KINDS.contains(&e.kind.as_str())) {
+        let mut kinds: Vec<String> = events.iter().map(|e| e.kind.clone()).collect();
+        kinds.sort();
+        kinds.dedup();
+        return Err(ReportError::UnknownKindsOnly { kinds });
+    }
     Ok(render(&events, skipped))
 }
 
@@ -678,5 +800,91 @@ mod tests {
     fn empty_log_renders() {
         let s = render(&[], 0);
         assert!(s.contains("no events"));
+    }
+
+    #[test]
+    fn unknown_kinds_only_is_a_typed_error_not_a_zero_summary() {
+        let dir = tmp_dir("unknown");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(
+            dir.join(EVENTS_FILE),
+            "{\"seq\":1,\"ts_ms\":0,\"kind\":\"zorp\"}\n\
+             {\"seq\":2,\"ts_ms\":1,\"kind\":\"blip\",\"n\":3}\n",
+        )
+        .expect("write");
+        match summarize_dir(&dir) {
+            Err(ReportError::UnknownKindsOnly { kinds }) => {
+                assert_eq!(kinds, vec!["blip".to_string(), "zorp".to_string()]);
+            }
+            other => panic!("expected UnknownKindsOnly, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_kinds_mixed_with_known_still_summarize() {
+        let dir = tmp_dir("mixed");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(
+            dir.join(EVENTS_FILE),
+            "{\"seq\":1,\"ts_ms\":0,\"kind\":\"zorp\"}\n\
+             {\"seq\":2,\"ts_ms\":1,\"kind\":\"checkpoint\",\"dur_us\":500}\n",
+        )
+        .expect("write");
+        let summary = summarize_dir(&dir).expect("mixed logs still summarize");
+        assert!(summary.contains("checkpoints: 1 write(s)"), "{summary}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_dir_is_io_error() {
+        let dir = tmp_dir("absent");
+        assert!(matches!(summarize_dir(&dir), Err(ReportError::Io(_))));
+    }
+
+    #[test]
+    fn summarizes_serve_daemon() {
+        let dir = tmp_dir("serve");
+        let t = Telemetry::to_dir(&dir).expect("open");
+        t.event("serve_start")
+            .str("model", "model.fgm")
+            .u64("model_digest", 7)
+            .u64("n_features", 2)
+            .u64("arena_cache_cap", 32)
+            .emit();
+        t.gauge_set("serve.requests", 10.0);
+        t.gauge_set("serve.loops_evaluated", 40.0);
+        t.gauge_set("serve.errors", 1.0);
+        t.gauge_set("serve.arena_hits", 30.0);
+        t.gauge_set("serve.arena_misses", 10.0);
+        t.gauge_set("serve.arena_entries", 8.0);
+        t.gauge_set("serve.arena_evictions", 2.0);
+        t.gauge_set("serve.pool_program_hits", 78.0);
+        t.gauge_set("serve.pool_program_misses", 2.0);
+        t.gauge_set("serve.pool_program_evictions", 0.0);
+        t.gauge_set("serve.queue_depth_peak", 3.0);
+        t.gauge_set("serve.reloads", 1.0);
+        t.gauge_set("serve.reload_failures", 1.0);
+        t.emit_metrics("serve");
+        drop(t);
+
+        let summary = summarize_dir(&dir).expect("summarize");
+        assert!(
+            summary.contains("serve: 10 request(s), 40 loop(s) evaluated, 1 error(s)"),
+            "{summary}"
+        );
+        assert!(
+            summary.contains("arena cache:   75.0% hit rate (30 hits / 10 misses), 8 entries, 2 eviction(s)"),
+            "{summary}"
+        );
+        assert!(
+            summary.contains("program cache: 97.5% hit rate (78 hits / 2 misses), 0 eviction(s)"),
+            "{summary}"
+        );
+        assert!(
+            summary.contains("queue depth peak: 3; reloads: 1 (1 failed)"),
+            "{summary}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

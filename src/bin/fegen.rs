@@ -152,6 +152,9 @@ fn run(args: &[String]) -> Result<(), Anyhow> {
         "report" => cmd_report(arg(args, 1)?),
         "bench-perf" => cmd_bench_perf(&args[1..]),
         "bench-measure" => cmd_bench_measure(&args[1..]),
+        "train-model" => cmd_train_model(arg(args, 1)?, &args[2..]),
+        "serve" => cmd_serve(&args[1..]),
+        "bench-serve" => cmd_bench_serve(&args[1..]),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -178,6 +181,9 @@ fn print_usage() {
     println!("  fegen report  <dir>                          summarize a telemetry event log");
     println!("  fegen bench-perf [flags]                     measure eval-engine throughput");
     println!("  fegen bench-measure [flags]                  time fork-once vs scratch campaigns");
+    println!("  fegen train-model <file> [flags]             train + save a model artifact");
+    println!("  fegen serve [flags]                          serve unroll decisions from a model");
+    println!("  fegen bench-serve [flags]                    measure serve latency/throughput");
     println!();
     println!("measure flags:");
     println!("  --dataset-dir <dir>      dataset directory (required)");
@@ -211,7 +217,24 @@ fn print_usage() {
     println!("  --quick                  tiny suite + reduced sampling (CI smoke mode)");
     println!("  --jobs <n>               parallel workers for both campaigns (default 1)");
     println!();
-    println!("telemetry flags (search + measure):");
+    println!("train-model flags:");
+    println!("  --out <path>             artifact path (default model.fgm)");
+    println!("  --feature <expr>         feature to evaluate (repeatable; default: paper set)");
+    println!("  --paper                  paper-scale evaluation budget");
+    println!();
+    println!("serve flags:");
+    println!("  --model <path>           model artifact to serve (required)");
+    println!("  --stdio                  speak frames on stdin/stdout (one client)");
+    println!("  --socket <path>          listen on a Unix socket (many clients)");
+    println!("  --arena-cache <n>        flattened-arena LRU capacity (default 1024)");
+    println!("  --reload-every <n>       poll the artifact for hot-reload every n requests");
+    println!();
+    println!("bench-serve flags:");
+    println!("  --out <path>             JSON report path (default BENCH_serve.json)");
+    println!("  --quick                  fewer requests per batch size (CI smoke mode)");
+    println!("  --arena-cache <n>        daemon arena LRU capacity (default 32, to observe eviction)");
+    println!();
+    println!("telemetry flags (search + measure + serve):");
     println!("  --telemetry-dir <dir>    append JSONL events to <dir>/events.jsonl");
     println!("  --log-json               mirror every event to stderr as JSON");
     println!("  --progress               human-readable progress lines on stderr");
@@ -1161,6 +1184,373 @@ fn print_outcome(outcome: &SearchOutcome) {
             step.feature
         );
     }
+}
+
+/// The paper-shaped deployment feature set: the structural count/filter
+/// shapes the GP search converges to (Figure 16). `train-model` and
+/// `bench-serve` use it as the default model basis.
+const PAPER_FEATURE_SET: [&str; 5] = [
+    "count(//*)",
+    "count(filter(//*, is-type(reg)))",
+    "count(filter(//*, !(is-type(wide-int) || is-type(const_double))))",
+    "max(filter(/*, is-type(basic-block)), count(filter(//*, is-type(insn))))",
+    "count(filter(//*, is-type(insn))) / (1 + count(filter(//*, is-type(basic-block))))",
+];
+
+fn paper_features() -> Result<Vec<FeatureExpr>, Anyhow> {
+    PAPER_FEATURE_SET
+        .iter()
+        .map(|s| parse_feature(s).map_err(|e| format!("parsing `{s}`: {e}").into()))
+        .collect()
+}
+
+fn cmd_train_model(path: &str, flags: &[String]) -> Result<(), Anyhow> {
+    use fegen::core::serve::ModelArtifact;
+    let mut out = "model.fgm".to_owned();
+    let mut paper = false;
+    let mut feature_texts: Vec<String> = Vec::new();
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => out = it.next().cloned().ok_or("--out needs a value")?,
+            "--feature" => {
+                feature_texts.push(it.next().cloned().ok_or("--feature needs a value")?);
+            }
+            "--paper" => paper = true,
+            other => return Err(format!("unknown train-model flag `{other}`").into()),
+        }
+    }
+    let (_, rtl) = load(path)?;
+    let examples = training_examples_from(&rtl);
+    if examples.is_empty() {
+        return Err("no measurable loops to train on".into());
+    }
+    let features: Vec<FeatureExpr> = if feature_texts.is_empty() {
+        paper_features()?
+    } else {
+        feature_texts
+            .iter()
+            .map(|s| parse_feature(s).map_err(|e| format!("parsing `{s}`: {e}")))
+            .collect::<Result<_, _>>()?
+    };
+    let config = if paper {
+        SearchConfig::paper()
+    } else {
+        SearchConfig::quick()
+    };
+    let artifact = ModelArtifact::train(&config, &features, &examples)
+        .map_err(|e| format!("training model: {e}"))?;
+    artifact
+        .save(std::path::Path::new(&out))
+        .map_err(|e| format!("saving model: {e}"))?;
+    println!(
+        "model written to {out}: {} feature(s), {} class(es), {} example(s), digest {:#018x}",
+        features.len(),
+        artifact.n_classes,
+        examples.len(),
+        artifact.digest(),
+    );
+    Ok(())
+}
+
+fn cmd_serve(flags: &[String]) -> Result<(), Anyhow> {
+    use fegen::core::serve::{ServeEngine, ServeOptions};
+    let mut model: Option<String> = None;
+    let mut socket: Option<String> = None;
+    let mut stdio = false;
+    let mut opts = ServeOptions::default();
+    let mut telemetry_dir: Option<String> = None;
+    let mut log_json = false;
+    let mut progress = false;
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--model" => model = Some(it.next().cloned().ok_or("--model needs a value")?),
+            "--stdio" => stdio = true,
+            "--socket" => socket = Some(it.next().cloned().ok_or("--socket needs a value")?),
+            "--arena-cache" => {
+                opts.arena_cache_cap = parse_num(it.next().ok_or("--arena-cache needs a value")?)?;
+            }
+            "--reload-every" => {
+                opts.reload_check_every =
+                    parse_num(it.next().ok_or("--reload-every needs a value")?)? as u64;
+            }
+            "--telemetry-dir" => {
+                telemetry_dir = Some(it.next().cloned().ok_or("--telemetry-dir needs a value")?);
+            }
+            "--log-json" => log_json = true,
+            "--progress" => progress = true,
+            other => return Err(format!("unknown serve flag `{other}`").into()),
+        }
+    }
+    let model = model.ok_or("serve needs --model <path>")?;
+    if stdio == socket.is_some() {
+        return Err("serve needs exactly one of --stdio or --socket <path>".into());
+    }
+    let telemetry = build_telemetry(telemetry_dir.as_deref(), log_json, progress)?;
+    let engine = ServeEngine::new(std::path::PathBuf::from(&model), opts, telemetry)
+        .map_err(|e| format!("loading model `{model}`: {e}"))?;
+    if stdio {
+        // stdout is the wire in this mode; nothing else may print to it.
+        fegen::core::serve::run_stdio_serve(&engine).map_err(|e| format!("serve: {e}").into())
+    } else {
+        #[cfg(unix)]
+        {
+            let path = socket.expect("checked above");
+            fegen::core::serve::run_unix_serve(
+                std::sync::Arc::new(engine),
+                std::path::Path::new(&path),
+            )
+            .map_err(|e| format!("serve: {e}").into())
+        }
+        #[cfg(not(unix))]
+        Err("--socket requires a Unix platform; use --stdio".into())
+    }
+}
+
+fn cmd_bench_serve(flags: &[String]) -> Result<(), Anyhow> {
+    use fegen::core::serve::{
+        decode_response, encode_request, Decision, ModelArtifact, ServeRequest, ServeResponse,
+        WireAttr, WireNode, SERVE_PROTOCOL,
+    };
+    use fegen::core::{gp::transport::StreamTransport, FrameTransport};
+    use std::io::Write as _;
+    use std::time::Instant;
+
+    let mut out = "BENCH_serve.json".to_owned();
+    let mut quick = false;
+    let mut arena_cache = 32usize;
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => out = it.next().cloned().ok_or("--out needs a value")?,
+            "--quick" => quick = true,
+            "--arena-cache" => {
+                arena_cache = parse_num(it.next().ok_or("--arena-cache needs a value")?)?;
+            }
+            other => return Err(format!("unknown bench-serve flag `{other}`").into()),
+        }
+    }
+    let batch_sizes: &[usize] = if quick { &[1, 8, 32] } else { &[1, 8, 32, 128] };
+    let requests_per_size = if quick { 24 } else { 80 };
+
+    // Stage a model + telemetry dir under a private temp root.
+    let root = std::env::temp_dir().join(format!("fegen-bench-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&root).map_err(|e| format!("creating `{}`: {e}", root.display()))?;
+    let model_path = root.join("model.fgm");
+    let tel_dir = root.join("telemetry");
+
+    // Train a small real model over the generated suite: enough loops to
+    // be a workload, quick budgets so staging stays in CI bounds.
+    let suite = fegen::suite::generate_suite(&fegen::suite::SuiteConfig::tiny());
+    let mut examples = Vec::new();
+    let mut wire_loops: Vec<WireNode> = Vec::new();
+    for b in &suite {
+        let rtl = lower_program(&b.program)?;
+        for f in &rtl.functions {
+            for region in &f.loops {
+                wire_loops.push(WireNode::from_ir(&export_loop(f, region, &rtl.layout)));
+            }
+        }
+        if examples.len() < 8 {
+            examples.extend(training_examples_from(&rtl));
+        }
+    }
+    if wire_loops.is_empty() {
+        return Err("the benchmark suite produced no loops".into());
+    }
+    let artifact = ModelArtifact::train(&SearchConfig::quick(), &paper_features()?, &examples)
+        .map_err(|e| format!("training bench model: {e}"))?;
+    artifact
+        .save(&model_path)
+        .map_err(|e| format!("saving bench model: {e}"))?;
+
+    // The daemon under test: the real binary, stdio transport, a small
+    // arena cache so the bounded-memory path (eviction) actually runs.
+    let exe = std::env::current_exe().map_err(|e| format!("locating fegen binary: {e}"))?;
+    let mut child = std::process::Command::new(&exe)
+        .arg("serve")
+        .arg("--stdio")
+        .arg("--model")
+        .arg(&model_path)
+        .arg("--arena-cache")
+        .arg(arena_cache.to_string())
+        .arg("--telemetry-dir")
+        .arg(&tel_dir)
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("spawning serve daemon: {e}"))?;
+    let child_in = child.stdin.take().ok_or("child stdin missing")?;
+    let child_out = child.stdout.take().ok_or("child stdout missing")?;
+    let mut wire = StreamTransport::new(child_out, child_in);
+
+    let send = |wire: &mut StreamTransport<_, _>, req: &ServeRequest| -> Result<(), Anyhow> {
+        wire.send(&encode_request(req)?)
+            .map_err(|e| format!("sending to daemon: {e}").into())
+    };
+    let recv = |wire: &mut StreamTransport<_, _>| -> Result<ServeResponse, Anyhow> {
+        let payload = wire.recv().map_err(|e| format!("daemon hung up: {e}"))?;
+        decode_response(&payload).map_err(|e| format!("bad daemon response: {e}").into())
+    };
+
+    send(&mut wire, &ServeRequest::Hello { protocol: SERVE_PROTOCOL })?;
+    match recv(&mut wire)? {
+        ServeResponse::HelloAck { n_features, .. } => {
+            eprintln!("bench-serve: daemon up, {n_features} feature(s)");
+        }
+        other => return Err(format!("expected HelloAck, got {other:?}").into()),
+    }
+
+    // A request stream with more distinct loop shapes than the arena cache
+    // can hold: each variant perturbs `num-iter`, so digests differ and the
+    // LRU must evict — the bounded-RSS path, not just the warm-hit path.
+    let distinct = (2 * arena_cache).max(wire_loops.len());
+    let variant = |v: usize| -> WireNode {
+        let mut node = wire_loops[v % wire_loops.len()].clone();
+        node.attrs
+            .retain(|(name, _)| name != "bench-variant");
+        node.attrs
+            .push(("bench-variant".to_owned(), WireAttr::Num((v / wire_loops.len()) as f64)));
+        node
+    };
+
+    let mut next_id = 1u64;
+    let mut results = Vec::new();
+    for &batch in batch_sizes {
+        let mut latencies_us: Vec<u64> = Vec::with_capacity(requests_per_size);
+        let mut loops_sent = 0usize;
+        let started = Instant::now();
+        for r in 0..requests_per_size {
+            let loops: Vec<WireNode> = (0..batch)
+                .map(|i| variant((r * batch + i) % distinct))
+                .collect();
+            loops_sent += loops.len();
+            let id = next_id;
+            next_id += 1;
+            let t0 = Instant::now();
+            send(&mut wire, &ServeRequest::Predict { id, loops })?;
+            match recv(&mut wire)? {
+                ServeResponse::Decisions { id: got, decisions } => {
+                    if got != id || decisions.len() != batch {
+                        return Err(format!(
+                            "bad decisions: id {got} (want {id}), {} decision(s) (want {batch})",
+                            decisions.len()
+                        )
+                        .into());
+                    }
+                    for Decision { unroll, .. } in &decisions {
+                        if *unroll >= artifact.n_classes {
+                            return Err(format!("decision {unroll} out of range").into());
+                        }
+                    }
+                }
+                other => return Err(format!("expected Decisions, got {other:?}").into()),
+            }
+            latencies_us.push(t0.elapsed().as_micros() as u64);
+        }
+        let total_s = started.elapsed().as_secs_f64();
+        latencies_us.sort_unstable();
+        let p50 = latencies_us[latencies_us.len() / 2];
+        let p99 = latencies_us[(latencies_us.len() * 99 / 100).min(latencies_us.len() - 1)];
+        let throughput = loops_sent as f64 / total_s;
+        eprintln!(
+            "bench-serve: batch {batch:>4}: p50 {p50:>6}µs, p99 {p99:>6}µs, {throughput:>9.0} loops/s"
+        );
+        results.push((batch, p50, p99, throughput));
+    }
+
+    // Final counters from the daemon itself, then a clean shutdown.
+    let stats = {
+        send(&mut wire, &ServeRequest::Stats { id: next_id })?;
+        match recv(&mut wire)? {
+            ServeResponse::StatsReport { stats, .. } => stats,
+            other => return Err(format!("expected StatsReport, got {other:?}").into()),
+        }
+    };
+    send(&mut wire, &ServeRequest::Shutdown)?;
+    match recv(&mut wire)? {
+        ServeResponse::Bye => {}
+        other => return Err(format!("expected Bye, got {other:?}").into()),
+    }
+    drop(wire);
+    let status = child.wait().map_err(|e| format!("waiting for daemon: {e}"))?;
+    if !status.success() {
+        return Err(format!("daemon exited uncleanly: {status}").into());
+    }
+
+    let mut json = String::from("{\n  \"batches\": [\n");
+    for (i, (batch, p50, p99, throughput)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{ \"batch\": {batch}, \"p50_us\": {p50}, \"p99_us\": {p99}, \
+             \"throughput_loops_per_sec\": {throughput:.1} }}{comma}\n"
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"requests\": {},\n  \"loops_evaluated\": {},\n  \"errors\": {},\n  \
+         \"arena_cache_cap\": {arena_cache},\n  \"arena_hits\": {},\n  \"arena_misses\": {},\n  \
+         \"arena_evictions\": {},\n  \"arena_entries\": {},\n  \"queue_depth_peak\": {}\n}}\n",
+        stats.requests,
+        stats.loops_evaluated,
+        stats.errors,
+        stats.arena_hits,
+        stats.arena_misses,
+        stats.arena_evictions,
+        stats.arena_entries,
+        stats.queue_depth_peak,
+    ));
+    let mut file =
+        std::fs::File::create(&out).map_err(|e| format!("writing `{out}`: {e}"))?;
+    file.write_all(json.as_bytes())
+        .map_err(|e| format!("writing `{out}`: {e}"))?;
+
+    println!(
+        "serve: {} request(s), {} loop(s), {} error(s); arena {} hit(s) / {} miss(es), \
+         {} eviction(s), {} resident",
+        stats.requests,
+        stats.loops_evaluated,
+        stats.errors,
+        stats.arena_hits,
+        stats.arena_misses,
+        stats.arena_evictions,
+        stats.arena_entries,
+    );
+    print!(
+        "{}",
+        fegen::core::telemetry::report::summarize_dir(&tel_dir)
+            .map_err(|e| format!("daemon telemetry unreadable: {e}"))?
+    );
+    println!("report written to {out}");
+    let _ = std::fs::remove_dir_all(&root);
+
+    // Floors checked after the report is on disk (same contract as the
+    // other bench commands): nothing dropped, the bounded cache actually
+    // cycled, and throughput clears a floor far under the measured rate.
+    if stats.errors != 0 {
+        return Err(format!("{} request(s) answered with errors", stats.errors).into());
+    }
+    if stats.arena_evictions == 0 {
+        return Err("arena LRU never evicted; the bounded-memory path went unexercised".into());
+    }
+    if stats.arena_entries as usize > arena_cache {
+        return Err(format!(
+            "arena cache holds {} entries, over its {arena_cache} cap",
+            stats.arena_entries
+        )
+        .into());
+    }
+    /// Minimum acceptable serve throughput at the largest batch size.
+    const SERVE_THROUGHPUT_FLOOR: f64 = 50.0;
+    let (_, _, _, best) = results[results.len() - 1];
+    if best < SERVE_THROUGHPUT_FLOOR {
+        return Err(format!(
+            "serve throughput {best:.0} loops/s below the {SERVE_THROUGHPUT_FLOOR:.0} floor"
+        )
+        .into());
+    }
+    Ok(())
 }
 
 // Silence "unused" for names referenced only in help text.
